@@ -1,0 +1,651 @@
+(* Regenerates every table and figure of the paper's evaluation
+   (DESIGN.md section 3 maps each to its modules), then runs Bechamel
+   micro-benchmarks of the core kernels.
+
+   Usage: main.exe [table1|table4|table5|table6|table7|
+                    fig1|fig2|fig3|fig4|micro|all]  (default: all)
+
+   Budgets here stand in for the paper's 48-hour SAT timeout: a case
+   is reported "resilient" when the attack exhausts its budget. *)
+
+module N = Shell_netlist
+module F = Shell_fabric
+module S = Shell_synth
+module P = Shell_pnr
+module L = Shell_locking
+module A = Shell_attacks
+module C = Shell_core
+module Circ = Shell_circuits
+
+let printf = Printf.printf
+
+let heading title =
+  printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let tfr (t : Circ.Catalog.tfr) =
+  {
+    C.Baselines.route = t.Circ.Catalog.route;
+    lgc = t.Circ.Catalog.lgc;
+    label = t.Circ.Catalog.label;
+  }
+
+let cases_of (e : Circ.Catalog.entry) =
+  C.Baselines.all
+    ~case1:(tfr e.Circ.Catalog.tfr_case1)
+    ~case2:(tfr e.Circ.Catalog.tfr_case2)
+    ~case3:(tfr e.Circ.Catalog.tfr_case3)
+    ~shell:(tfr e.Circ.Catalog.tfr_shell)
+
+(* Attack budget used to declare resilience in the tables. *)
+let attack_budget = (`Dips 64, `Conflicts 120_000, `Seconds 6.0)
+
+let run_sat_attack ?(budget = attack_budget) (r : C.Flow.result) =
+  let `Dips max_dips, `Conflicts max_conflicts, `Seconds time_limit = budget in
+  let lk = C.Flow.locked_sub r in
+  let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
+  A.Sat_attack.run ~max_dips ~max_conflicts ~time_limit
+    ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
+    lk.L.Locked.locked
+
+let resilience_tag = function
+  | A.Sat_attack.Broken (_, st) ->
+      Printf.sprintf "BROKEN (%d DIPs)" st.A.Sat_attack.dips
+  | A.Sat_attack.Timeout st ->
+      Printf.sprintf "resilient (%d DIPs, %d conflicts)" st.A.Sat_attack.dips
+        st.A.Sat_attack.conflicts
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table1 =
+  [
+    ("OpenFPGA", "1650 M2s", "650 DFFs", "-");
+    ("FABulous (std cell)", "560 M4s + 80 M2s", "20 CFFs", "650");
+    ("FABulous (std cell w/ mux chain)", "185 M4s + 63 M2s", "12 CFFs", "431");
+  ]
+
+let table1 () =
+  heading "Table I: Resource utilization, ROUTE circuit (8-AXI-channel Xbar)";
+  let xbar = Circ.Axi_xbar.netlist () in
+  printf "xbar: %d cells, route fraction %.2f\n\n"
+    (N.Netlist.num_cells xbar)
+    (S.Mux_chain.route_fraction xbar);
+  printf "%-34s %-22s %-12s %s\n" "Tool" "Multiplexer" "Flip Flop" "Latch";
+  List.iter
+    (fun style ->
+      let cfg =
+        {
+          (C.Flow.shell_config
+             ~target:
+               (C.Flow.Fixed
+                  { route = [ ":_xbar_route"; ":_xbar_arb" ]; lgc = []; label = "xbar" })
+             ())
+          with
+          C.Flow.style;
+          shrink = true;
+        }
+      in
+      let r = C.Flow.run cfg xbar in
+      printf "%s\n"
+        (Format.asprintf "%a" F.Resources.pp_table1_row
+           (style, r.C.Flow.resources)))
+    F.Style.all;
+  printf "\npaper reported:\n";
+  List.iter
+    (fun (a, b, c, d) -> printf "%-34s %-22s %-12s %s\n" a b c d)
+    paper_table1
+
+(* ------------------------------------------------------------------ *)
+(* Table IV                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table4 =
+  [
+    ("PicoSoC", [ (1.74, 1.95, 2.11); (1.87, 1.97, 2.28); (1.71, 1.88, 1.94); (1.39, 1.45, 1.47) ]);
+    ("AES", [ (2.11, 2.34, 3.15); (2.07, 2.33, 3.25); (1.98, 1.94, 2.22); (1.38, 1.51, 1.55) ]);
+    ("FIR", [ (2.97, 3.11, 4.02); (3.17, 3.21, 4.14); (2.89, 2.99, 3.23); (1.66, 1.77, 1.82) ]);
+    ("SPMV", [ (1.57, 1.73, 2.61); (1.69, 1.88, 2.74); (1.94, 2.03, 2.88); (1.36, 1.41, 1.52) ]);
+    ("DLA", [ (1.41, 1.57, 2.34); (1.55, 1.72, 2.66); (1.60, 1.74, 2.44); (1.29, 1.33, 1.40) ]);
+  ]
+
+let table4 ?(attack = true) () =
+  heading "Table IV: Comparative (normalized) overhead, Cases 1-4";
+  List.iter
+    (fun (e : Circ.Catalog.entry) ->
+      let nl = e.Circ.Catalog.netlist () in
+      let paper = List.assoc e.Circ.Catalog.name paper_table4 in
+      printf "\n%s (%s): %d cells\n" e.Circ.Catalog.name
+        e.Circ.Catalog.description (N.Netlist.num_cells nl);
+      List.iteri
+        (fun i (name, cfg) ->
+          let r = C.Flow.run cfg nl in
+          let pa, pp_, pd = List.nth paper i in
+          let sec =
+            if attack then "  SAT: " ^ resilience_tag (run_sat_attack r)
+            else ""
+          in
+          printf "  %-32s A=%.2f P=%.2f D=%.2f   (paper %.2f/%.2f/%.2f)%s\n"
+            name r.C.Flow.overhead.C.Overhead.area
+            r.C.Flow.overhead.C.Overhead.power r.C.Flow.overhead.C.Overhead.delay
+            pa pp_ pd sec;
+          flush stdout)
+        (cases_of e))
+    Circ.Catalog.all
+
+(* ------------------------------------------------------------------ *)
+(* Table V: same (ROUTE-based) TfR for every case                      *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table5 =
+  [
+    ("PicoSoC", [ (1.993, 2.162, 2.674); (1.994, 2.161, 2.676); (1.756, 2.036, 2.214); (1.390, 1.447, 1.473) ]);
+    ("AES", [ (2.505, 2.814, 3.450); (2.505, 2.814, 3.450); (2.274, 2.470, 2.715); (1.384, 1.509, 1.548) ]);
+    ("FIR", [ (3.251, 3.50, 4.68); (3.421, 3.559, 4.697); (3.31, 3.57, 3.82); (1.663, 1.768, 1.816) ]);
+  ]
+
+let table5 () =
+  heading "Table V: same ROUTE-based target for all cases";
+  List.iter
+    (fun (name, paper) ->
+      match Circ.Catalog.find name with
+      | None -> ()
+      | Some e ->
+          let nl = e.Circ.Catalog.netlist () in
+          let shell_t = tfr e.Circ.Catalog.tfr_shell in
+          printf "\n%s (TfR: %s)\n" name shell_t.C.Baselines.label;
+          let cases =
+            C.Baselines.all ~case1:shell_t ~case2:shell_t ~case3:shell_t
+              ~shell:shell_t
+          in
+          List.iteri
+            (fun i (cname, cfg) ->
+              let r = C.Flow.run cfg nl in
+              let pa, pp_, pd = List.nth paper i in
+              printf "  %-32s A=%.3f P=%.3f D=%.3f   (paper %.3f/%.3f/%.3f)\n"
+                cname r.C.Flow.overhead.C.Overhead.area
+                r.C.Flow.overhead.C.Overhead.power
+                r.C.Flow.overhead.C.Overhead.delay pa pp_ pd)
+            cases)
+    paper_table5
+
+(* ------------------------------------------------------------------ *)
+(* Table VI: coefficient sweep                                         *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table6 =
+  [
+    ("PicoSoC", [ (1.58, 1.59, 1.97); (1.41, 1.58, 1.45); (1.42, 1.46, 1.46); (1.81, 1.93, 1.99); (1.39, 1.45, 1.47) ]);
+    ("AES", [ (1.64, 1.77, 1.88); (1.55, 1.61, 1.77); (1.43, 1.46, 1.60); (2.24, 2.36, 2.77); (1.38, 1.51, 1.55) ]);
+    ("FIR", [ (1.88, 2.01, 2.06); (1.75, 1.79, 1.99); (1.65, 1.69, 1.94); (2.33, 2.50, 2.94); (1.66, 1.77, 1.82) ]);
+    ("SPMV", [ (1.66, 1.70, 1.83); (1.36, 1.41, 1.64); (1.35, 1.42, 1.58); (1.77, 1.78, 2.08); (1.36, 1.41, 1.52) ]);
+    ("DLA", [ (1.36, 1.45, 1.59); (1.31, 1.32, 1.55); (1.38, 1.53, 1.95); (1.58, 1.64, 2.09); (1.29, 1.33, 1.40) ]);
+  ]
+
+(* the paper strikes through the cells its SAT attack broke *)
+let paper_broken = [ ("AES", "c2") ]
+
+let table6 ?(attack = true) () =
+  heading "Table VI: coefficient profiles for sub-circuit selection";
+  List.iter
+    (fun (e : Circ.Catalog.entry) ->
+      let nl = e.Circ.Catalog.netlist () in
+      let paper = List.assoc e.Circ.Catalog.name paper_table6 in
+      printf "\n%s\n" e.Circ.Catalog.name;
+      List.iteri
+        (fun i (cname, coeffs) ->
+          let cfg =
+            C.Flow.shell_config
+              ~target:(C.Flow.Auto { coeffs; lgc_depth = 0 })
+              ()
+          in
+          let r = C.Flow.run cfg nl in
+          let pa, pp_, pd = List.nth paper i in
+          let sec =
+            if attack then "  SAT: " ^ resilience_tag (run_sat_attack r)
+            else ""
+          in
+          let expect =
+            if List.mem (e.Circ.Catalog.name, cname) paper_broken then
+              " [paper: broken]"
+            else ""
+          in
+          printf
+            "  %-3s A=%.2f P=%.2f D=%.2f (paper %.2f/%.2f/%.2f)  TfR: %-40s%s%s\n"
+            cname r.C.Flow.overhead.C.Overhead.area
+            r.C.Flow.overhead.C.Overhead.power
+            r.C.Flow.overhead.C.Overhead.delay pa pp_ pd
+            (let l = r.C.Flow.choice.C.Selection.label in
+             if String.length l > 40 then String.sub l 0 40 else l)
+            sec expect;
+          flush stdout)
+        C.Score.presets)
+    Circ.Catalog.all
+
+(* ------------------------------------------------------------------ *)
+(* Table VII: LGC/ROUTE correlation depth                              *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table7 =
+  [
+    ("PicoSoC", [ (2.717, 2.957, 4.621); (2.640, 2.928, 4.311); (1.390, 1.447, 1.473) ]);
+    ("AES", [ (3.180, 3.347, 5.174); (3.215, 3.451, 5.318); (1.384, 1.509, 1.548) ]);
+    ("FIR", [ (3.554, 3.701, 5.138); (3.439, 3.766, 5.082); (1.663, 1.768, 1.816) ]);
+  ]
+
+let table7 () =
+  heading "Table VII: LGC/ROUTE correlation (node distance) vs overhead";
+  List.iter
+    (fun (name, paper) ->
+      match Circ.Catalog.find name with
+      | None -> ()
+      | Some e ->
+          let nl = e.Circ.Catalog.netlist () in
+          printf "\n%s\n" name;
+          let route = e.Circ.Catalog.tfr_shell.Circ.Catalog.route in
+          List.iteri
+            (fun i depth ->
+              let cfg =
+                C.Flow.shell_config
+                  ~target:(C.Flow.Route_with_lgc_depth { route; depth })
+                  ()
+              in
+              let r = C.Flow.run cfg nl in
+              let pa, pp_, pd = List.nth paper i in
+              printf
+                "  depth %d: A=%.3f P=%.3f D=%.3f (paper %.3f/%.3f/%.3f)  pins=%d\n"
+                depth r.C.Flow.overhead.C.Overhead.area
+                r.C.Flow.overhead.C.Overhead.power
+                r.C.Flow.overhead.C.Overhead.delay pa pp_ pd
+                r.C.Flow.resources.F.Resources.io_pins)
+            [ 2; 1; 0 ])
+    paper_table7
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: the locking taxonomy, attacked                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  heading "Fig. 1: reconfigurability-based locking taxonomy under attack";
+  (* a small structured victim keeps the miter tractable so the weak
+     schemes actually fall within the budget *)
+  let nl = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
+  printf "victim: 4-channel Xbar (%d cells); budget 128 DIPs / 200k conflicts / 20 s\n"
+    (N.Netlist.num_cells nl);
+  let schemes =
+    [
+      ("(a) random LUT insertion [17]", L.Schemes.random_lut ~gates:10 nl);
+      ("(b) heuristic LUT insertion [18]", L.Schemes.heuristic_lut ~gates:10 nl);
+      ("(c) MUX routing locking [3]", L.Schemes.mux_routing ~width:32 nl);
+      ("(d) MUX+LUT locking [4,5]", L.Schemes.mux_lut ~width:32 nl);
+    ]
+  in
+  List.iter
+    (fun (name, lk) ->
+      assert (L.Locked.verify ~original:nl lk);
+      let out =
+        A.Sat_attack.attack_locked ~max_dips:128 ~max_conflicts:200_000
+          ~time_limit:20.0 ~original:nl lk
+      in
+      let prox = A.Proximity.predict_links lk in
+      printf "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
+        name (L.Locked.key_bits lk) (resilience_tag out)
+        prox.A.Proximity.links_correct prox.A.Proximity.links
+        (100.0 *. prox.A.Proximity.link_accuracy);
+      flush stdout)
+    schemes;
+  (* (e) eFPGA redaction: scored selection over the desX layers *)
+  let r = C.Flow.run (C.Flow.shell_config ()) nl in
+  let lk = C.Flow.locked_sub r in
+  let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
+  let out =
+    A.Sat_attack.run ~max_dips:64 ~max_conflicts:200_000 ~time_limit:20.0
+      ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
+      lk.L.Locked.locked
+  in
+  let prox = A.Proximity.predict_links lk in
+  printf "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
+    "(e) eFPGA redaction (SheLL)" (L.Locked.key_bits lk) (resilience_tag out)
+    prox.A.Proximity.links_correct prox.A.Proximity.links
+    (100.0 *. prox.A.Proximity.link_accuracy)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: OpenFPGA square-fabric utilization on desX                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  heading "Fig. 2: inefficient square mapping in OpenFPGA (desX on 7x7)";
+  let nl = Circ.Desx.netlist () in
+  let mapped, st = S.Lut_map.map ~k:4 (S.Opt.simplify nl) in
+  let res = P.Pnr.fit_loop ~style:F.Style.Openfpga mapped in
+  let fab = res.P.Pnr.fabric in
+  printf "  desX: %d gates -> %d LUTs\n" (N.Netlist.num_cells nl) st.S.Lut_map.luts;
+  printf "  OpenFPGA fabric: %dx%d (%d tiles), used tiles %d, unused %d\n"
+    fab.F.Fabric.cols fab.F.Fabric.rows (F.Fabric.clb_tiles fab)
+    res.P.Pnr.placement.P.Pnr.used_tiles
+    (F.Fabric.clb_tiles fab - res.P.Pnr.placement.P.Pnr.used_tiles);
+  printf "  LUT utilization %.1f%%, tile utilization %.1f%%\n"
+    (100.0 *. res.P.Pnr.utilization)
+    (100.0 *. res.P.Pnr.tile_utilization);
+  let packed_tiles = (st.S.Lut_map.luts + 7) / 8 in
+  printf "  densely packed the design needs %d tiles -> %d of %d tiles wasted\n"
+    packed_tiles
+    (F.Fabric.clb_tiles fab - packed_tiles)
+    (F.Fabric.clb_tiles fab);
+  printf "%s" (P.Floorplan.render res);
+  let res_fab = P.Pnr.fit_loop ~style:F.Style.Fabulous_std mapped in
+  printf "  FABulous rectangle: %dx%d, LUT utilization %.1f%%\n"
+    res_fab.P.Pnr.fabric.F.Fabric.cols res_fab.P.Pnr.fabric.F.Fabric.rows
+    (100.0 *. res_fab.P.Pnr.utilization);
+  printf "  paper: 11 of 49 tiles unused, <77%% utilization\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: SoC-level redaction                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  heading "Fig. 3: SoC-level locking (Xbar + core2/core4 wrappers)";
+  let nl = Circ.Soc.netlist () in
+  let cfg =
+    C.Flow.shell_config
+      ~target:
+        (C.Flow.Fixed
+           {
+             route = [ "/xbar" ];
+             lgc = [ ":wrap_core2"; ":wrap_core4" ];
+             label = "Xbar + wrap(core2,core4)";
+           })
+      ()
+  in
+  let r = C.Flow.run cfg nl in
+  printf "%s\n" (Format.asprintf "%a" C.Flow.pp_summary r);
+  printf "  end-to-end verify (sequential): %b\n" (C.Flow.verify r);
+  (* removal attack: with LGC entangled the plain-Xbar guess must fail *)
+  let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
+  let sub = r.C.Flow.cut.C.Extraction.sub in
+  let sanity = A.Removal.attempt ~oracle sub in
+  printf "  removal attack, true netlist guess: %s (sanity, must match)\n"
+    (if sanity.A.Removal.matched then "match" else "MISMATCH");
+  (* candidate: plain Xbar without the wrapper LGC *)
+  let route_only =
+    let cfg' =
+      C.Flow.shell_config
+        ~target:
+          (C.Flow.Fixed { route = [ "/xbar" ]; lgc = []; label = "xbar-only" })
+        ()
+    in
+    (C.Flow.run cfg' nl).C.Flow.cut.C.Extraction.sub
+  in
+  if
+    List.length (N.Netlist.inputs route_only)
+    = List.length (N.Netlist.inputs sub)
+    && List.length (N.Netlist.outputs route_only)
+       = List.length (N.Netlist.outputs sub)
+  then begin
+    let v = A.Removal.attempt ~oracle route_only in
+    printf "  removal attack, plain-Xbar guess: %s\n"
+      (if v.A.Removal.matched then "MATCH (attack wins)"
+       else "mismatch (defeated)")
+  end
+  else
+    printf
+      "  removal attack, plain-Xbar guess: port shape differs (wrapper LGC entangled) -> defeated\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: the 8-step flow, verbose                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  heading "Fig. 4: SheLL framework steps on PicoSoC";
+  let e = List.nth Circ.Catalog.all 0 in
+  let nl = e.Circ.Catalog.netlist () in
+  let t = e.Circ.Catalog.tfr_shell in
+  printf "  (1) connectivity & modular analysis\n";
+  let analysis = C.Connectivity.analyze nl in
+  printf "      %d blocks, %d inter-block edges\n"
+    (Array.length analysis.C.Connectivity.blocks)
+    (Shell_graph.Digraph.num_edges analysis.C.Connectivity.graph);
+  printf "  (2) scoring (Eq. 1, SheLL coefficients) - top blocks:\n";
+  let scored =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           (C.Score.eval C.Score.shell_choice b.C.Connectivity.attrs, i, b))
+         analysis.C.Connectivity.blocks)
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare b a)
+  in
+  List.iteri
+    (fun i (s, _, b) ->
+      if i < 5 then
+        printf "      %.3f  %-44s %s\n" s b.C.Connectivity.name
+          (Format.asprintf "%a" C.Score.pp_attrs b.C.Connectivity.attrs))
+    scored;
+  let cfg =
+    C.Flow.shell_config
+      ~target:
+        (C.Flow.Fixed
+           {
+             route = t.Circ.Catalog.route;
+             lgc = t.Circ.Catalog.lgc;
+             label = t.Circ.Catalog.label;
+           })
+      ()
+  in
+  let r = C.Flow.run cfg nl in
+  printf "  (3) selection: %s (coverage %.2f)\n" r.C.Flow.choice.C.Selection.label
+    r.C.Flow.choice.C.Selection.coverage;
+  printf "  (4) decoupling/extraction: %d cells, %d in / %d out nets\n"
+    (List.length r.C.Flow.cut.C.Extraction.cells)
+    (List.length r.C.Flow.cut.C.Extraction.input_binding)
+    (List.length r.C.Flow.cut.C.Extraction.output_binding);
+  printf "  (5) dual synthesis: %d LUTs + %d Mux4 / %d Mux2 chain cells\n"
+    r.C.Flow.mapped.C.Synthesize.luts r.C.Flow.mapped.C.Synthesize.chain_mux4
+    r.C.Flow.mapped.C.Synthesize.chain_mux2;
+  printf "  (6-7) fabric fit: %s (fit %s, utilization %.2f)\n"
+    (Format.asprintf "%a" F.Fabric.pp r.C.Flow.pnr.P.Pnr.fabric)
+    (match r.C.Flow.pnr.P.Pnr.fit with Ok () -> "ok" | Error _ -> "failed")
+    r.C.Flow.pnr.P.Pnr.utilization;
+  printf "  (8) shrink: %d config bits kept, bitstream %d bits\n"
+    r.C.Flow.resources.F.Resources.config_bits
+    (F.Bitstream.length r.C.Flow.emitted.F.Emit.bitstream);
+  printf "  overhead: %s   verify: %b\n"
+    (Format.asprintf "%a" C.Overhead.pp r.C.Flow.overhead)
+    (C.Flow.verify r)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  heading "Ablations: shrink / MUX chains / routing flexibility";
+  let e = List.nth Circ.Catalog.all 0 in
+  let nl = e.Circ.Catalog.netlist () in
+  let t = e.Circ.Catalog.tfr_shell in
+  let target =
+    C.Flow.Fixed
+      {
+        route = t.Circ.Catalog.route;
+        lgc = t.Circ.Catalog.lgc;
+        label = t.Circ.Catalog.label;
+      }
+  in
+  let base = C.Flow.shell_config ~target () in
+  printf "
+(a) step-8 shrinking (PicoSoC, SheLL target):
+";
+  List.iter
+    (fun (name, shrink) ->
+      let r = C.Flow.run { base with C.Flow.shrink } nl in
+      printf "  %-22s A=%.3f P=%.3f D=%.3f
+" name
+        r.C.Flow.overhead.C.Overhead.area r.C.Flow.overhead.C.Overhead.power
+        r.C.Flow.overhead.C.Overhead.delay)
+    [ ("with shrinking", true); ("without shrinking", false) ];
+  printf "
+(b) MUX chains vs LUT-only mapping of the same ROUTE target:
+";
+  List.iter
+    (fun (name, style) ->
+      let r = C.Flow.run { base with C.Flow.style } nl in
+      printf "  %-22s A=%.3f  (%d LUTs + %d chain cells, %d key bits)
+" name
+        r.C.Flow.overhead.C.Overhead.area r.C.Flow.mapped.C.Synthesize.luts
+        (r.C.Flow.mapped.C.Synthesize.chain_mux4
+        + r.C.Flow.mapped.C.Synthesize.chain_mux2)
+        (F.Bitstream.length r.C.Flow.emitted.F.Emit.bitstream))
+    [
+      ("MUX chains", F.Style.Fabulous_muxchain);
+      ("LUT-only (FABulous)", F.Style.Fabulous_std);
+    ];
+  printf "
+(c) fabric parameters vs attack effort (cf. [26]):
+";
+  printf "    %-34s %8s %10s %s
+" "fabric" "key bits" "c2v" "SAT (3s budget)";
+  List.iter
+    (fun style ->
+      let r = C.Flow.run { base with C.Flow.style } nl in
+      let lk = C.Flow.locked_sub r in
+      let m =
+        A.Metrics.of_locked
+          ~bitstream:r.C.Flow.emitted.F.Emit.bitstream
+          ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
+          lk.L.Locked.locked
+      in
+      let out =
+        run_sat_attack
+          ~budget:(`Dips 32, `Conflicts 60_000, `Seconds 3.0)
+          r
+      in
+      printf "    %-34s %8d %10.2f %s
+" (F.Style.name style)
+        m.A.Metrics.key_bits m.A.Metrics.c2v (resilience_tag out))
+    F.Style.all
+
+(* ------------------------------------------------------------------ *)
+(* Coefficient search (the paper's future-work extension)              *)
+(* ------------------------------------------------------------------ *)
+
+let explore () =
+  heading "Coefficient search (paper future work: heuristic exploration)";
+  let e = List.nth Circ.Catalog.all 3 in
+  (* SPMV: mid-size *)
+  let nl = e.Circ.Catalog.netlist () in
+  printf "searching Eq. 1 coefficient space on %s...
+" e.Circ.Catalog.name;
+  let o = C.Explore.search ~generations:4 ~population:6 nl in
+  let c5 =
+    List.find
+      (fun (c : C.Explore.candidate) ->
+        c.C.Explore.coeffs = C.Score.shell_choice)
+      o.C.Explore.evaluated
+  in
+  printf "  profiles evaluated: %d
+" (List.length o.C.Explore.evaluated);
+  printf "  hand-picked c5:  A=%.3f (key %d bits)  TfR %s
+"
+    c5.C.Explore.overhead.C.Overhead.area c5.C.Explore.key_bits
+    c5.C.Explore.label;
+  printf "  searched best:   A=%.3f (key %d bits)  TfR %s
+"
+    o.C.Explore.best.C.Explore.overhead.C.Overhead.area
+    o.C.Explore.best.C.Explore.key_bits o.C.Explore.best.C.Explore.label;
+  let cc = o.C.Explore.best.C.Explore.coeffs in
+  printf "  best coefficients: a=%.2f b=%.2f g=%.2f l=%.2f xi=%.2f s=%.2f
+"
+    cc.C.Score.alpha cc.C.Score.beta cc.C.Score.gamma cc.C.Score.lambda
+    cc.C.Score.xi cc.C.Score.sigma
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  heading "Micro-benchmarks (Bechamel)";
+  let module B = Bechamel in
+  let open B in
+  let nl = Circ.Fir.netlist () in
+  let simplified = Shell_synth.Opt.simplify nl in
+  let cnf = N.Cnf.encode (N.Netlist.comb_view simplified) in
+  let analysis = C.Connectivity.analyze nl in
+  let graph = analysis.C.Connectivity.graph in
+  let tests =
+    [
+      Test.make ~name:"lut_map(fir)"
+        (Staged.stage (fun () -> ignore (Shell_synth.Lut_map.map ~k:4 simplified)));
+      Test.make ~name:"sat_solve(fir cnf)"
+        (Staged.stage (fun () ->
+             let s = Shell_sat.Solver.create () in
+             Shell_sat.Solver.ensure_vars s cnf.N.Cnf.nvars;
+             List.iter (Shell_sat.Solver.add_clause s) cnf.N.Cnf.clauses;
+             ignore (Shell_sat.Solver.solve ~max_conflicts:2_000 s)));
+      Test.make ~name:"betweenness(blocks)"
+        (Staged.stage (fun () ->
+             ignore
+               (Shell_graph.Centrality.betweenness graph ~sources:[ 0 ]
+                  ~sinks:[ Shell_graph.Digraph.n graph - 1 ])));
+      Test.make ~name:"simulate(fir, 64 cycles)"
+        (Staged.stage
+           (let sim = N.Sim.create nl in
+            let n_in = List.length (N.Netlist.inputs nl) in
+            let ins = Array.make n_in false in
+            fun () ->
+              for _ = 1 to 64 do
+                ignore (N.Sim.step sim ins)
+              done));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+      let raw = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> printf "  %-28s %12.0f ns/run\n" name est
+          | Some _ | None -> printf "  %-28s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Sys.time () in
+  (match which with
+  | "table1" -> table1 ()
+  | "table4" -> table4 ()
+  | "table4-fast" -> table4 ~attack:false ()
+  | "table5" -> table5 ()
+  | "table6" -> table6 ()
+  | "table6-fast" -> table6 ~attack:false ()
+  | "table7" -> table7 ()
+  | "fig1" -> fig1 ()
+  | "fig2" -> fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "ablation" -> ablation ()
+  | "explore" -> explore ()
+  | "micro" -> micro ()
+  | "all" ->
+      table1 ();
+      fig2 ();
+      table4 ();
+      table5 ();
+      table6 ();
+      table7 ();
+      fig1 ();
+      fig3 ();
+      fig4 ();
+      ablation ();
+      explore ();
+      micro ()
+  | other ->
+      printf "unknown target %s\n" other;
+      exit 1);
+  printf "\ntotal bench time: %.1fs\n" (Sys.time () -. t0)

@@ -1,0 +1,350 @@
+(* The `shell` command-line tool: run the SheLL redaction flow, attack
+   locked designs, and inspect the bundled benchmarks.
+
+     shell list
+     shell analyze  -b PicoSoC
+     shell lock     -b PicoSoC [-s style] [--route PAT]... [--lgc PAT]...
+                    [-o locked.v] [--bitstream bits.hex]
+     shell lock-file -i design.v --route PAT ... (structural dialect)
+     shell attack   -b PicoSoC [--dips N] [--conflicts N] [--seconds S]
+
+   All subcommands are deterministic for a given --seed. *)
+
+module N = Shell_netlist
+module F = Shell_fabric
+module L = Shell_locking
+module A = Shell_attacks
+module C = Shell_core
+module Circ = Shell_circuits
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let bench_arg =
+  let doc = "Bundled benchmark: PicoSoC, AES, FIR, SPMV, DLA, SoC or Xbar." in
+  Arg.(value & opt string "PicoSoC" & info [ "b"; "benchmark" ] ~doc)
+
+let style_arg =
+  let styles =
+    [
+      ("openfpga", F.Style.Openfpga);
+      ("fabulous", F.Style.Fabulous_std);
+      ("muxchain", F.Style.Fabulous_muxchain);
+    ]
+  in
+  let doc = "Fabric style: openfpga, fabulous or muxchain (default)." in
+  Arg.(
+    value
+    & opt (enum styles) F.Style.Fabulous_muxchain
+    & info [ "s"; "style" ] ~doc)
+
+let route_arg =
+  let doc = "Origin substring selecting a ROUTE block (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "route" ] ~doc)
+
+let lgc_arg =
+  let doc = "Origin substring selecting an LGC block (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "lgc" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for decoys and placement." in
+  Arg.(value & opt int 0x51e11 & info [ "seed" ] ~doc)
+
+let netlist_of_bench name =
+  match Circ.Catalog.find name with
+  | Some e -> Ok (e.Circ.Catalog.netlist ())
+  | None -> (
+      match String.lowercase_ascii name with
+      | "soc" -> Ok (Circ.Soc.netlist ())
+      | "xbar" -> Ok (Circ.Axi_xbar.netlist ())
+      | "desx" -> Ok (Circ.Desx.netlist ())
+      | _ -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name)))
+
+let default_tfr name =
+  match Circ.Catalog.find name with
+  | Some e ->
+      let t = e.Circ.Catalog.tfr_shell in
+      Some (t.Circ.Catalog.route, t.Circ.Catalog.lgc, t.Circ.Catalog.label)
+  | None -> (
+      match String.lowercase_ascii name with
+      | "soc" ->
+          Some
+            ([ "/xbar" ], [ ":wrap_core2"; ":wrap_core4" ], "Xbar + wrappers")
+      | "xbar" -> Some ([ ":_xbar_route"; ":_xbar_arb" ], [], "whole Xbar")
+      | _ -> None)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-9s %-38s %6s  %s\n" "name" "description" "cells"
+      "SheLL TfR";
+    List.iter
+      (fun (e : Circ.Catalog.entry) ->
+        let nl = e.Circ.Catalog.netlist () in
+        Printf.printf "%-9s %-38s %6d  %s\n" e.Circ.Catalog.name
+          e.Circ.Catalog.description (N.Netlist.num_cells nl)
+          e.Circ.Catalog.tfr_shell.Circ.Catalog.label)
+      Circ.Catalog.all;
+    Printf.printf "%-9s %-38s %6d  %s\n" "SoC" "Fig. 3 platform (4 cores + Xbar)"
+      (N.Netlist.num_cells (Circ.Soc.netlist ()))
+      "Xbar + wrappers";
+    Printf.printf "%-9s %-38s %6d  %s\n" "Xbar" "8-channel AXI crossbar (Table I)"
+      (N.Netlist.num_cells (Circ.Axi_xbar.netlist ()))
+      "whole Xbar"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark circuits.")
+    Term.(const run $ const ())
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run bench =
+    match netlist_of_bench bench with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok nl ->
+        let t = C.Connectivity.analyze nl in
+        Printf.printf "%d cells, %d blocks\n\n" (N.Netlist.num_cells nl)
+          (Array.length t.C.Connectivity.blocks);
+        Printf.printf "%-46s %5s %6s %7s  %s\n" "block" "cells" "route"
+          "score" "attributes";
+        let scored =
+          Array.to_list t.C.Connectivity.blocks
+          |> List.filter (fun b -> b.C.Connectivity.name <> "")
+          |> List.map (fun b ->
+                 (C.Score.eval C.Score.shell_choice b.C.Connectivity.attrs, b))
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+        in
+        List.iteri
+          (fun i (s, (b : C.Connectivity.block)) ->
+            if i < 25 then
+              Printf.printf "%-46s %5d %6.2f %7.3f  %s\n" b.C.Connectivity.name
+                (List.length b.C.Connectivity.cells)
+                b.C.Connectivity.route_fraction s
+                (Format.asprintf "%a" C.Score.pp_attrs b.C.Connectivity.attrs))
+          scored
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the connectivity analysis and print scored blocks.")
+    Term.(const run $ bench_arg)
+
+(* ---------------- lock ---------------- *)
+
+let lock_run bench style route lgc seed out bitstream_out =
+  match netlist_of_bench bench with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok nl ->
+      let route, lgc, label =
+        if route = [] && lgc = [] then
+          match default_tfr bench with
+          | Some t -> t
+          | None ->
+              prerr_endline "no default TfR for this design: pass --route/--lgc";
+              exit 1
+        else (route, lgc, String.concat "+" (route @ lgc))
+      in
+      let cfg =
+        {
+          (C.Flow.shell_config ~target:(C.Flow.Fixed { route; lgc; label }) ())
+          with
+          C.Flow.style;
+          seed;
+        }
+      in
+      let r = C.Flow.run cfg nl in
+      Format.printf "%a@." C.Flow.pp_summary r;
+      Printf.printf "verify: %s\n" (if C.Flow.verify r then "PASS" else "FAIL");
+      (match out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (N.Verilog.to_string r.C.Flow.locked_full);
+          close_out oc;
+          Printf.printf "locked design written to %s\n" path);
+      (match bitstream_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (F.Bitstream.to_hex r.C.Flow.emitted.F.Emit.bitstream);
+          output_string oc "\n";
+          close_out oc;
+          Printf.printf "bitstream written to %s\n" path)
+
+let lock_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the locked design (netlist dialect).")
+  in
+  let bs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bitstream" ] ~doc:"Write the correct bitstream (hex).")
+  in
+  Cmd.v
+    (Cmd.info "lock" ~doc:"Redact a benchmark with the SheLL flow.")
+    Term.(
+      const lock_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
+      $ out_arg $ bs_arg)
+
+(* ---------------- lock-file ---------------- *)
+
+let lock_file_run input style route lgc seed out bitstream_out =
+  let src =
+    try
+      let ic = open_in input in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error m -> prerr_endline m; exit 1
+  in
+  let nl =
+    match N.Verilog.parse src with
+    | nl -> nl
+    | exception N.Verilog.Parse_error m ->
+        prerr_endline ("parse error: " ^ m);
+        exit 1
+  in
+  if route = [] && lgc = [] then begin
+    prerr_endline "pass --route/--lgc origin patterns";
+    exit 1
+  end;
+  Printf.printf "parsed %s: %d cells
+" (N.Netlist.name nl)
+    (N.Netlist.num_cells nl);
+  let cfg =
+    {
+      (C.Flow.shell_config
+         ~target:
+           (C.Flow.Fixed
+              { route; lgc; label = String.concat "+" (route @ lgc) })
+         ())
+      with
+      C.Flow.style;
+      seed;
+    }
+  in
+  let r = C.Flow.run cfg nl in
+  Format.printf "%a@." C.Flow.pp_summary r;
+  Printf.printf "verify: %s
+" (if C.Flow.verify r then "PASS" else "FAIL");
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (N.Verilog.to_string r.C.Flow.locked_full);
+      close_out oc;
+      Printf.printf "locked design written to %s
+" path);
+  match bitstream_out with
+  | None -> ()
+  | Some path ->
+      F.Bitstream.save r.C.Flow.emitted.F.Emit.bitstream path;
+      Printf.printf "bitstream written to %s
+" path
+
+let lock_file_cmd =
+  let input =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "input" ] ~doc:"Structural netlist file (library dialect).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the locked design.")
+  in
+  let bs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bitstream" ] ~doc:"Write the bitstream (versioned format).")
+  in
+  Cmd.v
+    (Cmd.info "lock-file"
+       ~doc:"Redact an external structural netlist with the SheLL flow.")
+    Term.(
+      const lock_file_run $ input $ style_arg $ route_arg $ lgc_arg $ seed_arg
+      $ out_arg $ bs_arg)
+
+(* ---------------- attack ---------------- *)
+
+let attack_run bench style route lgc seed dips conflicts seconds =
+  match netlist_of_bench bench with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok nl ->
+      let route, lgc, label =
+        if route = [] && lgc = [] then
+          match default_tfr bench with
+          | Some t -> t
+          | None -> ([], [], "")
+        else (route, lgc, String.concat "+" (route @ lgc))
+      in
+      if route = [] && lgc = [] then begin
+        prerr_endline "pass --route/--lgc";
+        exit 1
+      end;
+      let cfg =
+        {
+          (C.Flow.shell_config ~target:(C.Flow.Fixed { route; lgc; label }) ())
+          with
+          C.Flow.style;
+          seed;
+        }
+      in
+      let r = C.Flow.run cfg nl in
+      let lk = C.Flow.locked_sub r in
+      Printf.printf "attacking %s (%s), key %d bits, budget %d DIPs / %d conflicts / %.0fs\n"
+        bench label (L.Locked.key_bits lk) dips conflicts seconds;
+      let oracle =
+        A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub
+      in
+      (match
+         A.Sat_attack.run ~max_dips:dips ~max_conflicts:conflicts
+           ~time_limit:seconds
+           ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
+           lk.L.Locked.locked
+       with
+      | A.Sat_attack.Broken (key, st) ->
+          Printf.printf
+            "BROKEN: key recovered in %d DIPs, %d conflicts, %.2fs\n"
+            st.A.Sat_attack.dips st.A.Sat_attack.conflicts
+            st.A.Sat_attack.elapsed;
+          Printf.printf "hamming distance to real bitstream: %d / %d\n"
+            (F.Bitstream.hamming key lk.L.Locked.key)
+            (Array.length key)
+      | A.Sat_attack.Timeout st ->
+          Printf.printf "RESILIENT within budget (%d DIPs, %d conflicts, %.2fs, c2v %.2f)\n"
+            st.A.Sat_attack.dips st.A.Sat_attack.conflicts
+            st.A.Sat_attack.elapsed st.A.Sat_attack.c2v)
+
+let attack_cmd =
+  let dips = Arg.(value & opt int 64 & info [ "dips" ] ~doc:"Max DIPs.") in
+  let conflicts =
+    Arg.(value & opt int 200_000 & info [ "conflicts" ] ~doc:"Max conflicts.")
+  in
+  let seconds =
+    Arg.(value & opt float 30.0 & info [ "seconds" ] ~doc:"Time limit.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the oracle-guided SAT attack on a SheLL-redacted benchmark.")
+    Term.(
+      const attack_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
+      $ dips $ conflicts $ seconds)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "SheLL: shrinking eFPGA fabrics for logic locking (DATE 2023)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "shell" ~version:"1.0.0" ~doc)
+          [ list_cmd; analyze_cmd; lock_cmd; lock_file_cmd; attack_cmd ]))

@@ -1,0 +1,1 @@
+examples/coefficient_sweep.ml: Array List Printf Shell_circuits Shell_core Shell_fabric Shell_netlist String Sys

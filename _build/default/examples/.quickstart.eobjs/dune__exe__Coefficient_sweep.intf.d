@@ -1,0 +1,1 @@
+examples/coefficient_sweep.mli:

@@ -1,0 +1,1 @@
+examples/custom_ip.ml: Array Format List Printf Shell_core Shell_netlist Shell_rtl

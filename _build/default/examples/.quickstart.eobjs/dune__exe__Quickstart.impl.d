@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Shell_circuits Shell_core Shell_fabric Shell_netlist String

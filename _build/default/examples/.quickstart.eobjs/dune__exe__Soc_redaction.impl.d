@@ -1,0 +1,1 @@
+examples/soc_redaction.ml: Format List Printf Shell_attacks Shell_circuits Shell_core Shell_fabric Shell_netlist

@@ -1,0 +1,45 @@
+(* Coefficient design-space exploration (the paper's Table VI): sweep
+   the Eq. 1 profiles on one benchmark and watch selection, overhead
+   and key size move.
+
+   Run with: dune exec examples/coefficient_sweep.exe [benchmark] *)
+
+module N = Shell_netlist
+module F = Shell_fabric
+module C = Shell_core
+module Circ = Shell_circuits
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "SPMV" in
+  let entry =
+    match Circ.Catalog.find bench with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "unknown benchmark %s (try PicoSoC/AES/FIR/SPMV/DLA)\n"
+          bench;
+        exit 1
+  in
+  let nl = entry.Circ.Catalog.netlist () in
+  Printf.printf "%s: %d cells\n\n" entry.Circ.Catalog.name (N.Netlist.num_cells nl);
+  Printf.printf "%-4s %-6s %-6s %-6s %-8s %-44s\n" "cfg" "A" "P" "D" "key-bits"
+    "selected TfR";
+  List.iter
+    (fun (name, coeffs) ->
+      let cfg =
+        C.Flow.shell_config ~target:(C.Flow.Auto { coeffs; lgc_depth = 0 }) ()
+      in
+      let r = C.Flow.run cfg nl in
+      let label = r.C.Flow.choice.C.Selection.label in
+      let label =
+        if String.length label > 44 then String.sub label 0 44 else label
+      in
+      Printf.printf "%-4s %-6.2f %-6.2f %-6.2f %-8d %s\n" name
+        r.C.Flow.overhead.C.Overhead.area r.C.Flow.overhead.C.Overhead.power
+        r.C.Flow.overhead.C.Overhead.delay
+        (F.Bitstream.length r.C.Flow.emitted.F.Emit.bitstream)
+        label)
+    C.Score.presets;
+  Printf.printf
+    "\nc5 is the SheLL choice {h,h,l,l,h,l}: high degree, low \
+     closeness/betweenness,\nhigh eigencentrality, low LUT requirement \
+     (Table II of the paper).\n"

@@ -1,0 +1,1 @@
+lib/attacks/metrics.ml: Array Format List Shell_fabric Shell_netlist String

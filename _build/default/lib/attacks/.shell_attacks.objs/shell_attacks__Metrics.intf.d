@@ -1,0 +1,1 @@
+lib/attacks/metrics.mli: Format Shell_fabric Shell_netlist

@@ -1,0 +1,1 @@
+lib/attacks/miter.ml: Array List Shell_netlist Shell_sat

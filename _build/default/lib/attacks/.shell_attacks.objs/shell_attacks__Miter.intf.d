@@ -1,0 +1,1 @@
+lib/attacks/miter.mli: Shell_netlist

@@ -1,0 +1,1 @@
+lib/attacks/proximity.ml: Array Hashtbl List Shell_locking Shell_netlist Shell_util

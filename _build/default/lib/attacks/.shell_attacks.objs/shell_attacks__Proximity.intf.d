@@ -1,0 +1,1 @@
+lib/attacks/proximity.mli: Shell_locking

@@ -1,0 +1,1 @@
+lib/attacks/removal.ml: Array List Shell_netlist Shell_util

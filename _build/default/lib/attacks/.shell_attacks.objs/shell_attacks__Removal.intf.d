@@ -1,0 +1,1 @@
+lib/attacks/removal.mli: Shell_netlist

@@ -1,0 +1,1 @@
+lib/attacks/sat_attack.ml: Miter Shell_locking Shell_netlist Sys

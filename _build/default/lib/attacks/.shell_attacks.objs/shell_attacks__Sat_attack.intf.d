@@ -1,0 +1,1 @@
+lib/attacks/sat_attack.mli: Shell_locking Shell_netlist

@@ -1,0 +1,52 @@
+module Netlist = Shell_netlist.Netlist
+module Cnf = Shell_netlist.Cnf
+module Bitstream = Shell_fabric.Bitstream
+
+type t = {
+  key_bits : int;
+  table_bits : int;
+  routing_bits : int;
+  c2v : float;
+  clauses : int;
+  variables : int;
+  cycle_blocked_patterns : int;
+  log2_keyspace : float;
+}
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  m <= n && String.sub s (n - m) m = suffix
+
+let of_locked ?bitstream ?(cycle_blocks = []) locked =
+  let comb = Netlist.comb_view locked in
+  let cnf = Cnf.encode comb in
+  let clauses = List.length cnf.Cnf.clauses in
+  let variables = cnf.Cnf.nvars in
+  let key_bits = Array.length (Netlist.key_nets comb) in
+  let table_bits, routing_bits =
+    match bitstream with
+    | None -> (0, 0)
+    | Some bs ->
+        List.fold_left
+          (fun (t, r) (s : Bitstream.segment) ->
+            if ends_with ~suffix:"table" s.Bitstream.label then
+              (t + s.Bitstream.length, r)
+            else (t, r + s.Bitstream.length))
+          (0, 0) (Bitstream.segments bs)
+  in
+  {
+    key_bits;
+    table_bits;
+    routing_bits;
+    c2v = float_of_int clauses /. float_of_int (max 1 variables);
+    clauses;
+    variables;
+    cycle_blocked_patterns = List.length cycle_blocks;
+    log2_keyspace = float_of_int key_bits;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "key=%d bits (table %d, routing %d), keyspace 2^%.0f, CNF %d clauses / %d vars (c2v %.2f), %d cycle-blocked patterns"
+    t.key_bits t.table_bits t.routing_bits t.log2_keyspace t.clauses
+    t.variables t.c2v t.cycle_blocked_patterns

@@ -1,0 +1,28 @@
+(** Security metrics for locked designs.
+
+    The paper leans on the clause-to-variable ratio as a SAT-hardness
+    indicator (footnote 1) and on keyspace structure (routing vs table
+    bits; cyclic-reduction pruning [26]). This module computes those
+    numbers without running an attack. *)
+
+type t = {
+  key_bits : int;
+  table_bits : int;  (** LUT truth-table storage *)
+  routing_bits : int;  (** route/chain select storage *)
+  c2v : float;  (** clause-to-variable ratio of the locked CNF *)
+  clauses : int;
+  variables : int;
+  cycle_blocked_patterns : int;
+      (** key patterns excludable by cyclic-reduction pre-processing *)
+  log2_keyspace : float;  (** before pre-processing *)
+}
+
+val of_locked :
+  ?bitstream:Shell_fabric.Bitstream.t ->
+  ?cycle_blocks:(int array * bool array) list ->
+  Shell_netlist.Netlist.t ->
+  t
+(** [bitstream] (when available) splits key bits into table vs routing
+    by segment name; without it both counts are 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** SAT-attack miter construction.
+
+    Two copies of the locked circuit share their primary inputs and
+    carry independent key vectors; an activation literal turns on the
+    "some output differs" constraint. Distinguishing-input-pattern
+    (DIP) constraints append two more circuit copies each, tied to the
+    respective key vectors — the classic oracle-guided construction of
+    Subramanyan et al. *)
+
+type t
+
+val create :
+  ?cycle_blocks:(int array * bool array) list ->
+  Shell_netlist.Netlist.t ->
+  t
+(** [create locked] — sequential designs are attacked through their
+    full-scan view. [cycle_blocks] adds the cyclic-reduction
+    pre-processing clauses (key patterns that would close structural
+    combinational cycles are excluded for both key vectors). *)
+
+val num_inputs : t -> int
+val num_keys : t -> int
+
+val find_dip :
+  ?max_conflicts:int -> t -> [ `Dip of bool array | `Unsat | `Budget ]
+(** Search for an input distinguishing two keys consistent with all
+    constraints so far. *)
+
+val add_dip : t -> bool array -> bool array -> unit
+(** [add_dip t input oracle_output] — both key vectors must now
+    reproduce the oracle on this input. *)
+
+val extract_key : ?max_conflicts:int -> t -> bool array option
+(** Any key consistent with all recorded DIPs (sound exactly when
+    {!find_dip} returned [`Unsat]). *)
+
+val conflicts : t -> int
+(** Cumulative solver conflicts (the attack-effort metric). *)
+
+val clause_to_var_ratio : t -> float
+(** c2v of the base miter — the paper's SAT-hardness indicator. *)

@@ -1,0 +1,220 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Locked = Shell_locking.Locked
+
+type report = {
+  attacked_bits : int;
+  correct : int;
+  accuracy : float;
+  total_key_bits : int;
+}
+
+(* Depth-bounded transitive fan-in signature of [net]: driving cells
+   (as non-negative keys) plus the terminal undriven nets — primary and
+   key inputs — (as negative keys). The leaves matter: bit-sliced
+   datapaths share exactly their per-bit primary inputs, which is the
+   locality a link predictor exploits. *)
+let fanin_cone nl depth net =
+  let seen = Hashtbl.create 32 in
+  let rec go net d =
+    if d >= 0 then
+      match Netlist.driver nl net with
+      | None -> Hashtbl.replace seen (-net - 1) ()
+      | Some ci ->
+          if not (Hashtbl.mem seen ci) then begin
+            Hashtbl.add seen ci ();
+            Array.iter (fun n -> go n (d - 1)) (Netlist.cell nl ci).Cell.ins
+          end
+  in
+  go net depth;
+  seen
+
+let overlap a b =
+  let small, large =
+    if Hashtbl.length a < Hashtbl.length b then (a, b) else (b, a)
+  in
+  Hashtbl.fold (fun k () acc -> if Hashtbl.mem large k then acc + 1 else acc)
+    small 0
+
+let run ?(depth = 3) (lk : Locked.t) =
+  let nl = lk.Locked.locked in
+  let keys = Netlist.keys nl in
+  let total = List.length keys in
+  let attacked = ref 0 and correct = ref 0 in
+  List.iteri
+    (fun ki (_, knet) ->
+      (* muxes directly selected by this key bit *)
+      let muxes =
+        List.filter_map
+          (fun ci ->
+            let c = Netlist.cell nl ci in
+            if c.Cell.kind = Cell.Mux2 && c.Cell.ins.(0) = knet then Some c
+            else None)
+          (Netlist.fanout nl knet)
+      in
+      if muxes <> [] then begin
+        incr attacked;
+        (* aggregate affinity for key=false (data input 1) vs key=true
+           (data input 2) across all muxes this bit controls *)
+        let score_false = ref 0 and score_true = ref 0 in
+        List.iter
+          (fun (m : Cell.t) ->
+            (* context: fan-in cones of the *other* inputs of the cells
+               consuming this mux's output *)
+            let context = Hashtbl.create 64 in
+            List.iter
+              (fun ci ->
+                let consumer = Netlist.cell nl ci in
+                Array.iter
+                  (fun n ->
+                    if n <> m.Cell.out then
+                      Hashtbl.iter
+                        (fun k () -> Hashtbl.replace context k ())
+                        (fanin_cone nl depth n))
+                  consumer.Cell.ins)
+              (Netlist.fanout nl m.Cell.out);
+            score_false := !score_false + overlap (fanin_cone nl depth m.Cell.ins.(1)) context;
+            score_true := !score_true + overlap (fanin_cone nl depth m.Cell.ins.(2)) context)
+          muxes;
+        let prediction =
+          if !score_false > !score_true then Some false
+          else if !score_true > !score_false then Some true
+          else None
+        in
+        (match prediction with
+        | Some p when p = lk.Locked.key.(ki) -> incr correct
+        | Some _ -> ()
+        | None ->
+            (* coin flip on ties: deterministic split to stay honest *)
+            if !attacked mod 2 = 0 then incr correct)
+      end)
+    keys;
+  {
+    attacked_bits = !attacked;
+    correct = !correct;
+    accuracy =
+      (if !attacked = 0 then 0.0
+       else float_of_int !correct /. float_of_int !attacked);
+    total_key_bits = total;
+  }
+
+type link_report = { links : int; links_correct : int; link_accuracy : float }
+
+(* A cell is part of the keyed switch network when a key net drives a
+   select pin. *)
+let is_key_mux nl =
+  let key_nets = Hashtbl.create 16 in
+  Array.iter (fun n -> Hashtbl.replace key_nets n ()) (Netlist.key_nets nl);
+  fun (c : Cell.t) ->
+    match c.Cell.kind with
+    | Cell.Mux2 -> Hashtbl.mem key_nets c.Cell.ins.(0)
+    | Cell.Mux4 ->
+        Hashtbl.mem key_nets c.Cell.ins.(0)
+        || Hashtbl.mem key_nets c.Cell.ins.(1)
+    | _ -> false
+
+let predict_links ?(depth = 3) ?(vectors = 62) (lk : Locked.t) =
+  let nl = lk.Locked.locked in
+  let empty = { links = 0; links_correct = 0; link_accuracy = 0.0 } in
+  if Netlist.has_comb_cycle nl then empty
+  else begin
+    let cells = Netlist.cells nl in
+    let keyed_cell = Array.map (is_key_mux nl) cells in
+    let is_keyed_driver net =
+      match Netlist.driver nl net with
+      | Some ci -> keyed_cell.(ci)
+      | None -> false
+    in
+    (* boundary outputs: keyed muxes read by ordinary logic or POs *)
+    let po = Hashtbl.create 16 in
+    Array.iter (fun n -> Hashtbl.replace po n ()) (Netlist.output_nets nl);
+    let outputs = ref [] in
+    Array.iteri
+      (fun ci (c : Cell.t) ->
+        if keyed_cell.(ci) then begin
+          let readers = Netlist.fanout nl c.Cell.out in
+          let escapes =
+            Hashtbl.mem po c.Cell.out
+            || List.exists (fun ri -> not keyed_cell.(ri)) readers
+          in
+          if escapes then outputs := c :: !outputs
+        end)
+      cells;
+    (* boundary inputs: data pins of keyed muxes fed by ordinary logic *)
+    let input_set = Hashtbl.create 32 in
+    Array.iteri
+      (fun ci (c : Cell.t) ->
+        if keyed_cell.(ci) then begin
+          let data_pins =
+            match c.Cell.kind with
+            | Cell.Mux2 -> [ c.Cell.ins.(1); c.Cell.ins.(2) ]
+            | Cell.Mux4 ->
+                [ c.Cell.ins.(2); c.Cell.ins.(3); c.Cell.ins.(4); c.Cell.ins.(5) ]
+            | _ -> []
+          in
+          List.iter
+            (fun net ->
+              if not (is_keyed_driver net) then Hashtbl.replace input_set net ())
+            data_pins
+        end)
+      cells;
+    let candidates =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) input_set [])
+    in
+    if !outputs = [] || candidates = [] then empty
+    else begin
+      (* functional signatures under the correct key: the true source of
+         a boundary output carries exactly the output's signal *)
+      let sim = Shell_netlist.Sim.create nl in
+      let n_in = List.length (Netlist.inputs nl) in
+      let rng = Shell_util.Rng.create 0x117c in
+      let sigs = Array.make (max (Netlist.num_nets nl) 1) 0 in
+      let vectors = min vectors 62 in
+      for v = 0 to vectors - 1 do
+        let ins = Array.init n_in (fun _ -> Shell_util.Rng.bool rng) in
+        ignore (Shell_netlist.Sim.eval_comb sim ~keys:lk.Locked.key ins);
+        Array.iteri
+          (fun net value -> if value then sigs.(net) <- sigs.(net) lor (1 lsl v))
+          (Shell_netlist.Sim.net_values sim)
+      done;
+      let cand_cones =
+        List.map (fun net -> (net, fanin_cone nl depth net)) candidates
+      in
+      let correct = ref 0 and total = ref 0 in
+      List.iter
+        (fun (o : Cell.t) ->
+          let context = Hashtbl.create 64 in
+          List.iter
+            (fun ri ->
+              if not keyed_cell.(ri) then
+                Array.iter
+                  (fun n ->
+                    if n <> o.Cell.out then
+                      Hashtbl.iter
+                        (fun k () -> Hashtbl.replace context k ())
+                        (fanin_cone nl depth n))
+                  cells.(ri).Cell.ins)
+            (Netlist.fanout nl o.Cell.out);
+          let best = ref None in
+          List.iter
+            (fun (net, cone) ->
+              let score = overlap cone context in
+              match !best with
+              | Some (_, s) when s >= score -> ()
+              | _ -> best := Some (net, score))
+            cand_cones;
+          match !best with
+          | None -> ()
+          | Some (net, _) ->
+              incr total;
+              if sigs.(net) = sigs.(o.Cell.out) then incr correct)
+        !outputs;
+      {
+        links = !total;
+        links_correct = !correct;
+        link_accuracy =
+          (if !total = 0 then 0.0
+           else float_of_int !correct /. float_of_int !total);
+      }
+    end
+  end

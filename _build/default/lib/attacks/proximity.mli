@@ -1,0 +1,37 @@
+(** Structural link-prediction attack — a proxy for the GNN-based
+    UNTANGLE attack [8] on MUX-based routing locking.
+
+    For every key bit that directly selects a 2:1 routing mux, the
+    attacker predicts the intended connection by structural affinity:
+    the candidate whose transitive fan-in cone shares more cells with
+    the fan-in of the mux's consumers is the likelier true wire (wires
+    and their consumers come from the same neighbourhood in the
+    original layout-free netlist). Localized schemes (Fig. 1(c)) leak
+    exactly this signal; distributed eFPGA redaction mostly does not.
+
+    This is a *prediction quality* attack: it reports the fraction of
+    attacked key bits guessed correctly, not a functional break. *)
+
+type report = {
+  attacked_bits : int;  (** key bits driving mux selects directly *)
+  correct : int;  (** predictions matching the real key *)
+  accuracy : float;  (** correct / attacked, 0.5 ~ random guessing *)
+  total_key_bits : int;
+}
+
+val run : ?depth:int -> Shell_locking.Locked.t -> report
+(** [depth] (default 3) bounds the fan-in cones compared. *)
+
+type link_report = {
+  links : int;  (** boundary outputs of the keyed switch network *)
+  links_correct : int;
+  link_accuracy : float;
+}
+
+val predict_links : ?depth:int -> ?vectors:int -> Shell_locking.Locked.t -> link_report
+(** End-to-end link prediction (the actual UNTANGLE task): for every
+    output of the key-controlled switch network that feeds ordinary
+    logic, rank the network's input wires by structural affinity and
+    predict the hidden connection. Ground truth comes from functional
+    signatures under the correct key, so the metric is exact. Cyclic
+    locked netlists (OpenFPGA-style decoys) report zero links. *)

@@ -1,0 +1,37 @@
+module Netlist = Shell_netlist.Netlist
+module Sim = Shell_netlist.Sim
+module Rng = Shell_util.Rng
+
+type verdict = {
+  matched : bool;
+  vectors_tried : int;
+  first_mismatch : bool array option;
+}
+
+let attempt ?(vectors = 512) ?(seed = 0xdead) ~oracle candidate =
+  let comb = Netlist.comb_view candidate in
+  let sim = Sim.create comb in
+  let n_in = List.length (Netlist.inputs comb) in
+  let mismatch = ref None in
+  let tried = ref 0 in
+  let try_vec ins =
+    incr tried;
+    if Sim.eval_comb sim ins <> oracle ins then mismatch := Some ins
+  in
+  if n_in <= 16 then begin
+    let total = 1 lsl n_in in
+    let v = ref 0 in
+    while !mismatch = None && !v < total do
+      try_vec (Array.init n_in (fun i -> !v land (1 lsl i) <> 0));
+      incr v
+    done
+  end
+  else begin
+    let rng = Rng.create seed in
+    let k = ref 0 in
+    while !mismatch = None && !k < vectors do
+      try_vec (Array.init n_in (fun _ -> Rng.bool rng));
+      incr k
+    done
+  end;
+  { matched = !mismatch = None; vectors_tried = !tried; first_mismatch = !mismatch }

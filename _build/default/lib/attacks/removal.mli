@@ -1,0 +1,24 @@
+(** Removal attack.
+
+    Against pure-ROUTE redaction the adversary can bypass the fabric
+    entirely: replace the redacted block with a guessed plain
+    implementation (e.g. a standard AXI crossbar) and validate against
+    the oracle. SheLL defeats this by entangling a minimal LGC slice
+    with the ROUTE (Sec. IV) so that no off-the-shelf substitute
+    matches. *)
+
+type verdict = {
+  matched : bool;  (** candidate agreed with the oracle on every vector *)
+  vectors_tried : int;
+  first_mismatch : bool array option;
+}
+
+val attempt :
+  ?vectors:int ->
+  ?seed:int ->
+  oracle:(bool array -> bool array) ->
+  Shell_netlist.Netlist.t ->
+  verdict
+(** [attempt ~oracle candidate] — [candidate] is the attacker's guessed
+    replacement (key-free, same port shape as the oracle's scan view).
+    Exhaustive under 2^16 input space, sampled otherwise. *)

@@ -1,0 +1,77 @@
+module Netlist = Shell_netlist.Netlist
+module Sim = Shell_netlist.Sim
+module Locked = Shell_locking.Locked
+
+type stats = {
+  dips : int;
+  conflicts : int;
+  elapsed : float;
+  key_bits : int;
+  c2v : float;
+}
+
+type outcome = Broken of bool array * stats | Timeout of stats
+
+let oracle_of_netlist original =
+  let comb = Netlist.comb_view original in
+  let sim = Sim.create comb in
+  fun input -> Sim.eval_comb sim input
+
+let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
+    ?cycle_blocks ~oracle locked =
+  let start = Sys.time () in
+  let miter = Miter.create ?cycle_blocks locked in
+  let stats dips =
+    {
+      dips;
+      conflicts = Miter.conflicts miter;
+      elapsed = Sys.time () -. start;
+      key_bits = Miter.num_keys miter;
+      c2v = Miter.clause_to_var_ratio miter;
+    }
+  in
+  let budget_left () =
+    Miter.conflicts miter < max_conflicts && Sys.time () -. start < time_limit
+  in
+  let rec loop dips =
+    if dips >= max_dips || not (budget_left ()) then Timeout (stats dips)
+    else
+      (* cap each solver call so wall-clock budget checks stay frequent
+         even on large miters *)
+      let per_call =
+        max 1_000 (min 20_000 ((max_conflicts - Miter.conflicts miter) / 2))
+      in
+      match Miter.find_dip ~max_conflicts:per_call miter with
+      | `Dip input ->
+          let output = oracle input in
+          Miter.add_dip miter input output;
+          loop (dips + 1)
+      | `Budget ->
+          (* capped call ran out: the loop head re-checks the global
+             budget and either resumes the search or reports timeout *)
+          loop dips
+      | `Unsat -> (
+          match Miter.extract_key ~max_conflicts:max_conflicts miter with
+          | Some key -> Broken (key, stats dips)
+          | None -> Timeout (stats dips))
+  in
+  loop 0
+
+let attack_locked ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ~original
+    (lk : Locked.t) =
+  let oracle = oracle_of_netlist original in
+  match
+    run ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ~oracle
+      lk.Locked.locked
+  with
+  | Broken (key, st) ->
+      (* sanity: the recovered key must unlock the design *)
+      let ok =
+        Locked.verify ~original { lk with Locked.key }
+      in
+      if ok then Broken (key, st)
+      else
+        (* should not happen: the attack is sound; report as timeout to
+           stay conservative rather than claim a break *)
+        Timeout st
+  | Timeout st -> Timeout st

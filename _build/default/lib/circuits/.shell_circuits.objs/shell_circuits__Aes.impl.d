@@ -1,0 +1,1 @@
+lib/circuits/aes.ml: Array List Printf Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/aes.mli: Shell_netlist Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/axi_xbar.ml: Fun List Printf Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/axi_xbar.mli: Shell_netlist Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/catalog.ml: Aes Dla Fir List Picosoc Shell_netlist Spmv String

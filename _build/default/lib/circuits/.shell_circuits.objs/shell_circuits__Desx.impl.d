@@ -1,0 +1,1 @@
+lib/circuits/desx.ml: Array List Printf Shell_netlist Shell_util

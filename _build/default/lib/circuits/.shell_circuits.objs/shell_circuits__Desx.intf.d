@@ -1,0 +1,1 @@
+lib/circuits/desx.mli: Shell_netlist

@@ -1,0 +1,1 @@
+lib/circuits/dla.ml: List Printf Shell_rtl

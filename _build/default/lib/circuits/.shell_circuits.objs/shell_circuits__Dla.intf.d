@@ -1,0 +1,1 @@
+lib/circuits/dla.mli: Shell_netlist Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/fir.ml: Array List Printf Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/fir.mli: Shell_netlist Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/picosoc.ml: List Printf Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/picosoc.mli: Shell_netlist Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/soc.ml: Axi_xbar List Printf Shell_rtl

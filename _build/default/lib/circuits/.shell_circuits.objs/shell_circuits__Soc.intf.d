@@ -1,0 +1,1 @@
+lib/circuits/soc.mli: Shell_netlist Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/spmv.ml: List Printf Shell_rtl

@@ -1,0 +1,1 @@
+lib/circuits/spmv.mli: Shell_netlist Shell_rtl

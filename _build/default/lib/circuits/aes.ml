@@ -1,0 +1,274 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+let state_w = 16  (* four 4-bit nibbles *)
+
+(* the mini-AES (Phan) S-box: a 4-bit permutation *)
+let sbox_table = [| 14; 4; 13; 1; 2; 15; 11; 8; 3; 10; 6; 12; 5; 9; 0; 7 |]
+
+let nibble_table name table =
+  let m = M.create name in
+  M.add_input m "nib_in" 4;
+  M.add_output m "nib_out" 4;
+  let rec build lo len =
+    if len = 1 then E.lit ~width:4 table.(lo)
+    else
+      let half = len / 2 in
+      let bit_idx =
+        let rec log2 v acc = if v <= 1 then acc else log2 (v / 2) (acc + 1) in
+        log2 len 0 - 1
+      in
+      E.mux
+        (E.bit (E.var "nib_in") bit_idx)
+        (build (lo + half) half)
+        (build lo half)
+  in
+  M.add_comb m "lookup" [ ("nib_out", build 0 16) ];
+  m
+
+let sub_bytes () =
+  let m = M.create "sub_bytes" in
+  M.add_input m "state_in" state_w;
+  M.add_output m "state_out" state_w;
+  for n = 0 to 3 do
+    M.add_wire m (Printf.sprintf "nin%d" n) 4;
+    M.add_wire m (Printf.sprintf "nout%d" n) 4;
+    M.add_comb m
+      (Printf.sprintf "split%d" n)
+      [ (Printf.sprintf "nin%d" n, E.(slice (var "state_in") ((4 * n) + 3) (4 * n))) ];
+    M.add_instance m
+      ~inst_name:(Printf.sprintf "sbox%d" n)
+      ~module_name:"sbox"
+      ~bindings:
+        [ ("nib_in", Printf.sprintf "nin%d" n); ("nib_out", Printf.sprintf "nout%d" n) ]
+  done;
+  M.add_comb m "merge"
+    [
+      ( "state_out",
+        E.(concat [ var "nout3"; var "nout2"; var "nout1"; var "nout0" ]) );
+    ];
+  m
+
+let shift_rows () =
+  let m = M.create "shift_rows" in
+  M.add_input m "state_in" state_w;
+  M.add_output m "state_out" state_w;
+  (* rotate the odd nibbles: the 2x2 mini-AES row shift *)
+  M.add_comb m "permute"
+    [
+      ( "state_out",
+        E.(
+          concat
+            [
+              slice (var "state_in") 7 4;
+              slice (var "state_in") 11 8;
+              slice (var "state_in") 15 12;
+              slice (var "state_in") 3 0;
+            ]) );
+    ];
+  m
+
+let mix_columns () =
+  let m = M.create "mix_columns" in
+  M.add_input m "state_in" state_w;
+  M.add_output m "state_out" state_w;
+  (* GF(2^4)-flavoured mixing: xor of rotated nibbles with a doubling *)
+  let nib i = E.(slice (var "state_in") ((4 * i) + 3) (4 * i)) in
+  let dbl e =
+    (* multiply by x modulo x^4 + x + 1: (b3b2b1b0) -> (b2 b1 b0^b3 b3) *)
+    E.(concat [ slice e 2 1; bit e 0 ^: bit e 3; bit e 3 ])
+  in
+  M.add_comb m "mix"
+    [
+      ( "state_out",
+        E.(
+          concat
+            [
+              dbl (nib 3) ^: nib 2;
+              nib 3 ^: dbl (nib 2);
+              dbl (nib 1) ^: nib 0;
+              nib 1 ^: dbl (nib 0);
+            ]) );
+    ];
+  m
+
+let key_sch () =
+  let m = M.create "key_sch" in
+  M.add_input m "key_in" state_w;
+  M.add_input m "round" 2;
+  M.add_output m "round_key" state_w;
+  M.add_wire m "rot" state_w;
+  M.add_wire m "sub0" 4;
+  M.add_instance m ~inst_name:"ksbox" ~module_name:"sbox"
+    ~bindings:[ ("nib_in", "rot_lo"); ("nib_out", "sub0") ];
+  M.add_wire m "rot_lo" 4;
+  M.add_comb m "rotate"
+    [
+      ("rot", E.(concat [ slice (var "key_in") 3 0; slice (var "key_in") 15 4 ]));
+      ("rot_lo", E.(slice (var "key_in") 7 4));
+    ];
+  M.add_comb m "expand"
+    [
+      ( "round_key",
+        E.(
+          var "rot"
+          ^: concat
+               [ lit ~width:4 0; lit ~width:4 0; var "sub0";
+                 concat [ lit ~width:2 0; var "round" ] ]) );
+    ];
+  m
+
+let add_round () =
+  let m = M.create "addround" in
+  M.add_input m "state_in" state_w;
+  M.add_input m "round_key" state_w;
+  M.add_output m "state_out" state_w;
+  (* the paper's /_addround_xor TfR *)
+  M.add_comb m "_addround_xor"
+    [ ("state_out", E.(var "state_in" ^: var "round_key")) ];
+  m
+
+let round_ctrl () =
+  let m = M.create "round_ctrl" in
+  M.add_input m "start" 1;
+  M.add_output m "round" 2;
+  M.add_output m "is_last" 1;
+  M.add_reg m "cnt" 2;
+  M.add_seq m "advance"
+    [ ("cnt", E.(mux (var "start") (lit ~width:2 0) (var "cnt" +: lit ~width:2 1))) ];
+  M.add_comb m "status"
+    [
+      ("round", E.(var "cnt"));
+      ("is_last", E.(var "cnt" ==: lit ~width:2 3));
+    ];
+  m
+
+let out_stage () =
+  let m = M.create "out_stage" in
+  M.add_input m "mixed" state_w;
+  M.add_input m "shifted" state_w;
+  M.add_input m "last_key" state_w;
+  M.add_input m "is_last" 1;
+  M.add_output m "ct" state_w;
+  (* the last round skips MixColumns: the /_shrow_last TfR *)
+  M.add_wire m "picked" state_w;
+  M.add_comb m "_shrow_last"
+    [ ("picked", E.(mux (var "is_last") (var "shifted") (var "mixed"))) ];
+  (* and applies the final AddRoundKey: the /_addround_last TfR *)
+  M.add_comb m "_addround_last" [ ("ct", E.(var "picked" ^: var "last_key")) ];
+  m
+
+let state_regs () =
+  let m = M.create "state_regs" in
+  M.add_input m "next_state" state_w;
+  M.add_input m "load" 1;
+  M.add_input m "pt" state_w;
+  M.add_output m "state" state_w;
+  M.add_reg m "st" state_w;
+  M.add_seq m "hold"
+    [ ("st", E.(mux (var "load") (var "pt") (var "next_state"))) ];
+  M.add_comb m "expose" [ ("state", E.(var "st")) ];
+  m
+
+let in_guard () =
+  let m = M.create "in_guard" in
+  M.add_input m "pt_raw" state_w;
+  M.add_input m "start" 1;
+  M.add_output m "pt_gated" state_w;
+  M.add_comb m "gate"
+    [ ("pt_gated", E.(mux (var "start") (var "pt_raw") (lit ~width:state_w 0))) ];
+  m
+
+let lanes = 12
+
+(* Twelve 16-bit lanes share the control FSM and whiten a common key, so
+   the SoC-scale bulk sits outside the lane-0 blocks the TfRs name. *)
+let make () =
+  let top = M.create "aes_top" in
+  M.add_input top "pt" (state_w * lanes);
+  M.add_input top "key" state_w;
+  M.add_input top "start" 1;
+  M.add_output top "ct" (state_w * lanes);
+  M.add_output top "busy" 1;
+  M.add_wire top "round" 2;
+  M.add_wire top "is_last" 1;
+  M.add_instance top ~inst_name:"ctrl" ~module_name:"round_ctrl"
+    ~bindings:[ ("start", "start"); ("round", "round"); ("is_last", "is_last") ];
+  for l = 0 to lanes - 1 do
+    let w nm = Printf.sprintf "%s%d" nm l in
+    List.iter
+      (fun (nm, width) -> M.add_wire top (w nm) width)
+      [
+        ("lane_key", state_w); ("round_key", state_w); ("pt_lane", state_w);
+        ("pt_gated", state_w); ("state", state_w); ("subbed", state_w);
+        ("shifted", state_w); ("mixed", state_w); ("added", state_w);
+        ("round_state", state_w); ("ct_w", state_w);
+      ];
+    M.add_comb top (w "key_whiten")
+      [
+        ( w "lane_key",
+          E.(var "key" ^: lit ~width:state_w (0x1111 * l)) );
+        (w "pt_lane",
+         E.(slice (var "pt") ((state_w * (l + 1)) - 1) (state_w * l)));
+      ];
+    M.add_instance top ~inst_name:(w "ks") ~module_name:"key_sch"
+      ~bindings:
+        [ ("key_in", w "lane_key"); ("round", "round"); ("round_key", w "round_key") ];
+    M.add_instance top ~inst_name:(w "guard") ~module_name:"in_guard"
+      ~bindings:
+        [ ("pt_raw", w "pt_lane"); ("start", "start"); ("pt_gated", w "pt_gated") ];
+    M.add_instance top ~inst_name:(w "regs") ~module_name:"state_regs"
+      ~bindings:
+        [
+          ("next_state", w "added"); ("load", "start"); ("pt", w "pt_gated");
+          ("state", w "state");
+        ];
+    M.add_instance top ~inst_name:(w "sb") ~module_name:"sub_bytes"
+      ~bindings:[ ("state_in", w "state"); ("state_out", w "subbed") ];
+    M.add_instance top ~inst_name:(w "sr") ~module_name:"shift_rows"
+      ~bindings:[ ("state_in", w "subbed"); ("state_out", w "shifted") ];
+    M.add_instance top ~inst_name:(w "mc") ~module_name:"mix_columns"
+      ~bindings:[ ("state_in", w "shifted"); ("state_out", w "mixed") ];
+    (* top.addround: the round-key application the SheLL TfR routes to *)
+    M.add_comb top (w "addround")
+      [ (w "round_state", E.(mux (var "is_last") (var (w "shifted")) (var (w "mixed")))) ];
+    M.add_instance top ~inst_name:(w "ark") ~module_name:"addround"
+      ~bindings:
+        [
+          ("state_in", w "round_state"); ("round_key", w "round_key");
+          ("state_out", w "added");
+        ];
+    M.add_instance top ~inst_name:(w "outs") ~module_name:"out_stage"
+      ~bindings:
+        [
+          ("mixed", w "mixed"); ("shifted", w "shifted");
+          ("last_key", w "round_key"); ("is_last", "is_last");
+          ("ct", w "ct_w");
+        ]
+  done;
+  M.add_comb top "drive_out"
+    [
+      ( "ct",
+        E.concat
+          (List.init lanes (fun l ->
+               E.var (Printf.sprintf "ct_w%d" (lanes - 1 - l)))) );
+      ("busy", E.(~:(var "is_last")));
+    ];
+  let d = M.Design.create ~top:"aes_top" in
+  List.iter (M.Design.add_module d)
+    [
+      top;
+      nibble_table "sbox" sbox_table;
+      sub_bytes ();
+      shift_rows ();
+      mix_columns ();
+      key_sch ();
+      add_round ();
+      round_ctrl ();
+      out_stage ();
+      state_regs ();
+      in_guard ();
+    ];
+  d
+
+let netlist () = Shell_rtl.Elab.elaborate (make ())

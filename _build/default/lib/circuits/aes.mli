@@ -1,0 +1,11 @@
+(** AES-like benchmark (Table III: 11 modules): a nibble-wise
+    mini-AES round pipeline with the named blocks the paper's TfRs
+    target ([key_sch], [addround], [_addround_xor], [_addround_last],
+    [_shrow_last]). The S-box is a real 16-entry nibble permutation;
+    widths are scaled down per DESIGN.md. *)
+
+val sbox_table : int array
+(** The 4-bit mini-AES S-box permutation. *)
+
+val make : unit -> Shell_rtl.Rtl_module.Design.t
+val netlist : unit -> Shell_netlist.Netlist.t

@@ -1,0 +1,64 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+(* For each target t: scan requesters in priority order; the first
+   valid requester addressing t wins. Output data is the winner's
+   payload, gated by a valid flag. Pure mux/priority structure: this is
+   the ROUTE archetype of the paper. *)
+let make ?(channels = 8) ?(data_width = 4) () =
+  let abits =
+    let rec go b = if 1 lsl b >= channels then b else go (b + 1) in
+    max 1 (go 1)
+  in
+  let m = M.create "axi_xbar" in
+  for c = 0 to channels - 1 do
+    M.add_input m (Printf.sprintf "req_data%d" c) data_width;
+    M.add_input m (Printf.sprintf "req_addr%d" c) abits;
+    M.add_input m (Printf.sprintf "req_valid%d" c) 1
+  done;
+  for t = 0 to channels - 1 do
+    M.add_output m (Printf.sprintf "tgt_data%d" t) data_width;
+    M.add_output m (Printf.sprintf "tgt_valid%d" t) 1
+  done;
+  (* per-requester one-hot address decode, shared by every target (a
+     real AXI crossbar decodes once per master) *)
+  for c = 0 to channels - 1 do
+    M.add_wire m (Printf.sprintf "dec%d" c) channels;
+    let onehot =
+      E.concat
+        (List.init channels (fun t ->
+             let t = channels - 1 - t in
+             E.(
+               var (Printf.sprintf "req_valid%d" c)
+               &: (var (Printf.sprintf "req_addr%d" c) ==: lit ~width:abits t))))
+    in
+    M.add_comb m (Printf.sprintf "_xbar_dec%d" c)
+      [ (Printf.sprintf "dec%d" c, onehot) ]
+  done;
+  for t = 0 to channels - 1 do
+    let hit c = E.(bit (var (Printf.sprintf "dec%d" c)) t) in
+    (* priority mux over requesters: the ROUTE part *)
+    let data =
+      List.fold_right
+        (fun c acc -> E.mux (hit c) (E.var (Printf.sprintf "req_data%d" c)) acc)
+        (List.init channels Fun.id)
+        (E.lit ~width:data_width 0)
+    in
+    let valid =
+      match List.init channels hit with
+      | [] -> E.bit0
+      | h :: tl -> List.fold_left (fun acc x -> E.(acc |: x)) h tl
+    in
+    M.add_comb m
+      (Printf.sprintf "_xbar_route%d" t)
+      [ (Printf.sprintf "tgt_data%d" t, data) ];
+    M.add_comb m
+      (Printf.sprintf "_xbar_arb%d" t)
+      [ (Printf.sprintf "tgt_valid%d" t, valid) ]
+  done;
+  let d = M.Design.create ~top:"axi_xbar" in
+  M.Design.add_module d m;
+  d
+
+let netlist ?channels ?data_width () =
+  Shell_rtl.Elab.elaborate (make ?channels ?data_width ())

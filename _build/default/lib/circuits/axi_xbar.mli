@@ -1,0 +1,17 @@
+(** Memory-addressed AXI-style crossbar (the paper's Table I workload
+    and the Fig. 3 SoC interconnect).
+
+    [channels] request channels, each carrying a [data_width]-bit
+    payload, a valid bit, and an address selecting one of [channels]
+    targets; each target output muxes the payload of the requester
+    addressing it, with a fixed-priority arbiter producing the valid
+    flags — "a simple memory-addressed MUX-based arbitration between
+    multiple AXI channels (ROUTE)". *)
+
+val make :
+  ?channels:int -> ?data_width:int -> unit -> Shell_rtl.Rtl_module.Design.t
+(** Defaults: 8 channels, 8-bit data. *)
+
+val netlist :
+  ?channels:int -> ?data_width:int -> unit -> Shell_netlist.Netlist.t
+(** Elaborated and cleaned. *)

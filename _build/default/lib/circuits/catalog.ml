@@ -1,0 +1,138 @@
+type tfr = { label : string; route : string list; lgc : string list }
+
+type entry = {
+  name : string;
+  description : string;
+  netlist : unit -> Shell_netlist.Netlist.t;
+  tfr_case1 : tfr;
+  tfr_case2 : tfr;
+  tfr_case3 : tfr;
+  tfr_shell : tfr;
+}
+
+let all =
+  [
+    {
+      name = "PicoSoC";
+      description = "Size-Optimized RISC-V CPU";
+      netlist = Picosoc.netlist;
+      tfr_case1 = { label = "/_mem_wr"; route = []; lgc = [ ":_mem_wr" ] };
+      tfr_case2 =
+        {
+          label = "/_mem_wr + /_regs_rdata";
+          route = [];
+          lgc = [ ":_mem_wr"; ":_regs_rdata" ];
+        };
+      tfr_case3 =
+        {
+          label = "/_mem_wr + /_regs_rdata";
+          route = [];
+          lgc = [ ":_mem_wr"; ":_regs_rdata" ];
+        };
+      tfr_shell =
+        {
+          label = "/_mem_wr->picorv32.mem_wr + /_mem_wr_en";
+          route = [ "memctl:_mem_wr"; "core:mem_wr" ];
+          lgc = [ ":_mem_wr_en" ];
+        };
+    };
+    {
+      name = "AES";
+      description = "AES Encryption/Decryption";
+      netlist = Aes.netlist;
+      tfr_case1 =
+        { label = "/_addround_last"; route = []; lgc = [ "outs0:" ] };
+      tfr_case2 =
+        {
+          label = "/_addround_last + /_shrow_last";
+          route = [];
+          lgc = [ "outs0:_addround_last"; "outs0:_shrow_last" ];
+        };
+      tfr_case3 =
+        {
+          label = "/_addround_last + /_shrow_last";
+          route = [];
+          lgc = [ "outs0:_addround_last"; "outs0:_shrow_last" ];
+        };
+      tfr_shell =
+        {
+          label = "/_key_sch->top.addround + /_addround_xor";
+          route = [ "/ks0:"; "aes_top:addround0" ];
+          lgc = [ "ark0:_addround_xor" ];
+        };
+    };
+    {
+      name = "FIR";
+      description = "Finite Impulse Response Filter";
+      netlist = Fir.netlist;
+      tfr_case1 =
+        { label = "/_ternary_add_i"; route = []; lgc = [ "ternary_add_0:" ] };
+      tfr_case2 =
+        { label = "/_ternary_add_i"; route = []; lgc = [ "ternary_add_0:" ] };
+      tfr_case3 =
+        {
+          label = "/_ternary_add_i + /_ctrl_valid";
+          route = [];
+          lgc = [ "ternary_add_0:"; ":_ctrl_valid" ];
+        };
+      tfr_shell =
+        {
+          label = "/_ternary_add_i->_acc + /_ctrl_valid";
+          route = [ "ternary_add_23:"; "ternary_add_22:" ];
+          lgc = [ ":_ctrl_valid" ];
+        };
+    };
+    {
+      name = "SPMV";
+      description = "Sparse Matrix Vector Multiplication";
+      netlist = Spmv.netlist;
+      tfr_case1 =
+        { label = "/_ind_array_inc"; route = []; lgc = [ ":_ind_array_inc" ] };
+      tfr_case2 =
+        {
+          label = "/_ind_array_inc + /_len_check";
+          route = [];
+          lgc = [ ":_ind_array_inc"; ":_len_check" ];
+        };
+      tfr_case3 =
+        {
+          label = "/_ind_array_inc + /_len_check";
+          route = [];
+          lgc = [ ":_ind_array_inc"; ":_len_check" ];
+        };
+      tfr_shell =
+        {
+          label = "/_mult_j->_sum + /_len_check";
+          route = [ ":_mult_to_sum0"; ":_mult_to_sum1" ];
+          lgc = [ ":_len_check" ];
+        };
+    };
+    {
+      name = "DLA";
+      description = "Lightweight DLA-like Accelerator";
+      netlist = Dla.netlist;
+      tfr_case1 =
+        { label = "/_active_check"; route = []; lgc = [ ":_active_check" ] };
+      tfr_case2 =
+        {
+          label = "/_active_check + /_drain_PE";
+          route = [];
+          lgc = [ ":_active_check"; ":_drain_PE" ];
+        };
+      tfr_case3 =
+        {
+          label = "/_active_check + /_drain_PE";
+          route = [];
+          lgc = [ ":_active_check"; ":_drain_PE" ];
+        };
+      tfr_shell =
+        {
+          label = "/_DDR_j->_PE_j + /_max_pool_valid";
+          route = [ ":_lane_switch0"; ":_lane_switch1"; ":_lane_switch2" ];
+          lgc = [ ":_max_pool_valid" ];
+        };
+    };
+  ]
+
+let find name =
+  List.find_opt (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name) all

@@ -1,0 +1,28 @@
+(** Benchmark registry: the Table III circuits plus the sub-circuit
+    targets for redaction (TfR) each evaluation case uses.
+
+    A {!tfr} names sub-circuits by origin substring (instance paths and
+    [@always]-block names as produced by [Shell_rtl.Elab]); [route]
+    entries are interconnect-flavoured blocks mapped to MUX chains by
+    SheLL, [lgc] entries are logic slices mapped to LUTs. *)
+
+type tfr = {
+  label : string;  (** as printed in the paper's TfR column *)
+  route : string list;
+  lgc : string list;
+}
+
+type entry = {
+  name : string;
+  description : string;
+  netlist : unit -> Shell_netlist.Netlist.t;
+  tfr_case1 : tfr;  (** no-strategy redaction [10], [11] *)
+  tfr_case2 : tfr;  (** module/cluster filtering redaction [12] *)
+  tfr_case3 : tfr;  (** no-strategy via FABulous *)
+  tfr_shell : tfr;  (** SheLL: ROUTE then LGC *)
+}
+
+val all : entry list
+(** PicoSoC, AES, FIR, SPMV, DLA — in Table III order. *)
+
+val find : string -> entry option

@@ -1,0 +1,56 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rng = Shell_util.Rng
+
+(* Layered random logic with bounded reconvergence: each layer draws
+   operands from the previous few layers, giving mapper-friendly but
+   non-degenerate structure (plain random pairs collapse too easily). *)
+let netlist ?(seed = 0xde5) ?(gates = 624) () =
+  let rng = Rng.create seed in
+  let nl = N.create "desX" in
+  let n_in = 24 in
+  let inputs = Array.init n_in (fun i -> N.add_input nl (Printf.sprintf "i%d" i)) in
+  let window = ref (Array.to_list inputs) in
+  let recent () = Array.of_list !window in
+  let made = ref 0 in
+  let layer_size = 48 in
+  let layer = ref 0 in
+  while !made < gates do
+    let prev = recent () in
+    let this_layer = min layer_size (gates - !made) in
+    let origin = Printf.sprintf "desX:layer%d" !layer in
+    incr layer;
+    let fresh = ref [] in
+    for _ = 1 to this_layer do
+      let a = Rng.choice rng prev and b = Rng.choice rng prev in
+      let kind =
+        match Rng.int rng 6 with
+        | 0 -> Cell.And
+        | 1 -> Cell.Or
+        | 2 -> Cell.Xor
+        | 3 -> Cell.Nand
+        | 4 -> Cell.Nor
+        | _ -> Cell.Xnor
+      in
+      let out =
+        if Rng.int rng 8 = 0 then
+          let s = Rng.choice rng prev in
+          N.mux2 ~origin nl ~sel:s ~a ~b
+        else N.gate ~origin nl kind [| a; b |]
+      in
+      fresh := out :: !fresh;
+      incr made
+    done;
+    (* keep two layers of history plus a sprinkling of primary inputs *)
+    let keep_prev =
+      Array.to_list (Rng.sample rng (min 16 (Array.length prev)) prev)
+    in
+    window := !fresh @ keep_prev
+  done;
+  List.iteri
+    (fun i net -> N.add_output nl (Printf.sprintf "o%d" i) net)
+    (match !window with
+    | outs ->
+        let arr = Array.of_list outs in
+        Array.to_list (Array.sub arr 0 (min 20 (Array.length arr))));
+  nl

@@ -1,0 +1,10 @@
+(** [desX]: the "arbitrary design" of the paper's Fig. 2, used to show
+    the square-fabric utilization waste of OpenFPGA mapping. A layered
+    pseudo-random (seeded, reproducible) logic block sized so its 4-LUT
+    mapping lands just above a 6x6 OpenFPGA fabric — forcing the 7x7
+    square with ~11 unused tiles. *)
+
+val netlist : ?seed:int -> ?gates:int -> unit -> Shell_netlist.Netlist.t
+(** Defaults (seed 0xde5, 624 gates) are sized so the 4-LUT mapping
+    needs a 7x7 OpenFPGA fabric at under 77% utilization — the Fig. 2
+    data point. *)

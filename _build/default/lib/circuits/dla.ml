@@ -1,0 +1,180 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+let w = 8
+let pes = 12
+
+let ddr_if () =
+  let m = M.create "ddr_if" in
+  M.add_input m "burst" (w * pes);
+  M.add_input m "burst_valid" 1;
+  for j = 0 to pes - 1 do
+    M.add_output m (Printf.sprintf "lane%d" j) w;
+    M.add_reg m (Printf.sprintf "buf%d" j) w
+  done;
+  M.add_output m "ready" 1;
+  for j = 0 to pes - 1 do
+    (* per-lane ingress: the paper's /_DDR_j TfRs *)
+    M.add_seq m
+      (Printf.sprintf "_DDR_%d" j)
+      [
+        ( Printf.sprintf "buf%d" j,
+          E.(
+            mux (var "burst_valid")
+              (slice (var "burst") ((w * (j + 1)) - 1) (w * j))
+              (var (Printf.sprintf "buf%d" j))) );
+      ]
+  done;
+  M.add_comb m "expose"
+    (("ready", E.(~:(var "burst_valid")))
+    :: List.init pes (fun j ->
+           (Printf.sprintf "lane%d" j, E.var (Printf.sprintf "buf%d" j))));
+  m
+
+let pe_row () =
+  let m = M.create "pe_row" in
+  M.add_input m "weights" (4 * pes);
+  M.add_input m "accumulate" 1;
+  for j = 0 to pes - 1 do
+    M.add_input m (Printf.sprintf "act_in%d" j) w;
+    M.add_output m (Printf.sprintf "psum%d" j) w;
+    M.add_reg m (Printf.sprintf "acc%d" j) w
+  done;
+  for j = 0 to pes - 1 do
+    (* a MAC processing element: the paper's /_PE_j TfRs *)
+    let weight = E.(slice (var "weights") ((4 * (j + 1)) - 1) (4 * j)) in
+    let act = E.var (Printf.sprintf "act_in%d" j) in
+    (* multiply the low nibble of the activation by the 4-bit weight *)
+    let partial i =
+      let shifted =
+        E.concat
+          ((E.lit ~width:(5 - i) 0 :: [ E.slice act 3 0 ])
+          @ (if i = 0 then [] else [ E.lit ~width:i 0 ]))
+      in
+      E.(mux (bit weight i) (slice shifted (w - 1) 0) (lit ~width:w 0))
+    in
+    let product = E.(partial 0 +: partial 1 +: (partial 2 +: partial 3)) in
+    M.add_seq m
+      (Printf.sprintf "_PE_%d" j)
+      [
+        ( Printf.sprintf "acc%d" j,
+          E.(
+            mux (var "accumulate")
+              (var (Printf.sprintf "acc%d" j) +: product)
+              (var (Printf.sprintf "acc%d" j))) );
+      ]
+  done;
+  M.add_comb m "expose"
+    (List.init pes (fun j ->
+         (Printf.sprintf "psum%d" j, E.var (Printf.sprintf "acc%d" j))));
+  m
+
+let pool_unit () =
+  let m = M.create "pool_unit" in
+  for j = 0 to pes - 1 do
+    M.add_input m (Printf.sprintf "psum%d" j) w
+  done;
+  M.add_input m "drain_req" 1;
+  M.add_input m "threshold" w;
+  M.add_output m "pooled" w;
+  M.add_output m "pool_valid" 1;
+  M.add_output m "any_active" 1;
+  M.add_wire m "maxv" w;
+  (* log-depth max reduction over the PE outputs *)
+  let maxe a b = E.(mux (a <: b) b a) in
+  let rec reduce = function
+    | [] -> E.lit ~width:w 0
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | a :: b :: tl -> maxe a b :: pair tl
+          | tl -> tl
+        in
+        reduce (pair xs)
+  in
+  M.add_comb m "max_tree"
+    [ ("maxv", reduce (List.init pes (fun j -> E.var (Printf.sprintf "psum%d" j)))) ];
+  (* activation detection: the paper's /_active_check TfR *)
+  M.add_comb m "_active_check"
+    [ ("any_active", E.(~:(var "maxv" <: var "threshold"))) ];
+  (* pooled-output validity: the paper's /_max_pool_valid TfR *)
+  M.add_comb m "_max_pool_valid"
+    [ ("pool_valid", E.(var "drain_req" &: var "any_active")) ];
+  (* drain path: the paper's /_drain_PE TfR *)
+  M.add_comb m "_drain_PE"
+    [ ("pooled", E.(mux (var "drain_req") (var "maxv") (lit ~width:w 0))) ];
+  m
+
+let make () =
+  let top = M.create "dla_top" in
+  M.add_input top "burst" (w * pes);
+  M.add_input top "burst_valid" 1;
+  M.add_input top "weights" (4 * pes);
+  M.add_input top "accumulate" 1;
+  M.add_input top "drain_req" 1;
+  M.add_input top "threshold" w;
+  M.add_output top "pooled" w;
+  M.add_output top "pool_valid" 1;
+  M.add_output top "any_active" 1;
+  M.add_output top "ready" 1;
+  for j = 0 to pes - 1 do
+    M.add_output top (Printf.sprintf "psum_probe%d" j) w;
+    M.add_wire top (Printf.sprintf "lane%d" j) w;
+    M.add_wire top (Printf.sprintf "psum%d" j) w
+  done;
+  M.add_instance top ~inst_name:"ddr" ~module_name:"ddr_if"
+    ~bindings:
+      (("burst", "burst") :: ("burst_valid", "burst_valid") :: ("ready", "ready")
+      :: List.init pes (fun j ->
+             (Printf.sprintf "lane%d" j, Printf.sprintf "lane%d" j)));
+  (* DDR-lane to PE routing switch: the /_DDR_j -> _PE_j connection
+     SheLL redacts; a mux-based lane shuffle keyed by the threshold *)
+  for j = 0 to pes - 1 do
+    M.add_wire top (Printf.sprintf "lane_sw%d" j) w
+  done;
+  let sw_sel = E.(slice (var "threshold") 1 0) in
+  for j = 0 to pes - 1 do
+    let pick ofs = E.var (Printf.sprintf "lane%d" ((j + ofs) mod pes)) in
+    M.add_comb top
+      (Printf.sprintf "_lane_switch%d" j)
+      [
+        ( Printf.sprintf "lane_sw%d" j,
+          E.(
+            mux (bit sw_sel 1)
+              (mux (bit sw_sel 0) (pick 3) (pick 2))
+              (mux (bit sw_sel 0) (pick 1) (pick 0))) );
+      ]
+  done;
+  for j = 0 to pes - 1 do
+    M.add_wire top (Printf.sprintf "psumb%d" j) w
+  done;
+  M.add_instance top ~inst_name:"pes" ~module_name:"pe_row"
+    ~bindings:
+      (("weights", "weights") :: ("accumulate", "accumulate")
+      :: (List.init pes (fun j ->
+              (Printf.sprintf "act_in%d" j, Printf.sprintf "lane_sw%d" j))
+         @ List.init pes (fun j ->
+               (Printf.sprintf "psum%d" j, Printf.sprintf "psumb%d" j))));
+  (* second PE row consumes the first row's partial sums (systolic) *)
+  M.add_instance top ~inst_name:"pes_b" ~module_name:"pe_row"
+    ~bindings:
+      (("weights", "weights") :: ("accumulate", "accumulate")
+      :: (List.init pes (fun j ->
+              (Printf.sprintf "act_in%d" j, Printf.sprintf "psumb%d" j))
+         @ List.init pes (fun j ->
+               (Printf.sprintf "psum%d" j, Printf.sprintf "psum%d" j))));
+  M.add_instance top ~inst_name:"pool" ~module_name:"pool_unit"
+    ~bindings:
+      (("drain_req", "drain_req") :: ("threshold", "threshold")
+      :: ("pooled", "pooled") :: ("pool_valid", "pool_valid")
+      :: ("any_active", "any_active")
+      :: List.init pes (fun j ->
+             (Printf.sprintf "psum%d" j, Printf.sprintf "psum%d" j)));
+  M.add_comb top "probes"
+    (List.init pes (fun j ->
+         (Printf.sprintf "psum_probe%d" j, E.var (Printf.sprintf "psum%d" j))));
+  let d = M.Design.create ~top:"dla_top" in
+  List.iter (M.Design.add_module d) [ top; ddr_if (); pe_row (); pool_unit () ];
+  d
+
+let netlist () = Shell_rtl.Elab.elaborate (make ())

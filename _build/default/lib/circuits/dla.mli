@@ -1,0 +1,7 @@
+(** Lightweight DLA-like accelerator benchmark (Table III: 4 modules,
+    wide I/O): a DDR-style ingress ([_DDR_j]), a MAC PE row ([_PE_j]),
+    and a pooling/drain unit ([_active_check], [_max_pool_valid],
+    [_drain_PE]). *)
+
+val make : unit -> Shell_rtl.Rtl_module.Design.t
+val netlist : unit -> Shell_netlist.Netlist.t

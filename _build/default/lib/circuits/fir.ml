@@ -1,0 +1,188 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+let w = 8
+let taps = 48
+
+let coeffs =
+  [|
+    1; 3; 5; 7; 7; 5; 3; 1; 2; 4; 6; 7; 7; 6; 4; 2; 1; 2; 3; 4; 4; 3; 2; 1;
+    1; 2; 3; 4; 4; 3; 2; 1; 2; 4; 6; 7; 7; 6; 4; 2; 1; 3; 5; 7; 7; 5; 3; 1;
+  |]
+
+let tap_delay () =
+  let m = M.create "tap_delay" in
+  M.add_input m "sample" w;
+  M.add_input m "shift" 1;
+  for t = 0 to taps - 1 do
+    M.add_output m (Printf.sprintf "tap%d" t) w;
+    M.add_reg m (Printf.sprintf "d%d" t) w
+  done;
+  for t = 0 to taps - 1 do
+    let prev = if t = 0 then E.var "sample" else E.var (Printf.sprintf "d%d" (t - 1)) in
+    M.add_seq m
+      (Printf.sprintf "delay%d" t)
+      [
+        ( Printf.sprintf "d%d" t,
+          E.(mux (var "shift") prev (var (Printf.sprintf "d%d" t))) );
+      ]
+  done;
+  M.add_comb m "expose"
+    (List.init taps (fun t ->
+         (Printf.sprintf "tap%d" t, E.var (Printf.sprintf "d%d" t))));
+  m
+
+(* constant multiply by shift-add; coefficient fixed per instance via a
+   2-bit select (keeps one module definition, Table III style) *)
+let coeff_mult () =
+  let m = M.create "coeff_mult" in
+  M.add_input m "x" w;
+  M.add_input m "c" 3;
+  M.add_output m "y" w;
+  M.add_wire m "x2" w;
+  M.add_wire m "x4" w;
+  M.add_comb m "shifts"
+    [
+      ("x2", E.(concat [ slice (var "x") (w - 2) 0; lit ~width:1 0 ]));
+      ("x4", E.(concat [ slice (var "x") (w - 3) 0; lit ~width:2 0 ]));
+    ];
+  M.add_comb m "combine"
+    [
+      ( "y",
+        E.(
+          mux (bit (var "c") 2) (var "x4") (lit ~width:w 0)
+          +: mux (bit (var "c") 1) (var "x2") (lit ~width:w 0)
+          +: mux (bit (var "c") 0) (var "x") (lit ~width:w 0)) );
+    ];
+  m
+
+(* three-input adder: the paper's ternary_add building block *)
+let ternary_add () =
+  let m = M.create "ternary_add" in
+  M.add_input m "a" w;
+  M.add_input m "b" w;
+  M.add_input m "c" w;
+  M.add_output m "s" w;
+  M.add_comb m "_ternary_add" [ ("s", E.(var "a" +: var "b" +: var "c")) ];
+  m
+
+let ctrl_valid () =
+  let m = M.create "ctrl_valid" in
+  M.add_input m "in_valid" 1;
+  M.add_input m "enable" 1;
+  M.add_output m "out_valid" 1;
+  M.add_output m "shift" 1;
+  M.add_reg m "v0" 1;
+  M.add_reg m "v1" 1;
+  M.add_seq m "pipe"
+    [ ("v0", E.(var "in_valid" &: var "enable")); ("v1", E.(var "v0")) ];
+  (* the paper's /_ctrl_valid TfR *)
+  M.add_comb m "_ctrl_valid"
+    [
+      ("out_valid", E.(var "v1" &: var "enable"));
+      ("shift", E.(var "in_valid" &: var "enable"));
+    ];
+  m
+
+let out_sat () =
+  let m = M.create "out_sat" in
+  M.add_input m "acc" w;
+  M.add_input m "valid" 1;
+  M.add_output m "y" w;
+  M.add_comb m "saturate"
+    [
+      ( "y",
+        E.(
+          mux (var "valid")
+            (mux (bit (var "acc") (w - 1))
+               (lit ~width:w ((1 lsl (w - 1)) - 1))
+               (var "acc"))
+            (lit ~width:w 0)) );
+    ];
+  m
+
+let acc_stage () =
+  let m = M.create "acc_stage" in
+  M.add_input m "sum_in" w;
+  M.add_input m "shift" 1;
+  M.add_output m "acc" w;
+  M.add_reg m "r" w;
+  M.add_seq m "accumulate"
+    [ ("r", E.(mux (var "shift") (var "sum_in") (var "r"))) ];
+  M.add_comb m "expose" [ ("acc", E.(var "r")) ];
+  m
+
+let make () =
+  let top = M.create "fir_top" in
+  M.add_input top "sample" w;
+  M.add_input top "in_valid" 1;
+  M.add_input top "enable" 1;
+  M.add_output top "y" w;
+  M.add_output top "out_valid" 1;
+  M.add_wire top "shift" 1;
+  M.add_wire top "acc" w;
+  M.add_wire top "sum_final" w;
+  for t = 0 to taps - 1 do
+    M.add_wire top (Printf.sprintf "tap%d" t) w;
+    M.add_wire top (Printf.sprintf "prod%d" t) w;
+    M.add_wire top (Printf.sprintf "coef%d" t) 3
+  done;
+  M.add_comb top "coeff_rom"
+    (List.init taps (fun t -> (Printf.sprintf "coef%d" t, E.lit ~width:3 coeffs.(t))));
+  M.add_instance top ~inst_name:"ctrl" ~module_name:"ctrl_valid"
+    ~bindings:
+      [
+        ("in_valid", "in_valid"); ("enable", "enable");
+        ("out_valid", "out_valid"); ("shift", "shift");
+      ];
+  M.add_instance top ~inst_name:"delays" ~module_name:"tap_delay"
+    ~bindings:
+      (("sample", "sample") :: ("shift", "shift")
+      :: List.init taps (fun t ->
+             (Printf.sprintf "tap%d" t, Printf.sprintf "tap%d" t)));
+  for t = 0 to taps - 1 do
+    M.add_instance top
+      ~inst_name:(Printf.sprintf "mult%d" t)
+      ~module_name:"coeff_mult"
+      ~bindings:
+        [
+          ("x", Printf.sprintf "tap%d" t);
+          ("c", Printf.sprintf "coef%d" t);
+          ("y", Printf.sprintf "prod%d" t);
+        ]
+  done;
+  (* ternary adder tree: the paper's _ternary_add_i instances; built
+     generically by reducing the products three at a time *)
+  let next_tadd = ref 0 in
+  let tadd a b c =
+    let i = !next_tadd in
+    incr next_tadd;
+    let out = Printf.sprintf "tsum%d" i in
+    M.add_wire top out w;
+    M.add_instance top
+      ~inst_name:(Printf.sprintf "ternary_add_%d" i)
+      ~module_name:"ternary_add"
+      ~bindings:[ ("a", a); ("b", b); ("c", c); ("s", out) ];
+    out
+  in
+  let rec reduce = function
+    | [] -> "acc"
+    | [ x ] -> tadd x "acc" "acc"
+    | [ x; y ] -> tadd x y "acc"
+    | x :: y :: z :: rest -> reduce (tadd x y z :: rest)
+  in
+  let sum_root = reduce (List.init taps (fun t -> Printf.sprintf "prod%d" t)) in
+  M.add_comb top "final_sum" [ ("sum_final", E.(var sum_root)) ];
+  M.add_instance top ~inst_name:"accs" ~module_name:"acc_stage"
+    ~bindings:[ ("sum_in", "sum_final"); ("shift", "shift"); ("acc", "acc") ];
+  M.add_instance top ~inst_name:"sat" ~module_name:"out_sat"
+    ~bindings:[ ("acc", "acc"); ("valid", "out_valid"); ("y", "y") ];
+  let d = M.Design.create ~top:"fir_top" in
+  List.iter (M.Design.add_module d)
+    [
+      top; tap_delay (); coeff_mult (); ternary_add (); ctrl_valid ();
+      out_sat (); acc_stage ();
+    ];
+  d
+
+let netlist () = Shell_rtl.Elab.elaborate (make ())

@@ -1,0 +1,7 @@
+(** FIR filter benchmark (Table III: 7 modules): an 8-tap
+    transposed-form filter with shift-add constant multipliers, a
+    ternary adder tree (the paper's [_ternary_add_i] TfRs) and a
+    validity pipeline ([_ctrl_valid]). *)
+
+val make : unit -> Shell_rtl.Rtl_module.Design.t
+val netlist : unit -> Shell_netlist.Netlist.t

@@ -1,0 +1,413 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+let w = 8  (* data width *)
+
+(* ---- leaf IPs ---------------------------------------------------- *)
+
+let pico_alu () =
+  let m = M.create "pico_alu" in
+  M.add_input m "op_a" w;
+  M.add_input m "op_b" w;
+  M.add_input m "funct" 2;
+  M.add_output m "result" w;
+  M.add_output m "zero" 1;
+  M.add_comb m "alu_core"
+    [
+      ( "result",
+        E.(
+          mux (bit (var "funct") 0)
+            (mux (bit (var "funct") 1) (var "op_a" &: var "op_b")
+               (var "op_a" +: var "op_b"))
+            (mux (bit (var "funct") 1) (var "op_a" ^: var "op_b")
+               (var "op_a" -: var "op_b"))) );
+      ("zero", E.(var "result" ==: lit ~width:w 0));
+    ];
+  m
+
+let pico_decoder () =
+  let m = M.create "pico_decoder" in
+  M.add_input m "instr" 16;
+  M.add_output m "funct" 2;
+  M.add_output m "rd" 2;
+  M.add_output m "rs1" 2;
+  M.add_output m "rs2" 2;
+  M.add_output m "is_store" 1;
+  M.add_output m "is_load" 1;
+  M.add_comb m "decode"
+    [
+      ("funct", E.(slice (var "instr") 13 12));
+      ("rd", E.(slice (var "instr") 11 10));
+      ("rs1", E.(slice (var "instr") 9 8));
+      ("rs2", E.(slice (var "instr") 7 6));
+      ("is_store", E.(slice (var "instr") 15 14 ==: lit ~width:2 2));
+      ("is_load", E.(slice (var "instr") 15 14 ==: lit ~width:2 1));
+    ];
+  m
+
+let pico_regs () =
+  let m = M.create "pico_regs" in
+  M.add_input m "wr_en" 1;
+  M.add_input m "wr_sel" 2;
+  M.add_input m "wr_data" w;
+  M.add_input m "rd_sel1" 2;
+  M.add_input m "rd_sel2" 2;
+  M.add_output m "rd_data1" w;
+  M.add_output m "rd_data2" w;
+  for r = 0 to 3 do
+    M.add_reg m (Printf.sprintf "r%d" r) w
+  done;
+  for r = 0 to 3 do
+    M.add_seq m
+      (Printf.sprintf "write_r%d" r)
+      [
+        ( Printf.sprintf "r%d" r,
+          E.(
+            mux
+              (var "wr_en" &: (var "wr_sel" ==: lit ~width:2 r))
+              (var "wr_data")
+              (var (Printf.sprintf "r%d" r))) );
+      ]
+  done;
+  let read sel =
+    E.(
+      mux (bit (var sel) 1)
+        (mux (bit (var sel) 0) (var "r3") (var "r2"))
+        (mux (bit (var sel) 0) (var "r1") (var "r0")))
+  in
+  (* the register read mux: the paper's /_regs_rdata TfR *)
+  M.add_comb m "_regs_rdata"
+    [ ("rd_data1", read "rd_sel1"); ("rd_data2", read "rd_sel2") ];
+  m
+
+let picorv32 () =
+  let m = M.create "picorv32" in
+  M.add_input m "instr" 16;
+  M.add_input m "mem_rdata" w;
+  M.add_output m "mem_addr" w;
+  M.add_output m "mem_wdata" w;
+  M.add_output m "mem_do_wr" 1;
+  M.add_output m "trap" 1;
+  M.add_wire m "funct" 2;
+  M.add_wire m "rd" 2;
+  M.add_wire m "rs1" 2;
+  M.add_wire m "rs2" 2;
+  M.add_wire m "is_store" 1;
+  M.add_wire m "is_load" 1;
+  M.add_wire m "alu_res" w;
+  M.add_wire m "alu_zero" 1;
+  M.add_wire m "rdata1" w;
+  M.add_wire m "rdata2" w;
+  M.add_wire m "wb_data" w;
+  M.add_reg m "pc" w;
+  M.add_instance m ~inst_name:"decoder" ~module_name:"pico_decoder"
+    ~bindings:
+      [
+        ("instr", "instr");
+        ("funct", "funct");
+        ("rd", "rd");
+        ("rs1", "rs1");
+        ("rs2", "rs2");
+        ("is_store", "is_store");
+        ("is_load", "is_load");
+      ];
+  M.add_instance m ~inst_name:"alu" ~module_name:"pico_alu"
+    ~bindings:
+      [
+        ("op_a", "rdata1");
+        ("op_b", "rdata2");
+        ("funct", "funct");
+        ("result", "alu_res");
+        ("zero", "alu_zero");
+      ];
+  M.add_instance m ~inst_name:"regs" ~module_name:"pico_regs"
+    ~bindings:
+      [
+        ("wr_en", "is_load");
+        ("wr_sel", "rd");
+        ("wr_data", "wb_data");
+        ("rd_sel1", "rs1");
+        ("rd_sel2", "rs2");
+        ("rd_data1", "rdata1");
+        ("rd_data2", "rdata2");
+      ];
+  (* core-side memory write path: the paper's picorv32.mem_wr target *)
+  M.add_comb m "mem_wr"
+    [
+      ("mem_wdata", E.(mux (var "is_store") (var "rdata2") (var "alu_res")));
+      ("mem_addr", E.(var "alu_res" +: var "pc"));
+      ("mem_do_wr", E.(var "is_store" &: ~:(var "alu_zero")));
+    ];
+  M.add_comb m "writeback"
+    [ ("wb_data", E.(mux (var "is_load") (var "mem_rdata") (var "alu_res"))) ];
+  M.add_comb m "trap_check"
+    [ ("trap", E.(var "is_store" &: var "is_load")) ];
+  M.add_seq m "fetch" [ ("pc", E.(var "pc" +: lit ~width:w 2)) ];
+  m
+
+let mem_ctrl () =
+  let m = M.create "mem_ctrl" in
+  M.add_input m "addr" w;
+  M.add_input m "wdata" w;
+  M.add_input m "do_wr" 1;
+  M.add_input m "sel_dev" 2;
+  M.add_output m "wstrb" 4;
+  M.add_output m "wdata_out" w;
+  M.add_output m "wr_en" 1;
+  M.add_reg m "last_wdata" w;
+  (* SoC-side memory write block: the paper's /_mem_wr TfR *)
+  M.add_comb m "_mem_wr"
+    [
+      ( "wstrb",
+        E.(
+          concat
+            [
+              bit (var "addr") 3 &: var "do_wr";
+              bit (var "addr") 2 &: var "do_wr";
+              bit (var "addr") 1 &: var "do_wr";
+              bit (var "addr") 0 &: var "do_wr";
+            ]) );
+      ("wdata_out", E.(mux (var "do_wr") (var "wdata") (var "last_wdata")));
+    ];
+  (* write-enable qualification: the paper's /_mem_wr_en TfR *)
+  M.add_comb m "_mem_wr_en"
+    [ ("wr_en", E.(var "do_wr" &: ~:(var "sel_dev" ==: lit ~width:2 3))) ];
+  M.add_seq m "capture" [ ("last_wdata", E.(var "wdata")) ];
+  m
+
+(* Peripherals carry a realistic 32-bit programmable datapath (config
+   word, free-running counter, threshold compare) so the SoC has the
+   bulk a real PicoSoC has outside the redacted region. *)
+let periph_w = 48
+
+let simple_peripheral name extra_blocks =
+  let m = M.create name in
+  M.add_input m "sel" 1;
+  M.add_input m "wdata" w;
+  M.add_input m "wr" 1;
+  M.add_output m "rdata" w;
+  M.add_output m "irq" 1;
+  M.add_reg m "state" periph_w;
+  M.add_reg m "counter" periph_w;
+  M.add_reg m "threshold" periph_w;
+  M.add_wire m "wword" periph_w;
+  M.add_comb m "widen"
+    [
+      ( "wword",
+        E.concat (List.init (periph_w / w) (fun _ -> E.var "wdata")) );
+    ];
+  M.add_seq m "update"
+    [
+      ("state", E.(mux (var "sel" &: var "wr") (var "wword") (var "state")));
+      ( "threshold",
+        E.(
+          mux
+            (var "sel" &: ~:(var "wr"))
+            (var "state" ^: var "wword")
+            (var "threshold")) );
+    ];
+  (* LFSR-style update keeps the peripheral bulk off the critical path *)
+  M.add_seq m "count"
+    [
+      ( "counter",
+        E.(
+          concat [ slice (var "counter") (periph_w - 2) 0; bit (var "counter") (periph_w - 1) ]
+          ^: (var "state" &: var "threshold")) );
+    ];
+  M.add_comb m "readout"
+    [
+      ( "rdata",
+        E.(
+          mux (var "sel")
+            (slice (var "state") (w - 1) 0 ^: slice (var "counter") (w - 1) 0)
+            (lit ~width:w 0)) );
+    ];
+  M.add_comb m "irq_gen"
+    [ ("irq", E.(slice (var "threshold") 7 0 <: slice (var "counter") 7 0)) ];
+  List.iter (fun (nm, assigns) -> M.add_comb m nm assigns) extra_blocks;
+  m
+
+let bus_mux () =
+  let m = M.create "bus_mux" in
+  M.add_input m "addr" w;
+  for d = 0 to 3 do
+    M.add_input m (Printf.sprintf "dev_rdata%d" d) w
+  done;
+  M.add_output m "rdata" w;
+  M.add_output m "sel_dev" 2;
+  M.add_comb m "route"
+    [
+      ("sel_dev", E.(slice (var "addr") 7 6));
+      ( "rdata",
+        E.(
+          mux
+            (bit (var "addr") 7)
+            (mux (bit (var "addr") 6) (var "dev_rdata3") (var "dev_rdata2"))
+            (mux (bit (var "addr") 6) (var "dev_rdata1") (var "dev_rdata0"))) );
+    ];
+  m
+
+let irq_ctrl () =
+  let m = M.create "irq_ctrl" in
+  M.add_input m "irqs" 4;
+  M.add_input m "mask" 4;
+  M.add_output m "irq_pending" 1;
+  M.add_output m "irq_vec" 2;
+  M.add_comb m "prioritize"
+    [
+      ("irq_pending", E.(Reduce_or (var "irqs" &: var "mask")));
+      ( "irq_vec",
+        E.(
+          mux
+            (bit (var "irqs" &: var "mask") 0)
+            (lit ~width:2 0)
+            (mux
+               (bit (var "irqs" &: var "mask") 1)
+               (lit ~width:2 1)
+               (mux (bit (var "irqs" &: var "mask") 2) (lit ~width:2 2)
+                  (lit ~width:2 3)))) );
+    ];
+  m
+
+(* ---- top ---------------------------------------------------------- *)
+
+let make () =
+  let top = M.create "picosoc" in
+  M.add_input top "ext_in" w;
+  M.add_input top "irq_mask" 4;
+  M.add_output top "mem_wstrb" 4;
+  M.add_output top "mem_wdata" w;
+  M.add_output top "mem_wr_en" 1;
+  M.add_output top "gpio_out" w;
+  M.add_output top "uart_out" w;
+  M.add_output top "trap" 1;
+  M.add_output top "irq_pending" 1;
+  let wires =
+    [
+      ("instr", 16); ("core_mem_addr", w); ("core_mem_wdata", w);
+      ("core_do_wr", 1); ("bus_rdata", w); ("sel_dev", 2);
+      ("uart_rdata", w); ("spi_rdata", w); ("gpio_rdata", w);
+      ("timer_rdata", w); ("uart_irq", 1); ("spi_irq", 1); ("gpio_irq", 1);
+      ("timer_irq", 1); ("irq_vec", 2); ("pc_probe", w);
+    ]
+  in
+  List.iter (fun (nm, width) -> M.add_wire top nm width) wires;
+  M.add_comb top "pc_probe_gen" [ ("pc_probe", E.(var "ext_in")) ];
+  (* boot "ROM": an address-dependent combinational pattern *)
+  M.add_comb top "rom_fetch"
+    [
+      ( "instr",
+        E.(
+          concat
+            [
+              var "pc_probe" ^: lit ~width:w 0x5A;
+              var "pc_probe" +: lit ~width:w 0x33;
+            ]) );
+    ];
+  M.add_instance top ~inst_name:"core" ~module_name:"picorv32"
+    ~bindings:
+      [
+        ("instr", "instr");
+        ("mem_rdata", "bus_rdata");
+        ("mem_addr", "core_mem_addr");
+        ("mem_wdata", "core_mem_wdata");
+        ("mem_do_wr", "core_do_wr");
+        ("trap", "trap");
+      ];
+  M.add_instance top ~inst_name:"memctl" ~module_name:"mem_ctrl"
+    ~bindings:
+      [
+        ("addr", "core_mem_addr");
+        ("wdata", "core_mem_wdata");
+        ("do_wr", "core_do_wr");
+        ("sel_dev", "sel_dev");
+        ("wstrb", "mem_wstrb");
+        ("wdata_out", "mem_wdata");
+        ("wr_en", "mem_wr_en");
+      ];
+  let periph inst nm rdata irq =
+    M.add_instance top ~inst_name:inst ~module_name:nm
+      ~bindings:
+        [
+          ("sel", "core_do_wr");
+          ("wdata", "core_mem_wdata");
+          ("wr", "mem_wr_en");
+          ("rdata", rdata);
+          ("irq", irq);
+        ]
+  in
+  periph "uart" "uart" "uart_rdata" "uart_irq";
+  periph "spi" "spi_flash" "spi_rdata" "spi_irq";
+  periph "gpio" "gpio" "gpio_rdata" "gpio_irq";
+  periph "timer" "timer" "timer_rdata" "timer_irq";
+  (* second peripheral bank: same IP definitions, more SoC bulk *)
+  List.iter
+    (fun (nm, width) -> M.add_wire top nm width)
+    [
+      ("uart2_rdata", w); ("spi2_rdata", w); ("gpio2_rdata", w);
+      ("timer2_rdata", w); ("uart2_irq", 1); ("spi2_irq", 1);
+      ("gpio2_irq", 1); ("timer2_irq", 1); ("bank2_sig", w);
+    ];
+  periph "uart2" "uart" "uart2_rdata" "uart2_irq";
+  periph "spi2" "spi_flash" "spi2_rdata" "spi2_irq";
+  periph "gpio2" "gpio" "gpio2_rdata" "gpio2_irq";
+  periph "timer2" "timer" "timer2_rdata" "timer2_irq";
+  M.add_comb top "bank2_mix"
+    [
+      ( "bank2_sig",
+        E.(
+          (var "uart2_rdata" ^: var "spi2_rdata")
+          |: (var "gpio2_rdata" &: var "timer2_rdata")) );
+    ];
+  M.add_instance top ~inst_name:"bus" ~module_name:"bus_mux"
+    ~bindings:
+      [
+        ("addr", "core_mem_addr");
+        ("dev_rdata0", "uart_rdata");
+        ("dev_rdata1", "spi_rdata");
+        ("dev_rdata2", "gpio_rdata");
+        ("dev_rdata3", "timer_rdata");
+        ("rdata", "bus_rdata");
+        ("sel_dev", "sel_dev");
+      ];
+  M.add_instance top ~inst_name:"irqc" ~module_name:"irq_ctrl"
+    ~bindings:
+      [
+        ("irqs", "irq_vec_concat");
+        ("mask", "irq_mask");
+        ("irq_pending", "irq_pending");
+        ("irq_vec", "irq_vec");
+      ];
+  M.add_wire top "irq_vec_concat" 4;
+  M.add_comb top "irq_concat"
+    [
+      ( "irq_vec_concat",
+        E.(concat [ var "timer_irq"; var "gpio_irq"; var "spi_irq"; var "uart_irq" ]) );
+    ];
+  M.add_comb top "outputs"
+    [
+      ("gpio_out", E.(var "gpio_rdata" ^: var "ext_in"));
+      ( "uart_out",
+        E.(
+          var "uart_rdata" |: var "bank2_sig"
+          |: concat [ var "irq_vec"; slice (var "ext_in") 5 0 ]) );
+    ];
+  let d = M.Design.create ~top:"picosoc" in
+  List.iter (M.Design.add_module d)
+    [
+      top;
+      picorv32 ();
+      pico_alu ();
+      pico_decoder ();
+      pico_regs ();
+      mem_ctrl ();
+      simple_peripheral "uart" [];
+      simple_peripheral "spi_flash" [];
+      simple_peripheral "gpio" [];
+      simple_peripheral "timer" [];
+      bus_mux ();
+      irq_ctrl ();
+    ];
+  d
+
+let netlist () = Shell_rtl.Elab.elaborate (make ())

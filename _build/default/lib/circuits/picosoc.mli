@@ -1,0 +1,11 @@
+(** PicoSoC-like benchmark: a size-optimized RISC-V-flavoured SoC
+    (Table III: 12 modules, 8–64 input pins, 8–96 output pins).
+
+    Structural stand-in for the real PicoSoC (see DESIGN.md,
+    substitutions): same module decomposition and the named blocks the
+    paper's TfRs target ([_mem_wr], [mem_wr], [_mem_wr_en],
+    [_regs_rdata]), at a gate count that keeps the whole evaluation
+    laptop-fast. *)
+
+val make : unit -> Shell_rtl.Rtl_module.Design.t
+val netlist : unit -> Shell_netlist.Netlist.t

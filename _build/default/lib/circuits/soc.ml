@@ -1,0 +1,121 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+let w = 8
+let cores = 4
+
+(* a small core: one-register datapath with a distinct flavour per id *)
+let core id =
+  let m = M.create (Printf.sprintf "core%d" id) in
+  M.add_input m "rx_data" w;
+  M.add_input m "rx_valid" 1;
+  M.add_output m "tx_data" w;
+  M.add_output m "tx_addr" 2;
+  M.add_output m "tx_valid" 1;
+  M.add_reg m "acc" w;
+  M.add_reg m "hist" 32;
+  M.add_reg m "csum" 32;
+  let step =
+    match id with
+    | 1 -> E.(var "acc" +: var "rx_data")
+    | 2 -> E.(var "acc" ^: var "rx_data")
+    | 3 -> E.(var "acc" +: (var "rx_data" ^: lit ~width:w 0x3C))
+    | _ -> E.(var "acc" -: var "rx_data")
+  in
+  M.add_seq m "work" [ ("acc", E.(mux (var "rx_valid") step (var "acc"))) ];
+  (* per-core payload state: history shifter and a running checksum *)
+  M.add_seq m "telemetry"
+    [
+      ( "hist",
+        E.(concat [ slice (var "hist") 23 0; var "acc" ]) );
+      ( "csum",
+        E.(
+          var "csum"
+          +: concat [ slice (var "hist") 15 0; var "acc"; var "rx_data" ]) );
+    ];
+  M.add_comb m "emit"
+    [
+      ("tx_data", E.(var "acc" ^: slice (var "csum") 7 0));
+      ("tx_addr", E.(slice (var "acc") 1 0));
+      ("tx_valid", E.(Reduce_or (var "acc") |: Reduce_xor (var "hist")));
+    ];
+  m
+
+let make () =
+  let top = M.create "soc_top" in
+  M.add_input top "host_data" w;
+  M.add_input top "host_valid" 1;
+  for c = 1 to cores do
+    M.add_output top (Printf.sprintf "core%d_out" c) w
+  done;
+  M.add_output top "fabric_valid" 1;
+  for c = 1 to cores do
+    List.iter
+      (fun (nm, width) -> M.add_wire top (Printf.sprintf "%s%d" nm c) width)
+      [
+        ("tx_data", w); ("tx_addr", 2); ("tx_valid", 1);
+        ("rx_data", w); ("rx_valid", 1); ("wrapped_tx", w);
+      ]
+  done;
+  (* Xbar: 4 requesters (the cores), 4 targets (back to the cores) *)
+  let xbar_bindings =
+    List.concat
+      (List.init cores (fun i ->
+           let c = i + 1 in
+           [
+             (Printf.sprintf "req_data%d" i, Printf.sprintf "wrapped_tx%d" c);
+             (Printf.sprintf "req_addr%d" i, Printf.sprintf "tx_addr%d" c);
+             (Printf.sprintf "req_valid%d" i, Printf.sprintf "tx_valid%d" c);
+             (Printf.sprintf "tgt_data%d" i, Printf.sprintf "rx_data%d" c);
+             (Printf.sprintf "tgt_valid%d" i, Printf.sprintf "rx_valid%d" c);
+           ]))
+  in
+  M.add_instance top ~inst_name:"xbar" ~module_name:"axi_xbar"
+    ~bindings:xbar_bindings;
+  for c = 1 to cores do
+    M.add_instance top
+      ~inst_name:(Printf.sprintf "core%d" c)
+      ~module_name:(Printf.sprintf "core%d" c)
+      ~bindings:
+        [
+          ("rx_data", Printf.sprintf "rx_data%d" c);
+          ("rx_valid", Printf.sprintf "rx_valid%d" c);
+          ("tx_data", Printf.sprintf "tx_data%d" c);
+          ("tx_addr", Printf.sprintf "tx_addr%d" c);
+          ("tx_valid", Printf.sprintf "tx_valid%d" c);
+        ];
+    (* bus-facing wrapper slice; cores 2 and 4 get the LGC twist the
+       SheLL flow entangles with the Xbar (Fig. 3(c)) *)
+    let body =
+      if c = 2 || c = 4 then
+        E.(
+          var (Printf.sprintf "tx_data%d" c)
+          ^: mux (var "host_valid") (var "host_data") (lit ~width:w 0x55))
+      else E.(var (Printf.sprintf "tx_data%d" c))
+    in
+    M.add_comb top
+      (Printf.sprintf "wrap_core%d" c)
+      [ (Printf.sprintf "wrapped_tx%d" c, body) ]
+  done;
+  M.add_comb top "host_out"
+    (List.init cores (fun i ->
+         let c = i + 1 in
+         (Printf.sprintf "core%d_out" c, E.(var (Printf.sprintf "rx_data%d" c)))));
+  M.add_comb top "fabric_status"
+    [
+      ( "fabric_valid",
+        E.(
+          var "rx_valid1" |: var "rx_valid2" |: var "rx_valid3"
+          |: var "rx_valid4") );
+    ];
+  let d = M.Design.create ~top:"soc_top" in
+  M.Design.add_module d top;
+  (match M.Design.find (Axi_xbar.make ~channels:4 ~data_width:w ()) "axi_xbar" with
+  | Some xbar -> M.Design.add_module d xbar
+  | None -> assert false);
+  for c = 1 to cores do
+    M.Design.add_module d (core c)
+  done;
+  d
+
+let netlist () = Shell_rtl.Elab.elaborate (make ())

@@ -1,0 +1,8 @@
+(** The Fig. 3 system platform: four IP cores around an AXI-style
+    crossbar. SheLL's SoC-level redaction targets the Xbar (ROUTE)
+    plus the bus-facing wrapper slices of core2 and core4 (LGC) — the
+    wrappers are the [wrap_core2]/[wrap_core4] blocks here, directly
+    adjacent to the Xbar pins as the paper requires. *)
+
+val make : unit -> Shell_rtl.Rtl_module.Design.t
+val netlist : unit -> Shell_netlist.Netlist.t

@@ -1,0 +1,314 @@
+module M = Shell_rtl.Rtl_module
+module E = Shell_rtl.Expr
+
+let w = 8
+let lanes = 8
+
+(* CSR index pointer: the paper's /_ind_array_inc TfR lives here *)
+let ind_array () =
+  let m = M.create "ind_array" in
+  M.add_input m "advance" 1;
+  M.add_input m "reset_ptr" 1;
+  M.add_output m "index" w;
+  M.add_reg m "ptr" w;
+  M.add_seq m "hold"
+    [
+      ( "ptr",
+        E.(
+          mux (var "reset_ptr") (lit ~width:w 0)
+            (mux (var "advance") (var "ptr" +: lit ~width:w 1) (var "ptr"))) );
+    ];
+  M.add_comb m "_ind_array_inc" [ ("index", E.(var "ptr" +: lit ~width:w 1)) ];
+  m
+
+(* row-length bound: the paper's /_len_check TfR *)
+let len_checker () =
+  let m = M.create "len_checker" in
+  M.add_input m "index" w;
+  M.add_input m "row_len" w;
+  M.add_output m "in_range" 1;
+  M.add_output m "last_elem" 1;
+  M.add_comb m "_len_check"
+    [
+      ("in_range", E.(var "index" <: var "row_len"));
+      ("last_elem", E.(var "index" +: lit ~width:w 1 ==: var "row_len"));
+    ];
+  m
+
+(* 8x8 array multiplier lane: the paper's /_mult_j TfRs. The 4-bit
+   stream operands are internally widened (value and complemented
+   value interleaved) so each lane carries a realistic multiplier. *)
+let mult_w = 8
+
+let multiplier () =
+  let m = M.create "multiplier" in
+  M.add_input m "a" 4;
+  M.add_input m "b" 4;
+  M.add_output m "p" w;
+  M.add_wire m "aw" mult_w;
+  M.add_wire m "bw" mult_w;
+  M.add_comb m "widen"
+    [
+      ("aw", E.(concat [ var "a"; var "a" ]));
+      ("bw", E.(concat [ ~:(var "b"); var "b" ]));
+    ];
+  let pw = 2 * mult_w in
+  let partial i =
+    let shifted =
+      E.concat
+        ((E.lit ~width:(pw - mult_w - i) 0 :: [ E.var "aw" ])
+        @ (if i = 0 then [] else [ E.lit ~width:i 0 ]))
+    in
+    E.(mux (bit (var "bw") i) shifted (lit ~width:pw 0))
+  in
+  M.add_wire m "pp" pw;
+  let sum =
+    List.fold_left
+      (fun acc i -> E.(acc +: partial i))
+      (partial 0)
+      (List.init (mult_w - 1) (fun i -> i + 1))
+  in
+  M.add_comb m "_mult" [ ("pp", sum); ("p", E.(slice (var "pp") (w - 1) 0)) ];
+  m
+
+(* accumulating reduction: the paper's /_sum TfR *)
+let accumulator () =
+  let m = M.create "accumulator" in
+  for j = 0 to lanes - 1 do
+    M.add_input m (Printf.sprintf "p%d" j) w
+  done;
+  M.add_input m "accumulate" 1;
+  M.add_output m "total" w;
+  M.add_reg m "acc" w;
+  M.add_wire m "lane_sum" w;
+  let sum =
+    List.fold_left
+      (fun acc j -> E.(acc +: var (Printf.sprintf "p%d" j)))
+      (E.var "p0")
+      (List.init (lanes - 1) (fun j -> j + 1))
+  in
+  M.add_comb m "_sum" [ ("lane_sum", sum) ];
+  M.add_seq m "hold"
+    [ ("acc", E.(mux (var "accumulate") (var "acc" +: var "lane_sum") (var "acc"))) ];
+  M.add_comb m "expose" [ ("total", E.(var "acc")) ];
+  m
+
+(* three-deep enable-gated FIFO with occupancy tracking: the queueing
+   bulk a real SPMV engine keeps around its lanes *)
+let small_reg_module name in_w =
+  let m = M.create name in
+  M.add_input m "d" in_w;
+  M.add_input m "en" 1;
+  M.add_output m "q" in_w;
+  M.add_output m "occupancy" 2;
+  M.add_reg m "r0" in_w;
+  M.add_reg m "r1" in_w;
+  M.add_reg m "r2" in_w;
+  M.add_reg m "occ" 2;
+  M.add_seq m "shift"
+    [
+      ("r0", E.(mux (var "en") (var "d") (var "r0")));
+      ("r1", E.(mux (var "en") (var "r0") (var "r1")));
+      ("r2", E.(mux (var "en") (var "r1") (var "r2")));
+    ];
+  M.add_seq m "track"
+    [
+      ( "occ",
+        E.(
+          mux
+            (var "en" &: ~:(var "occ" ==: lit ~width:2 3))
+            (var "occ" +: lit ~width:2 1)
+            (var "occ")) );
+    ];
+  M.add_comb m "expose"
+    [
+      ("q", E.(mux (bit (var "occ") 1) (var "r2") (var "r0")));
+      ("occupancy", E.(var "occ"));
+    ];
+  m
+
+let scheduler () =
+  let m = M.create "scheduler" in
+  M.add_input m "start" 1;
+  M.add_input m "in_range" 1;
+  M.add_input m "last_elem" 1;
+  M.add_output m "advance" 1;
+  M.add_output m "accumulate" 1;
+  M.add_output m "drain" 1;
+  M.add_reg m "running" 1;
+  M.add_seq m "fsm"
+    [ ("running", E.(mux (var "last_elem") bit0 (var "running" |: var "start"))) ];
+  M.add_comb m "issue"
+    [
+      ("advance", E.(var "running" &: var "in_range"));
+      ("accumulate", E.(var "running" &: var "in_range"));
+      ("drain", E.(var "last_elem" &: var "running"));
+    ];
+  m
+
+let status_unit () =
+  let m = M.create "status_unit" in
+  M.add_input m "drain" 1;
+  M.add_input m "total" w;
+  M.add_output m "done_flag" 1;
+  M.add_output m "overflow" 1;
+  M.add_comb m "flags"
+    [
+      ("done_flag", E.(var "drain"));
+      ("overflow", E.(bit (var "total") (w - 1) &: var "drain"));
+    ];
+  m
+
+let make () =
+  let top = M.create "spmv_top" in
+  M.add_input top "start" 1;
+  M.add_input top "row_len" w;
+  for j = 0 to lanes - 1 do
+    M.add_input top (Printf.sprintf "val_in%d" j) 4;
+    M.add_input top (Printf.sprintf "vec_in%d" j) 4
+  done;
+  M.add_output top "result" w;
+  M.add_output top "done_flag" 1;
+  M.add_output top "overflow" 1;
+  M.add_output top "index_probe" w;
+  List.iter
+    (fun (nm, width) -> M.add_wire top nm width)
+    [
+      ("index", w); ("in_range", 1); ("last_elem", 1); ("advance", 1);
+      ("accumulate", 1); ("drain", 1); ("total", w);
+    ];
+  for j = 0 to lanes - 1 do
+    M.add_wire top (Printf.sprintf "val_q%d" j) 4;
+    M.add_wire top (Printf.sprintf "vec_q%d" j) 4;
+    M.add_wire top (Printf.sprintf "prod%d" j) w
+  done;
+  M.add_instance top ~inst_name:"ind" ~module_name:"ind_array"
+    ~bindings:
+      [ ("advance", "advance"); ("reset_ptr", "start"); ("index", "index") ];
+  M.add_instance top ~inst_name:"len" ~module_name:"len_checker"
+    ~bindings:
+      [
+        ("index", "index"); ("row_len", "row_len");
+        ("in_range", "in_range"); ("last_elem", "last_elem");
+      ];
+  M.add_instance top ~inst_name:"sched" ~module_name:"scheduler"
+    ~bindings:
+      [
+        ("start", "start"); ("in_range", "in_range"); ("last_elem", "last_elem");
+        ("advance", "advance"); ("accumulate", "accumulate"); ("drain", "drain");
+      ];
+  for j = 0 to lanes - 1 do
+    M.add_wire top (Printf.sprintf "val_occ%d" j) 2;
+    M.add_wire top (Printf.sprintf "vec_occ%d" j) 2;
+    M.add_instance top
+      ~inst_name:(Printf.sprintf "val_fifo%d" j)
+      ~module_name:"val_fifo"
+      ~bindings:
+        [
+          ("d", Printf.sprintf "val_in%d" j); ("en", "advance");
+          ("q", Printf.sprintf "val_q%d" j);
+          ("occupancy", Printf.sprintf "val_occ%d" j);
+        ];
+    M.add_instance top
+      ~inst_name:(Printf.sprintf "vec_fifo%d" j)
+      ~module_name:"vec_fifo"
+      ~bindings:
+        [
+          ("d", Printf.sprintf "vec_in%d" j); ("en", "advance");
+          ("q", Printf.sprintf "vec_q%d" j);
+          ("occupancy", Printf.sprintf "vec_occ%d" j);
+        ];
+    M.add_instance top
+      ~inst_name:(Printf.sprintf "mult%d" j)
+      ~module_name:"multiplier"
+      ~bindings:
+        [
+          ("a", Printf.sprintf "val_q%d" j); ("b", Printf.sprintf "vec_q%d" j);
+          ("p", Printf.sprintf "prod%d" j);
+        ]
+  done;
+  (* product-to-accumulator lane rotation: the ROUTE the SheLL TfR
+     redacts (the /_mult_j -> _sum connection) *)
+  for j = 0 to lanes - 1 do
+    M.add_wire top (Printf.sprintf "prod_r%d" j) w
+  done;
+  let rot_sel = E.(slice (var "index") 1 0) in
+  for j = 0 to lanes - 1 do
+    let pick ofs = E.var (Printf.sprintf "prod%d" ((j + ofs) mod lanes)) in
+    M.add_comb top
+      (Printf.sprintf "_mult_to_sum%d" j)
+      [
+        ( Printf.sprintf "prod_r%d" j,
+          E.(
+            mux (bit rot_sel 1)
+              (mux (bit rot_sel 0) (pick 3) (pick 2))
+              (mux (bit rot_sel 0) (pick 1) (pick 0))) );
+      ]
+  done;
+  M.add_instance top ~inst_name:"sum" ~module_name:"accumulator"
+    ~bindings:
+      (("accumulate", "accumulate") :: ("total", "total")
+      :: List.init lanes (fun j ->
+             (Printf.sprintf "p%d" j, Printf.sprintf "prod_r%d" j)));
+  M.add_instance top ~inst_name:"status" ~module_name:"status_unit"
+    ~bindings:
+      [ ("drain", "drain"); ("total", "total"); ("done_flag", "done_flag");
+        ("overflow", "overflow") ];
+  (* staging buffers around the datapath (all instantiated, so the
+     engine has its real queueing bulk) *)
+  let buf inst mdl d en q occ width =
+    M.add_wire top q width;
+    M.add_wire top occ 2;
+    M.add_instance top ~inst_name:inst ~module_name:mdl
+      ~bindings:[ ("d", d); ("en", en); ("q", q); ("occupancy", occ) ]
+  in
+  buf "ptrb" "ptr_buf" "index" "advance" "ptr_q" "ptr_occ" w;
+  buf "rowb" "row_buf" "row_len" "start" "row_q" "row_occ" w;
+  buf "colb" "col_buf" "ptr_q" "accumulate" "col_q" "col_occ" w;
+  buf "outb" "out_buf" "total" "drain" "out_q" "out_occ" w;
+  buf "reqb" "req_buf" "val_q0" "advance" "req_q" "req_occ" 4;
+  buf "respb" "resp_buf" "vec_q1" "advance" "resp_q" "resp_occ" 4;
+  buf "tagb" "tag_buf" "req_q" "accumulate" "tag_q" "tag_occ" 4;
+  M.add_output top "buf_probe" w;
+  M.add_comb top "buf_status"
+    [
+      ( "buf_probe",
+        E.(
+          (var "row_q" ^: var "col_q")
+          |: (var "out_q" &: concat [ var "resp_q"; var "tag_q" ])) );
+    ];
+  M.add_wire top "occ_mix" 2;
+  M.add_comb top "occ_status"
+    [
+      ( "occ_mix",
+        E.(
+          (var "val_occ0" |: var "vec_occ1")
+          &: (var "val_occ2" ^: var "vec_occ3")
+          |: (var "ptr_occ" &: var "out_occ")
+          |: (var "req_occ" ^: var "tag_occ")) );
+    ];
+  M.add_output top "occ_probe" 2;
+  M.add_comb top "probe"
+    [
+      ("result", E.(var "total"));
+      ("index_probe", E.(var "index"));
+      ("occ_probe", E.(var "occ_mix"));
+    ];
+  let d = M.Design.create ~top:"spmv_top" in
+  List.iter (M.Design.add_module d)
+    [
+      top; ind_array (); len_checker (); multiplier (); accumulator ();
+      scheduler (); status_unit ();
+      small_reg_module "val_fifo" 4;
+      small_reg_module "vec_fifo" 4;
+      small_reg_module "ptr_buf" w;
+      small_reg_module "row_buf" w;
+      small_reg_module "col_buf" w;
+      small_reg_module "out_buf" w;
+      small_reg_module "req_buf" 4;
+      small_reg_module "resp_buf" 4;
+      small_reg_module "tag_buf" 4;
+    ];
+  d
+
+let netlist () = Shell_rtl.Elab.elaborate (make ())

@@ -1,0 +1,7 @@
+(** Sparse matrix-vector multiply benchmark (Table III: 16 modules):
+    CSR-style index walking ([_ind_array_inc]), bounds checking
+    ([_len_check]), per-lane multipliers ([_mult_j]) and an
+    accumulating reduction ([_sum]). *)
+
+val make : unit -> Shell_rtl.Rtl_module.Design.t
+val netlist : unit -> Shell_netlist.Netlist.t

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Flow Shell_fabric

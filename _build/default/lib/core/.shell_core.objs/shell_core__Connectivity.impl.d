@@ -1,0 +1,1 @@
+lib/core/connectivity.ml: Array Float Hashtbl List Queue Score Seq Shell_graph Shell_netlist Shell_synth String

@@ -1,0 +1,1 @@
+lib/core/connectivity.mli: Score Shell_graph Shell_netlist

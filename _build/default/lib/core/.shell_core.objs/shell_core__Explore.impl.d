@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Float Flow Hashtbl List Overhead Printf Score Selection Shell_fabric Shell_util

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Overhead Score Shell_netlist

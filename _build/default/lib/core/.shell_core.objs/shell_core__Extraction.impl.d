@@ -1,0 +1,1 @@
+lib/core/extraction.ml: Array Hashtbl List Printf Shell_netlist

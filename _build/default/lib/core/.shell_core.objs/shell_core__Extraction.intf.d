@@ -1,0 +1,1 @@
+lib/core/extraction.mli: Shell_netlist

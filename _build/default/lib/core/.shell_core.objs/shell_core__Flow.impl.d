@@ -1,0 +1,1 @@
+lib/core/flow.ml: Connectivity Extraction Format Hashtbl List Overhead Score Selection Shell_fabric Shell_locking Shell_netlist Shell_pnr String Synthesize

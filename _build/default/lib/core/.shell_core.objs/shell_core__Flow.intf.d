@@ -1,0 +1,1 @@
+lib/core/flow.mli: Connectivity Extraction Format Overhead Score Selection Shell_fabric Shell_locking Shell_netlist Shell_pnr Synthesize

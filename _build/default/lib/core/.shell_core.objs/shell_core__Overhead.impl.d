@@ -1,0 +1,1 @@
+lib/core/overhead.ml: Float Format Shell_fabric Shell_netlist

@@ -1,0 +1,1 @@
+lib/core/overhead.mli: Format Shell_fabric Shell_netlist

@@ -1,0 +1,1 @@
+lib/core/selection.ml: Array Connectivity Fun Hashtbl List Printf Score String

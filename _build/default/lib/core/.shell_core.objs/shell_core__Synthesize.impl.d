@@ -1,0 +1,1 @@
+lib/core/synthesize.ml: List Shell_fabric Shell_netlist Shell_synth String

@@ -1,0 +1,1 @@
+lib/core/synthesize.mli: Shell_fabric Shell_netlist

@@ -1,0 +1,22 @@
+(** The comparison cases of Tables IV/V as flow configurations.
+
+    - Case 1 — no-strategy redaction via OpenFPGA [10], [11]: the
+      named module goes into a square LUT-only fabric, no shrinking.
+    - Case 2 — module/cluster-filtering redaction via OpenFPGA [12]:
+      a filtered (slightly larger, better chosen) module set, same
+      fabric, no shrinking.
+    - Case 3 — no-strategy via FABulous: better std-cell fabric, still
+      LGC-oriented and unshrunk.
+    - Case 4 — SheLL: ROUTE-then-LGC onto FABulous MUX chains, shrunk.
+*)
+
+type named_target = { route : string list; lgc : string list; label : string }
+
+val case1 : named_target -> Flow.config
+val case2 : named_target -> Flow.config
+val case3 : named_target -> Flow.config
+val case4 : named_target -> Flow.config
+
+val all : case1:named_target -> case2:named_target -> case3:named_target ->
+  shell:named_target -> (string * Flow.config) list
+(** The four columns of Table IV, in order. *)

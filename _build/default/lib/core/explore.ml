@@ -1,0 +1,107 @@
+module Rng = Shell_util.Rng
+module Bitstream = Shell_fabric.Bitstream
+module Emit = Shell_fabric.Emit
+
+type candidate = {
+  coeffs : Score.coeffs;
+  overhead : Overhead.t;
+  key_bits : int;
+  label : string;
+}
+
+type outcome = {
+  best : candidate;
+  evaluated : candidate list;
+  generations : int;
+}
+
+let fitness ~min_key_bits c =
+  let penalty =
+    if c.key_bits >= min_key_bits then 0.0
+    else 2.0 *. (1.0 -. (float_of_int c.key_bits /. float_of_int min_key_bits))
+  in
+  c.overhead.Overhead.area +. penalty
+
+(* coefficients live on [-1, 1]; mutation nudges one axis *)
+let clamp v = Float.max (-1.0) (Float.min 1.0 v)
+
+let mutate rng (c : Score.coeffs) =
+  let d () = Rng.float rng 0.8 -. 0.4 in
+  match Rng.int rng 6 with
+  | 0 -> { c with Score.alpha = clamp (c.Score.alpha +. d ()) }
+  | 1 -> { c with Score.beta = clamp (c.Score.beta +. d ()) }
+  | 2 -> { c with Score.gamma = clamp (c.Score.gamma +. d ()) }
+  | 3 -> { c with Score.lambda = clamp (c.Score.lambda +. d ()) }
+  | 4 -> { c with Score.xi = clamp (c.Score.xi +. d ()) }
+  | _ -> { c with Score.sigma = clamp (c.Score.sigma +. d ()) }
+
+let crossover rng (a : Score.coeffs) (b : Score.coeffs) =
+  let pick x y = if Rng.bool rng then x else y in
+  {
+    Score.alpha = pick a.Score.alpha b.Score.alpha;
+    beta = pick a.Score.beta b.Score.beta;
+    gamma = pick a.Score.gamma b.Score.gamma;
+    lambda = pick a.Score.lambda b.Score.lambda;
+    xi = pick a.Score.xi b.Score.xi;
+    sigma = pick a.Score.sigma b.Score.sigma;
+  }
+
+let coeff_key (c : Score.coeffs) =
+  Printf.sprintf "%.2f/%.2f/%.2f/%.2f/%.2f/%.2f" c.Score.alpha c.Score.beta
+    c.Score.gamma c.Score.lambda c.Score.xi c.Score.sigma
+
+let search ?(seed = 0xeea) ?(generations = 6) ?(population = 8)
+    ?(min_key_bits = 256) nl =
+  let rng = Rng.create seed in
+  let cache : (string, candidate) Hashtbl.t = Hashtbl.create 64 in
+  let evaluate coeffs =
+    let key = coeff_key coeffs in
+    match Hashtbl.find_opt cache key with
+    | Some c -> c
+    | None ->
+        let cfg =
+          Flow.shell_config ~target:(Flow.Auto { coeffs; lgc_depth = 0 }) ()
+        in
+        let r = Flow.run cfg nl in
+        let c =
+          {
+            coeffs;
+            overhead = r.Flow.overhead;
+            key_bits = Bitstream.length r.Flow.emitted.Emit.bitstream;
+            label = r.Flow.choice.Selection.label;
+          }
+        in
+        Hashtbl.add cache key c;
+        c
+  in
+  (* seed population: the five Table VI presets plus random mutants of
+     the SheLL choice *)
+  let init =
+    List.map snd Score.presets
+    @ List.init (max 0 (population - 5)) (fun _ ->
+          mutate rng Score.shell_choice)
+  in
+  let score c = fitness ~min_key_bits c in
+  let rec evolve pop gen =
+    if gen >= generations then pop
+    else begin
+      let ranked = List.sort (fun a b -> compare (score a) (score b)) pop in
+      let elite = List.filteri (fun i _ -> i < max 2 (population / 4)) ranked in
+      let parents = Array.of_list elite in
+      let children =
+        List.init (population - Array.length parents) (fun _ ->
+            let a = Rng.choice rng parents and b = Rng.choice rng parents in
+            let child = mutate rng (crossover rng a.coeffs b.coeffs) in
+            evaluate child)
+      in
+      evolve (elite @ children) (gen + 1)
+    end
+  in
+  let final = evolve (List.map evaluate init) 0 in
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) cache [] in
+  let best =
+    match List.sort (fun a b -> compare (score a) (score b)) final with
+    | b :: _ -> b
+    | [] -> assert false
+  in
+  { best; evaluated = all; generations }

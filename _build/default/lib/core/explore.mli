@@ -1,0 +1,37 @@
+(** Automated coefficient exploration — the paper's named future work
+    ("Future work will explore these attributes more quantitatively and
+    more heuristically (e.g., use of (M)ILP, GA, or ML)", Sec. V).
+
+    A small deterministic evolutionary search over the Eq. 1
+    coefficient space: candidates are scored by the overhead of the
+    flow they induce, with a security floor expressed as a minimum key
+    size (bitstream length). The paper's hand-picked c5 profile is a
+    baseline individual, so the search can only match or beat it. *)
+
+type candidate = {
+  coeffs : Score.coeffs;
+  overhead : Overhead.t;
+  key_bits : int;
+  label : string;  (** TfR the profile selected *)
+}
+
+type outcome = {
+  best : candidate;
+  evaluated : candidate list;  (** every distinct profile tried *)
+  generations : int;
+}
+
+val search :
+  ?seed:int ->
+  ?generations:int ->
+  ?population:int ->
+  ?min_key_bits:int ->
+  Shell_netlist.Netlist.t ->
+  outcome
+(** Defaults: 6 generations of 8 individuals, 256-bit key floor.
+    Fitness = area overhead (power/delay follow area closely in this
+    model); individuals violating the key floor are penalized, not
+    discarded, so the search can traverse them. *)
+
+val fitness : min_key_bits:int -> candidate -> float
+(** Lower is better. *)

@@ -1,0 +1,81 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Splice = Shell_netlist.Splice
+
+type cut = {
+  cells : int list;
+  sub : Shell_netlist.Netlist.t;
+  input_binding : (string * int) list;
+  output_binding : (string * int) list;
+}
+
+let extract nl ~member =
+  let cells = Netlist.cells nl in
+  let inside = Array.init (Array.length cells) member in
+  let in_region ci = ci >= 0 && inside.(ci) in
+  let driver_in net =
+    match Netlist.driver nl net with Some ci -> in_region ci | None -> false
+  in
+  (* nets crossing in: read inside, driven outside (or port) *)
+  let crossing_in = Hashtbl.create 32 in
+  let crossing_out = Hashtbl.create 32 in
+  Array.iteri
+    (fun ci c ->
+      if inside.(ci) then
+        Array.iter
+          (fun net ->
+            if not (driver_in net) then Hashtbl.replace crossing_in net ())
+          c.Cell.ins
+      else
+        Array.iter
+          (fun net -> if driver_in net then Hashtbl.replace crossing_out net ())
+          c.Cell.ins)
+    cells;
+  Array.iter
+    (fun net -> if driver_in net then Hashtbl.replace crossing_out net ())
+    (Netlist.output_nets nl);
+  (* deterministic port order: ascending parent net id *)
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+  let in_nets = sorted crossing_in and out_nets = sorted crossing_out in
+  let sub = Netlist.create (Netlist.name nl ^ "_sub") in
+  let map = Array.make (max (Netlist.num_nets nl) 1) (-1) in
+  let input_binding =
+    List.mapi
+      (fun i net ->
+        let port = Printf.sprintf "sub_in%d" i in
+        map.(net) <- Netlist.add_input sub port;
+        (port, net))
+      in_nets
+  in
+  let map_net net =
+    if map.(net) = -1 then map.(net) <- Netlist.new_net sub;
+    map.(net)
+  in
+  let region = ref [] in
+  Array.iteri
+    (fun ci c ->
+      if inside.(ci) then begin
+        region := ci :: !region;
+        Netlist.add_cell sub
+          (Cell.make ~origin:c.Cell.origin c.Cell.kind
+             (Array.map map_net c.Cell.ins)
+             (map_net c.Cell.out))
+      end)
+    cells;
+  let output_binding =
+    List.mapi
+      (fun i net ->
+        let port = Printf.sprintf "sub_out%d" i in
+        Netlist.add_output sub port (map_net net);
+        (port, net))
+      out_nets
+  in
+  { cells = List.rev !region; sub; input_binding; output_binding }
+
+let reassemble nl cut ~replacement =
+  let in_region = Hashtbl.create 64 in
+  List.iter (fun ci -> Hashtbl.replace in_region ci ()) cut.cells;
+  Splice.replace_cells nl
+    ~remove:(fun ci -> Hashtbl.mem in_region ci)
+    ~replacement ~input_binding:cut.input_binding
+    ~output_binding:cut.output_binding

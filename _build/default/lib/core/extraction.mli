@@ -1,0 +1,24 @@
+(** Step 4 support: carve the selected sub-circuit out of the design.
+
+    The extracted netlist exposes one input port per net crossing into
+    the region ([sub_in<i>]) and one output port per net leaving it
+    ([sub_out<i>]); the bindings remember the parent nets so the
+    configured fabric can later be spliced back in the sub-circuit's
+    place. *)
+
+type cut = {
+  cells : int list;  (** parent cell indices inside the region *)
+  sub : Shell_netlist.Netlist.t;
+  input_binding : (string * int) list;  (** sub port -> parent net *)
+  output_binding : (string * int) list;
+}
+
+val extract : Shell_netlist.Netlist.t -> member:(int -> bool) -> cut
+(** [member] decides region membership by cell index. Sequential cells
+    inside the region move into the sub-circuit. *)
+
+val reassemble :
+  Shell_netlist.Netlist.t -> cut -> replacement:Shell_netlist.Netlist.t ->
+  Shell_netlist.Netlist.t
+(** Drop the region from the parent and splice [replacement] (same
+    port shape as [cut.sub], possibly with key inputs) in its place. *)

@@ -1,0 +1,209 @@
+module Netlist = Shell_netlist.Netlist
+module Equiv = Shell_netlist.Equiv
+module Style = Shell_fabric.Style
+module Fabric = Shell_fabric.Fabric
+module Emit = Shell_fabric.Emit
+module Bitstream = Shell_fabric.Bitstream
+module Pnr = Shell_pnr.Pnr
+module Locked = Shell_locking.Locked
+
+type target =
+  | Fixed of { route : string list; lgc : string list; label : string }
+  | Auto of { coeffs : Score.coeffs; lgc_depth : int }
+  | Route_with_lgc_depth of { route : string list; depth : int }
+      (** Table VII methodology: fixed ROUTE, best LGC at a distance *)
+
+type config = {
+  style : Style.t;
+  target : target;
+  shrink : bool;
+  seed : int;
+  max_luts : float;
+}
+
+let shell_config ?target () =
+  {
+    style = Style.Fabulous_muxchain;
+    target =
+      (match target with
+      | Some t -> t
+      | None -> Auto { coeffs = Score.shell_choice; lgc_depth = 0 });
+    shrink = true;
+    seed = 0x51e11;
+    max_luts = 96.0;
+  }
+
+type result = {
+  config : config;
+  original : Shell_netlist.Netlist.t;
+  analysis : Connectivity.t;
+  choice : Selection.choice;
+  cut : Extraction.cut;
+  mapped : Synthesize.mapped;
+  pnr : Shell_pnr.Pnr.result;
+  emitted : Shell_fabric.Emit.t;
+  resources : Shell_fabric.Resources.t;
+  overhead : Overhead.t;
+  locked_full : Shell_netlist.Netlist.t;
+}
+
+let run config original =
+  (* steps 1-2: connectivity analysis *)
+  let analysis = Connectivity.analyze original in
+  (* step 3: selection *)
+  let choice =
+    match config.target with
+    | Fixed { route; lgc; label } ->
+        Selection.fixed analysis ~label ~route ~lgc ()
+    | Auto { coeffs; lgc_depth } ->
+        Selection.auto analysis ~coeffs ~lgc_depth ~max_luts:config.max_luts ()
+    | Route_with_lgc_depth { route; depth } ->
+        Selection.with_lgc_depth analysis ~route ~depth
+  in
+  (* step 4: extraction (decoupling is by origin inside the sub) *)
+  let member_cell = Selection.member analysis choice in
+  let cut = Extraction.extract original ~member:member_cell in
+  (* step 5: dual synthesis *)
+  let route_origins = Selection.route_origins analysis choice in
+  let mapped = Synthesize.run ~style:config.style ~route_origins cut.Extraction.sub in
+  (* steps 6-7: fabric sizing + fit loop *)
+  let pnr =
+    Pnr.fit_loop ~seed:config.seed ~style:config.style mapped.Synthesize.netlist
+  in
+  (* functional emission (the locked sub-circuit + bitstream) *)
+  let emitted = Emit.emit ~style:config.style ~seed:config.seed mapped.Synthesize.netlist in
+  (* acyclic twin for timing *)
+  let timing =
+    if (Style.params config.style).Style.cyclic_routing then
+      (Emit.emit ~style:config.style ~seed:config.seed ~force_acyclic:true
+         mapped.Synthesize.netlist)
+        .Emit.locked
+    else emitted.Emit.locked
+  in
+  (* Table VII mechanism: ROUTE <-> LGC traffic that has to leave the
+     fabric, traverse the excluded middle logic and come back. Only
+     cross-family paths count: a directly-connected (depth-0) pick
+     keeps this traffic internal and pays nothing. *)
+  let feedthroughs =
+    let module Cell = Shell_netlist.Cell in
+    let member = Hashtbl.create 64 in
+    List.iter (fun ci -> Hashtbl.replace member ci ()) cut.Extraction.cells;
+    let origin_matches pats (c : Cell.t) =
+      List.exists
+        (fun pat ->
+          let s = c.Cell.origin and m = String.length pat in
+          let n = String.length s in
+          let rec go i = i + m <= n && (String.sub s i m = pat || go (i + 1)) in
+          m > 0 && go 0)
+        pats
+    in
+    let family ci =
+      if origin_matches route_origins (Netlist.cell original ci) then `Route
+      else `Lgc
+    in
+    (* family of each boundary-output driver / boundary-input reader *)
+    let in_family = Hashtbl.create 32 in
+    List.iter
+      (fun (_, net) ->
+        List.iter
+          (fun ci ->
+            if Hashtbl.mem member ci then
+              Hashtbl.replace in_family net (family ci))
+          (Netlist.fanout original net))
+      cut.Extraction.input_binding;
+    let count = ref 0 in
+    List.iter
+      (fun (_, start) ->
+        match Netlist.driver original start with
+        | None -> ()
+        | Some drv when not (Hashtbl.mem member drv) -> ()
+        | Some drv ->
+            let out_fam = family drv in
+            let seen = Hashtbl.create 64 in
+            let hit = ref false in
+            let rec go net depth =
+              if depth >= 0 && not !hit then begin
+                (match Hashtbl.find_opt in_family net with
+                | Some fam when fam <> out_fam && net <> start -> hit := true
+                | Some _ | None -> ());
+                if not !hit then
+                  List.iter
+                    (fun ci ->
+                      if
+                        (not (Hashtbl.mem member ci))
+                        && not (Hashtbl.mem seen ci)
+                      then begin
+                        Hashtbl.replace seen ci ();
+                        let c = Netlist.cell original ci in
+                        if not (Cell.is_sequential c.Cell.kind) then
+                          go c.Cell.out (depth - 1)
+                      end)
+                    (Netlist.fanout original net)
+              end
+            in
+            go start 6;
+            if !hit then incr count)
+      cut.Extraction.output_binding;
+    !count
+  in
+  (* step 8: shrinking (or full-capacity accounting for the baselines) *)
+  let resources =
+    let base =
+      if config.shrink then Fabric.shrink pnr.Pnr.fabric ~used:emitted.Emit.used
+      else Fabric.capacity pnr.Pnr.fabric
+    in
+    {
+      base with
+      Shell_fabric.Resources.feedthrough_tracks = feedthroughs;
+      io_pins = base.Shell_fabric.Resources.io_pins + (2 * feedthroughs);
+    }
+  in
+  let overhead =
+    Overhead.compute ~original ~sub:cut.Extraction.sub ~resources
+      ~style:config.style ~timing_sub:timing ~feedthroughs ()
+  in
+  let locked_full =
+    Extraction.reassemble original cut ~replacement:emitted.Emit.locked
+  in
+  {
+    config;
+    original;
+    analysis;
+    choice;
+    cut;
+    mapped;
+    pnr;
+    emitted;
+    resources;
+    overhead;
+    locked_full;
+  }
+
+let locked_sub r =
+  {
+    Locked.locked = r.emitted.Emit.locked;
+    key = Bitstream.bits r.emitted.Emit.bitstream;
+    scheme = "efpga-redaction";
+  }
+
+let verify ?(runs = 8) ?(cycles = 24) r =
+  (* bind the bitstream first: cyclic-style emissions cannot be
+     simulated until the configuration collapses the decoy routing *)
+  let key = Bitstream.bits r.emitted.Emit.bitstream in
+  let bound = Shell_netlist.Specialize.bind_keys r.locked_full key in
+  match Equiv.check_sequential ~runs ~cycles r.original bound with
+  | Equiv.Equivalent -> true
+  | Equiv.Counterexample _ -> false
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>style: %s@,TfR: %s@,coverage: %.2f  est LUTs: %.1f@,mapped: %d LUTs (%d levels), %d chain mux4, %d mux2, %d FFs@,fabric: %a  fit: %s  utilization: %.2f@,key bits: %d@,overhead: %a@]"
+    (Style.name r.config.style) r.choice.Selection.label
+    r.choice.Selection.coverage r.choice.Selection.lut_estimate
+    r.mapped.Synthesize.luts r.mapped.Synthesize.lut_levels
+    r.mapped.Synthesize.chain_mux4 r.mapped.Synthesize.chain_mux2
+    r.mapped.Synthesize.ffs Fabric.pp r.pnr.Pnr.fabric
+    (match r.pnr.Pnr.fit with Ok () -> "yes" | Error _ -> "NO")
+    r.pnr.Pnr.utilization
+    r.emitted.Emit.used.Shell_fabric.Resources.config_bits
+    Overhead.pp r.overhead

@@ -1,0 +1,33 @@
+module Cost = Shell_netlist.Cost
+module Resources = Shell_fabric.Resources
+module Style = Shell_fabric.Style
+
+type t = { area : float; power : float; delay : float }
+
+(* each exit-and-re-enter route serializes two boundary crossings plus
+   a full-span track traversal *)
+let feedthrough_delay = 0.3
+
+let compute ~original ~sub ~resources ~style ~timing_sub ?(feedthroughs = 0) () =
+  let base = Cost.report original in
+  let sub_r = Cost.report sub in
+  let fab_area = Resources.area style resources in
+  let fab_power = Resources.power style resources in
+  let fab_delay =
+    (Cost.delay timing_sub *. (Style.params style).Style.delay_factor)
+    +. (feedthrough_delay *. float_of_int feedthroughs
+       *. (Style.params style).Style.delay_factor)
+  in
+  let area = (base.Cost.area -. sub_r.Cost.area +. fab_area) /. base.Cost.area in
+  let power =
+    (base.Cost.power -. sub_r.Cost.power +. fab_power) /. base.Cost.power
+  in
+  let locked_delay =
+    Float.max base.Cost.delay
+      (base.Cost.delay -. sub_r.Cost.delay +. fab_delay)
+  in
+  let delay = locked_delay /. Float.max base.Cost.delay 1e-9 in
+  { area = Float.max 1.0 area; power = Float.max 1.0 power; delay }
+
+let pp ppf t =
+  Format.fprintf ppf "A=%.3f P=%.3f D=%.3f" t.area t.power t.delay

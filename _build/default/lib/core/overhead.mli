@@ -1,0 +1,23 @@
+(** Normalized Area / Power / Delay overhead (the A/P/D columns of
+    Tables IV–VII).
+
+    Area and power replace the extracted sub-circuit's standard cells
+    with the fabric inventory; delay substitutes the fabric's
+    pin-to-pin critical path (measured on a topologically-orderable
+    twin of the emission, times the style's interconnect factor) for
+    the sub-circuit's internal path. All three are reported relative
+    to the unmodified design (1.0 = free). *)
+
+type t = { area : float; power : float; delay : float }
+
+val compute :
+  original:Shell_netlist.Netlist.t ->
+  sub:Shell_netlist.Netlist.t ->
+  resources:Shell_fabric.Resources.t ->
+  style:Shell_fabric.Style.t ->
+  timing_sub:Shell_netlist.Netlist.t ->
+  ?feedthroughs:int ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type attrs = {
+  idgc : float;
+  odgc : float;
+  clsc : float;
+  btwc : float;
+  eigc : float;
+  lutr : float;
+}
+
+type coeffs = {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  lambda : float;
+  xi : float;
+  sigma : float;
+}
+
+let eval c a =
+  (c.alpha *. a.idgc) +. (c.beta *. a.odgc) +. (c.gamma *. a.clsc)
+  +. (c.lambda *. a.btwc) +. (c.xi *. a.eigc) +. (c.sigma *. a.lutr)
+
+let h = 1.0
+let l = -1.0
+
+let make (alpha, beta, gamma, lambda, xi, sigma) =
+  { alpha; beta; gamma; lambda; xi; sigma }
+
+let shell_choice = make (h, h, l, l, h, l)
+
+let presets =
+  [
+    ("c1", make (l, l, l, l, h, l));  (* low degree *)
+    ("c2", make (h, h, h, h, h, l));  (* high closeness/betweenness *)
+    ("c3", make (h, h, l, l, l, l));  (* low eigen *)
+    ("c4", make (h, h, l, l, h, h));  (* high LUT *)
+    ("c5", shell_choice);
+  ]
+
+let pp_attrs ppf a =
+  Format.fprintf ppf
+    "iDgC=%.2f oDgC=%.2f ClsC=%.2f BtwC=%.2f EigC=%.2f LuTR=%.2f" a.idgc
+    a.odgc a.clsc a.btwc a.eigc a.lutr

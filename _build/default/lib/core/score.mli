@@ -1,0 +1,36 @@
+(** The Eq. 1 score function and the Table VI coefficient profiles.
+
+    [score = alpha*iDgC + beta*oDgC + gamma*ClsC + lambda*BtwC
+           + xi*EigC + sigma*LuTR]
+
+    Attributes are normalized to \[0,1\]; a "high" objective maps to a
+    [+1] coefficient (prefer large values), "low" to [-1]. *)
+
+type attrs = {
+  idgc : float;  (** inlet degree centrality *)
+  odgc : float;  (** outlet degree centrality *)
+  clsc : float;  (** closeness to controllable/observable nodes *)
+  btwc : float;  (** betweenness on I/O geodesics *)
+  eigc : float;  (** neighbouring-gate-type eigencentrality *)
+  lutr : float;  (** estimated LUT requirement *)
+}
+
+type coeffs = {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  lambda : float;
+  xi : float;
+  sigma : float;
+}
+
+val eval : coeffs -> attrs -> float
+
+val shell_choice : coeffs
+(** c5 = [{h,h,l,l,h,l}] — the profile SheLL ships with (Table II). *)
+
+val presets : (string * coeffs) list
+(** [c1]..[c5] of Table VI: low degree; high closeness/betweenness;
+    low eigen; high LUT; SheLL. *)
+
+val pp_attrs : Format.formatter -> attrs -> unit

@@ -1,0 +1,153 @@
+type choice = {
+  route_blocks : int list;
+  lgc_blocks : int list;
+  label : string;
+  coverage : float;
+  lut_estimate : float;
+}
+
+let estimate (t : Connectivity.t) blocks =
+  List.fold_left
+    (fun acc b -> acc +. t.Connectivity.blocks.(b).Connectivity.lut_estimate)
+    0.0 blocks
+
+let finalize t ~label ~route_blocks ~lgc_blocks =
+  let all = route_blocks @ lgc_blocks in
+  {
+    route_blocks;
+    lgc_blocks;
+    label;
+    coverage = Connectivity.coverage t all;
+    lut_estimate = estimate t all;
+  }
+
+let fixed t ?label ~route ~lgc () =
+  let resolve pats =
+    List.concat_map
+      (fun pat ->
+        match Connectivity.blocks_matching t pat with
+        | [] -> invalid_arg ("Selection.fixed: no block matches " ^ pat)
+        | l -> l)
+      pats
+  in
+  let route_blocks = resolve route and lgc_blocks = resolve lgc in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> String.concat " + " (route @ lgc)
+  in
+  finalize t ~label ~route_blocks ~lgc_blocks
+
+let auto t ?(coeffs = Score.shell_choice) ?(lgc_depth = 0) ?(max_luts = 96.0)
+    ?(min_luts = 24.0) ?(min_coverage = 0.5) () =
+  let blocks = t.Connectivity.blocks in
+  let n = Array.length blocks in
+  let score b = Score.eval coeffs blocks.(b).Connectivity.attrs in
+  (* routing preference only matters when the profile rewards it: rank
+     all blocks by score, nudging route-shaped blocks up *)
+  let ranked =
+    List.init n Fun.id
+    |> List.filter (fun b -> blocks.(b).Connectivity.name <> "")
+    |> List.sort (fun a b ->
+           compare
+             (score b +. (0.3 *. blocks.(b).Connectivity.route_fraction))
+             (score a +. (0.3 *. blocks.(a).Connectivity.route_fraction)))
+  in
+  (* rule (i)+(ii)+(iii): greedily take top blocks as ROUTE until
+     coverage or budget binds *)
+  let rec take acc luts = function
+    | [] -> List.rev acc
+    | b :: tl ->
+        let lut_b = blocks.(b).Connectivity.lut_estimate in
+        if luts +. lut_b > max_luts && acc <> [] then List.rev acc
+        else begin
+          let acc = b :: acc and luts = luts +. lut_b in
+          (* stop once the pick is both connected enough (rule ii) and
+             substantial enough to be worth a fabric (rule iii) *)
+          if Connectivity.coverage t acc >= min_coverage && luts >= min_luts
+          then List.rev acc
+          else take acc luts tl
+        end
+  in
+  let route_blocks = take [] 0.0 ranked in
+  (* rule (iv): one small generic LGC companion at the requested depth *)
+  let dist = Connectivity.distance t route_blocks in
+  let target_d = lgc_depth + 1 in
+  let candidates =
+    List.init n Fun.id
+    |> List.filter (fun b ->
+           dist.(b) = target_d
+           && (not (List.mem b route_blocks))
+           && blocks.(b).Connectivity.name <> "")
+  in
+  let lgc_blocks =
+    match
+      List.sort
+        (fun a b ->
+          (* high EigC, low LuTR *)
+          compare
+            (blocks.(b).Connectivity.attrs.Score.eigc
+            -. blocks.(b).Connectivity.attrs.Score.lutr)
+            (blocks.(a).Connectivity.attrs.Score.eigc
+            -. blocks.(a).Connectivity.attrs.Score.lutr))
+        candidates
+    with
+    | [] -> []
+    | best :: _ -> [ best ]
+  in
+  let label =
+    String.concat " + "
+      (List.map (fun b -> blocks.(b).Connectivity.name) (route_blocks @ lgc_blocks))
+  in
+  finalize t ~label ~route_blocks ~lgc_blocks
+
+let with_lgc_depth t ~route ~depth =
+  let resolve pats =
+    List.concat_map (fun pat -> Connectivity.blocks_matching t pat) pats
+  in
+  let route_blocks = resolve route in
+  let blocks = t.Connectivity.blocks in
+  let dist = Connectivity.distance t route_blocks in
+  let candidates_at d =
+    List.init (Array.length blocks) Fun.id
+    |> List.filter (fun b ->
+           dist.(b) = d
+           && (not (List.mem b route_blocks))
+           && blocks.(b).Connectivity.name <> "")
+  in
+  let rec pick d tries =
+    match candidates_at d with
+    | [] when tries > 0 -> pick (d + 1) (tries - 1)
+    | cands -> (d, cands)
+  in
+  let d, cands = pick (depth + 1) 4 in
+  (* size-matched comparison across depths: smallest non-trivial LGC *)
+  let lgc_blocks =
+    match
+      List.filter (fun b -> blocks.(b).Connectivity.lut_estimate >= 2.0) cands
+      |> List.sort (fun a b ->
+             compare blocks.(a).Connectivity.lut_estimate
+               blocks.(b).Connectivity.lut_estimate)
+    with
+    | [] -> ( match cands with [] -> [] | b :: _ -> [ b ])
+    | best :: _ -> [ best ]
+  in
+  let label =
+    Printf.sprintf "%s + lgc@%d" (String.concat "+" route) (d - 1)
+  in
+  finalize t ~label ~route_blocks ~lgc_blocks
+
+let member t choice =
+  let mark = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ci -> Hashtbl.replace mark ci ())
+        t.Connectivity.blocks.(b).Connectivity.cells)
+    (choice.route_blocks @ choice.lgc_blocks);
+  fun ci -> Hashtbl.mem mark ci
+
+let route_origins t choice =
+  List.map
+    (fun b -> t.Connectivity.blocks.(b).Connectivity.name)
+    choice.route_blocks

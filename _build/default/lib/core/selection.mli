@@ -1,0 +1,49 @@
+(** Step 3 of the SheLL flow: sub-circuit selection.
+
+    Two entry points: {!fixed} takes named targets (the TfR columns of
+    Tables IV/V), {!auto} applies the paper's selection rules to the
+    scored block graph:
+    (i) prefer high-inlet/outlet blocks for routing-based locking,
+    (ii) the selection must cover >= 50% of the design's blocks,
+    (iii) the LUT estimate must respect the fabric budget,
+    (iv) each ROUTE pick gets a small generic LGC companion, at
+    [lgc_depth] hops (0 = directly connected, the SheLL constraint of
+    Table VII). *)
+
+type choice = {
+  route_blocks : int list;
+  lgc_blocks : int list;
+  label : string;
+  coverage : float;
+  lut_estimate : float;
+}
+
+val fixed :
+  Connectivity.t -> ?label:string -> route:string list -> lgc:string list ->
+  unit -> choice
+(** Select blocks by origin-substring; raises [Invalid_argument]
+    (naming the pattern) if a pattern matches nothing. *)
+
+val auto :
+  Connectivity.t ->
+  ?coeffs:Score.coeffs ->
+  ?lgc_depth:int ->
+  ?max_luts:float ->
+  ?min_luts:float ->
+  ?min_coverage:float ->
+  unit ->
+  choice
+(** Defaults: SheLL coefficients, depth 0, budget 24..96 estimated
+    LUTs, 50% coverage. *)
+
+val with_lgc_depth :
+  Connectivity.t -> route:string list -> depth:int -> choice
+(** Table VII methodology: keep the ROUTE selection fixed (by origin
+    substring) and pick the best small generic LGC companion at
+    exactly [depth] + 1 block hops (depth 0 = directly connected).
+    Falls back to the nearest populated distance if none exists. *)
+
+val member : Connectivity.t -> choice -> int -> bool
+(** Whether a cell index belongs to the selection. *)
+
+val route_origins : Connectivity.t -> choice -> string list

@@ -1,0 +1,51 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Style = Shell_fabric.Style
+module Opt = Shell_synth.Opt
+module Lut_map = Shell_synth.Lut_map
+module Mux_chain = Shell_synth.Mux_chain
+
+type mapped = {
+  netlist : Shell_netlist.Netlist.t;
+  luts : int;
+  lut_levels : int;
+  chain_mux4 : int;
+  chain_mux2 : int;
+  ffs : int;
+}
+
+let origin_matches origins (c : Cell.t) =
+  List.exists
+    (fun pat ->
+      let s = c.Cell.origin and m = String.length pat in
+      let n = String.length s in
+      let rec go i = i + m <= n && (String.sub s i m = pat || go (i + 1)) in
+      m > 0 && go 0)
+    origins
+
+let count nl p = Netlist.count_kind nl p
+
+let run ~style ~route_origins sub =
+  let p = Style.params style in
+  let simplified = Opt.simplify sub in
+  let mapped_nl, lut_stats =
+    if p.Style.supports_chain && route_origins <> [] then begin
+      let is_route = origin_matches route_origins in
+      let packed, _chain_stats =
+        Mux_chain.map ~should_pack:is_route simplified
+      in
+      (* keep chain cells out of the LUT covering: Mux4 is structural
+         (arity 6 > 4); route-origin Mux2 via the boundary predicate *)
+      let boundary c = c.Cell.kind = Cell.Mux2 && is_route c in
+      Lut_map.map ~k:p.Style.lut_k ~boundary packed
+    end
+    else Lut_map.map ~k:p.Style.lut_k simplified
+  in
+  {
+    netlist = mapped_nl;
+    luts = lut_stats.Lut_map.luts;
+    lut_levels = lut_stats.Lut_map.levels;
+    chain_mux4 = count mapped_nl (function Cell.Mux4 -> true | _ -> false);
+    chain_mux2 = count mapped_nl (function Cell.Mux2 -> true | _ -> false);
+    ffs = count mapped_nl (function Cell.Dff -> true | _ -> false);
+  }

@@ -1,0 +1,21 @@
+(** Step 5: dual synthesis of the extracted sub-circuit.
+
+    For chain-capable styles, ROUTE-origin muxes are packed onto MUX
+    chains and everything else is LUT-mapped around them (the two
+    Yosys calls of the paper); other styles LUT-map the whole
+    sub-circuit. *)
+
+type mapped = {
+  netlist : Shell_netlist.Netlist.t;
+  luts : int;
+  lut_levels : int;
+  chain_mux4 : int;
+  chain_mux2 : int;
+  ffs : int;
+}
+
+val run :
+  style:Shell_fabric.Style.t ->
+  route_origins:string list ->
+  Shell_netlist.Netlist.t ->
+  mapped

@@ -1,0 +1,1 @@
+lib/fabric/bitstream.ml: Array Buffer Char List Printf Shell_util String

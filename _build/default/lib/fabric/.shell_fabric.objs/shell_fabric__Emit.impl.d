@@ -1,0 +1,1 @@
+lib/fabric/emit.ml: Array Bitstream Fabric Int64 List Printf Resources Shell_netlist Shell_util Style

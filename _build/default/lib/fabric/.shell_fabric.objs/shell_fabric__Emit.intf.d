@@ -1,0 +1,1 @@
+lib/fabric/emit.mli: Bitstream Resources Shell_netlist Style

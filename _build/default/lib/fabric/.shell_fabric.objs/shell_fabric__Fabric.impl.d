@@ -1,0 +1,1 @@
+lib/fabric/fabric.ml: Format Resources Style

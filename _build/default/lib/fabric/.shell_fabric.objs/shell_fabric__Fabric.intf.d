@@ -1,0 +1,1 @@
+lib/fabric/fabric.mli: Format Resources Style

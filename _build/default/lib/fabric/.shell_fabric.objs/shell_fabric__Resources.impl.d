@@ -1,0 +1,1 @@
+lib/fabric/resources.ml: Format Printf Shell_netlist Style

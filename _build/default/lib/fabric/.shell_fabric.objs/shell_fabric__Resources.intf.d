@@ -1,0 +1,1 @@
+lib/fabric/resources.mli: Format Style

@@ -1,0 +1,47 @@
+(** Functional (locked) view of a configured fabric.
+
+    [emit] lowers a technology-mapped sub-circuit ([Lut] cells for LGC,
+    [Mux2]/[Mux4] cells for ROUTE, plus [Dff]/[Const]) onto fabric
+    hardware:
+    - every LUT becomes an explicit 2:1-mux tree whose 2^k leaves are
+      configuration key bits (the truth-table storage);
+    - every cell input and every primary output goes through a route
+      mux choosing among [flex] candidate sources, selected by
+      configuration key bits;
+    - chain cells keep their [Mux4]/[Mux2] but their data and select
+      pins are routed through keyed candidate muxes.
+
+    Decoy candidates are drawn level-monotonically for non-cyclical
+    styles (FABulous chains) and freely — allowing potential
+    combinational cycles under wrong keys — for [Openfpga], which is
+    exactly the structure the cyclic-reduction attack prunes.
+
+    The result is the standard oracle-guided-attack artifact: a locked
+    netlist whose key inputs are the bitstream, with the guarantee that
+    applying the returned bitstream reproduces the mapped circuit. *)
+
+type t = {
+  locked : Shell_netlist.Netlist.t;
+  bitstream : Bitstream.t;
+  used : Resources.t;
+  used_luts : int;
+  used_ffs : int;
+  used_chain : int;  (** chain positions occupied (Mux4 + Mux2) *)
+  cycle_blocks : (int array * bool array) list;
+      (** for cyclic styles: route-select key patterns that would close
+          a structural combinational cycle, as (key indices, values)
+          pairs — the facts the cyclic-reduction attack derives by
+          inspecting the netlist before SAT solving *)
+}
+
+val emit :
+  style:Style.t ->
+  ?seed:int ->
+  ?force_acyclic:bool ->
+  Shell_netlist.Netlist.t ->
+  t
+(** Raises [Invalid_argument] on cells the fabric cannot host (plain
+    gates — technology-map first) or on chain cells for a style without
+    chain support. [force_acyclic] draws decoys level-monotonically
+    even for cyclic styles — used to build a topologically-orderable
+    twin of a cyclic emission for timing analysis. *)

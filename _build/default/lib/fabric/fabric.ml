@@ -1,0 +1,128 @@
+type t = { style : Style.t; cols : int; rows : int; chain_slots : int }
+
+type shortage = Luts_short | Ffs_short | Chain_short | Routing_short
+
+let chain_slots_per_tile = 16
+
+let sel_bits n =
+  if n <= 1 then 1
+  else
+    let rec go b cap = if cap >= n then b else go (b + 1) (2 * cap) in
+    go 1 2
+
+let size_for style ~luts ~user_ffs ~chain_muxes =
+  let p = Style.params style in
+  if chain_muxes > 0 && not p.Style.supports_chain then
+    invalid_arg "Fabric.size_for: style has no MUX chains";
+  (* each BLE provides one LUT and one user flop *)
+  let bles_needed = max luts user_ffs in
+  let tiles = max 1 ((bles_needed + p.Style.clb_luts - 1) / p.Style.clb_luts) in
+  let cols, rows =
+    if p.Style.square then begin
+      let side = int_of_float (ceil (sqrt (float_of_int tiles))) in
+      (side, side)
+    end
+    else begin
+      (* smallest rectangle with aspect ratio <= 2 *)
+      let rec best c =
+        let r = (tiles + c - 1) / c in
+        if c >= r then (c, r) else best (c + 1)
+      in
+      best 1
+    end
+  in
+  let chain_slots =
+    if chain_muxes = 0 then 0
+    else
+      chain_slots_per_tile
+      * ((chain_muxes + chain_slots_per_tile - 1) / chain_slots_per_tile)
+  in
+  { style; cols; rows; chain_slots }
+
+let grow t shortage =
+  match shortage with
+  | Luts_short | Ffs_short | Routing_short ->
+      if (Style.params t.style).Style.square then
+        { t with cols = t.cols + 1; rows = t.rows + 1 }
+      else if t.cols <= t.rows then { t with cols = t.cols + 1 }
+      else { t with rows = t.rows + 1 }
+  | Chain_short -> { t with chain_slots = t.chain_slots + chain_slots_per_tile }
+
+let clb_tiles t = t.cols * t.rows
+
+(* four pins per perimeter tile position *)
+let io_capacity t = 2 * (t.cols + t.rows + 2) * 8
+let lut_capacity t = clb_tiles t * (Style.params t.style).Style.clb_luts
+let ff_capacity t = lut_capacity t
+
+(* mux-tree composition of one route mux over [flex] candidates:
+   (m4 count, m2 count), using 4:1 levels when the style has them *)
+let route_tree_counts ~use4 flex =
+  if flex <= 1 then (0, 0)
+  else begin
+    let bits = sel_bits flex in
+    let rec go len bit m4 m2 =
+      if len <= 1 then (m4, m2)
+      else if use4 && len >= 4 && bits - bit >= 2 then
+        go (len / 4) (bit + 2) (m4 + (len / 4)) m2
+      else go (len / 2) (bit + 1) m4 (m2 + (len / 2))
+    in
+    go (1 lsl bits) 0 0 0
+  end
+
+let capacity t =
+  let p = Style.params t.style in
+  let luts = lut_capacity t in
+  let k = p.Style.lut_k in
+  let route_sel = sel_bits p.Style.route_flex in
+  (* per BLE: LUT body (2^k - 1 m2), k input route muxes, FF bypass mux *)
+  let lut_body_mux2 = luts * ((1 lsl k) - 1) in
+  let rt4, rt2 = route_tree_counts ~use4:p.Style.route_mux4 p.Style.route_flex in
+  let route_mux4 = luts * k * rt4 in
+  let route_mux2 = (luts * k * rt2) + luts in
+  let lut_cfg = luts * ((1 lsl k) + (k * route_sel) + 1) in
+  (* chain slots: a Mux4 plus keyed candidate muxes on its 6 inputs *)
+  let chain_sel = if p.Style.chain_flex > 1 then sel_bits p.Style.chain_flex else 0 in
+  let chain_mux2 = t.chain_slots * 6 * (max 0 (p.Style.chain_flex - 1)) in
+  let chain_cfg = t.chain_slots * 6 * chain_sel in
+  let config_bits = lut_cfg + chain_cfg in
+  let storage_dffs, storage_latches =
+    match p.Style.config_storage with
+    | Style.Dff_chain -> (config_bits, 0)
+    | Style.Latch_array -> (0, config_bits)
+  in
+  {
+    Resources.lut_body_mux2;
+    route_mux2;
+    route_mux4;
+    chain_mux4 = t.chain_slots;
+    chain_mux2;
+    user_dffs = ff_capacity t;
+    config_bits;
+    storage_dffs;
+    storage_latches;
+    control_ffs =
+      (match p.Style.config_storage with
+      | Style.Dff_chain -> 0
+      | Style.Latch_array -> p.Style.control_ffs_base + t.rows);
+    io_pins = io_capacity t;
+    feedthrough_tracks = 0;
+  }
+
+let shrink t ~used =
+  let p = Style.params t.style in
+  let control =
+    match p.Style.config_storage with
+    | Style.Dff_chain -> 0
+    | Style.Latch_array -> p.Style.control_ffs_base + t.rows
+  in
+  { used with Resources.control_ffs = control }
+
+let utilization t ~used_luts =
+  let cap = lut_capacity t in
+  if cap = 0 then 0.0 else float_of_int used_luts /. float_of_int cap
+
+let pp ppf t =
+  Format.fprintf ppf "%s %dx%d (%d CLBs, %d LUTs, %d chain slots)"
+    (Style.name t.style) t.cols t.rows (clb_tiles t) (lut_capacity t)
+    t.chain_slots

@@ -1,0 +1,52 @@
+(** Fabric geometry, sizing, capacity and shrinking.
+
+    A fabric is a [cols] x [rows] grid of CLB tiles (each with
+    [clb_luts] BLEs: one k-LUT, one optional user flop, one bypass mux)
+    plus, for chain-capable styles, a number of MUX-chain slots. The
+    sizing function implements the paper's step 6 ("fabric size
+    determined from estimated resources") and {!grow} implements the
+    step-7 feedback ("switch back and select a larger fabric",
+    expanding the resource type that ran short). *)
+
+type t = {
+  style : Style.t;
+  cols : int;
+  rows : int;
+  chain_slots : int;  (** capacity in Mux4 chain positions *)
+}
+
+type shortage = Luts_short | Ffs_short | Chain_short | Routing_short
+
+val size_for : Style.t -> luts:int -> user_ffs:int -> chain_muxes:int -> t
+(** Smallest fabric of the style fitting the given demand. OpenFPGA
+    fabrics are square (the Fig. 2 inefficiency); FABulous fabrics use
+    the smallest rectangle. Chain demand on a style without chain
+    support raises [Invalid_argument]. *)
+
+val grow : t -> shortage -> t
+(** Expand the named resource by one step (a row/column of tiles, or a
+    chain-tile worth of slots). *)
+
+val clb_tiles : t -> int
+
+val io_capacity : t -> int
+(** Fabric boundary pins available (perimeter connection boxes). *)
+
+val lut_capacity : t -> int
+val ff_capacity : t -> int
+
+val sel_bits : int -> int
+(** ceil(log2 n), minimum 1 — config bits of an n-way route mux. *)
+
+val capacity : t -> Resources.t
+(** Materialized resources of the whole fabric (pre-shrink). *)
+
+val shrink : t -> used:Resources.t -> Resources.t
+(** Step 8: physically drop unused resources. The result keeps the
+    used inventory plus the configuration controller, which cannot be
+    removed. *)
+
+val utilization : t -> used_luts:int -> float
+(** Used LUTs / capacity (the <77% of Fig. 2 for the desX example). *)
+
+val pp : Format.formatter -> t -> unit

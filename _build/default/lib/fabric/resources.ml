@@ -1,0 +1,124 @@
+module Cost = Shell_netlist.Cost
+module Cell = Shell_netlist.Cell
+
+type t = {
+  lut_body_mux2 : int;
+  route_mux2 : int;
+  route_mux4 : int;
+  chain_mux4 : int;
+  chain_mux2 : int;
+  user_dffs : int;
+  config_bits : int;
+  storage_dffs : int;
+  storage_latches : int;
+  control_ffs : int;
+  io_pins : int;
+  feedthrough_tracks : int;
+}
+
+let zero =
+  {
+    lut_body_mux2 = 0;
+    route_mux2 = 0;
+    route_mux4 = 0;
+    chain_mux4 = 0;
+    chain_mux2 = 0;
+    user_dffs = 0;
+    config_bits = 0;
+    storage_dffs = 0;
+    storage_latches = 0;
+    control_ffs = 0;
+    io_pins = 0;
+    feedthrough_tracks = 0;
+  }
+
+let add a b =
+  {
+    lut_body_mux2 = a.lut_body_mux2 + b.lut_body_mux2;
+    route_mux2 = a.route_mux2 + b.route_mux2;
+    route_mux4 = a.route_mux4 + b.route_mux4;
+    chain_mux4 = a.chain_mux4 + b.chain_mux4;
+    chain_mux2 = a.chain_mux2 + b.chain_mux2;
+    user_dffs = a.user_dffs + b.user_dffs;
+    config_bits = a.config_bits + b.config_bits;
+    storage_dffs = a.storage_dffs + b.storage_dffs;
+    storage_latches = a.storage_latches + b.storage_latches;
+    control_ffs = a.control_ffs + b.control_ffs;
+    io_pins = a.io_pins + b.io_pins;
+    feedthrough_tracks = a.feedthrough_tracks + b.feedthrough_tracks;
+  }
+
+let mux2_total t = t.lut_body_mux2 + t.route_mux2 + t.chain_mux2
+let mux4_total t = t.chain_mux4 + t.route_mux4
+
+(* A bitstream-chain flop has no scan mux or async set/reset: smaller
+   than the library's general-purpose DFF. *)
+let config_dff_area = 15.0
+let config_dff_power = 1.8
+
+(* connection-box slice per fabric pin: input mux, output buffer pair
+   and the track stubs they program *)
+let io_pin_area = 45.0
+let io_pin_power = 4.0
+
+(* a feedthrough burns a doubly-buffered full-span track plus a CB
+   slice at each crossing *)
+let feedthrough_area = 320.0
+let feedthrough_power = 28.0
+
+let raw_area t =
+  let f count kind = float_of_int count *. Cost.cell_area kind in
+  f (mux2_total t) Cell.Mux2
+  +. f (mux4_total t) Cell.Mux4
+  +. f t.user_dffs Cell.Dff
+  +. (float_of_int t.storage_dffs *. config_dff_area)
+  +. f t.storage_latches Cell.Config_latch
+  +. f t.control_ffs Cell.Dff
+  +. (float_of_int t.io_pins *. io_pin_area)
+  +. (float_of_int t.feedthrough_tracks *. feedthrough_area)
+
+let area style t = raw_area t *. (Style.params style).Style.tile_wiring_overhead
+
+(* Dynamic switching of the active cells, plus a static/interconnect
+   component proportional to fabric area: programmable interconnect
+   keeps long, heavily-buffered wires toggling, which is why eFPGA
+   power overhead tracks area overhead in the paper's tables. *)
+let interconnect_power_per_area = 0.11
+
+let power style t =
+  let f count kind = float_of_int count *. Cost.cell_power kind in
+  f (mux2_total t) Cell.Mux2
+  +. f (mux4_total t) Cell.Mux4
+  +. f t.user_dffs Cell.Dff
+  +. (0.1
+     *. ((float_of_int t.storage_dffs *. config_dff_power)
+        +. f t.storage_latches Cell.Config_latch))
+  +. f t.control_ffs Cell.Dff
+  +. (float_of_int t.io_pins *. io_pin_power)
+  +. (float_of_int t.feedthrough_tracks *. feedthrough_power)
+  +. (interconnect_power_per_area *. area style t)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "m2=%d (lut %d, route %d, chain %d) m4=%d dff=%d cfg_bits=%d storage(dff=%d,latch=%d) cff=%d"
+    (mux2_total t) t.lut_body_mux2 t.route_mux2 t.chain_mux2 (mux4_total t)
+    t.user_dffs t.config_bits t.storage_dffs t.storage_latches t.control_ffs
+
+let pp_table1_row ppf (style, t) =
+  let mux_col =
+    if mux4_total t > 0 then
+      Printf.sprintf "%d M4s + %d M2s" (mux4_total t) (mux2_total t)
+    else Printf.sprintf "%d M2s" (mux2_total t)
+  in
+  let ff_col =
+    match (Style.params style).Style.config_storage with
+    | Style.Dff_chain -> Printf.sprintf "%d DFFs" (t.storage_dffs + t.user_dffs)
+    | Style.Latch_array -> Printf.sprintf "%d CFFs" (t.control_ffs + t.user_dffs)
+  in
+  let latch_col =
+    match (Style.params style).Style.config_storage with
+    | Style.Dff_chain -> "-"
+    | Style.Latch_array -> string_of_int t.storage_latches
+  in
+  Format.fprintf ppf "%-34s %-22s %-12s %s" (Style.name style) mux_col ff_col
+    latch_col

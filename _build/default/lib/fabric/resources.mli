@@ -1,0 +1,47 @@
+(** Fabric resource inventories (the paper's Table I columns plus the
+    area/power/delay roll-up).
+
+    An inventory counts *materialized* hardware: the multiplexers that
+    implement LUT bodies and routing, chain [Mux4] cells, user flops,
+    and configuration storage. Capacity inventories describe a whole
+    fabric; used inventories describe what a mapping actually occupies
+    (what remains after the paper's step 8 shrinking). *)
+
+type t = {
+  lut_body_mux2 : int;  (** internal 2:1 muxes of LUT bodies *)
+  route_mux2 : int;  (** connection/switch-box 2:1 muxes *)
+  route_mux4 : int;  (** connection/switch-box 4:1 muxes (FABulous) *)
+  chain_mux4 : int;
+  chain_mux2 : int;
+  user_dffs : int;
+  config_bits : int;
+  storage_dffs : int;  (** config storage when style uses a DFF chain *)
+  storage_latches : int;  (** config storage when style uses latches *)
+  control_ffs : int;  (** configuration controller flops (CFFs) *)
+  io_pins : int;
+      (** fabric boundary crossings (connection-box slices) *)
+  feedthrough_tracks : int;
+      (** exit-and-re-enter routes: signals that leave the fabric,
+          traverse external logic and come back (non-neighbouring
+          LGC/ROUTE selections) — the "back-and-forth inlet/outlet"
+          overhead of the paper's Table VII *)
+}
+
+val zero : t
+val add : t -> t -> t
+
+val mux2_total : t -> int
+(** Table I "Multiplexer" M2 column. *)
+
+val mux4_total : t -> int
+(** Table I M4 column: route + chain 4:1 muxes. *)
+
+val area : Style.t -> t -> float
+(** Standard-cell area of the inventory, including the style's tile
+    wiring overhead. *)
+
+val power : Style.t -> t -> float
+
+val pp : Format.formatter -> t -> unit
+val pp_table1_row : Format.formatter -> Style.t * t -> unit
+(** One row in the format of the paper's Table I. *)

@@ -1,0 +1,79 @@
+type t = Openfpga | Fabulous_std | Fabulous_muxchain
+
+type config_storage = Dff_chain | Latch_array
+
+type params = {
+  clb_luts : int;
+  lut_k : int;
+  route_flex : int;
+  chain_flex : int;
+  square : bool;
+  cyclic_routing : bool;
+  config_storage : config_storage;
+  control_ffs_base : int;
+  channel_width : int;
+  tile_wiring_overhead : float;
+  delay_factor : float;
+  supports_chain : bool;
+  route_mux4 : bool;
+}
+
+(* Flexibility and overhead constants are calibrated so the three
+   styles reproduce the resource ratios of the paper's Table I on the
+   8-channel Xbar (see bench target table1). *)
+let params = function
+  | Openfpga ->
+      {
+        clb_luts = 8;
+        lut_k = 4;
+        route_flex = 8;
+        chain_flex = 0;
+        square = true;
+        cyclic_routing = true;
+        config_storage = Dff_chain;
+        control_ffs_base = 0;
+        channel_width = 36;
+        tile_wiring_overhead = 1.35;
+        delay_factor = 2.6;
+        supports_chain = false;
+        route_mux4 = false;
+      }
+  | Fabulous_std ->
+      {
+        clb_luts = 8;
+        lut_k = 4;
+        route_flex = 8;
+        chain_flex = 0;
+        square = false;
+        cyclic_routing = false;
+        config_storage = Latch_array;
+        control_ffs_base = 8;
+        channel_width = 36;
+        tile_wiring_overhead = 1.22;
+        delay_factor = 1.9;
+        supports_chain = false;
+        route_mux4 = true;
+      }
+  | Fabulous_muxchain ->
+      {
+        clb_luts = 8;
+        lut_k = 4;
+        route_flex = 6;
+        chain_flex = 4;
+        square = false;
+        cyclic_routing = false;
+        config_storage = Latch_array;
+        control_ffs_base = 6;
+        channel_width = 36;
+        tile_wiring_overhead = 1.08;
+        delay_factor = 1.3;
+        supports_chain = true;
+        route_mux4 = true;
+      }
+
+let name = function
+  | Openfpga -> "OpenFPGA"
+  | Fabulous_std -> "FABulous (std cell)"
+  | Fabulous_muxchain -> "FABulous (std cell w/ mux chain)"
+
+let all = [ Openfpga; Fabulous_std; Fabulous_muxchain ]

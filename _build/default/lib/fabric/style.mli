@@ -1,0 +1,38 @@
+(** Fabric generator styles.
+
+    The three configurations the paper compares (Table I):
+    - [Openfpga]: square LUT-only tiling, rich (cyclical) switch boxes,
+      DFF-based configuration chain;
+    - [Fabulous_std]: std-cell optimized tiles, latch-based
+      configuration, leaner routing;
+    - [Fabulous_muxchain]: additionally provides non-cyclical MUX-chain
+      tiles built from the custom [Mux4] cell, onto which ROUTE
+      sub-circuits map directly. *)
+
+type t = Openfpga | Fabulous_std | Fabulous_muxchain
+
+type config_storage = Dff_chain | Latch_array
+
+type params = {
+  clb_luts : int;  (** BLEs per CLB tile *)
+  lut_k : int;
+  route_flex : int;  (** candidate sources per LUT-input route mux *)
+  chain_flex : int;  (** candidate sources per chain-mux input *)
+  square : bool;  (** fabric constrained to a square grid *)
+  cyclic_routing : bool;
+      (** decoy routing candidates may form combinational cycles —
+          the pre-processing target of the cyclic-reduction attack *)
+  config_storage : config_storage;
+  control_ffs_base : int;  (** configuration controller flops *)
+  channel_width : int;  (** routing tracks per channel *)
+  tile_wiring_overhead : float;  (** area multiplier for tile interfaces *)
+  delay_factor : float;
+  supports_chain : bool;
+  route_mux4 : bool;
+      (** switch/connection muxes built from the custom [Mux4] cell
+          (FABulous) rather than 2:1 muxes (OpenFPGA) *)
+}
+
+val params : t -> params
+val name : t -> string
+val all : t list

@@ -1,0 +1,1 @@
+lib/graph/centrality.ml: Array Digraph Float List Queue

@@ -1,0 +1,30 @@
+(** Centrality measures used by the SheLL score function (Eq. 1 and
+    Table II of the paper).
+
+    All results are arrays indexed by node and scaled to \[0, 1\] (each
+    measure divided by its maximum over the graph, when non-zero) so
+    that coefficient profiles compare like with like. *)
+
+val in_degree : Digraph.t -> float array
+(** iDgC — inlet degree centrality. *)
+
+val out_degree : Digraph.t -> float array
+(** oDgC — outlet degree centrality. *)
+
+val closeness : Digraph.t -> sources:int list -> sinks:int list -> float array
+(** ClsC — closeness to the controllable ([sources], e.g. PI-adjacent)
+    and observable ([sinks], e.g. PO-adjacent) nodes through shortest
+    paths. High value = near the I/O boundary (easily
+    controlled/observed); the paper selects for LOW closeness. *)
+
+val betweenness : Digraph.t -> sources:int list -> sinks:int list -> float array
+(** BtwC — node occurrence on shortest paths between controllable and
+    observable nodes (Brandes' algorithm restricted to source/sink
+    pairs). *)
+
+val eigenvector :
+  ?iters:int -> ?weight:(int -> float) -> Digraph.t -> float array
+(** EigC — eigenvector centrality by power iteration over the
+    underlying undirected structure. [weight] scales each node's
+    contribution to its neighbours (the paper weighs by neighbouring
+    gate type); default 1. *)

@@ -1,0 +1,1 @@
+lib/locking/insertion.ml: Array Hashtbl List Printf Shell_netlist

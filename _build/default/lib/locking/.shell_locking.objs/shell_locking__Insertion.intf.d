@@ -1,0 +1,1 @@
+lib/locking/insertion.mli: Shell_netlist

@@ -1,0 +1,1 @@
+lib/locking/locked.ml: Array Shell_netlist

@@ -1,0 +1,1 @@
+lib/locking/locked.mli: Shell_netlist

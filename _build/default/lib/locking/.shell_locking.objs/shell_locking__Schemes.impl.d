@@ -1,0 +1,1 @@
+lib/locking/schemes.ml: Array Fun Hashtbl Insertion List Locked Printf Queue Shell_netlist Shell_util

@@ -1,0 +1,1 @@
+lib/locking/schemes.mli: Locked Shell_netlist

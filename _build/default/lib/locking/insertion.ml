@@ -1,0 +1,90 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+
+(* Copy [nl]; let [build] create replacement logic for the chosen nets
+   in the copy; rewire every reader of each original net onto its
+   replacement. Net ids are preserved for everything [nl] owns (the
+   copy allocates the same ids in the same order), so [build] can refer
+   to the passed nets directly. *)
+let rewire_readers nl ~build ~nets =
+  let out = Netlist.create (Netlist.name nl) in
+  let mapping = Array.make (max (Netlist.num_nets nl) 1) (-1) in
+  List.iter
+    (fun (nm, net) -> mapping.(net) <- Netlist.add_input out nm)
+    (Netlist.inputs nl);
+  List.iter
+    (fun (nm, net) -> mapping.(net) <- Netlist.add_key out nm)
+    (Netlist.keys nl);
+  for n = 0 to Netlist.num_nets nl - 1 do
+    if mapping.(n) = -1 then mapping.(n) <- Netlist.new_net out
+  done;
+  let pairs = build out (Array.map (fun n -> mapping.(n)) nets) in
+  let subst = Hashtbl.create 8 in
+  List.iter (fun (old_net, repl) -> Hashtbl.replace subst old_net repl) pairs;
+  let locked_readers net =
+    match Hashtbl.find_opt subst net with Some r -> r | None -> net
+  in
+  Array.iter
+    (fun c ->
+      Netlist.add_cell out
+        (Cell.make ~origin:c.Cell.origin c.Cell.kind
+           (Array.map (fun n -> locked_readers mapping.(n)) c.Cell.ins)
+           mapping.(c.Cell.out)))
+    (Netlist.cells nl);
+  List.iter
+    (fun (nm, net) -> Netlist.add_output out nm (locked_readers mapping.(net)))
+    (Netlist.outputs nl);
+  out
+
+let key_lut nl ~origin ~prefix ~ins ~truth =
+  let k = Array.length ins in
+  let rows = 1 lsl k in
+  if Array.length truth <> rows then invalid_arg "Insertion.key_lut";
+  let leaves =
+    Array.init rows (fun r ->
+        Netlist.add_key nl (Printf.sprintf "%s_t%d" prefix r))
+  in
+  let rec build lo len input_idx =
+    if len = 1 then leaves.(lo)
+    else begin
+      let half = len / 2 in
+      let a = build lo half (input_idx - 1) in
+      let b = build (lo + half) half (input_idx - 1) in
+      Netlist.mux2 ~origin nl ~sel:ins.(input_idx) ~a ~b
+    end
+  in
+  (build 0 rows (k - 1), truth)
+
+let switch_2x2 nl ~origin ~name a b =
+  let key = Netlist.add_key nl name in
+  let out_a = Netlist.mux2 ~origin nl ~sel:key ~a ~b in
+  let out_b = Netlist.mux2 ~origin nl ~sel:key ~a:b ~b:a in
+  (out_a, out_b, false)
+
+let omega_network nl ~origin ~prefix wires =
+  let w = Array.length wires in
+  let stages =
+    let rec log2 v acc = if v <= 1 then acc else log2 (v / 2) (acc + 1) in
+    log2 w 0
+  in
+  if w <> 1 lsl stages then invalid_arg "Insertion.omega_network: width not 2^m";
+  let current = Array.copy wires in
+  let key = ref [] in
+  for stage = 0 to stages - 1 do
+    let stride = 1 lsl stage in
+    (* pair wires whose indices differ in bit [stage] *)
+    for base = 0 to w - 1 do
+      if base land stride = 0 && base lor stride < w then begin
+        let i = base and j = base lor stride in
+        let oa, ob, straight =
+          switch_2x2 nl ~origin
+            ~name:(Printf.sprintf "%s_s%d_%d" prefix stage base)
+            current.(i) current.(j)
+        in
+        current.(i) <- oa;
+        current.(j) <- ob;
+        key := straight :: !key
+      end
+    done
+  done;
+  (current, Array.of_list (List.rev !key))

@@ -1,0 +1,44 @@
+(** Shared machinery for the locking schemes: reader rewiring,
+    key-programmable LUTs, and key-controlled switch networks. *)
+
+val rewire_readers :
+  Shell_netlist.Netlist.t ->
+  build:(Shell_netlist.Netlist.t -> int array -> (int * int) list) ->
+  nets:int array ->
+  Shell_netlist.Netlist.t
+(** [rewire_readers nl ~build ~nets] copies [nl]; [build] receives the
+    fresh netlist and the (copied) nets to lock and returns
+    [(old_net, replacement_net)] pairs; every *reader* of [old_net]
+    (cell input or primary output) is switched to the replacement. The
+    replacement logic itself keeps reading the original net. *)
+
+val key_lut :
+  Shell_netlist.Netlist.t ->
+  origin:string ->
+  prefix:string ->
+  ins:int array ->
+  truth:bool array ->
+  int * bool array
+(** A LUT whose 2^|ins| table bits are fresh key inputs: builds the
+    mux tree, returns (output net, correct key bits = [truth]). *)
+
+val switch_2x2 :
+  Shell_netlist.Netlist.t ->
+  origin:string ->
+  name:string ->
+  int ->
+  int ->
+  int * int * bool
+(** Key-controlled crossing switch: returns (out_a, out_b, straight
+    key bit = false). With the key low the switch is straight, high it
+    crosses. *)
+
+val omega_network :
+  Shell_netlist.Netlist.t ->
+  origin:string ->
+  prefix:string ->
+  int array ->
+  int array * bool array
+(** Key-controlled multistage (omega) switching network over a
+    power-of-two number of wires; identity permutation under the
+    all-false key. Returns (output nets, correct key). *)

@@ -1,0 +1,15 @@
+module Netlist = Shell_netlist.Netlist
+module Equiv = Shell_netlist.Equiv
+module Specialize = Shell_netlist.Specialize
+
+type t = { locked : Netlist.t; key : bool array; scheme : string }
+
+let key_bits t = Array.length t.key
+
+let apply_key t key = Specialize.bind_keys t.locked key
+
+let verify ?vectors ~original t =
+  let bound = apply_key t t.key in
+  match Equiv.check ?vectors original bound with
+  | Equiv.Equivalent -> true
+  | Equiv.Counterexample _ -> false

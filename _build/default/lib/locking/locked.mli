@@ -1,0 +1,22 @@
+(** A locked design: the netlist (with key ports) plus its correct key.
+
+    Every locking scheme in this library — and the eFPGA redaction flow
+    in [shell_core] — produces this shape, which is what the attacks in
+    [shell_attacks] consume. *)
+
+type t = {
+  locked : Shell_netlist.Netlist.t;
+  key : bool array;  (** correct key, in {!Shell_netlist.Netlist.keys} order *)
+  scheme : string;  (** e.g. ["rll"], ["lut-lock"], ["full-lock"] *)
+}
+
+val key_bits : t -> int
+
+val verify :
+  ?vectors:int -> original:Shell_netlist.Netlist.t -> t -> bool
+(** The locked circuit under the correct key behaves like the original
+    (exhaustive for small input counts, sampled otherwise). Handles
+    cyclic locked netlists by binding the key first. *)
+
+val apply_key : t -> bool array -> Shell_netlist.Netlist.t
+(** Specialize the locked netlist under an arbitrary key guess. *)

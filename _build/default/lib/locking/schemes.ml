@@ -1,0 +1,238 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rng = Shell_util.Rng
+
+(* Nets eligible for locking: driven by combinational cells (not
+   consts), so the schemes never touch ports or state directly. *)
+let lockable_nets nl =
+  Array.to_list (Netlist.cells nl)
+  |> List.filter_map (fun c ->
+         match c.Cell.kind with
+         | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
+         | Cell.Not | Cell.Mux2 | Cell.Mux4 | Cell.Lut _ ->
+             Some c.Cell.out
+         | Cell.Buf | Cell.Const _ | Cell.Dff | Cell.Config_latch -> None)
+  |> Array.of_list
+
+let xor_keys ?(seed = 1) ~bits nl =
+  let rng = Rng.create seed in
+  let cand = lockable_nets nl in
+  let n = min bits (Array.length cand) in
+  let nets = Rng.sample rng n cand in
+  let key = Array.init n (fun _ -> Rng.bool rng) in
+  let locked =
+    Insertion.rewire_readers nl ~nets ~build:(fun out nets ->
+        Array.to_list
+          (Array.mapi
+             (fun i net ->
+               let k = Netlist.add_key out (Printf.sprintf "kx%d" i) in
+               let repl =
+                 if key.(i) then Netlist.xnor_ ~origin:"lock" out net k
+                 else Netlist.xor_ ~origin:"lock" out net k
+               in
+               (net, repl))
+             nets))
+  in
+  { Locked.locked; key; scheme = "xor" }
+
+(* Gate-to-LUT replacement shared by the two LUT schemes: the gate's
+   readers move onto a key-programmable LUT computing the same
+   function; the gate itself remains (it becomes the "golden" cone
+   absorbed by synthesis in a real flow, and keeps oracle behaviour
+   identical). *)
+let lutify nl nets_with_tt prefix =
+  let keys = ref [] in
+  let nets = Array.of_list (List.map fst nets_with_tt) in
+  let tts = Array.of_list (List.map snd nets_with_tt) in
+  let locked =
+    Insertion.rewire_readers nl ~nets ~build:(fun out nets ->
+        Array.to_list
+          (Array.mapi
+             (fun i net ->
+               let gate_ins, truth = tts.(i) in
+               let repl, kbits =
+                 Insertion.key_lut out ~origin:"lock"
+                   ~prefix:(Printf.sprintf "%s%d" prefix i)
+                   ~ins:gate_ins ~truth
+               in
+               keys := kbits :: !keys;
+               (net, repl))
+             nets))
+  in
+  (locked, Array.concat (List.rev !keys))
+
+(* Truth table (as bool rows) of a 2-input gate, plus its input nets. *)
+let gate_semantics nl ci =
+  let c = Netlist.cell nl ci in
+  match c.Cell.kind with
+  | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor ->
+      let rows =
+        Array.init 4 (fun r ->
+            Cell.eval c.Cell.kind [| r land 1 <> 0; r land 2 <> 0 |])
+      in
+      Some (c.Cell.out, (c.Cell.ins, rows))
+  | Cell.Not ->
+      Some (c.Cell.out, (c.Cell.ins, [| true; false |]))
+  | Cell.Buf | Cell.Mux2 | Cell.Mux4 | Cell.Lut _ | Cell.Const _ | Cell.Dff
+  | Cell.Config_latch ->
+      None
+
+let random_lut ?(seed = 2) ~gates nl =
+  let rng = Rng.create seed in
+  let cands =
+    Array.of_list
+      (List.filter_map
+         (fun ci -> gate_semantics nl ci)
+         (List.init (Netlist.num_cells nl) Fun.id))
+  in
+  let n = min gates (Array.length cands) in
+  let chosen = Array.to_list (Rng.sample rng n cands) in
+  let locked, key = lutify nl chosen "kr" in
+  { Locked.locked; key; scheme = "random-lut" }
+
+let heuristic_lut ?(seed = 3) ~gates nl =
+  ignore seed;
+  (* observability proxy: distance from each cell to a primary output;
+     prefer the most distant (least observable) gates, and never two
+     adjacent gates (no back-to-back LUTs, cf. Fig. 1(b)). *)
+  let cells = Netlist.cells nl in
+  let n = Array.length cells in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  Array.iter
+    (fun net ->
+      match Netlist.driver nl net with
+      | Some ci when dist.(ci) = max_int ->
+          dist.(ci) <- 0;
+          Queue.add ci queue
+      | Some _ | None -> ())
+    (Netlist.output_nets nl);
+  while not (Queue.is_empty queue) do
+    let ci = Queue.pop queue in
+    Array.iter
+      (fun net ->
+        match Netlist.driver nl net with
+        | Some cj when dist.(cj) > dist.(ci) + 1 ->
+            dist.(cj) <- dist.(ci) + 1;
+            Queue.add cj queue
+        | Some _ | None -> ())
+      cells.(ci).Cell.ins
+  done;
+  let ranked =
+    List.init n Fun.id
+    |> List.filter_map (fun ci ->
+           match gate_semantics nl ci with
+           | Some sem when dist.(ci) < max_int -> Some (ci, sem)
+           | Some _ | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare dist.(b) dist.(a))
+  in
+  let blocked = Hashtbl.create 16 in
+  let block ci =
+    Hashtbl.replace blocked ci ();
+    Array.iter
+      (fun net ->
+        match Netlist.driver nl net with
+        | Some cj -> Hashtbl.replace blocked cj ()
+        | None -> ())
+      cells.(ci).Cell.ins;
+    List.iter
+      (fun cj -> Hashtbl.replace blocked cj ())
+      (Netlist.fanout nl cells.(ci).Cell.out)
+  in
+  let rec pick acc k = function
+    | [] -> List.rev acc
+    | _ when k = 0 -> List.rev acc
+    | (ci, sem) :: tl ->
+        if Hashtbl.mem blocked ci then pick acc k tl
+        else begin
+          block ci;
+          pick (sem :: acc) (k - 1) tl
+        end
+  in
+  let chosen = pick [] gates ranked in
+  let locked, key = lutify nl chosen "kh" in
+  { Locked.locked; key; scheme = "lut-lock" }
+
+(* A window of [width] lockable nets from one combinational level — a
+   proper cut (same-level nets cannot depend on each other), and a
+   *localized* one, which is exactly what makes scheme (c) vulnerable
+   to structural link prediction. *)
+let local_window nl rng width =
+  let order = Netlist.topo_order nl in
+  let cells = Netlist.cells nl in
+  let level = Array.make (max (Netlist.num_nets nl) 1) 0 in
+  Array.iter
+    (fun ci ->
+      let c = cells.(ci) in
+      if not (Cell.is_sequential c.Cell.kind) then
+        level.(c.Cell.out) <-
+          1 + Array.fold_left (fun m n -> max m level.(n)) 0 c.Cell.ins)
+    order;
+  let buckets = Hashtbl.create 16 in
+  Array.iter
+    (fun ci ->
+      let c = cells.(ci) in
+      match c.Cell.kind with
+      | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
+      | Cell.Not | Cell.Mux2 | Cell.Mux4 | Cell.Lut _ ->
+          let lv = level.(c.Cell.out) in
+          Hashtbl.replace buckets lv
+            (c.Cell.out
+            :: (try Hashtbl.find buckets lv with Not_found -> []))
+      | Cell.Buf | Cell.Const _ | Cell.Dff | Cell.Config_latch -> ())
+    order;
+  let eligible =
+    Hashtbl.fold
+      (fun _ nets acc ->
+        if List.length nets >= width then Array.of_list nets :: acc else acc)
+      buckets []
+  in
+  match eligible with
+  | [] -> None
+  | levels ->
+      let bucket = List.nth levels (Rng.int rng (List.length levels)) in
+      let start = Rng.int rng (Array.length bucket - width + 1) in
+      Some (Array.sub bucket start width)
+
+let round_down_pow2 w =
+  let rec go p = if 2 * p <= w then go (2 * p) else p in
+  go 1
+
+let mux_routing ?(seed = 4) ~width nl =
+  let rng = Rng.create seed in
+  let width = round_down_pow2 width in
+  match local_window nl rng width with
+  | None -> { Locked.locked = Netlist.copy nl; key = [||]; scheme = "full-lock" }
+  | Some nets ->
+      let key = ref [||] in
+      let locked =
+        Insertion.rewire_readers nl ~nets ~build:(fun out nets ->
+            let outs, k =
+              Insertion.omega_network out ~origin:"lock" ~prefix:"km" nets
+            in
+            key := k;
+            Array.to_list (Array.map2 (fun net repl -> (net, repl)) nets outs))
+      in
+      { Locked.locked; key = !key; scheme = "full-lock" }
+
+let mux_lut ?(seed = 5) ~width nl =
+  let rng = Rng.create seed in
+  let width = round_down_pow2 width in
+  (* first lutify the drivers of a window, then permute their outputs *)
+  match local_window nl rng width with
+  | None -> { Locked.locked = Netlist.copy nl; key = [||]; scheme = "interlock" }
+  | Some nets ->
+      let sems =
+        Array.to_list nets
+        |> List.filter_map (fun net ->
+               match Netlist.driver nl net with
+               | Some ci -> gate_semantics nl ci
+               | None -> None)
+      in
+      let lut_locked, lut_key = lutify nl sems "kl" in
+      let route = mux_routing ~seed:(seed + 1) ~width lut_locked in
+      {
+        Locked.locked = route.Locked.locked;
+        key = Array.append lut_key route.Locked.key;
+        scheme = "interlock";
+      }

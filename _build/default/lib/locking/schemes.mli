@@ -1,0 +1,41 @@
+(** The reconfigurability-based locking schemes of the paper's Fig. 1.
+
+    (a) {!random_lut}: traditional random gate-to-LUT replacement [17]
+    — broken by the SAT attack.
+    (b) {!heuristic_lut}: LUT-Lock-style heuristic insertion [18] —
+    logic-level and topological selection rules.
+    (c) {!mux_routing}: localized MUX-based routing locking
+    (Full-Lock-flavoured) [3] — a key-controlled switch network over a
+    window of topologically-close wires; its locality is what the
+    ML-based link-prediction attack exploits.
+    (d) {!mux_lut}: InterLock-flavoured MUX+LUT twisting [4, 5] —
+    replaced gates become key-LUTs and their outputs pass through a
+    key-controlled switch network.
+
+    (e), eFPGA redaction, lives in [shell_core] (it needs the fabric
+    and the selection flow). Plus {!xor_keys}, classic key-gate
+    insertion, as a test baseline. *)
+
+val xor_keys :
+  ?seed:int -> bits:int -> Shell_netlist.Netlist.t -> Locked.t
+
+val random_lut :
+  ?seed:int -> gates:int -> Shell_netlist.Netlist.t -> Locked.t
+(** Replace [gates] randomly-chosen 2-input gates by key-programmable
+    LUTs (4 key bits each). *)
+
+val heuristic_lut :
+  ?seed:int -> gates:int -> Shell_netlist.Netlist.t -> Locked.t
+(** LUT-Lock-style: prefer gates far from primary outputs (low
+    observability), skip gates adjacent to an already-locked gate (no
+    back-to-back LUTs). *)
+
+val mux_routing :
+  ?seed:int -> width:int -> Shell_netlist.Netlist.t -> Locked.t
+(** Key-controlled omega network over [width] (power of two) wires
+    taken from one topological window. *)
+
+val mux_lut :
+  ?seed:int -> width:int -> Shell_netlist.Netlist.t -> Locked.t
+(** {!mux_routing} composed with key-LUT replacement of the gates
+    driving the locked wires. *)

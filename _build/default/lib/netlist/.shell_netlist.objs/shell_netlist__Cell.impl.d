@@ -1,0 +1,1 @@
+lib/netlist/cell.ml: Array Format Printf Shell_util String

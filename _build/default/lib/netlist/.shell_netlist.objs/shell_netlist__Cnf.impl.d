@@ -1,0 +1,1 @@
+lib/netlist/cnf.ml: Array Buffer Cell Int64 List Netlist Printf Shell_util

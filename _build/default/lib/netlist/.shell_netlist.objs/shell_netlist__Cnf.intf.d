@@ -1,0 +1,1 @@
+lib/netlist/cnf.mli: Netlist

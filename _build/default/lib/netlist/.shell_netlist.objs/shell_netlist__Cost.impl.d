@@ -1,0 +1,1 @@
+lib/netlist/cost.ml: Array Cell Float Format Netlist Shell_util

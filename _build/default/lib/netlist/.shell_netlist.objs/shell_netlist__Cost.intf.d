@@ -1,0 +1,1 @@
+lib/netlist/cost.mli: Cell Format Netlist

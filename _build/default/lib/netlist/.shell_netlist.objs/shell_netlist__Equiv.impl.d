@@ -1,0 +1,1 @@
+lib/netlist/equiv.ml: Array Cell List Netlist Shell_util Sim

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Cell Format Hashtbl List Printf Queue Shell_util

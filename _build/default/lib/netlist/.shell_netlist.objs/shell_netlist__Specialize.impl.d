@@ -1,0 +1,1 @@
+lib/netlist/specialize.ml: Array Bool Cell List Netlist Option Rewrite Shell_util

@@ -1,0 +1,1 @@
+lib/netlist/splice.ml: Array Cell List Netlist Rewrite

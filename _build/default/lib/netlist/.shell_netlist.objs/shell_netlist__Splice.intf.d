@@ -1,0 +1,1 @@
+lib/netlist/splice.mli: Netlist

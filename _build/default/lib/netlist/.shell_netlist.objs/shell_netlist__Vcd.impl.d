@@ -1,0 +1,1 @@
+lib/netlist/vcd.ml: Array Bool Buffer Char List Netlist Printf Sim String

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Bool Cell Format Hashtbl Int64 List Netlist Printf Shell_util String

@@ -1,0 +1,79 @@
+module Truthtab = Shell_util.Truthtab
+
+type kind =
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Mux2
+  | Mux4
+  | Lut of Truthtab.t
+  | Const of bool
+  | Dff
+  | Config_latch
+
+type t = { kind : kind; ins : int array; out : int; origin : string }
+
+let arity = function
+  | And | Or | Nand | Nor | Xor | Xnor -> 2
+  | Not | Buf -> 1
+  | Mux2 -> 3
+  | Mux4 -> 6
+  | Lut tt -> Truthtab.arity tt
+  | Const _ -> 0
+  | Dff | Config_latch -> 1
+
+let is_sequential = function
+  | Dff | Config_latch -> true
+  | And | Or | Nand | Nor | Xor | Xnor | Not | Buf | Mux2 | Mux4 | Lut _
+  | Const _ -> false
+
+let make ?(origin = "") kind ins out =
+  if Array.length ins <> arity kind then
+    invalid_arg
+      (Printf.sprintf "Cell.make: %d inputs where %d expected"
+         (Array.length ins) (arity kind));
+  { kind; ins; out; origin }
+
+let kind_name = function
+  | And -> "and2"
+  | Or -> "or2"
+  | Nand -> "nand2"
+  | Nor -> "nor2"
+  | Xor -> "xor2"
+  | Xnor -> "xnor2"
+  | Not -> "not"
+  | Buf -> "buf"
+  | Mux2 -> "mux2"
+  | Mux4 -> "mux4"
+  | Lut tt -> Printf.sprintf "lut%d:%Lx" (Truthtab.arity tt) (Truthtab.bits tt)
+  | Const b -> if b then "const1" else "const0"
+  | Dff -> "dff"
+  | Config_latch -> "cfg_latch"
+
+let eval kind ins =
+  match kind with
+  | And -> ins.(0) && ins.(1)
+  | Or -> ins.(0) || ins.(1)
+  | Nand -> not (ins.(0) && ins.(1))
+  | Nor -> not (ins.(0) || ins.(1))
+  | Xor -> ins.(0) <> ins.(1)
+  | Xnor -> ins.(0) = ins.(1)
+  | Not -> not ins.(0)
+  | Buf -> ins.(0)
+  | Mux2 -> if ins.(0) then ins.(2) else ins.(1)
+  | Mux4 ->
+      let sel = (if ins.(0) then 1 else 0) lor (if ins.(1) then 2 else 0) in
+      ins.(2 + sel)
+  | Lut tt -> Truthtab.eval tt ins
+  | Const b -> b
+  | Dff | Config_latch -> invalid_arg "Cell.eval: sequential cell"
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s) -> n%d" (kind_name t.kind)
+    (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "n%d") t.ins)))
+    t.out

@@ -1,0 +1,107 @@
+module Truthtab = Shell_util.Truthtab
+
+type report = { area : float; power : float; delay : float }
+
+(* Flavoured after sky130_fd_sc_hd drive-1 cells. The LUT entries model
+   the mux-tree + input buffering of a soft LUT; its configuration
+   storage is accounted separately (explicit Config_latch cells in the
+   fabric functional view). *)
+
+let lut_area k = float_of_int ((1 lsl k) - 1) *. 6.0 +. (float_of_int k *. 2.5)
+let lut_power k = float_of_int (1 lsl k) *. 0.35
+let lut_delay k = 0.12 +. (0.03 *. float_of_int k)
+
+let cell_area = function
+  | Cell.Const _ -> 0.0
+  | Cell.Buf -> 3.75
+  | Cell.Not -> 3.75
+  | Cell.Nand -> 3.75
+  | Cell.Nor -> 3.75
+  | Cell.And -> 6.25
+  | Cell.Or -> 6.25
+  | Cell.Xor -> 8.75
+  | Cell.Xnor -> 8.75
+  | Cell.Mux2 -> 11.25
+  | Cell.Mux4 -> 22.5
+  | Cell.Dff -> 21.25
+  | Cell.Config_latch -> 11.25
+  | Cell.Lut tt -> lut_area (Truthtab.arity tt)
+
+let cell_power = function
+  | Cell.Const _ -> 0.0
+  | Cell.Buf -> 0.8
+  | Cell.Not -> 0.7
+  | Cell.Nand -> 1.0
+  | Cell.Nor -> 1.0
+  | Cell.And -> 1.2
+  | Cell.Or -> 1.2
+  | Cell.Xor -> 1.8
+  | Cell.Xnor -> 1.8
+  | Cell.Mux2 -> 1.6
+  | Cell.Mux4 -> 2.6
+  | Cell.Dff -> 3.0
+  | Cell.Config_latch -> 1.2
+  | Cell.Lut tt -> lut_power (Truthtab.arity tt)
+
+let cell_delay = function
+  | Cell.Const _ -> 0.0
+  | Cell.Buf -> 0.06
+  | Cell.Not -> 0.05
+  | Cell.Nand -> 0.06
+  | Cell.Nor -> 0.06
+  | Cell.And -> 0.08
+  | Cell.Or -> 0.08
+  | Cell.Xor -> 0.12
+  | Cell.Xnor -> 0.12
+  | Cell.Mux2 -> 0.10
+  | Cell.Mux4 -> 0.14
+  | Cell.Dff -> 0.30 (* clk-to-q + setup budget *)
+  | Cell.Config_latch -> 0.0 (* static after configuration *)
+  | Cell.Lut tt -> lut_delay (Truthtab.arity tt)
+
+let fold_cells f init nl =
+  Array.fold_left f init (Netlist.cells nl)
+
+let area nl = fold_cells (fun acc c -> acc +. cell_area c.Cell.kind) 0.0 nl
+let power nl = fold_cells (fun acc c -> acc +. cell_power c.Cell.kind) 0.0 nl
+
+(* Longest-path arrival times over the topological order. Sequential
+   cells launch (clk-to-q) at their output and capture at their input. *)
+let delay nl =
+  let cells = Netlist.cells nl in
+  let order = Netlist.topo_order nl in
+  let arrival = Array.make (max (Netlist.num_nets nl) 1) 0.0 in
+  Array.iter
+    (fun ci ->
+      let c = cells.(ci) in
+      match c.Cell.kind with
+      | Cell.Dff -> arrival.(c.Cell.out) <- cell_delay Cell.Dff
+      | Cell.Config_latch -> arrival.(c.Cell.out) <- 0.0
+      | kind ->
+          let worst =
+            Array.fold_left (fun m net -> Float.max m arrival.(net)) 0.0 c.Cell.ins
+          in
+          arrival.(c.Cell.out) <- worst +. cell_delay kind)
+    order;
+  let crit = ref 0.0 in
+  Array.iter (fun net -> crit := Float.max !crit arrival.(net)) (Netlist.output_nets nl);
+  Array.iter
+    (fun c ->
+      match c.Cell.kind with
+      | Cell.Dff -> crit := Float.max !crit arrival.(c.Cell.ins.(0))
+      | _ -> ())
+    cells;
+  !crit
+
+let report nl = { area = area nl; power = power nl; delay = delay nl }
+
+let normalize ~base r =
+  let safe_div a b = if b = 0.0 then 0.0 else a /. b in
+  {
+    area = safe_div r.area base.area;
+    power = safe_div r.power base.power;
+    delay = safe_div r.delay base.delay;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "area=%.2f power=%.2f delay=%.3f" r.area r.power r.delay

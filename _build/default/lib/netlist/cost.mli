@@ -1,0 +1,34 @@
+(** Area / power / delay model.
+
+    This stands in for the Skywater 130 nm standard-cell library plus the
+    Genus/Innovus reports of the paper (see DESIGN.md, substitutions).
+    Absolute units are arbitrary (area in µm²-like units, delay in
+    ns-like units, power in µW-like switching weights); the paper's
+    results are normalized ratios, so only relative cell costs matter.
+
+    The [mux4] and [config_latch] entries reflect the FABulous custom
+    cells of the paper's Table I footnote (iteratively optimized
+    MUX-chain cells, up to 30% die-size shrinkage). *)
+
+type report = { area : float; power : float; delay : float }
+
+val cell_area : Cell.kind -> float
+val cell_power : Cell.kind -> float
+val cell_delay : Cell.kind -> float
+
+val area : Netlist.t -> float
+(** Sum of cell areas. *)
+
+val power : Netlist.t -> float
+
+val delay : Netlist.t -> float
+(** Critical combinational path (register-to-register or port-to-port),
+    including clk-to-q and setup contributions of sequential endpoints. *)
+
+val report : Netlist.t -> report
+
+val normalize : base:report -> report -> report
+(** Component-wise ratio — the "normalized overhead" of the paper's
+    tables ([1.0] = no overhead). *)
+
+val pp_report : Format.formatter -> report -> unit

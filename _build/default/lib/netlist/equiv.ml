@@ -1,0 +1,96 @@
+module Rng = Shell_util.Rng
+
+type verdict = Equivalent | Counterexample of bool array
+
+let exhaustive_limit = 16
+
+let comb nl = if Netlist.count_kind nl (function Cell.Dff -> true | _ -> false) > 0 then Netlist.comb_view nl else nl
+
+let outputs_on sim ?keys ins = Sim.eval_comb sim ?keys ins
+
+let equal_on a b ~keys_a ~keys_b ins =
+  let a = comb a and b = comb b in
+  let sa = Sim.create a and sb = Sim.create b in
+  outputs_on sa ~keys:keys_a ins = outputs_on sb ~keys:keys_b ins
+
+let check ?(vectors = 256) ?rng ?keys_a ?keys_b a b =
+  let a = comb a and b = comb b in
+  let n_in = List.length (Netlist.inputs a) in
+  if List.length (Netlist.inputs b) <> n_in then
+    invalid_arg "Equiv.check: input count mismatch";
+  if List.length (Netlist.outputs b) <> List.length (Netlist.outputs a) then
+    invalid_arg "Equiv.check: output count mismatch";
+  let keys_a =
+    match keys_a with
+    | Some k -> k
+    | None -> Array.make (List.length (Netlist.keys a)) false
+  in
+  let keys_b =
+    match keys_b with
+    | Some k -> k
+    | None -> Array.make (List.length (Netlist.keys b)) false
+  in
+  let sa = Sim.create a and sb = Sim.create b in
+  let try_vector ins =
+    if outputs_on sa ~keys:keys_a ins = outputs_on sb ~keys:keys_b ins then None
+    else Some ins
+  in
+  let result = ref Equivalent in
+  (if n_in <= exhaustive_limit then
+     let total = 1 lsl n_in in
+     let rec go v =
+       if v < total && !result = Equivalent then begin
+         let ins = Array.init n_in (fun i -> v land (1 lsl i) <> 0) in
+         (match try_vector ins with
+         | Some cex -> result := Counterexample cex
+         | None -> ());
+         go (v + 1)
+       end
+     in
+     go 0
+   else
+     let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
+     let rec go k =
+       if k < vectors && !result = Equivalent then begin
+         let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+         (match try_vector ins with
+         | Some cex -> result := Counterexample cex
+         | None -> ());
+         go (k + 1)
+       end
+     in
+     go 0);
+  !result
+
+let check_sequential ?(cycles = 32) ?(runs = 16) ?rng ?keys_a ?keys_b a b =
+  let n_in = List.length (Netlist.inputs a) in
+  if List.length (Netlist.inputs b) <> n_in then
+    invalid_arg "Equiv.check_sequential: input count mismatch";
+  let keys_a =
+    match keys_a with
+    | Some k -> k
+    | None -> Array.make (List.length (Netlist.keys a)) false
+  in
+  let keys_b =
+    match keys_b with
+    | Some k -> k
+    | None -> Array.make (List.length (Netlist.keys b)) false
+  in
+  let rng = match rng with Some r -> r | None -> Rng.create 0xc10c in
+  let sa = Sim.create a and sb = Sim.create b in
+  let result = ref Equivalent in
+  let run = ref 0 in
+  while !result = Equivalent && !run < runs do
+    Sim.reset sa;
+    Sim.reset sb;
+    let cycle = ref 0 in
+    while !result = Equivalent && !cycle < cycles do
+      let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+      let oa = Sim.step sa ~keys:keys_a ins in
+      let ob = Sim.step sb ~keys:keys_b ins in
+      if oa <> ob then result := Counterexample ins;
+      incr cycle
+    done;
+    incr run
+  done;
+  !result

@@ -1,0 +1,263 @@
+module Vec = Shell_util.Vec
+module Truthtab = Shell_util.Truthtab
+
+type t = {
+  name : string;
+  mutable n_nets : int;
+  mutable inputs : (string * int) list;  (* reversed; see accessors *)
+  mutable outputs : (string * int) list;
+  mutable keys : (string * int) list;
+  cells : Cell.t Vec.t;
+  (* caches, invalidated on mutation *)
+  mutable driver_cache : int array option;  (* net -> cell index or -1 *)
+  mutable fanout_cache : int list array option;
+}
+
+let create name =
+  {
+    name;
+    n_nets = 0;
+    inputs = [];
+    outputs = [];
+    keys = [];
+    cells = Vec.create ();
+    driver_cache = None;
+    fanout_cache = None;
+  }
+
+let name t = t.name
+
+let invalidate t =
+  t.driver_cache <- None;
+  t.fanout_cache <- None
+
+let new_net t =
+  let id = t.n_nets in
+  t.n_nets <- id + 1;
+  id
+
+let add_input t nm =
+  let net = new_net t in
+  t.inputs <- (nm, net) :: t.inputs;
+  net
+
+let add_key t nm =
+  let net = new_net t in
+  t.keys <- (nm, net) :: t.keys;
+  net
+
+let add_output t nm net =
+  if net < 0 || net >= t.n_nets then invalid_arg "Netlist.add_output: bad net";
+  t.outputs <- (nm, net) :: t.outputs
+
+let add_cell t c =
+  let check n = if n < 0 || n >= t.n_nets then invalid_arg "Netlist.add_cell: bad net" in
+  Array.iter check c.Cell.ins;
+  check c.Cell.out;
+  Vec.push t.cells c;
+  invalidate t
+
+let set_origin t i origin =
+  let c = Vec.get t.cells i in
+  Vec.set t.cells i { c with Cell.origin }
+
+let gate ?(origin = "") t kind ins =
+  let out = new_net t in
+  add_cell t (Cell.make ~origin kind ins out);
+  out
+
+let and_ ?origin t a b = gate ?origin t Cell.And [| a; b |]
+let or_ ?origin t a b = gate ?origin t Cell.Or [| a; b |]
+let nand_ ?origin t a b = gate ?origin t Cell.Nand [| a; b |]
+let nor_ ?origin t a b = gate ?origin t Cell.Nor [| a; b |]
+let xor_ ?origin t a b = gate ?origin t Cell.Xor [| a; b |]
+let xnor_ ?origin t a b = gate ?origin t Cell.Xnor [| a; b |]
+let not_ ?origin t a = gate ?origin t Cell.Not [| a |]
+let buf ?origin t a = gate ?origin t Cell.Buf [| a |]
+let mux2 ?origin t ~sel ~a ~b = gate ?origin t Cell.Mux2 [| sel; a; b |]
+
+let mux4 ?origin t ~s0 ~s1 data =
+  if Array.length data <> 4 then invalid_arg "Netlist.mux4: need 4 data nets";
+  gate ?origin t Cell.Mux4 [| s0; s1; data.(0); data.(1); data.(2); data.(3) |]
+
+let lut ?origin t tt ins = gate ?origin t (Cell.Lut tt) ins
+let const ?origin t b = gate ?origin t (Cell.Const b) [||]
+let dff ?origin t d = gate ?origin t Cell.Dff [| d |]
+
+let num_nets t = t.n_nets
+let num_cells t = Vec.length t.cells
+let cells t = Vec.to_array t.cells
+let cell t i = Vec.get t.cells i
+let inputs t = List.rev t.inputs
+let outputs t = List.rev t.outputs
+let keys t = List.rev t.keys
+let input_nets t = Array.of_list (List.map snd (inputs t))
+let output_nets t = Array.of_list (List.map snd (outputs t))
+let key_nets t = Array.of_list (List.map snd (keys t))
+
+let driver_table t =
+  match t.driver_cache with
+  | Some d -> d
+  | None ->
+      let d = Array.make (max t.n_nets 1) (-1) in
+      Vec.iteri (fun i c -> d.(c.Cell.out) <- i) t.cells;
+      t.driver_cache <- Some d;
+      d
+
+let driver t net =
+  let d = driver_table t in
+  if net < 0 || net >= t.n_nets then None
+  else match d.(net) with -1 -> None | i -> Some i
+
+let fanout_table t =
+  match t.fanout_cache with
+  | Some f -> f
+  | None ->
+      let f = Array.make (max t.n_nets 1) [] in
+      Vec.iteri
+        (fun i c -> Array.iter (fun n -> f.(n) <- i :: f.(n)) c.Cell.ins)
+        t.cells;
+      t.fanout_cache <- Some f;
+      f
+
+let fanout t net =
+  let f = fanout_table t in
+  if net < 0 || net >= t.n_nets then [] else List.rev f.(net)
+
+let copy t =
+  {
+    t with
+    cells = Vec.of_array (Vec.to_array t.cells);
+    driver_cache = None;
+    fanout_cache = None;
+  }
+
+let validate t =
+  let drivers = Array.make (max t.n_nets 1) 0 in
+  let mark net = drivers.(net) <- drivers.(net) + 1 in
+  List.iter (fun (_, n) -> mark n) t.inputs;
+  List.iter (fun (_, n) -> mark n) t.keys;
+  Vec.iter (fun c -> mark c.Cell.out) t.cells;
+  let err = ref None in
+  for net = 0 to t.n_nets - 1 do
+    if !err = None && drivers.(net) > 1 then
+      err := Some (Printf.sprintf "net n%d has %d drivers" net drivers.(net))
+  done;
+  (* Floating nets are only an error when something reads them. *)
+  let reads = Array.make (max t.n_nets 1) false in
+  Vec.iter (fun c -> Array.iter (fun n -> reads.(n) <- true) c.Cell.ins) t.cells;
+  List.iter (fun (_, n) -> reads.(n) <- true) t.outputs;
+  for net = 0 to t.n_nets - 1 do
+    if !err = None && reads.(net) && drivers.(net) = 0 then
+      err := Some (Printf.sprintf "net n%d is read but never driven" net)
+  done;
+  match !err with None -> Ok () | Some e -> Error e
+
+(* Kahn's algorithm on the combinational dependency graph: an edge goes
+   from the driver of each input net of a combinational cell to that
+   cell. Sequential cells are sources (their output depends on the past
+   only) but their inputs still have to be produced, so they appear in
+   the order too, after their input cone. *)
+let topo_order t =
+  let n = num_cells t in
+  let d = driver_table t in
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  for i = 0 to n - 1 do
+    let c = Vec.get t.cells i in
+    if not (Cell.is_sequential c.Cell.kind) then
+      Array.iter
+        (fun net ->
+          match d.(net) with
+          | -1 -> ()
+          | j ->
+              let cj = Vec.get t.cells j in
+              if not (Cell.is_sequential cj.Cell.kind) then begin
+                indeg.(i) <- indeg.(i) + 1;
+                succs.(j) <- i :: succs.(j)
+              end)
+        c.Cell.ins
+  done;
+  let queue = Queue.create () in
+  (* Sequential cells go last; their combinational input cone is already
+     ordered, and nothing combinational depends on ordering them early. *)
+  for i = 0 to n - 1 do
+    let c = Vec.get t.cells i in
+    if (not (Cell.is_sequential c.Cell.kind)) && indeg.(i) = 0 then
+      Queue.add i queue
+  done;
+  let order = Vec.create () in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    Vec.push order i;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  let n_comb = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Cell.is_sequential (Vec.get t.cells i).Cell.kind) then incr n_comb
+  done;
+  if Vec.length order <> !n_comb then
+    failwith "Netlist.topo_order: combinational cycle";
+  for i = 0 to n - 1 do
+    if Cell.is_sequential (Vec.get t.cells i).Cell.kind then Vec.push order i
+  done;
+  Vec.to_array order
+
+let has_comb_cycle t =
+  match topo_order t with _ -> false | exception Failure _ -> true
+
+let comb_view t =
+  let v = create (t.name ^ "_scan") in
+  v.n_nets <- t.n_nets;
+  v.inputs <- t.inputs;
+  v.outputs <- t.outputs;
+  v.keys <- t.keys;
+  let k = ref 0 in
+  Vec.iter
+    (fun c ->
+      match c.Cell.kind with
+      | Cell.Dff ->
+          let i = !k in
+          incr k;
+          (* The flop's q-net becomes a scan input; its d-net a scan
+             output. The q-net already exists: declare it as an input. *)
+          v.inputs <- (Printf.sprintf "scan_in_%d" i, c.Cell.out) :: v.inputs;
+          v.outputs <-
+            (Printf.sprintf "scan_out_%d" i, c.Cell.ins.(0)) :: v.outputs
+      | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
+      | Cell.Not | Cell.Buf | Cell.Mux2 | Cell.Mux4 | Cell.Lut _
+      | Cell.Const _ | Cell.Config_latch ->
+          Vec.push v.cells c)
+    t.cells;
+  v
+
+let stats t =
+  let tbl = Hashtbl.create 16 in
+  Vec.iter
+    (fun c ->
+      (* Collapse LUT truth tables so the histogram groups by arity. *)
+      let key =
+        match c.Cell.kind with
+        | Cell.Lut tt -> Printf.sprintf "lut%d" (Truthtab.arity tt)
+        | k -> Cell.kind_name k
+      in
+      Hashtbl.replace tbl key (1 + try Hashtbl.find tbl key with Not_found -> 0))
+    t.cells;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let count_kind t p =
+  Vec.fold (fun acc c -> if p c.Cell.kind then acc + 1 else acc) 0 t.cells
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>module %s: %d nets, %d cells@," t.name t.n_nets
+    (num_cells t);
+  List.iter (fun (nm, n) -> Format.fprintf ppf "  input %s = n%d@," nm n) (inputs t);
+  List.iter (fun (nm, n) -> Format.fprintf ppf "  key %s = n%d@," nm n) (keys t);
+  List.iter (fun (nm, n) -> Format.fprintf ppf "  output %s = n%d@," nm n) (outputs t);
+  Vec.iter (fun c -> Format.fprintf ppf "  %a@," Cell.pp c) t.cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,107 @@
+(** Flat gate-level netlists.
+
+    A netlist owns a set of nets (dense integers), a list of cells, and
+    three named port classes:
+    - primary inputs,
+    - primary outputs,
+    - key inputs — the secret configuration bits of a locked design
+      (ordinary inputs as far as structure goes, but attacks and
+      simulation treat them specially).
+
+    Invariant (checked by {!validate}): every net is driven by exactly
+    one source (a port of class input/key, or a cell output), and every
+    primary output names an existing net. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : string -> t
+(** Empty netlist with the given module name. *)
+
+val name : t -> string
+
+val new_net : t -> int
+(** Allocate a fresh net id. *)
+
+val add_input : t -> string -> int
+(** Declare a primary input; returns its net. *)
+
+val add_key : t -> string -> int
+(** Declare a key (configuration) input; returns its net. *)
+
+val add_output : t -> string -> int -> unit
+(** [add_output t nm net] exposes [net] as primary output [nm]. *)
+
+val add_cell : t -> Cell.t -> unit
+
+val set_origin : t -> int -> string -> unit
+(** Retag cell [i]'s hierarchical origin (used by the netlist parser
+    to restore origin annotations). *)
+
+(** Convenience builders: allocate the output net, add the cell and
+    return the output net. [origin] tags the cell's hierarchical path. *)
+
+val gate : ?origin:string -> t -> Cell.kind -> int array -> int
+val and_ : ?origin:string -> t -> int -> int -> int
+val or_ : ?origin:string -> t -> int -> int -> int
+val nand_ : ?origin:string -> t -> int -> int -> int
+val nor_ : ?origin:string -> t -> int -> int -> int
+val xor_ : ?origin:string -> t -> int -> int -> int
+val xnor_ : ?origin:string -> t -> int -> int -> int
+val not_ : ?origin:string -> t -> int -> int
+val buf : ?origin:string -> t -> int -> int
+val mux2 : ?origin:string -> t -> sel:int -> a:int -> b:int -> int
+val mux4 : ?origin:string -> t -> s0:int -> s1:int -> int array -> int
+val lut : ?origin:string -> t -> Shell_util.Truthtab.t -> int array -> int
+val const : ?origin:string -> t -> bool -> int
+val dff : ?origin:string -> t -> int -> int
+
+(** {1 Access} *)
+
+val num_nets : t -> int
+val num_cells : t -> int
+val cells : t -> Cell.t array
+val cell : t -> int -> Cell.t
+val inputs : t -> (string * int) list
+(** In declaration order. *)
+
+val outputs : t -> (string * int) list
+val keys : t -> (string * int) list
+val input_nets : t -> int array
+val output_nets : t -> int array
+val key_nets : t -> int array
+
+val driver : t -> int -> int option
+(** [driver t net] is the index of the cell driving [net], or [None]
+    for port-driven / floating nets. Built lazily; O(1) amortized. *)
+
+val fanout : t -> int -> int list
+(** Indices of cells reading [net]. *)
+
+val copy : t -> t
+
+(** {1 Analysis} *)
+
+val validate : t -> (unit, string) result
+(** Check the single-driver invariant and port sanity. *)
+
+val topo_order : t -> int array
+(** Indices of all cells in topological order, where sequential cell
+    outputs count as sources. Raises [Failure] if the combinational
+    part is cyclic. *)
+
+val has_comb_cycle : t -> bool
+
+val comb_view : t -> t
+(** Full-scan view per the threat model: every [Dff] is removed, its
+    output becomes a primary input ["scan_in_k"] and its input is
+    exposed as primary output ["scan_out_k"]. [Config_latch]es are kept
+    (they hold the bitstream, which is the attack target). *)
+
+val stats : t -> (string * int) list
+(** Cell-kind histogram, e.g. [("mux2", 185); ("dff", 12); ...]. *)
+
+val count_kind : t -> (Cell.kind -> bool) -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** Structural netlist rewrites.
+
+    All functions return a fresh netlist; ports keep names and order.
+    Net ids are renumbered compactly. *)
+
+val sweep_buffers : Netlist.t -> Netlist.t
+(** Remove [Buf] cells by reconnecting their readers to the buffer
+    input. Buffers driving primary outputs whose input is a port net are
+    kept (they implement output aliasing). *)
+
+val dead_cell_elim : Netlist.t -> Netlist.t
+(** Drop cells whose output cone reaches no primary output and no
+    sequential element. *)
+
+val clean : Netlist.t -> Netlist.t
+(** [sweep_buffers] then [dead_cell_elim]. *)

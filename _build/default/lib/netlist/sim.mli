@@ -1,0 +1,34 @@
+(** Cycle-accurate netlist simulation.
+
+    Combinational evaluation orders cells topologically once per netlist
+    and then evaluates in O(cells) per vector. Sequential state ([Dff])
+    starts at zero; [Config_latch] cells hold a value loaded once at
+    simulator creation (the bitstream) and never change. *)
+
+type t
+
+val create : ?config:bool array -> Netlist.t -> t
+(** [config] gives the per-[Config_latch] values in cell order (the
+    order latches appear in the netlist); defaults to all-false. *)
+
+val netlist : t -> Netlist.t
+
+val reset : t -> unit
+(** Zero all [Dff] state (config latches keep their loaded value). *)
+
+val step : t -> ?keys:bool array -> bool array -> bool array
+(** [step t ~keys ins] applies one clock cycle: evaluates the
+    combinational logic from primary inputs [ins] (declaration order)
+    and key inputs [keys], returns the primary outputs, then updates the
+    flops. [keys] defaults to all-false and must match the key count. *)
+
+val eval_comb : t -> ?keys:bool array -> bool array -> bool array
+(** Same as {!step} but without the state update. *)
+
+val run : t -> ?keys:bool array -> bool array list -> bool array list
+(** Feed a sequence of input vectors; collect the outputs. *)
+
+val net_values : t -> bool array
+(** Values of all nets after the last evaluation. *)
+
+val num_config_latches : Netlist.t -> int

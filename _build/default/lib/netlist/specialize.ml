@@ -1,0 +1,107 @@
+module Truthtab = Shell_util.Truthtab
+
+type fact = Unknown | Const of bool | Alias of int
+
+let bind_keys nl key =
+  let key_nets = Netlist.key_nets nl in
+  if Array.length key <> Array.length key_nets then
+    invalid_arg "Specialize.bind_keys: key length mismatch";
+  let n_nets = max (Netlist.num_nets nl) 1 in
+  let facts = Array.make n_nets Unknown in
+  Array.iteri (fun i net -> facts.(net) <- Const key.(i)) key_nets;
+  (* resolve through alias chains, path-compressing as we go *)
+  let rec resolve net =
+    match facts.(net) with
+    | Alias net' ->
+        let root = resolve net' in
+        if root <> net' then facts.(net) <- Alias root;
+        root
+    | Unknown | Const _ -> net
+  in
+  let value net =
+    match facts.(resolve net) with Const b -> Some b | Unknown | Alias _ -> None
+  in
+  let cells = Netlist.cells nl in
+  let folded = Array.make (Array.length cells) false in
+  (* Try to fold one cell; true if a new fact was learned. *)
+  let try_fold i (c : Cell.t) =
+    if folded.(i) || Cell.is_sequential c.Cell.kind then false
+    else begin
+      let ins = c.Cell.ins in
+      let v j = value ins.(j) in
+      let learn fact =
+        folded.(i) <- true;
+        (match fact with
+        | Alias net -> facts.(c.Cell.out) <- Alias (resolve net)
+        | other -> facts.(c.Cell.out) <- other);
+        true
+      in
+      let vals = Array.init (Array.length ins) v in
+      let all_const = Array.for_all Option.is_some vals in
+      if all_const && Array.length ins > 0 then
+        learn (Const (Cell.eval c.Cell.kind (Array.map Option.get vals)))
+      else
+        match (c.Cell.kind, vals) with
+        | Cell.Const b, _ -> learn (Const b)
+        | Cell.Buf, _ -> learn (Alias ins.(0))
+        | Cell.And, [| Some false; _ |] | Cell.And, [| _; Some false |] ->
+            learn (Const false)
+        | Cell.And, [| Some true; _ |] -> learn (Alias ins.(1))
+        | Cell.And, [| _; Some true |] -> learn (Alias ins.(0))
+        | Cell.Or, [| Some true; _ |] | Cell.Or, [| _; Some true |] ->
+            learn (Const true)
+        | Cell.Or, [| Some false; _ |] -> learn (Alias ins.(1))
+        | Cell.Or, [| _; Some false |] -> learn (Alias ins.(0))
+        | Cell.Nand, [| Some false; _ |] | Cell.Nand, [| _; Some false |] ->
+            learn (Const true)
+        | Cell.Nor, [| Some true; _ |] | Cell.Nor, [| _; Some true |] ->
+            learn (Const false)
+        | Cell.Xor, [| Some false; _ |] -> learn (Alias ins.(1))
+        | Cell.Xor, [| _; Some false |] -> learn (Alias ins.(0))
+        | Cell.Xnor, [| Some true; _ |] -> learn (Alias ins.(1))
+        | Cell.Xnor, [| _; Some true |] -> learn (Alias ins.(0))
+        | Cell.Mux2, [| Some s; _; _ |] -> learn (Alias ins.(if s then 2 else 1))
+        | Cell.Mux2, _ when resolve ins.(1) = resolve ins.(2) ->
+            learn (Alias ins.(1))
+        | Cell.Mux4, [| Some s0; Some s1; _; _; _; _ |] ->
+            let idx = 2 + ((if s0 then 1 else 0) lor if s1 then 2 else 0) in
+            learn (Alias ins.(idx))
+        | _ -> false
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri (fun i c -> if try_fold i c then changed := true) cells
+  done;
+  (* rebuild without the folded cells and without key ports *)
+  let out = Netlist.create (Netlist.name nl) in
+  let mapping = Array.make n_nets (-1) in
+  let const_net = [| -1; -1 |] in
+  List.iter
+    (fun (nm, net) -> mapping.(net) <- Netlist.add_input out nm)
+    (Netlist.inputs nl);
+  let rec map_net net =
+    let net = resolve net in
+    match facts.(net) with
+    | Const b ->
+        let i = Bool.to_int b in
+        if const_net.(i) = -1 then const_net.(i) <- Netlist.const out b;
+        const_net.(i)
+    | Alias _ -> map_net net  (* resolved above; unreachable *)
+    | Unknown ->
+        if mapping.(net) = -1 then mapping.(net) <- Netlist.new_net out;
+        mapping.(net)
+  in
+  Array.iteri
+    (fun i c ->
+      if not folded.(i) then
+        Netlist.add_cell out
+          (Cell.make ~origin:c.Cell.origin c.Cell.kind
+             (Array.map map_net c.Cell.ins)
+             (map_net c.Cell.out)))
+    cells;
+  List.iter
+    (fun (nm, net) -> Netlist.add_output out nm (map_net net))
+    (Netlist.outputs nl);
+  Rewrite.dead_cell_elim out

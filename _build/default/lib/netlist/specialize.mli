@@ -1,0 +1,14 @@
+(** Key binding by cycle-tolerant constant propagation.
+
+    Locked netlists from cyclic fabric styles can contain structural
+    combinational cycles through decoy routing, so they cannot be
+    topologically ordered until the configuration is applied. This pass
+    substitutes constants for the key inputs and folds muxes/gates to a
+    fixpoint *without* requiring an order; with a cycle-free
+    configuration (any correct bitstream) the result is an ordinary
+    acyclic netlist with no key ports. *)
+
+val bind_keys : Netlist.t -> bool array -> Netlist.t
+(** [bind_keys locked key] — [key] in {!Netlist.keys} order. The result
+    has the same primary inputs/outputs and no keys. Raises
+    [Invalid_argument] on a length mismatch. *)

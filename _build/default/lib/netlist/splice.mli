@@ -1,0 +1,22 @@
+(** Region replacement: swap a set of cells for a drop-in netlist.
+
+    Used by the redaction flow to put the configured-fabric view where
+    the extracted sub-circuit used to be. The replacement's key inputs
+    are lifted to key inputs of the result. *)
+
+val replace_cells :
+  Netlist.t ->
+  remove:(int -> bool) ->
+  replacement:Netlist.t ->
+  input_binding:(string * int) list ->
+  output_binding:(string * int) list ->
+  Netlist.t
+(** [replace_cells parent ~remove ~replacement ~input_binding
+    ~output_binding]:
+    - cells with [remove index] true are dropped;
+    - each [(port, net)] in [input_binding] feeds parent net [net] into
+      the replacement input [port];
+    - each [(port, net)] in [output_binding] drives parent net [net]
+      (which must have lost its driver) from replacement output [port].
+    Raises [Invalid_argument] on unbound ports or doubly-driven
+    nets. *)

@@ -1,0 +1,99 @@
+type signal = { name : string; id : string; source : source }
+
+and source = Input of int | Output of int | Key of int | Net of int
+
+type t = {
+  sim : Sim.t;
+  timescale : string;
+  mutable signals : signal list;  (* reversed *)
+  mutable samples : (int * bool array) list;  (* (time, values) reversed *)
+  mutable time : int;
+  mutable started : bool;
+}
+
+(* VCD identifier characters: printable ASCII, starting at '!' *)
+let ident i =
+  let base = 94 and start = 33 in
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (start + (i mod base))) ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create ?(timescale = "1ns") sim =
+  let nl = Sim.netlist sim in
+  let signals = ref [] in
+  let n = ref 0 in
+  let add name source =
+    signals := { name; id = ident !n; source } :: !signals;
+    incr n
+  in
+  List.iteri (fun i (nm, _) -> add nm (Input i)) (Netlist.inputs nl);
+  List.iteri (fun i (nm, _) -> add nm (Key i)) (Netlist.keys nl);
+  List.iteri (fun i (nm, _) -> add nm (Output i)) (Netlist.outputs nl);
+  { sim; timescale; signals = !signals; samples = []; time = 0; started = false }
+
+let probe t name net =
+  if t.started then invalid_arg "Vcd.probe: sampling already started";
+  t.signals <- { name; id = ident (List.length t.signals); source = Net net } :: t.signals
+
+let sample_values t ~keys ~ins ~outs =
+  let nets = Sim.net_values t.sim in
+  let value = function
+    | Input i -> ins.(i)
+    | Output i -> outs.(i)
+    | Key i -> keys.(i)
+    | Net n -> nets.(n)
+  in
+  Array.of_list (List.rev_map (fun s -> value s.source) t.signals)
+
+let step t ?keys ins =
+  t.started <- true;
+  let outs = Sim.step t.sim ?keys ins in
+  let keys =
+    match keys with
+    | Some k -> k
+    | None ->
+        Array.make (List.length (Netlist.keys (Sim.netlist t.sim))) false
+  in
+  t.samples <- (t.time, sample_values t ~keys ~ins ~outs) :: t.samples;
+  t.time <- t.time + 1;
+  outs
+
+let escape name =
+  String.map (fun c -> if c = ' ' then '_' else c) name
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" t.timescale);
+  Buffer.add_string buf
+    (Printf.sprintf "$scope module %s $end\n" (Netlist.name (Sim.netlist t.sim)));
+  let ordered = List.rev t.signals in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" s.id (escape s.name)))
+    ordered;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let prev = ref None in
+  List.iter
+    (fun (time, values) ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+      List.iteri
+        (fun i s ->
+          let changed =
+            match !prev with None -> true | Some p -> p.(i) <> values.(i)
+          in
+          if changed then
+            Buffer.add_string buf
+              (Printf.sprintf "%d%s\n" (Bool.to_int values.(i)) s.id))
+        ordered;
+      prev := Some values)
+    (List.rev t.samples);
+  Buffer.add_string buf (Printf.sprintf "#%d\n" t.time);
+  Buffer.contents buf
+
+let to_file t path =
+  let oc = open_out path in
+  output_string oc (dump t);
+  close_out oc

@@ -1,0 +1,22 @@
+(** VCD (Value Change Dump) waveform capture.
+
+    Wraps a {!Sim.t} and records primary inputs, primary outputs and
+    key values every clock cycle; the dump opens in GTKWave or any other
+    VCD viewer. Net-level probing is available via [probe]. *)
+
+type t
+
+val create : ?timescale:string -> Sim.t -> t
+(** [timescale] defaults to ["1ns"]. *)
+
+val probe : t -> string -> int -> unit
+(** [probe t name net] additionally records the given net. Call before
+    the first {!step}. *)
+
+val step : t -> ?keys:bool array -> bool array -> bool array
+(** Like {!Sim.step}, recording a waveform sample. *)
+
+val dump : t -> string
+(** The VCD text for everything recorded so far. *)
+
+val to_file : t -> string -> unit

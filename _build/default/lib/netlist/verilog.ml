@@ -1,0 +1,332 @@
+module Truthtab = Shell_util.Truthtab
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Nets driven by ports keep their port name; nets exposed as outputs
+   take the output name (so most outputs need no alias buffer); the rest
+   print as n<id>. *)
+let net_names nl =
+  let names = Array.make (max (Netlist.num_nets nl) 1) "" in
+  let claim (nm, net) = if names.(net) = "" then names.(net) <- nm in
+  List.iter claim (Netlist.inputs nl);
+  List.iter claim (Netlist.keys nl);
+  List.iter claim (Netlist.outputs nl);
+  for net = 0 to Netlist.num_nets nl - 1 do
+    if names.(net) = "" then names.(net) <- Printf.sprintf "n%d" net
+  done;
+  names
+
+let print ppf nl =
+  let names = net_names nl in
+  let inputs = Netlist.inputs nl and keys = Netlist.keys nl in
+  let outputs = Netlist.outputs nl in
+  let ports =
+    List.map (fun (_, net) -> names.(net)) inputs
+    @ List.map (fun (_, net) -> names.(net)) keys
+    @ List.map fst outputs
+  in
+  Format.fprintf ppf "module %s (%s);@." (Netlist.name nl)
+    (String.concat ", " ports);
+  List.iter
+    (fun (_, net) -> Format.fprintf ppf "  input %s;@." names.(net))
+    inputs;
+  List.iter
+    (fun (_, net) -> Format.fprintf ppf "  keyinput %s;@." names.(net))
+    keys;
+  List.iter (fun (nm, _) -> Format.fprintf ppf "  output %s;@." nm) outputs;
+  (* Internal nets that are driven by cells. Output-named nets are
+     already declared by their [output] line. *)
+  let is_port = Array.make (Array.length names) false in
+  List.iter (fun (_, net) -> is_port.(net) <- true) inputs;
+  List.iter (fun (_, net) -> is_port.(net) <- true) keys;
+  List.iter
+    (fun (nm, net) -> if names.(net) = nm then is_port.(net) <- true)
+    outputs;
+  Array.iter
+    (fun c ->
+      let out = c.Cell.out in
+      if not is_port.(out) then Format.fprintf ppf "  wire %s;@." names.(out))
+    (Netlist.cells nl);
+  Array.iteri
+    (fun i c ->
+      let conns =
+        Array.to_list (Array.map (fun net -> names.(net)) c.Cell.ins)
+        @ [ names.(c.Cell.out) ]
+      in
+      let conns = String.concat ", " conns in
+      (match c.Cell.kind with
+      | Cell.Lut tt ->
+          Format.fprintf ppf "  lut #(%d, 64'h%Lx) g%d (%s);@."
+            (Truthtab.arity tt) (Truthtab.bits tt) i conns
+      | Cell.Const b -> Format.fprintf ppf "  const%d g%d (%s);@." (Bool.to_int b) i conns
+      | k -> Format.fprintf ppf "  %s g%d (%s);@." (Cell.kind_name k) i conns);
+      if c.Cell.origin <> "" then
+        Format.fprintf ppf "  // ^ origin: %s@." c.Cell.origin)
+    (Netlist.cells nl);
+  (* Outputs fed directly by a named net need an alias buffer only when
+     the names differ; we emit an assign-free dialect, so outputs are
+     connected by name. A direct connection exists when the output name
+     equals the driving net's name; otherwise emit a buf. *)
+  List.iter
+    (fun (nm, net) ->
+      if names.(net) <> nm then Format.fprintf ppf "  buf gout_%s (%s, %s);@." nm names.(net) nm)
+    outputs;
+  Format.fprintf ppf "endmodule@."
+
+let to_string nl = Format.asprintf "%a" print nl
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Hex of int64  (* 64'h... literal *)
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Hash
+  | Origin of string  (* the printer's "// ^ origin: ..." annotation *)
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let i = ref 0 in
+  (* Brackets are ordinary name characters in this dialect: multi-bit
+     ports elaborate to bit-level names like [a[3]]. *)
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '$' || c = '.' || c = '[' || c = ']'
+  in
+  while !i < n do
+    (match src.[!i] with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '/' when !i + 1 < n && src.[!i + 1] = '/' ->
+        let start = !i in
+        while !i < n && src.[!i] <> '\n' do incr i done;
+        let comment = String.sub src start (!i - start) in
+        let marker = "// ^ origin: " in
+        let ml = String.length marker in
+        if String.length comment > ml && String.sub comment 0 ml = marker then
+          toks :=
+            (Origin (String.sub comment ml (String.length comment - ml)), !line)
+            :: !toks
+    | '(' -> toks := (Lparen, !line) :: !toks; incr i
+    | ')' -> toks := (Rparen, !line) :: !toks; incr i
+    | ';' -> toks := (Semi, !line) :: !toks; incr i
+    | ',' -> toks := (Comma, !line) :: !toks; incr i
+    | '#' -> toks := (Hash, !line) :: !toks; incr i
+    | c when c >= '0' && c <= '9' ->
+        let start = !i in
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+        if !i + 1 < n && src.[!i] = '\'' && (src.[!i + 1] = 'h' || src.[!i + 1] = 'H')
+        then begin
+          i := !i + 2;
+          let hstart = !i in
+          while
+            !i < n
+            && (let c = src.[!i] in
+                (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+                || (c >= 'A' && c <= 'F'))
+          do incr i done;
+          if !i = hstart then fail "empty hex literal";
+          let hex = String.sub src hstart (!i - hstart) in
+          match Int64.of_string_opt ("0x" ^ hex) with
+          | Some v -> toks := (Hex v, !line) :: !toks
+          | None -> fail ("bad hex literal: " ^ hex)
+        end
+        else
+          toks := (Int (int_of_string (String.sub src start (!i - start))), !line) :: !toks
+    | c when is_ident_char c ->
+        let start = !i in
+        while !i < n && is_ident_char src.[!i] do incr i done;
+        toks := (Ident (String.sub src start (!i - start)), !line) :: !toks
+    | c -> fail (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { mutable toks : (token * int) list }
+
+let fail_at line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let next st =
+  match st.toks with
+  | [] -> raise (Parse_error "unexpected end of input")
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st tok what =
+  let t, line = next st in
+  if t <> tok then fail_at line ("expected " ^ what)
+
+let ident st =
+  match next st with
+  | Ident s, _ -> s
+  | _, line -> fail_at line "expected identifier"
+
+let int_lit st =
+  match next st with
+  | Int v, _ -> v
+  | _, line -> fail_at line "expected integer"
+
+let kind_of_name nm line =
+  match nm with
+  | "and2" -> Some Cell.And
+  | "or2" -> Some Cell.Or
+  | "nand2" -> Some Cell.Nand
+  | "nor2" -> Some Cell.Nor
+  | "xor2" -> Some Cell.Xor
+  | "xnor2" -> Some Cell.Xnor
+  | "not" -> Some Cell.Not
+  | "buf" -> Some Cell.Buf
+  | "mux2" -> Some Cell.Mux2
+  | "mux4" -> Some Cell.Mux4
+  | "dff" -> Some Cell.Dff
+  | "cfg_latch" -> Some Cell.Config_latch
+  | "const0" -> Some (Cell.Const false)
+  | "const1" -> Some (Cell.Const true)
+  | "input" | "output" | "keyinput" | "wire" | "module" | "endmodule" | "lut" ->
+      None
+  | other -> fail_at line ("unknown cell kind: " ^ other)
+
+let parse src =
+  let st = { toks = lex src } in
+  expect st (Ident "module") "'module'";
+  let mod_name = ident st in
+  let nl = Netlist.create mod_name in
+  (* Header port list: names only; classes come from declarations. *)
+  expect st Lparen "'('";
+  let rec skip_ports () =
+    match next st with
+    | Rparen, _ -> ()
+    | Ident _, _ | Comma, _ -> skip_ports ()
+    | _, line -> fail_at line "malformed port list"
+  in
+  (match st.toks with
+  | (Rparen, _) :: rest -> st.toks <- rest
+  | _ -> skip_ports ());
+  expect st Semi "';'";
+  let nets : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let net_of nm =
+    match Hashtbl.find_opt nets nm with
+    | Some id -> id
+    | None ->
+        let id = Netlist.new_net nl in
+        Hashtbl.add nets nm id;
+        id
+  in
+  let pending_outputs = ref [] in
+  let connections st =
+    expect st Lparen "'('";
+    let rec go acc =
+      match next st with
+      | Ident nm, _ -> (
+          match next st with
+          | Comma, _ -> go (nm :: acc)
+          | Rparen, _ -> List.rev (nm :: acc)
+          | _, line -> fail_at line "expected ',' or ')'")
+      | Rparen, _ -> List.rev acc
+      | _, line -> fail_at line "expected net name"
+    in
+    let conns = go [] in
+    expect st Semi "';'";
+    conns
+  in
+  (* the instance name doubles as a default origin tag so block-level
+     selection works on hand-written files; an explicit
+     "// ^ origin: ..." annotation overrides it *)
+  let add_instance ~iname kind conns line =
+    match List.rev conns with
+    | [] -> fail_at line "instance with no connections"
+    | out :: rev_ins ->
+        let ins = Array.of_list (List.rev_map net_of rev_ins) in
+        let out = net_of out in
+        (try Netlist.add_cell nl (Cell.make ~origin:iname kind ins out)
+         with Invalid_argument m -> fail_at line m)
+  in
+  let rec statements () =
+    match next st with
+    | Origin o, _ ->
+        let n = Netlist.num_cells nl in
+        if n > 0 then Netlist.set_origin nl (n - 1) o;
+        statements ()
+    | Ident "endmodule", _ -> ()
+    | Ident "input", _ ->
+        let nm = ident st in
+        expect st Semi "';'";
+        if Hashtbl.mem nets nm then fail_at 0 ("duplicate net: " ^ nm);
+        Hashtbl.add nets nm (Netlist.add_input nl nm);
+        statements ()
+    | Ident "keyinput", _ ->
+        let nm = ident st in
+        expect st Semi "';'";
+        if Hashtbl.mem nets nm then fail_at 0 ("duplicate net: " ^ nm);
+        Hashtbl.add nets nm (Netlist.add_key nl nm);
+        statements ()
+    | Ident "output", _ ->
+        let nm = ident st in
+        expect st Semi "';'";
+        pending_outputs := nm :: !pending_outputs;
+        statements ()
+    | Ident "wire", _ ->
+        let nm = ident st in
+        expect st Semi "';'";
+        ignore (net_of nm);
+        statements ()
+    | Ident "lut", line ->
+        expect st Hash "'#'";
+        expect st Lparen "'('";
+        let k = int_lit st in
+        expect st Comma "','";
+        let bits =
+          match next st with
+          | Hex v, _ -> v
+          | Int v, _ -> Int64.of_int v
+          | _, l -> fail_at l "expected truth-table literal"
+        in
+        expect st Rparen "')'";
+        let iname = ident st in
+        let conns = connections st in
+        let tt =
+          try Truthtab.create ~arity:k ~bits
+          with Invalid_argument m -> fail_at line m
+        in
+        add_instance ~iname (Cell.Lut tt) conns line;
+        statements ()
+    | Ident nm, line -> (
+        match kind_of_name nm line with
+        | Some kind ->
+            let iname = ident st in
+            let conns = connections st in
+            add_instance ~iname kind conns line;
+            statements ()
+        | None -> fail_at line ("unexpected keyword: " ^ nm))
+    | _, line -> fail_at line "expected statement"
+  in
+  statements ();
+  List.iter
+    (fun nm ->
+      match Hashtbl.find_opt nets nm with
+      | Some net -> Netlist.add_output nl nm net
+      | None -> raise (Parse_error ("undriven output: " ^ nm)))
+    (List.rev !pending_outputs);
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error e -> raise (Parse_error ("invalid netlist: " ^ e)));
+  nl

@@ -1,0 +1,30 @@
+(** Structural-Verilog-subset printer and parser.
+
+    The dialect is a flat gate-level subset with one extension:
+    [keyinput] declares a key (configuration) port. LUT instances carry
+    their truth table as a parameter. Example:
+
+    {v
+    module top (a, b, k0, y);
+      input a;
+      input b;
+      keyinput k0;
+      output y;
+      wire n4;
+      and2 g0 (a, b, n4);
+      lut #(2, 64'h6) g1 (n4, k0, y);
+    endmodule
+    v}
+
+    Instance connections are positional: inputs in {!Cell.t} order, the
+    output last. [Printer ∘ parser] and [parser ∘ printer] are identity
+    up to net renumbering (tested by round-trip properties). *)
+
+val to_string : Netlist.t -> string
+val print : Format.formatter -> Netlist.t -> unit
+
+exception Parse_error of string
+(** Carries a message with line information. *)
+
+val parse : string -> Netlist.t
+(** Raises {!Parse_error} on malformed input. *)

@@ -1,0 +1,1 @@
+lib/pnr/floorplan.ml: Array Buffer Format Hashtbl Pnr Printf Shell_fabric

@@ -1,0 +1,1 @@
+lib/pnr/floorplan.mli: Format Pnr

@@ -1,0 +1,1 @@
+lib/pnr/pnr.ml: Array Hashtbl List Result Shell_fabric Shell_netlist Shell_util

@@ -1,0 +1,1 @@
+lib/pnr/pnr.mli: Hashtbl Result Shell_fabric Shell_netlist

@@ -1,0 +1,49 @@
+module Fabric = Shell_fabric.Fabric
+
+let render (res : Pnr.result) =
+  let fab = res.Pnr.fabric in
+  let cols = fab.Fabric.cols and rows = fab.Fabric.rows in
+  let occupancy = Array.make_matrix rows cols 0 in
+  Hashtbl.iter
+    (fun _ (t : Pnr.tile) ->
+      if t.Pnr.x >= 0 && t.Pnr.x < cols && t.Pnr.y >= 0 && t.Pnr.y < rows then
+        occupancy.(t.Pnr.y).(t.Pnr.x) <- occupancy.(t.Pnr.y).(t.Pnr.x) + 1)
+    res.Pnr.placement.Pnr.of_cell;
+  let buf = Buffer.create 256 in
+  let border () =
+    Buffer.add_string buf "  +";
+    for _ = 0 to cols - 1 do
+      Buffer.add_string buf "--"
+    done;
+    Buffer.add_string buf "-+\n"
+  in
+  Buffer.add_string
+    buf
+    (Printf.sprintf "%s, %d x %d CLB tiles%s\n"
+       (Shell_fabric.Style.name fab.Fabric.style)
+       cols rows
+       (if fab.Fabric.chain_slots > 0 then
+          Printf.sprintf ", %d chain slots" fab.Fabric.chain_slots
+        else ""));
+  border ();
+  for y = rows - 1 downto 0 do
+    Buffer.add_string buf "  |";
+    for x = 0 to cols - 1 do
+      let o = occupancy.(y).(x) in
+      if o = 0 then Buffer.add_string buf " ."
+      else Buffer.add_string buf (Printf.sprintf " %d" (min o 9))
+    done;
+    Buffer.add_string buf
+      (if fab.Fabric.chain_slots > 0 then " | #\n" else " |\n")
+  done;
+  border ();
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  tiles used %d / %d (%.0f%%), BLE utilization %.0f%%, wirelength %d\n"
+       res.Pnr.placement.Pnr.used_tiles (Fabric.clb_tiles fab)
+       (100.0 *. res.Pnr.tile_utilization)
+       (100.0 *. res.Pnr.utilization)
+       res.Pnr.routes.Pnr.wirelength);
+  Buffer.contents buf
+
+let print ppf res = Format.pp_print_string ppf (render res)

@@ -1,0 +1,10 @@
+(** ASCII floorplan rendering of a placed fabric (the visual of the
+    paper's Fig. 2).
+
+    Each CLB tile prints as its BLE occupancy digit (0-8), ['.'] for a
+    completely unused tile; the optional chain strip prints on the
+    right, I/O pads around the border. *)
+
+val render : Pnr.result -> string
+
+val print : Format.formatter -> Pnr.result -> unit

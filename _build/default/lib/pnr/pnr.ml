@@ -1,0 +1,405 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Fabric = Shell_fabric.Fabric
+module Style = Shell_fabric.Style
+module Rng = Shell_util.Rng
+
+type tile = { x : int; y : int }
+
+type placement = {
+  of_cell : (int, tile) Hashtbl.t;
+  used_tiles : int;
+  used_luts : int;
+  used_ffs : int;
+  used_chain : int;
+}
+
+type route_stats = {
+  wirelength : int;
+  max_congestion : int;
+  overflow_segments : int;
+}
+
+type result = {
+  fabric : Fabric.t;
+  placement : placement;
+  routes : route_stats;
+  fit : (unit, Fabric.shortage) Result.t;
+  utilization : float;
+  tile_utilization : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Packing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type ble = { lut : int option; ff : int option }  (* cell indices *)
+
+let pack nl =
+  let cells = Netlist.cells nl in
+  let fanout_count = Array.make (max (Netlist.num_nets nl) 1) 0 in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun net -> fanout_count.(net) <- fanout_count.(net) + 1)
+        c.Cell.ins)
+    cells;
+  Array.iter
+    (fun net -> fanout_count.(net) <- fanout_count.(net) + 1)
+    (Netlist.output_nets nl);
+  (* a flop packs with the LUT that exclusively feeds it *)
+  let ff_of_lut = Hashtbl.create 16 in
+  let packed_ff = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      if c.Cell.kind = Cell.Dff then
+        match Netlist.driver nl c.Cell.ins.(0) with
+        | Some j
+          when (match cells.(j).Cell.kind with Cell.Lut _ -> true | _ -> false)
+               && fanout_count.(cells.(j).Cell.out) = 1
+               && not (Hashtbl.mem ff_of_lut j) ->
+            Hashtbl.add ff_of_lut j i;
+            Hashtbl.add packed_ff i ()
+        | Some _ | None -> ())
+    cells;
+  let bles = ref [] and chain = ref [] in
+  Array.iteri
+    (fun i c ->
+      match c.Cell.kind with
+      | Cell.Lut _ ->
+          bles := { lut = Some i; ff = Hashtbl.find_opt ff_of_lut i } :: !bles
+      | Cell.Dff ->
+          if not (Hashtbl.mem packed_ff i) then
+            bles := { lut = None; ff = Some i } :: !bles
+      | Cell.Mux2 | Cell.Mux4 -> chain := i :: !chain
+      | Cell.Const _ | Cell.Config_latch -> ()
+      | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
+      | Cell.Not | Cell.Buf ->
+          (* unmapped logic: treat as one BLE worth of demand *)
+          bles := { lut = Some i; ff = None } :: !bles)
+    cells;
+  (List.rev !bles, List.rev !chain)
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+
+let run ?(seed = 7) ?(anneal_moves = 20_000) fabric nl =
+  let p = Style.params fabric.Fabric.style in
+  let cells = Netlist.cells nl in
+  let bles, chain = pack nl in
+  let bles = Array.of_list bles and chain = Array.of_list chain in
+  let n_bles = Array.length bles in
+  let cols = fabric.Fabric.cols and rows = fabric.Fabric.rows in
+  let slots_per_tile = p.Style.clb_luts in
+  let n_slots = cols * rows * slots_per_tile in
+  let used_luts =
+    Array.fold_left
+      (fun acc b -> acc + match b.lut with Some _ -> 1 | None -> 0)
+      0 bles
+  in
+  let used_ffs =
+    Array.fold_left
+      (fun acc b -> acc + match b.ff with Some _ -> 1 | None -> 0)
+      0 bles
+  in
+  let used_chain = Array.length chain in
+  let pins_needed =
+    List.length (Netlist.inputs nl) + List.length (Netlist.outputs nl)
+  in
+  let over_capacity =
+    if pins_needed > Fabric.io_capacity fabric then Some Fabric.Routing_short
+    else if n_bles > n_slots then
+      (* distinguish what drove the overflow *)
+      if used_luts > Fabric.lut_capacity fabric then Some Fabric.Luts_short
+      else Some Fabric.Ffs_short
+    else if used_chain > fabric.Fabric.chain_slots then Some Fabric.Chain_short
+    else None
+  in
+  let rng = Rng.create seed in
+  (* slot assignment for as many BLEs as fit; the remainder (over
+     capacity) is left unplaced and the fit check reports the shortage *)
+  let placeable = min n_bles n_slots in
+  let slot_of_ble = Array.init placeable (fun i -> i) in
+  let ble_of_slot = Array.make n_slots (-1) in
+  Array.iteri (fun b s -> ble_of_slot.(s) <- b) slot_of_ble;
+  let tile_of_slot s =
+    let t = s / slots_per_tile in
+    { x = t mod cols; y = t / cols }
+  in
+  (* chain positions: a vertical strip to the right of the grid *)
+  let chain_pos i =
+    let n = max 1 (Array.length chain) in
+    { x = cols; y = i * rows / n }
+  in
+  (* virtual I/O positions *)
+  let inputs = Netlist.input_nets nl and outputs = Netlist.output_nets nl in
+  let keyn = Netlist.key_nets nl in
+  let pos_of_input i n = { x = -1; y = (if n <= 1 then 0 else i * (rows - 1) / (n - 1)) } in
+  let pos_of_output i n = { x = cols; y = (if n <= 1 then 0 else i * (rows - 1) / (n - 1)) } in
+  (* cell -> placement entity: BLE index, chain index, or I/O *)
+  let ble_of_cell = Hashtbl.create 64 in
+  Array.iteri
+    (fun bi b ->
+      (match b.lut with Some ci -> Hashtbl.replace ble_of_cell ci bi | None -> ());
+      match b.ff with Some ci -> Hashtbl.replace ble_of_cell ci bi | None -> ())
+    bles;
+  let chain_of_cell = Hashtbl.create 64 in
+  Array.iteri (fun pi ci -> Hashtbl.replace chain_of_cell ci pi) chain;
+  let cell_pos ci =
+    match Hashtbl.find_opt ble_of_cell ci with
+    | Some bi when bi < placeable -> Some (tile_of_slot slot_of_ble.(bi))
+    | Some _ -> None
+    | None -> (
+        match Hashtbl.find_opt chain_of_cell ci with
+        | Some pi -> Some (chain_pos pi)
+        | None -> None)
+  in
+  (* nets with their pin entities; pin = Ble of int | Chain of int | Fixed of tile *)
+  let net_entity = Array.make (max (Netlist.num_nets nl) 1) [] in
+  let add_entity net e = net_entity.(net) <- e :: net_entity.(net) in
+  let n_in = Array.length inputs and n_out = Array.length outputs in
+  Array.iteri (fun i net -> add_entity net (`Fixed (pos_of_input i n_in))) inputs;
+  Array.iteri (fun i net -> add_entity net (`Fixed (pos_of_input i (max n_in 1)))) keyn;
+  Array.iteri (fun i net -> add_entity net (`Fixed (pos_of_output i n_out))) outputs;
+  Array.iteri
+    (fun ci c ->
+      let entity =
+        match Hashtbl.find_opt ble_of_cell ci with
+        | Some bi -> Some (`Ble bi)
+        | None -> (
+            match Hashtbl.find_opt chain_of_cell ci with
+            | Some pi -> Some (`Chain pi)
+            | None -> None)
+      in
+      match entity with
+      | None -> ()
+      | Some e ->
+          add_entity c.Cell.out e;
+          Array.iter (fun net -> add_entity net e) c.Cell.ins)
+    cells;
+  let nets =
+    Array.to_list net_entity
+    |> List.filter (fun pins -> List.length pins >= 2)
+    |> Array.of_list
+  in
+  let entity_pos = function
+    | `Fixed t -> Some t
+    | `Ble bi -> if bi < placeable then Some (tile_of_slot slot_of_ble.(bi)) else None
+    | `Chain pi -> Some (chain_pos pi)
+  in
+  let hpwl pins =
+    let xmin = ref max_int and xmax = ref min_int in
+    let ymin = ref max_int and ymax = ref min_int in
+    let any = ref false in
+    List.iter
+      (fun e ->
+        match entity_pos e with
+        | Some t ->
+            any := true;
+            if t.x < !xmin then xmin := t.x;
+            if t.x > !xmax then xmax := t.x;
+            if t.y < !ymin then ymin := t.y;
+            if t.y > !ymax then ymax := t.y
+        | None -> ())
+      pins;
+    if !any then (!xmax - !xmin) + (!ymax - !ymin) else 0
+  in
+  let total_cost () = Array.fold_left (fun acc pins -> acc + hpwl pins) 0 nets in
+  (* nets touching each BLE, for incremental-ish cost evaluation *)
+  let nets_of_ble = Array.make (max n_bles 1) [] in
+  Array.iteri
+    (fun ni pins ->
+      List.iter
+        (function
+          | `Ble bi -> nets_of_ble.(bi) <- ni :: nets_of_ble.(bi)
+          | `Chain _ | `Fixed _ -> ())
+        pins)
+    nets;
+  (* simulated annealing over slot swaps *)
+  if placeable > 1 && anneal_moves > 0 then begin
+    let cost_around bi = List.fold_left (fun acc ni -> acc + hpwl nets.(ni)) 0 nets_of_ble.(bi) in
+    let temp = ref (float_of_int (max 1 (total_cost ())) /. float_of_int (max 1 (Array.length nets))) in
+    let cooling = 0.9995 in
+    for _ = 1 to anneal_moves do
+      let b1 = Rng.int rng placeable in
+      let s2 = Rng.int rng n_slots in
+      let b2 = ble_of_slot.(s2) in
+      let before =
+        cost_around b1 + (if b2 >= 0 && b2 < placeable && b2 <> b1 then cost_around b2 else 0)
+      in
+      let s1 = slot_of_ble.(b1) in
+      (* swap *)
+      let apply () =
+        slot_of_ble.(b1) <- s2;
+        ble_of_slot.(s2) <- b1;
+        ble_of_slot.(s1) <- b2;
+        if b2 >= 0 && b2 < placeable then slot_of_ble.(b2) <- s1
+      in
+      let undo () =
+        slot_of_ble.(b1) <- s1;
+        ble_of_slot.(s1) <- b1;
+        ble_of_slot.(s2) <- b2;
+        if b2 >= 0 && b2 < placeable then slot_of_ble.(b2) <- s2
+      in
+      if s1 <> s2 then begin
+        apply ();
+        let after =
+          cost_around b1 + (if b2 >= 0 && b2 < placeable && b2 <> b1 then cost_around b2 else 0)
+        in
+        let delta = float_of_int (after - before) in
+        if delta > 0.0 && Rng.float rng 1.0 >= exp (-.delta /. max !temp 1e-3)
+        then undo ()
+      end;
+      temp := !temp *. cooling
+    done
+  end;
+  (* ---------------- routing ----------------
+     Per-net trunk-and-branch: one horizontal trunk along the median
+     row of the net's pins, one vertical branch per distinct pin
+     column. Tracks are shared within a net, as in a real fabric. *)
+  let h_usage = Array.make_matrix (rows + 1) (cols + 2) 0 in
+  let v_usage = Array.make_matrix (cols + 2) (rows + 1) 0 in
+  let clampx x = max 0 (min (cols + 1) (x + 1)) in
+  let clampy y = max 0 (min rows y) in
+  let wirelength = ref 0 in
+  let use_h y x0 x1 =
+    let lo = min x0 x1 and hi = max x0 x1 in
+    for x = lo to hi - 1 do
+      h_usage.(y).(x) <- h_usage.(y).(x) + 1;
+      incr wirelength
+    done
+  in
+  let use_v x y0 y1 =
+    let lo = min y0 y1 and hi = max y0 y1 in
+    for y = lo to hi - 1 do
+      v_usage.(x).(y) <- v_usage.(x).(y) + 1;
+      incr wirelength
+    done
+  in
+  let route_net positions =
+    let xs = List.map (fun (t : tile) -> clampx t.x) positions in
+    let ys = List.map (fun (t : tile) -> clampy t.y) positions in
+    let sorted_ys = List.sort compare ys in
+    let trunk_y = List.nth sorted_ys (List.length sorted_ys / 2) in
+    let xmin = List.fold_left min (cols + 1) xs in
+    let xmax = List.fold_left max 0 xs in
+    use_h trunk_y xmin xmax;
+    (* one branch per distinct column *)
+    let cols_seen = Hashtbl.create 8 in
+    List.iter2
+      (fun x y ->
+        let reach = Hashtbl.find_opt cols_seen x in
+        let need =
+          match reach with
+          | Some (lo, hi) -> y < lo || y > hi
+          | None -> y <> trunk_y
+        in
+        if need then begin
+          use_v x trunk_y y;
+          let lo, hi =
+            match reach with
+            | Some (lo, hi) -> (min lo (min y trunk_y), max hi (max y trunk_y))
+            | None -> (min y trunk_y, max y trunk_y)
+          in
+          Hashtbl.replace cols_seen x (lo, hi)
+        end)
+      xs ys
+  in
+  Array.iter
+    (fun pins ->
+      (* chain-to-chain nets ride the dedicated cascade wiring of the
+         MUX-chain tiles and do not consume channel tracks *)
+      let all_chain =
+        pins <> []
+        && List.for_all (function `Chain _ -> true | `Ble _ | `Fixed _ -> false) pins
+      in
+      if not all_chain then begin
+        let positions = List.filter_map entity_pos pins in
+        match positions with [] | [ _ ] -> () | ps -> route_net ps
+      end)
+    nets;
+  let cap = p.Style.channel_width in
+  let max_congestion = ref 0 and overflow = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun u ->
+          if u > !max_congestion then max_congestion := u;
+          if u > cap then incr overflow)
+        row)
+    h_usage;
+  Array.iter
+    (fun col ->
+      Array.iter
+        (fun u ->
+          if u > !max_congestion then max_congestion := u;
+          if u > cap then incr overflow)
+        col)
+    v_usage;
+  (* ---------------- results ---------------- *)
+  let of_cell = Hashtbl.create 64 in
+  Array.iteri
+    (fun ci _ ->
+      match cell_pos ci with
+      | Some t -> Hashtbl.replace of_cell ci t
+      | None -> ())
+    cells;
+  let tiles_touched = Hashtbl.create 32 in
+  Array.iteri
+    (fun bi _ ->
+      if bi < placeable then begin
+        let t = tile_of_slot slot_of_ble.(bi) in
+        Hashtbl.replace tiles_touched (t.x, t.y) ()
+      end)
+    bles;
+  let fit =
+    match over_capacity with
+    | Some s -> Error s
+    | None -> if !overflow > 0 then Error Fabric.Routing_short else Ok ()
+  in
+  {
+    fabric;
+    placement =
+      {
+        of_cell;
+        used_tiles = Hashtbl.length tiles_touched;
+        used_luts;
+        used_ffs;
+        used_chain;
+      };
+    routes =
+      {
+        wirelength = !wirelength;
+        max_congestion = !max_congestion;
+        overflow_segments = !overflow;
+      };
+    fit;
+    utilization = Fabric.utilization fabric ~used_luts;
+    tile_utilization =
+      (let tiles = Fabric.clb_tiles fabric in
+       if tiles = 0 then 0.0
+       else float_of_int (Hashtbl.length tiles_touched) /. float_of_int tiles);
+  }
+
+let fit_loop ?seed ?(max_grows = 16) ~style nl =
+  let cells = Netlist.cells nl in
+  let luts = ref 0 and ffs = ref 0 and chain = ref 0 in
+  Array.iter
+    (fun c ->
+      match c.Cell.kind with
+      | Cell.Lut _ -> incr luts
+      | Cell.Dff -> incr ffs
+      | Cell.Mux2 | Cell.Mux4 -> incr chain
+      | _ -> ())
+    cells;
+  let fabric = Fabric.size_for style ~luts:!luts ~user_ffs:!ffs ~chain_muxes:!chain in
+  let rec go fabric grows =
+    let res = run ?seed fabric nl in
+    match res.fit with
+    | Ok () -> res
+    | Error shortage when grows > 0 -> go (Fabric.grow fabric shortage) (grows - 1)
+    | Error _ -> res
+  in
+  go fabric max_grows

@@ -1,0 +1,58 @@
+(** Packing, placement and routing onto a fabric (the VPR/nextPNR role
+    in the paper's flow).
+
+    - packing groups each LUT with the flop it feeds (one BLE), then
+      fills CLB tiles;
+    - placement runs greedy seeding plus simulated annealing on
+      half-perimeter wirelength;
+    - routing decomposes every net into an L of horizontal/vertical
+      channel segments and negotiates congestion against the style's
+      channel width;
+    - the fit check reports a typed shortage ({!Shell_fabric.Fabric.shortage})
+      so the flow's step-7 loop can grow the right resource. *)
+
+type tile = { x : int; y : int }
+
+type placement = {
+  of_cell : (int, tile) Hashtbl.t;  (** cell index -> tile *)
+  used_tiles : int;
+  used_luts : int;
+  used_ffs : int;
+  used_chain : int;
+}
+
+type route_stats = {
+  wirelength : int;  (** total channel segments used *)
+  max_congestion : int;  (** peak per-channel usage *)
+  overflow_segments : int;  (** segments above channel capacity *)
+}
+
+type result = {
+  fabric : Shell_fabric.Fabric.t;
+  placement : placement;
+  routes : route_stats;
+  fit : (unit, Shell_fabric.Fabric.shortage) Result.t;
+  utilization : float;  (** used LUTs / LUT capacity (Fig. 2) *)
+  tile_utilization : float;  (** tiles with >= 1 used BLE / tiles *)
+}
+
+val run :
+  ?seed:int ->
+  ?anneal_moves:int ->
+  Shell_fabric.Fabric.t ->
+  Shell_netlist.Netlist.t ->
+  result
+(** Place and route a technology-mapped netlist ([Lut]/[Mux2]/[Mux4]/
+    [Dff]/[Const] cells). Never raises on over-capacity input: the
+    verdict lands in [fit]. *)
+
+val fit_loop :
+  ?seed:int ->
+  ?max_grows:int ->
+  style:Shell_fabric.Style.t ->
+  Shell_netlist.Netlist.t ->
+  result
+(** Steps 6–7 of the SheLL flow: size the fabric from the mapped
+    netlist's demand, run {!run}, grow the short resource and retry
+    until it fits (or [max_grows], default 16, is exhausted — the last
+    attempt is returned in that case). *)

@@ -1,0 +1,1 @@
+lib/rtl/elab.ml: Array Expr Format Hashtbl Int64 List Printf Rtl_module Shell_netlist

@@ -1,0 +1,1 @@
+lib/rtl/elab.mli: Rtl_module Shell_netlist

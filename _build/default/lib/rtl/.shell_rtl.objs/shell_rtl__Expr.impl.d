@@ -1,0 +1,1 @@
+lib/rtl/expr.ml: Format Hashtbl Int64 List

@@ -1,0 +1,268 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rewrite = Shell_netlist.Rewrite
+
+exception Elab_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Elab_error s)) fmt
+
+type env = (string, int array) Hashtbl.t
+
+let lookup (env : env) path nm =
+  match Hashtbl.find_opt env nm with
+  | Some nets -> nets
+  | None -> fail "%s: unknown signal %s" path nm
+
+(* ------------------------------------------------------------------ *)
+(* Expression elaboration: returns the nets of the result bits (LSB
+   first). [origin] tags every emitted cell. *)
+(* ------------------------------------------------------------------ *)
+
+let add_with_carry nl origin a b cin =
+  let n = Array.length a in
+  let sum = Array.make n 0 in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let axb = Netlist.xor_ ~origin nl a.(i) b.(i) in
+    sum.(i) <- Netlist.xor_ ~origin nl axb !carry;
+    let gen = Netlist.and_ ~origin nl a.(i) b.(i) in
+    let prop = Netlist.and_ ~origin nl axb !carry in
+    carry := Netlist.or_ ~origin nl gen prop
+  done;
+  (sum, !carry)
+
+let reduce_tree nl origin op bits =
+  match Array.to_list bits with
+  | [] -> fail "reduce of empty vector"
+  | first :: rest -> List.fold_left (fun acc b -> op nl acc b) first rest
+  [@@warning "-27"]
+
+let rec elab_expr nl (env : env) ~path ~origin (e : Expr.t) : int array =
+  let recur e = elab_expr nl env ~path ~origin e in
+  let map2 op a b =
+    let a = recur a and b = recur b in
+    if Array.length a <> Array.length b then fail "%s: width mismatch" path;
+    Array.init (Array.length a) (fun i -> op nl a.(i) b.(i))
+  in
+  match e with
+  | Expr.Var nm -> lookup env path nm
+  | Expr.Lit { width; value } ->
+      Array.init width (fun i ->
+          let bit = Int64.(logand (shift_right_logical value i) 1L) = 1L in
+          Netlist.const ~origin nl bit)
+  | Expr.Not a -> Array.map (Netlist.not_ ~origin nl) (recur a)
+  | Expr.And (a, b) -> map2 (Netlist.and_ ~origin) a b
+  | Expr.Or (a, b) -> map2 (Netlist.or_ ~origin) a b
+  | Expr.Xor (a, b) -> map2 (Netlist.xor_ ~origin) a b
+  | Expr.Add (a, b) ->
+      let a = recur a and b = recur b in
+      if Array.length a <> Array.length b then fail "%s: add width mismatch" path;
+      let zero = Netlist.const ~origin nl false in
+      fst (add_with_carry nl origin a b zero)
+  | Expr.Sub (a, b) ->
+      let a = recur a and b = recur b in
+      if Array.length a <> Array.length b then fail "%s: sub width mismatch" path;
+      let nb = Array.map (Netlist.not_ ~origin nl) b in
+      let one = Netlist.const ~origin nl true in
+      fst (add_with_carry nl origin a nb one)
+  | Expr.Eq (a, b) ->
+      let bits = map2 (Netlist.xnor_ ~origin) a b in
+      [| reduce_tree nl origin (Netlist.and_ ~origin) bits |]
+  | Expr.Lt (a, b) ->
+      (* unsigned a < b: borrow out of a - b *)
+      let a = recur a and b = recur b in
+      if Array.length a <> Array.length b then fail "%s: lt width mismatch" path;
+      let nb = Array.map (Netlist.not_ ~origin nl) b in
+      let one = Netlist.const ~origin nl true in
+      let _, carry = add_with_carry nl origin a nb one in
+      [| Netlist.not_ ~origin nl carry |]
+  | Expr.Mux (c, a, b) ->
+      let c = recur c in
+      if Array.length c <> 1 then fail "%s: mux condition not 1 bit" path;
+      let a = recur a and b = recur b in
+      if Array.length a <> Array.length b then fail "%s: mux width mismatch" path;
+      (* Mux2 convention: sel=0 -> first data input. Condition true
+         selects [a] (the then-branch). *)
+      Array.init (Array.length a) (fun i ->
+          Netlist.mux2 ~origin nl ~sel:c.(0) ~a:b.(i) ~b:a.(i))
+  | Expr.Concat (hi, lo) ->
+      let lo = recur lo and hi = recur hi in
+      Array.append lo hi
+  | Expr.Slice (a, hi, lo) ->
+      let a = recur a in
+      if lo < 0 || hi < lo || hi >= Array.length a then
+        fail "%s: slice [%d:%d] out of range" path hi lo;
+      Array.sub a lo (hi - lo + 1)
+  | Expr.Reduce_and a ->
+      [| reduce_tree nl origin (Netlist.and_ ~origin) (recur a) |]
+  | Expr.Reduce_or a ->
+      [| reduce_tree nl origin (Netlist.or_ ~origin) (recur a) |]
+  | Expr.Reduce_xor a ->
+      [| reduce_tree nl origin (Netlist.xor_ ~origin) (recur a) |]
+
+(* ------------------------------------------------------------------ *)
+(* Module instantiation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec elab_inst design nl ~path (m : Rtl_module.t)
+    (input_nets : (string * int array) list) : (string * int array) list =
+  let env : env = Hashtbl.create 32 in
+  let driven : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let mark_driven nm who =
+    match Hashtbl.find_opt driven nm with
+    | Some prev -> fail "%s: %s driven by both %s and %s" path nm prev who
+    | None -> Hashtbl.add driven nm who
+  in
+  (* inputs come from the caller *)
+  List.iter
+    (fun (s : Rtl_module.signal) ->
+      match List.assoc_opt s.name input_nets with
+      | Some nets ->
+          if Array.length nets <> s.width then
+            fail "%s: input %s bound with width %d, declared %d" path s.name
+              (Array.length nets) s.width;
+          Hashtbl.replace env s.name nets;
+          mark_driven s.name "parent"
+      | None -> fail "%s: input %s not bound" path s.name)
+    (Rtl_module.inputs m);
+  (* pre-allocate nets for everything else *)
+  let alloc (s : Rtl_module.signal) =
+    Hashtbl.replace env s.name (Array.init s.width (fun _ -> Netlist.new_net nl))
+  in
+  List.iter alloc (Rtl_module.outputs m);
+  List.iter alloc (Rtl_module.wires m);
+  List.iter alloc (Rtl_module.regs m);
+  (* registers: flops driving the pre-allocated q nets; the d nets are
+     stitched when the clocked block is elaborated, via placeholders *)
+  let widths nm =
+    match Rtl_module.signal_width m nm with
+    | Some w -> w
+    | None -> fail "%s: unknown signal %s" path nm
+  in
+  (* instances *)
+  List.iter
+    (fun (inst : Rtl_module.instance) ->
+      let sub =
+        match Rtl_module.Design.find design inst.module_name with
+        | Some sub -> sub
+        | None -> fail "%s: unknown module %s" path inst.module_name
+      in
+      let sub_path = path ^ "/" ^ inst.inst_name in
+      let actual formal =
+        match List.assoc_opt formal inst.bindings with
+        | Some a -> a
+        | None -> fail "%s: port %s of %s not bound" path formal inst.inst_name
+      in
+      let sub_inputs =
+        List.map
+          (fun (s : Rtl_module.signal) ->
+            (s.name, lookup env path (actual s.name)))
+          (Rtl_module.inputs sub)
+      in
+      let sub_outputs = elab_inst design nl ~path:sub_path sub sub_inputs in
+      List.iter
+        (fun (formal, nets) ->
+          let a = actual formal in
+          let target = lookup env path a in
+          if Array.length target <> Array.length nets then
+            fail "%s: output %s width mismatch on %s" path formal inst.inst_name;
+          mark_driven a ("instance " ^ inst.inst_name);
+          Array.iteri
+            (fun i net ->
+              Netlist.add_cell nl
+                (Cell.make ~origin:sub_path Cell.Buf [| net |] target.(i)))
+            nets)
+        sub_outputs)
+    (Rtl_module.instances m);
+  (* combinational blocks *)
+  List.iter
+    (fun (b : Rtl_module.block) ->
+      let origin = path ^ ":" ^ b.block_name in
+      List.iter
+        (fun (nm, e) ->
+          let target = lookup env path nm in
+          let result = elab_expr nl env ~path ~origin e in
+          if Array.length result <> Array.length target then
+            fail "%s: assign to %s: width %d vs %d" path nm
+              (Array.length result) (Array.length target);
+          ignore (widths nm);
+          mark_driven nm ("block " ^ b.block_name);
+          Array.iteri
+            (fun i net ->
+              Netlist.add_cell nl (Cell.make ~origin Cell.Buf [| net |] target.(i)))
+            result)
+        b.assigns)
+    (Rtl_module.combs m);
+  (* clocked blocks *)
+  List.iter
+    (fun (b : Rtl_module.block) ->
+      let origin = path ^ ":" ^ b.block_name in
+      List.iter
+        (fun (nm, e) ->
+          let q = lookup env path nm in
+          let d = elab_expr nl env ~path ~origin e in
+          if Array.length d <> Array.length q then
+            fail "%s: reg %s: width %d vs %d" path nm (Array.length d)
+              (Array.length q);
+          mark_driven nm ("block " ^ b.block_name);
+          Array.iteri
+            (fun i dnet ->
+              Netlist.add_cell nl (Cell.make ~origin Cell.Dff [| dnet |] q.(i)))
+            d)
+        b.assigns)
+    (Rtl_module.seqs m);
+  (* completeness: every output / wire / reg must be driven *)
+  let check_driven (s : Rtl_module.signal) =
+    if not (Hashtbl.mem driven s.name) then
+      fail "%s: signal %s is never driven" path s.name
+  in
+  List.iter check_driven (Rtl_module.outputs m);
+  List.iter check_driven (Rtl_module.wires m);
+  List.iter check_driven (Rtl_module.regs m);
+  List.map
+    (fun (s : Rtl_module.signal) -> (s.name, lookup env path s.name))
+    (Rtl_module.outputs m)
+
+let bit_port_name (s : Rtl_module.signal) i =
+  if s.width = 1 then s.name else Printf.sprintf "%s[%d]" s.name i
+
+let elaborate ?(clean = true) design =
+  let top_name = Rtl_module.Design.top design in
+  let top =
+    match Rtl_module.Design.find design top_name with
+    | Some m -> m
+    | None -> fail "top module %s not found" top_name
+  in
+  let nl = Netlist.create top_name in
+  let input_nets =
+    List.map
+      (fun (s : Rtl_module.signal) ->
+        ( s.name,
+          Array.init s.width (fun i ->
+              Netlist.add_input nl (bit_port_name s i)) ))
+      (Rtl_module.inputs top)
+  in
+  let outputs = elab_inst design nl ~path:top_name top input_nets in
+  List.iter
+    (fun (s : Rtl_module.signal) ->
+      match List.assoc_opt s.name outputs with
+      | Some nets ->
+          Array.iteri
+            (fun i net -> Netlist.add_output nl (bit_port_name s i) net)
+            nets
+      | None -> fail "top output %s missing" s.name)
+    (Rtl_module.outputs top);
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error e -> fail "elaborated netlist invalid: %s" e);
+  if clean then Rewrite.clean nl else nl
+
+let module_footprint nl =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun c ->
+      let o = c.Cell.origin in
+      Hashtbl.replace tbl o (1 + try Hashtbl.find tbl o with Not_found -> 0))
+    (Netlist.cells nl);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,23 @@
+(** Elaboration: RTL design -> flat gate-level netlist.
+
+    The hierarchy is flattened and uniquified (every instance gets its
+    own logic); each emitted cell carries an [origin] tag
+    ["<instance-path>:<block-name>"] — e.g. ["top/core2:_mem_wr"] —
+    which is what the SheLL connectivity analysis groups by, at both
+    SoC level (instance paths) and IP level ([@always] blocks).
+
+    Multi-bit ports appear in the netlist as ["name[i]"] bit ports
+    (width-1 ports keep their bare name). Registers become one [Dff]
+    per bit. *)
+
+exception Elab_error of string
+
+val elaborate : ?clean:bool -> Rtl_module.Design.t -> Shell_netlist.Netlist.t
+(** Raises {!Elab_error} on undriven/doubly-driven signals, unknown
+    modules, or width mismatches. [clean] (default true) sweeps the
+    stitching buffers and dead cells after flattening. *)
+
+val module_footprint :
+  Shell_netlist.Netlist.t -> (string * int) list
+(** Cells per origin tag, sorted by count (descending) — the paper's
+    per-module resource view. *)

@@ -1,0 +1,101 @@
+type signal = { name : string; width : int }
+
+type block = { block_name : string; assigns : (string * Expr.t) list }
+
+type instance = {
+  inst_name : string;
+  module_name : string;
+  bindings : (string * string) list;
+}
+
+type t = {
+  name : string;
+  mutable inputs : signal list;
+  mutable outputs : signal list;
+  mutable wires : signal list;
+  mutable regs : signal list;
+  mutable combs : block list;
+  mutable seqs : block list;
+  mutable instances : instance list;
+  widths : (string, int) Hashtbl.t;
+}
+
+let create name =
+  {
+    name;
+    inputs = [];
+    outputs = [];
+    wires = [];
+    regs = [];
+    combs = [];
+    seqs = [];
+    instances = [];
+    widths = Hashtbl.create 16;
+  }
+
+let name m = m.name
+
+let declare m nm width =
+  if width <= 0 then invalid_arg ("Rtl_module: width of " ^ nm);
+  if Hashtbl.mem m.widths nm then
+    invalid_arg ("Rtl_module: duplicate signal " ^ nm);
+  Hashtbl.add m.widths nm width
+
+let add_input m nm width =
+  declare m nm width;
+  m.inputs <- { name = nm; width } :: m.inputs
+
+let add_output m nm width =
+  declare m nm width;
+  m.outputs <- { name = nm; width } :: m.outputs
+
+let add_wire m nm width =
+  declare m nm width;
+  m.wires <- { name = nm; width } :: m.wires
+
+let add_reg m nm width =
+  declare m nm width;
+  m.regs <- { name = nm; width } :: m.regs
+
+let add_comb m block_name assigns =
+  m.combs <- { block_name; assigns } :: m.combs
+
+let add_seq m block_name assigns =
+  m.seqs <- { block_name; assigns } :: m.seqs
+
+let add_instance m ~inst_name ~module_name ~bindings =
+  m.instances <- { inst_name; module_name; bindings } :: m.instances
+
+let inputs m = List.rev m.inputs
+let outputs m = List.rev m.outputs
+let wires m = List.rev m.wires
+let regs m = List.rev m.regs
+let combs m = List.rev m.combs
+let seqs m = List.rev m.seqs
+let instances m = List.rev m.instances
+
+let signal_width m nm = Hashtbl.find_opt m.widths nm
+
+module Design = struct
+  type rtl_module = t
+
+  type nonrec t = {
+    top : string;
+    tbl : (string, rtl_module) Hashtbl.t;
+    mutable order : string list;
+  }
+
+  let create ~top = { top; tbl = Hashtbl.create 8; order = [] }
+
+  let add_module d m =
+    if Hashtbl.mem d.tbl m.name then
+      invalid_arg ("Design.add_module: duplicate " ^ m.name);
+    Hashtbl.add d.tbl m.name m;
+    d.order <- m.name :: d.order
+
+  let top d = d.top
+  let find d nm = Hashtbl.find_opt d.tbl nm
+
+  let modules d =
+    List.rev_map (fun nm -> Hashtbl.find d.tbl nm) d.order
+end

@@ -1,0 +1,67 @@
+(** RTL modules: ports, wires, registers, [@always] blocks, instances.
+
+    The IR mirrors the granularity the paper analyses: a module is a
+    set of named [@always] blocks (combinational or clocked) plus
+    instances of other modules; inter-block signals are the ROUTE
+    candidates, the blocks' internals the LGC candidates. *)
+
+type signal = { name : string; width : int }
+
+(** A combinational [@always*] block: ordered parallel assignments to
+    wire signals. A clocked [@always(posedge clk)] block assigns next
+    values to registers. Each signal may be assigned in at most one
+    block (checked at elaboration). *)
+type block = { block_name : string; assigns : (string * Expr.t) list }
+
+type instance = {
+  inst_name : string;
+  module_name : string;
+  bindings : (string * string) list;
+      (** formal port name -> actual signal name in the parent *)
+}
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val add_input : t -> string -> int -> unit
+(** [add_input m name width]. *)
+
+val add_output : t -> string -> int -> unit
+val add_wire : t -> string -> int -> unit
+val add_reg : t -> string -> int -> unit
+
+val add_comb : t -> string -> (string * Expr.t) list -> unit
+(** [add_comb m block_name assigns]: combinational block driving wires
+    or outputs. *)
+
+val add_seq : t -> string -> (string * Expr.t) list -> unit
+(** Clocked block driving registers. *)
+
+val add_instance :
+  t -> inst_name:string -> module_name:string -> bindings:(string * string) list -> unit
+
+val inputs : t -> signal list
+val outputs : t -> signal list
+val wires : t -> signal list
+val regs : t -> signal list
+val combs : t -> block list
+val seqs : t -> block list
+val instances : t -> instance list
+
+val signal_width : t -> string -> int option
+(** Width of any declared signal (port, wire or reg). *)
+
+(** {1 Designs} *)
+
+module Design : sig
+  type rtl_module = t
+  type t
+
+  val create : top:string -> t
+  val add_module : t -> rtl_module -> unit
+  val top : t -> string
+  val find : t -> string -> rtl_module option
+  val modules : t -> rtl_module list
+end

@@ -1,0 +1,58 @@
+type problem = { nvars : int; clauses : int list list }
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let header_seen = ref false in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+            match int_of_string_opt nv with
+            | Some n -> nvars := n
+            | None -> failwith "Dimacs.parse: bad header")
+        | _ -> failwith "Dimacs.parse: bad header");
+        header_seen := true
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> failwith ("Dimacs.parse: bad literal " ^ tok)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some l ->
+                   if abs l > !nvars then nvars := abs l;
+                   current := l :: !current))
+    lines;
+  if not !header_seen then failwith "Dimacs.parse: missing p cnf header";
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let print p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" p.nvars (List.length p.clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    p.clauses;
+  Buffer.contents buf
+
+let load_into solver p =
+  Solver.ensure_vars solver p.nvars;
+  List.iter (Solver.add_clause solver) p.clauses
+
+let solve_string ?max_conflicts src =
+  let p = parse src in
+  let s = Solver.create () in
+  load_into s p;
+  Solver.solve ?max_conflicts s

@@ -1,0 +1,15 @@
+(** DIMACS CNF reading/writing, for interoperability and tests. *)
+
+type problem = { nvars : int; clauses : int list list }
+
+val parse : string -> problem
+(** Raises [Failure] with a message on malformed input. Comment lines
+    and a single [p cnf] header are accepted. *)
+
+val print : problem -> string
+
+val load_into : Solver.t -> problem -> unit
+(** Allocate variables and add all clauses. *)
+
+val solve_string : ?max_conflicts:int -> string -> Solver.result
+(** Parse and solve in one step. *)

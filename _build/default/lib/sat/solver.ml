@@ -1,0 +1,476 @@
+(* MiniSat-style CDCL. Internal literal encoding: variable [v] (1-based)
+   yields literals [2v] (positive) and [2v+1] (negative); negation is
+   [lxor 1]. Clause 0-and-1 slots hold the watched literals. *)
+
+module Vec = Shell_util.Vec
+
+type clause = { lits : int array; learnt : bool }
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  mutable nvars : int;
+  mutable assigns : int array;  (* var -> -1 / 0 / 1 *)
+  mutable level : int array;
+  mutable reason : int array;  (* var -> clause index or -1 *)
+  mutable phase : bool array;  (* saved phases *)
+  mutable activity : float array;
+  mutable var_inc : float;
+  clauses : clause Vec.t;
+  mutable watches : int Vec.t array;  (* lit -> clause indices *)
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable unsat : bool;
+  mutable conflicts : int;
+  (* binary heap over vars ordered by activity *)
+  heap : int Vec.t;
+  mutable heap_pos : int array;  (* var -> index in heap or -1 *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    assigns = Array.make 1 (-1);
+    level = Array.make 1 0;
+    reason = Array.make 1 (-1);
+    phase = Array.make 1 false;
+    activity = Array.make 1 0.0;
+    var_inc = 1.0;
+    clauses = Vec.create ();
+    watches = Array.init 4 (fun _ -> Vec.create ());
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    unsat = false;
+    conflicts = 0;
+    heap = Vec.create ();
+    heap_pos = Array.make 1 (-1);
+  }
+
+let num_vars t = t.nvars
+let num_conflicts t = t.conflicts
+
+let grow_array arr n default =
+  let old = Array.length arr in
+  if n <= old then arr
+  else begin
+    let a = Array.make (max n (2 * old)) default in
+    Array.blit arr 0 a 0 old;
+    a
+  end
+
+(* ---------------- activity heap ---------------- *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = Vec.get t.heap i and b = Vec.get t.heap j in
+  Vec.set t.heap i b;
+  Vec.set t.heap j a;
+  t.heap_pos.(a) <- j;
+  t.heap_pos.(b) <- i
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less t (Vec.get t.heap i) (Vec.get t.heap p) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let n = Vec.length t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && heap_less t (Vec.get t.heap l) (Vec.get t.heap !best) then best := l;
+  if r < n && heap_less t (Vec.get t.heap r) (Vec.get t.heap !best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) = -1 then begin
+    Vec.push t.heap v;
+    t.heap_pos.(v) <- Vec.length t.heap - 1;
+    heap_up t (Vec.length t.heap - 1)
+  end
+
+let heap_pop t =
+  match Vec.length t.heap with
+  | 0 -> None
+  | n ->
+      let top = Vec.get t.heap 0 in
+      let last = Vec.get t.heap (n - 1) in
+      ignore (Vec.pop t.heap);
+      t.heap_pos.(top) <- -1;
+      if n > 1 then begin
+        Vec.set t.heap 0 last;
+        t.heap_pos.(last) <- 0;
+        heap_down t 0
+      end;
+      Some top
+
+let heap_bump t v =
+  let i = t.heap_pos.(v) in
+  if i >= 0 then heap_up t i
+
+(* ---------------- variables ---------------- *)
+
+let new_var t =
+  let v = t.nvars + 1 in
+  t.nvars <- v;
+  t.assigns <- grow_array t.assigns (v + 1) (-1);
+  t.level <- grow_array t.level (v + 1) 0;
+  t.reason <- grow_array t.reason (v + 1) (-1);
+  t.phase <- grow_array t.phase (v + 1) false;
+  t.activity <- grow_array t.activity (v + 1) 0.0;
+  t.heap_pos <- grow_array t.heap_pos (v + 1) (-1);
+  let nlits = 2 * (v + 1) in
+  if Array.length t.watches < nlits then begin
+    let w = Array.init (max nlits (2 * Array.length t.watches)) (fun _ -> Vec.create ()) in
+    Array.blit t.watches 0 w 0 (Array.length t.watches);
+    t.watches <- w
+  end;
+  t.assigns.(v) <- -1;
+  t.heap_pos.(v) <- -1;
+  heap_insert t v;
+  v
+
+let ensure_vars t n =
+  while t.nvars < n do
+    ignore (new_var t)
+  done
+
+(* ---------------- literal helpers ---------------- *)
+
+let ilit l = if l > 0 then 2 * l else (2 * -l) + 1
+let ivar l = l / 2
+let isign l = l land 1 = 0  (* true = positive literal *)
+
+(* value of internal literal: -1 unassigned / 0 false / 1 true *)
+let lit_value t l =
+  match t.assigns.(ivar l) with
+  | -1 -> -1
+  | v -> if isign l then v else 1 - v
+
+let decision_level t = Vec.length t.trail_lim
+
+(* ---------------- assignment ---------------- *)
+
+let enqueue t l reason =
+  let v = ivar l in
+  t.assigns.(v) <- (if isign l then 1 else 0);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- isign l;
+  Vec.push t.trail l
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    let rec undo () =
+      if Vec.length t.trail > bound then begin
+        match Vec.pop t.trail with
+        | None -> ()
+        | Some l ->
+            let v = ivar l in
+            t.assigns.(v) <- -1;
+            t.reason.(v) <- -1;
+            heap_insert t v;
+            undo ()
+      end
+    in
+    undo ();
+    let rec drop () =
+      if Vec.length t.trail_lim > lvl then begin
+        ignore (Vec.pop t.trail_lim);
+        drop ()
+      end
+    in
+    drop ();
+    t.qhead <- Vec.length t.trail
+  end
+
+(* ---------------- clauses ---------------- *)
+
+let attach t ci =
+  let c = Vec.get t.clauses ci in
+  Vec.push t.watches.(c.lits.(0) lxor 1) ci;
+  Vec.push t.watches.(c.lits.(1) lxor 1) ci
+
+(* Propagate all enqueued facts; returns conflicting clause id or -1. *)
+let propagate t =
+  let confl = ref (-1) in
+  while !confl = -1 && t.qhead < Vec.length t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    let false_lit = p lxor 1 in
+    let ws = t.watches.(p) in
+    (* watches.(p): clauses watching the literal that just became
+       false are registered under the *true* literal's slot; we store
+       watch entries under [lit lxor 1] in [attach], so reading the list
+       at [p] yields clauses in which [p lxor 1] is watched. *)
+    let old = Vec.to_array ws in
+    Vec.clear ws;
+    let n = Array.length old in
+    let i = ref 0 in
+    while !i < n do
+      let ci = old.(!i) in
+      incr i;
+      let c = (Vec.get t.clauses ci).lits in
+      (* ensure the false literal is in slot 1 *)
+      if c.(0) = false_lit then begin
+        c.(0) <- c.(1);
+        c.(1) <- false_lit
+      end;
+      if lit_value t c.(0) = 1 then
+        (* satisfied; keep watching the same literal *)
+        Vec.push ws ci
+      else begin
+        (* look for a new watch *)
+        let len = Array.length c in
+        let found = ref false in
+        let j = ref 2 in
+        while (not !found) && !j < len do
+          if lit_value t c.(!j) <> 0 then begin
+            c.(1) <- c.(!j);
+            c.(!j) <- false_lit;
+            Vec.push t.watches.(c.(1) lxor 1) ci;
+            found := true
+          end;
+          incr j
+        done;
+        if not !found then begin
+          Vec.push ws ci;
+          if lit_value t c.(0) = 0 then begin
+            (* conflict: copy the rest of the old watch list back *)
+            confl := ci;
+            t.qhead <- Vec.length t.trail;
+            while !i < n do
+              Vec.push ws old.(!i);
+              incr i
+            done
+          end
+          else enqueue t c.(0) ci
+        end
+      end
+    done
+  done;
+  !confl
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for u = 1 to t.nvars do
+      t.activity.(u) <- t.activity.(u) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  heap_bump t v
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+(* First-UIP conflict analysis. Returns (learnt clause, backjump level);
+   learnt.(0) is the asserting literal. *)
+let analyze t confl =
+  let seen = Array.make (t.nvars + 1) false in
+  let learnt = Vec.create () in
+  Vec.push learnt 0;  (* slot for the asserting literal *)
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let trail_idx = ref (Vec.length t.trail - 1) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let c = (Vec.get t.clauses !confl).lits in
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length c - 1 do
+      let q = c.(j) in
+      let v = ivar q in
+      if (not seen.(v)) && t.level.(v) > 0 then begin
+        seen.(v) <- true;
+        var_bump t v;
+        if t.level.(v) >= decision_level t then incr counter
+        else Vec.push learnt q
+      end
+    done;
+    (* pick next literal to expand from the trail *)
+    let rec next () =
+      let l = Vec.get t.trail !trail_idx in
+      decr trail_idx;
+      if seen.(ivar l) then l else next ()
+    in
+    let l = next () in
+    p := l;
+    seen.(ivar l) <- false;
+    decr counter;
+    if !counter = 0 then continue_loop := false
+    else confl := t.reason.(ivar l)
+  done;
+  Vec.set learnt 0 (!p lxor 1);
+  let lits = Vec.to_array learnt in
+  (* backjump level = max level among lits.(1..) *)
+  let blevel = ref 0 in
+  let swap_pos = ref 1 in
+  Array.iteri
+    (fun i l ->
+      if i > 0 then begin
+        let lv = t.level.(ivar l) in
+        if lv > !blevel then begin
+          blevel := lv;
+          swap_pos := i
+        end
+      end)
+    lits;
+  if Array.length lits > 1 then begin
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!swap_pos);
+    lits.(!swap_pos) <- tmp
+  end;
+  (lits, !blevel)
+
+let record_learnt t lits =
+  if Array.length lits = 1 then begin
+    cancel_until t 0;
+    enqueue t lits.(0) (-1)
+  end
+  else begin
+    Vec.push t.clauses { lits; learnt = true };
+    let ci = Vec.length t.clauses - 1 in
+    attach t ci;
+    enqueue t lits.(0) ci
+  end
+
+let add_clause t lits =
+  cancel_until t 0;
+  if not t.unsat then begin
+    (* simplify against level-0 assignments; drop duplicates *)
+    let seen_pos = Hashtbl.create 8 in
+    let simplified = ref [] in
+    let satisfied = ref false in
+    List.iter
+      (fun l ->
+        if l = 0 || abs l > t.nvars then invalid_arg "Solver.add_clause: bad literal";
+        let il = ilit l in
+        match lit_value t il with
+        | 1 -> satisfied := true
+        | 0 -> ()
+        | _ ->
+            if Hashtbl.mem seen_pos (il lxor 1) then satisfied := true
+            else if not (Hashtbl.mem seen_pos il) then begin
+              Hashtbl.add seen_pos il ();
+              simplified := il :: !simplified
+            end)
+      lits;
+    if not !satisfied then
+      match !simplified with
+      | [] -> t.unsat <- true
+      | [ l ] ->
+          enqueue t l (-1);
+          if propagate t <> -1 then t.unsat <- true
+      | l1 :: l2 :: _ as ls ->
+          ignore l1;
+          ignore l2;
+          Vec.push t.clauses { lits = Array.of_list ls; learnt = false };
+          attach t (Vec.length t.clauses - 1)
+  end
+
+(* ---------------- search ---------------- *)
+
+let pick_branch t =
+  let rec go () =
+    match heap_pop t with
+    | None -> None
+    | Some v -> if t.assigns.(v) = -1 then Some v else go ()
+  in
+  go ()
+
+(* Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's port). *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let solve ?(assumptions = []) ?max_conflicts t =
+  cancel_until t 0;
+  if t.unsat then Unsat
+  else if propagate t <> -1 then begin
+    t.unsat <- true;
+    Unsat
+  end
+  else begin
+    let assumptions = Array.of_list (List.map ilit assumptions) in
+    let budget = match max_conflicts with Some b -> t.conflicts + b | None -> max_int in
+    let restart_n = ref 0 in
+    let conflicts_until_restart = ref (100 * luby !restart_n) in
+    let result = ref None in
+    while !result = None do
+      let confl = propagate t in
+      if confl <> -1 then begin
+        t.conflicts <- t.conflicts + 1;
+        decr conflicts_until_restart;
+        if decision_level t <= Array.length assumptions then begin
+          (* conflict inside assumption levels: unsat under assumptions *)
+          result := Some Unsat
+        end
+        else begin
+          let lits, blevel = analyze t confl in
+          cancel_until t blevel;
+          record_learnt t lits;
+          var_decay t
+        end;
+        if t.conflicts >= budget && !result = None then result := Some Unknown
+        else if !conflicts_until_restart <= 0 && !result = None then begin
+          incr restart_n;
+          conflicts_until_restart := 100 * luby !restart_n;
+          cancel_until t (Array.length assumptions)
+        end
+      end
+      else begin
+        (* decide *)
+        let dl = decision_level t in
+        if dl < Array.length assumptions then begin
+          let l = assumptions.(dl) in
+          match lit_value t l with
+          | 1 ->
+              (* already satisfied: open an empty decision level *)
+              Vec.push t.trail_lim (Vec.length t.trail)
+          | 0 -> result := Some Unsat
+          | _ ->
+              Vec.push t.trail_lim (Vec.length t.trail);
+              enqueue t l (-1)
+        end
+        else
+          match pick_branch t with
+          | None -> result := Some Sat
+          | Some v ->
+              Vec.push t.trail_lim (Vec.length t.trail);
+              let l = if t.phase.(v) then 2 * v else (2 * v) + 1 in
+              enqueue t l (-1)
+      end
+    done;
+    match !result with
+    | Some Sat -> Sat  (* keep trail so [value] can read the model *)
+    | Some r ->
+        cancel_until t 0;
+        r
+    | None -> assert false
+  end
+
+let value t v =
+  if v < 1 || v > t.nvars then invalid_arg "Solver.value";
+  t.assigns.(v) = 1
+
+let model t = Array.init (t.nvars + 1) (fun v -> v > 0 && t.assigns.(v) = 1)

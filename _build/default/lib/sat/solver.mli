@@ -1,0 +1,40 @@
+(** CDCL SAT solver.
+
+    Complete conflict-driven clause learning with two-literal watching,
+    VSIDS-style decision ordering, phase saving, first-UIP learning and
+    Luby restarts. Literals use the DIMACS convention: variable [v > 0],
+    literal [v] or [-v].
+
+    The solver is incremental in the way the SAT attack needs: clauses
+    may be added between [solve] calls, and [solve] accepts assumption
+    literals that hold for that call only. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate the next variable (1, 2, ...). *)
+
+val ensure_vars : t -> int -> unit
+(** Make sure variables [1..n] exist. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Clauses over existing variables. Adding a clause that is already
+    falsified at level 0 makes the instance permanently unsatisfiable. *)
+
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> result
+(** [Unknown] only when [max_conflicts] was exhausted. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after [Sat] (unassigned vars read [false]). *)
+
+val model : t -> bool array
+(** Index [v] holds the value of variable [v]; index 0 unused. *)
+
+val num_conflicts : t -> int
+(** Total conflicts across all [solve] calls (attack effort metric). *)

@@ -1,0 +1,1 @@
+lib/synth/estimate.ml: Array List Shell_netlist Shell_util String

@@ -1,0 +1,1 @@
+lib/synth/lut_map.ml: Array Hashtbl List Queue Shell_netlist Shell_util

@@ -1,0 +1,1 @@
+lib/synth/lut_map.mli: Shell_netlist

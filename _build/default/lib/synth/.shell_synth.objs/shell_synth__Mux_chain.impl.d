@@ -1,0 +1,1 @@
+lib/synth/mux_chain.ml: Array List Shell_netlist

@@ -1,0 +1,1 @@
+lib/synth/mux_chain.mli: Shell_netlist

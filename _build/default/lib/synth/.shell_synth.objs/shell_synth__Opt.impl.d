@@ -1,0 +1,1 @@
+lib/synth/opt.ml: Array Hashtbl List Option Shell_netlist Shell_util String

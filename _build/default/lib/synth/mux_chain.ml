@@ -1,0 +1,146 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+
+type stats = { mux4 : int; mux2 : int; other : int; chain_length : int }
+
+(* Mux2 convention: ins = [|sel; d0; d1|], out = sel ? d1 : d0.
+   Mux4 convention: ins = [|s0; s1; d0; d1; d2; d3|], index = s0 + 2*s1. *)
+
+let map ?(should_pack = fun _ -> true) src =
+  let cells = Netlist.cells src in
+  let n = Array.length cells in
+  let consumed = Array.make n false in
+  let fanout_count = Array.make (max (Netlist.num_nets src) 1) 0 in
+  Array.iter
+    (fun c ->
+      Array.iter (fun net -> fanout_count.(net) <- fanout_count.(net) + 1) c.Cell.ins)
+    cells;
+  Array.iter
+    (fun net -> fanout_count.(net) <- fanout_count.(net) + 1)
+    (Netlist.output_nets src);
+  let mux2_driver net =
+    match Netlist.driver src net with
+    | Some ci when cells.(ci).Cell.kind = Cell.Mux2 && should_pack cells.(ci) ->
+        Some ci
+    | Some _ | None -> None
+  in
+  let dst = Netlist.create (Netlist.name src) in
+  let net_map = Array.make (max (Netlist.num_nets src) 1) (-1) in
+  List.iter
+    (fun (nm, net) -> net_map.(net) <- Netlist.add_input dst nm)
+    (Netlist.inputs src);
+  List.iter
+    (fun (nm, net) -> net_map.(net) <- Netlist.add_key dst nm)
+    (Netlist.keys src);
+  let map_net net =
+    if net_map.(net) = -1 then net_map.(net) <- Netlist.new_net dst;
+    net_map.(net)
+  in
+  let n_mux4 = ref 0 and n_mux2 = ref 0 and n_other = ref 0 in
+  (* Emission must follow topo order so packing decisions see the
+     not-yet-consumed state of inner muxes deterministically. *)
+  let order = Netlist.topo_order src in
+  (* First decide the packing (mark consumed inner muxes), walking
+     outer muxes in reverse topo order so roots pack greedily. *)
+  let rev_order = Array.of_list (List.rev (Array.to_list order)) in
+  let pack = Array.make n None in
+  Array.iter
+    (fun ci ->
+      let c = cells.(ci) in
+      if c.Cell.kind = Cell.Mux2 && should_pack c && not consumed.(ci) then begin
+        let sel = c.Cell.ins.(0)
+        and d0 = c.Cell.ins.(1)
+        and d1 = c.Cell.ins.(2) in
+        let inner0 = mux2_driver d0 and inner1 = mux2_driver d1 in
+        let usable inner net =
+          match inner with
+          | Some i when (not consumed.(i)) && fanout_count.(net) = 1 -> Some i
+          | Some _ | None -> None
+        in
+        match (usable inner0 d0, usable inner1 d1) with
+        | Some i0, Some i1
+          when cells.(i0).Cell.ins.(0) = cells.(i1).Cell.ins.(0) ->
+            (* full 4:1: both arms are muxes sharing the low select *)
+            let lo = cells.(i0).Cell.ins.(0) in
+            let a0 = cells.(i0).Cell.ins.(1)
+            and a1 = cells.(i0).Cell.ins.(2)
+            and b0 = cells.(i1).Cell.ins.(1)
+            and b1 = cells.(i1).Cell.ins.(2) in
+            consumed.(i0) <- true;
+            consumed.(i1) <- true;
+            pack.(ci) <- Some (lo, sel, [| a0; a1; b0; b1 |])
+        | Some i0, _ ->
+            (* chain: low arm is a private mux *)
+            let lo = cells.(i0).Cell.ins.(0) in
+            let a0 = cells.(i0).Cell.ins.(1) and a1 = cells.(i0).Cell.ins.(2) in
+            consumed.(i0) <- true;
+            pack.(ci) <- Some (lo, sel, [| a0; a1; d1; d1 |])
+        | None, Some i1 ->
+            let lo = cells.(i1).Cell.ins.(0) in
+            let b0 = cells.(i1).Cell.ins.(1) and b1 = cells.(i1).Cell.ins.(2) in
+            consumed.(i1) <- true;
+            pack.(ci) <- Some (lo, sel, [| d0; d0; b0; b1 |])
+        | None, None -> ()
+      end)
+    rev_order;
+  Array.iter
+    (fun ci ->
+      let c = cells.(ci) in
+      if not consumed.(ci) then
+        match pack.(ci) with
+        | Some (s0, s1, data) ->
+            incr n_mux4;
+            let ins =
+              Array.append
+                [| map_net s0; map_net s1 |]
+                (Array.map map_net data)
+            in
+            Netlist.add_cell dst
+              (Cell.make ~origin:c.Cell.origin Cell.Mux4 ins (map_net c.Cell.out))
+        | None ->
+            (match c.Cell.kind with
+            | Cell.Mux2 -> incr n_mux2
+            | _ -> incr n_other);
+            Netlist.add_cell dst
+              (Cell.make ~origin:c.Cell.origin c.Cell.kind
+                 (Array.map map_net c.Cell.ins)
+                 (map_net c.Cell.out)))
+    order;
+  List.iter
+    (fun (nm, net) -> Netlist.add_output dst nm (map_net net))
+    (Netlist.outputs src);
+  (* longest mux-only path in the packed netlist *)
+  let chain_length =
+    let lv = Array.make (max (Netlist.num_nets dst) 1) 0 in
+    let longest = ref 0 in
+    let dcells = Netlist.cells dst in
+    Array.iter
+      (fun ci ->
+        let c = dcells.(ci) in
+        match c.Cell.kind with
+        | Cell.Mux2 | Cell.Mux4 ->
+            let m = Array.fold_left (fun acc net -> max acc lv.(net)) 0 c.Cell.ins in
+            lv.(c.Cell.out) <- m + 1;
+            longest := max !longest (m + 1)
+        | _ ->
+            lv.(c.Cell.out) <-
+              Array.fold_left (fun acc net -> max acc lv.(net)) 0 c.Cell.ins)
+      (Netlist.topo_order dst);
+    !longest
+  in
+  (dst, { mux4 = !n_mux4; mux2 = !n_mux2; other = !n_other; chain_length })
+
+let route_fraction nl =
+  let comb = ref 0 and routing = ref 0 in
+  Array.iter
+    (fun c ->
+      match c.Cell.kind with
+      | Cell.Mux2 | Cell.Mux4 | Cell.Buf ->
+          incr comb;
+          incr routing
+      | Cell.Dff | Cell.Config_latch | Cell.Const _ -> ()
+      | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
+      | Cell.Not | Cell.Lut _ ->
+          incr comb)
+    (Netlist.cells nl);
+  if !comb = 0 then 0.0 else float_of_int !routing /. float_of_int !comb

@@ -1,0 +1,27 @@
+(** MUX-chain mapping (the second Yosys call of the paper's step 5:
+    ROUTE synthesis onto the FABulous custom MUX-chain cells).
+
+    Cascaded [Mux2] pairs are packed into custom [Mux4] cells — the
+    full 4:1 pattern when two sibling muxes share their select, or the
+    chain pattern when a mux feeds a data input of another with no
+    other reader. Remaining cells pass through. The result is what the
+    fabric maps onto its non-cyclical MUX chains rather than onto
+    CLBs, which is where SheLL's area win comes from (Table I). *)
+
+type stats = {
+  mux4 : int;
+  mux2 : int;  (** muxes left unpacked *)
+  other : int;  (** non-mux cells passed through *)
+  chain_length : int;  (** longest mux-only path, in packed cells *)
+}
+
+val map :
+  ?should_pack:(Shell_netlist.Cell.t -> bool) ->
+  Shell_netlist.Netlist.t ->
+  Shell_netlist.Netlist.t * stats
+(** [should_pack] (default: every mux) limits packing to selected
+    muxes — the SheLL flow packs only ROUTE-origin muxes. *)
+
+val route_fraction : Shell_netlist.Netlist.t -> float
+(** Fraction of combinational cells that are routing-like
+    (mux/buf) — the flow's check that a sub-circuit is ROUTE-shaped. *)

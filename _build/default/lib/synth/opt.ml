@@ -1,0 +1,192 @@
+module Netlist = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rewrite = Shell_netlist.Rewrite
+module Truthtab = Shell_util.Truthtab
+
+(* The pass walks cells in topological order, emitting into a fresh
+   netlist while tracking, for every old net, the new net it maps to
+   and (when known) its constant value. Structural hashing shares
+   identical (kind, inputs) cells. *)
+
+type ctx = {
+  src : Netlist.t;
+  dst : Netlist.t;
+  net_map : int array;  (* old net -> new net, -1 = not yet mapped *)
+  value : bool option array;  (* constant value of old net, if known *)
+  strash : (string, int) Hashtbl.t;  (* signature -> new net *)
+  mutable const0 : int;  (* new net holding constant 0, -1 if none *)
+  mutable const1 : int;
+}
+
+let get_const ctx b origin =
+  let cached = if b then ctx.const1 else ctx.const0 in
+  if cached >= 0 then cached
+  else begin
+    let net = Netlist.const ~origin ctx.dst b in
+    if b then ctx.const1 <- net else ctx.const0 <- net;
+    net
+  end
+
+let hashed_gate ctx ~origin kind ins =
+  (* commutative kinds share regardless of operand order *)
+  let norm =
+    match kind with
+    | Cell.And | Cell.Or | Cell.Xor | Cell.Nand | Cell.Nor | Cell.Xnor ->
+        let s = Array.copy ins in
+        Array.sort compare s;
+        s
+    | _ -> ins
+  in
+  let signature =
+    Cell.kind_name kind ^ "("
+    ^ String.concat "," (Array.to_list (Array.map string_of_int norm))
+    ^ ")"
+  in
+  match Hashtbl.find_opt ctx.strash signature with
+  | Some net -> net
+  | None ->
+      let net = Netlist.gate ~origin ctx.dst kind ins in
+      Hashtbl.add ctx.strash signature net;
+      net
+
+(* Emit the simplified version of a combinational cell. Returns the new
+   net carrying the cell's function and its constant value if known. *)
+let emit_cell ctx (c : Cell.t) : int * bool option =
+  let origin = c.Cell.origin in
+  let ins = Array.map (fun n -> ctx.net_map.(n)) c.Cell.ins in
+  let vals = Array.map (fun n -> ctx.value.(n)) c.Cell.ins in
+  let all_const = Array.for_all Option.is_some vals in
+  if all_const && c.Cell.kind <> Cell.Const true && c.Cell.kind <> Cell.Const false
+  then begin
+    let b = Cell.eval c.Cell.kind (Array.map Option.get vals) in
+    (get_const ctx b origin, Some b)
+  end
+  else
+    let emit_not a = (hashed_gate ctx ~origin Cell.Not [| a |], None) in
+    let keep () = (hashed_gate ctx ~origin c.Cell.kind ins, None) in
+    match (c.Cell.kind, vals) with
+    | Cell.Const b, _ -> (get_const ctx b origin, Some b)
+    | Cell.Buf, _ -> (ins.(0), vals.(0))
+    | Cell.Not, [| Some b |] -> (get_const ctx (not b) origin, Some (not b))
+    | Cell.Not, _ -> keep ()
+    | Cell.And, [| Some false; _ |] | Cell.And, [| _; Some false |] ->
+        (get_const ctx false origin, Some false)
+    | Cell.And, [| Some true; _ |] -> (ins.(1), vals.(1))
+    | Cell.And, [| _; Some true |] -> (ins.(0), vals.(0))
+    | Cell.And, _ when ins.(0) = ins.(1) -> (ins.(0), vals.(0))
+    | Cell.Or, [| Some true; _ |] | Cell.Or, [| _; Some true |] ->
+        (get_const ctx true origin, Some true)
+    | Cell.Or, [| Some false; _ |] -> (ins.(1), vals.(1))
+    | Cell.Or, [| _; Some false |] -> (ins.(0), vals.(0))
+    | Cell.Or, _ when ins.(0) = ins.(1) -> (ins.(0), vals.(0))
+    | Cell.Nand, [| Some false; _ |] | Cell.Nand, [| _; Some false |] ->
+        (get_const ctx true origin, Some true)
+    | Cell.Nand, [| Some true; _ |] -> emit_not ins.(1)
+    | Cell.Nand, [| _; Some true |] -> emit_not ins.(0)
+    | Cell.Nor, [| Some true; _ |] | Cell.Nor, [| _; Some true |] ->
+        (get_const ctx false origin, Some false)
+    | Cell.Nor, [| Some false; _ |] -> emit_not ins.(1)
+    | Cell.Nor, [| _; Some false |] -> emit_not ins.(0)
+    | Cell.Xor, [| Some false; _ |] -> (ins.(1), vals.(1))
+    | Cell.Xor, [| _; Some false |] -> (ins.(0), vals.(0))
+    | Cell.Xor, [| Some true; _ |] -> emit_not ins.(1)
+    | Cell.Xor, [| _; Some true |] -> emit_not ins.(0)
+    | Cell.Xor, _ when ins.(0) = ins.(1) -> (get_const ctx false origin, Some false)
+    | Cell.Xnor, [| Some true; _ |] -> (ins.(1), vals.(1))
+    | Cell.Xnor, [| _; Some true |] -> (ins.(0), vals.(0))
+    | Cell.Xnor, [| Some false; _ |] -> emit_not ins.(1)
+    | Cell.Xnor, [| _; Some false |] -> emit_not ins.(0)
+    | Cell.Xnor, _ when ins.(0) = ins.(1) -> (get_const ctx true origin, Some true)
+    | Cell.Mux2, [| Some s; _; _ |] ->
+        let pick = if s then 2 else 1 in
+        (ins.(pick), vals.(pick))
+    | Cell.Mux2, _ when ins.(1) = ins.(2) -> (ins.(1), vals.(1))
+    | Cell.Mux4, [| Some s0; Some s1; _; _; _; _ |] ->
+        let pick = 2 + ((if s0 then 1 else 0) lor if s1 then 2 else 0) in
+        (ins.(pick), vals.(pick))
+    | Cell.Lut tt, _ ->
+        (* cofactor away constant inputs *)
+        let tt = ref tt in
+        let live = ref [] in
+        (* walk from the highest index so cofactor positions stay valid *)
+        for i = Array.length vals - 1 downto 0 do
+          match vals.(i) with
+          | Some b -> tt := Truthtab.cofactor !tt i b
+          | None -> live := (i, ins.(i)) :: !live
+        done;
+        let live = Array.of_list !live in
+        let lits = Array.map snd live in
+        (match Truthtab.is_const !tt with
+        | Some b -> (get_const ctx b origin, Some b)
+        | None ->
+            if Truthtab.arity !tt = 1 then
+              if Truthtab.equal !tt (Truthtab.var 0 ~arity:1) then
+                (lits.(0), None)
+              else emit_not lits.(0)
+            else (hashed_gate ctx ~origin (Cell.Lut !tt) lits, None))
+    | (Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
+      | Cell.Mux2 | Cell.Mux4), _ ->
+        keep ()
+    | (Cell.Dff | Cell.Config_latch), _ ->
+        invalid_arg "Opt.emit_cell: sequential cell"
+
+let simplify_once src =
+  let dst = Netlist.create (Netlist.name src) in
+  let n_nets = max (Netlist.num_nets src) 1 in
+  let ctx =
+    {
+      src;
+      dst;
+      net_map = Array.make n_nets (-1);
+      value = Array.make n_nets None;
+      strash = Hashtbl.create 256;
+      const0 = -1;
+      const1 = -1;
+    }
+  in
+  List.iter
+    (fun (nm, net) -> ctx.net_map.(net) <- Netlist.add_input dst nm)
+    (Netlist.inputs src);
+  List.iter
+    (fun (nm, net) -> ctx.net_map.(net) <- Netlist.add_key dst nm)
+    (Netlist.keys src);
+  (* sequential outputs are sources: pre-allocate their new nets *)
+  let cells = Netlist.cells src in
+  Array.iter
+    (fun c ->
+      if Cell.is_sequential c.Cell.kind then
+        ctx.net_map.(c.Cell.out) <- Netlist.new_net dst)
+    cells;
+  let order = Netlist.topo_order src in
+  Array.iter
+    (fun ci ->
+      let c = cells.(ci) in
+      if not (Cell.is_sequential c.Cell.kind) then begin
+        let net, v = emit_cell ctx c in
+        ctx.net_map.(c.Cell.out) <- net;
+        ctx.value.(c.Cell.out) <- v
+      end)
+    order;
+  (* emit sequential cells with mapped inputs and reserved outputs *)
+  Array.iter
+    (fun c ->
+      if Cell.is_sequential c.Cell.kind then
+        Netlist.add_cell dst
+          (Cell.make ~origin:c.Cell.origin c.Cell.kind
+             (Array.map (fun n -> ctx.net_map.(n)) c.Cell.ins)
+             ctx.net_map.(c.Cell.out)))
+    cells;
+  List.iter
+    (fun (nm, net) -> Netlist.add_output dst nm ctx.net_map.(net))
+    (Netlist.outputs src);
+  Rewrite.dead_cell_elim dst
+
+let simplify src =
+  let rec go nl budget =
+    if budget = 0 then nl
+    else
+      let nl' = simplify_once nl in
+      if Netlist.num_cells nl' >= Netlist.num_cells nl then nl'
+      else go nl' (budget - 1)
+  in
+  go src 8

@@ -1,0 +1,12 @@
+(** Combinational optimization: constant folding, algebraic
+    simplification, structural hashing (common-subexpression sharing),
+    buffer/double-inverter removal.
+
+    Plays the role of the generic cleanup passes of the Yosys scripts
+    in the paper's flow. Semantics-preserving: primary ports keep names
+    and order; sequential cells are preserved. *)
+
+val simplify_once : Shell_netlist.Netlist.t -> Shell_netlist.Netlist.t
+
+val simplify : Shell_netlist.Netlist.t -> Shell_netlist.Netlist.t
+(** Run {!simplify_once} to a fixpoint (bounded). *)

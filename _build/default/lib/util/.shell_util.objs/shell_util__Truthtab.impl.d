@@ -1,0 +1,1 @@
+lib/util/truthtab.ml: Array Format Int64

@@ -1,0 +1,53 @@
+(* Splitmix64: fast, high-quality, trivially seedable. The golden-gamma
+   constant and the mixing rounds follow Steele, Lea & Flood (OOPSLA'14). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  raw mod bound
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (raw /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choice t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let sample t n arr =
+  assert (n <= Array.length arr);
+  let pool = Array.copy arr in
+  shuffle t pool;
+  Array.sub pool 0 n

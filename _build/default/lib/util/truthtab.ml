@@ -1,0 +1,79 @@
+type t = { arity : int; bits : int64 }
+
+let max_inputs = 6
+
+(* Mask keeping only the 2^arity meaningful rows. arity = 6 uses the
+   whole word, where a shift by 64 would be undefined. *)
+let mask arity =
+  if arity >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl arity)) 1L
+
+let create ~arity ~bits =
+  if arity < 0 || arity > max_inputs then
+    invalid_arg "Truthtab.create: arity out of range";
+  { arity; bits = Int64.logand bits (mask arity) }
+
+let arity t = t.arity
+let bits t = t.bits
+
+let row_of_inputs ins =
+  let n = Array.length ins in
+  let rec go i acc = if i >= n then acc else go (i + 1) (if ins.(i) then acc lor (1 lsl i) else acc) in
+  go 0 0
+
+let eval t ins =
+  assert (Array.length ins = t.arity);
+  let row = row_of_inputs ins in
+  Int64.(logand (shift_right_logical t.bits row) 1L) = 1L
+
+let of_fun ~arity f =
+  if arity < 0 || arity > max_inputs then
+    invalid_arg "Truthtab.of_fun: arity out of range";
+  let bits = ref 0L in
+  for row = 0 to (1 lsl arity) - 1 do
+    let ins = Array.init arity (fun i -> row land (1 lsl i) <> 0) in
+    if f ins then bits := Int64.logor !bits (Int64.shift_left 1L row)
+  done;
+  { arity; bits = !bits }
+
+let const b = { arity = 0; bits = (if b then 1L else 0L) }
+
+let var i ~arity =
+  if i < 0 || i >= arity then invalid_arg "Truthtab.var";
+  of_fun ~arity (fun ins -> ins.(i))
+
+let lnot t = { t with bits = Int64.logand (Int64.lognot t.bits) (mask t.arity) }
+
+let binop op a b =
+  if a.arity <> b.arity then invalid_arg "Truthtab: arity mismatch";
+  { arity = a.arity; bits = Int64.logand (op a.bits b.bits) (mask a.arity) }
+
+let land_ = binop Int64.logand
+let lor_ = binop Int64.logor
+let lxor_ = binop Int64.logxor
+
+let equal a b = a.arity = b.arity && Int64.equal a.bits b.bits
+
+let is_const t =
+  if Int64.equal t.bits 0L then Some false
+  else if Int64.equal t.bits (mask t.arity) then Some true
+  else None
+
+let cofactor t i v =
+  if i < 0 || i >= t.arity then invalid_arg "Truthtab.cofactor";
+  of_fun ~arity:(t.arity - 1) (fun ins ->
+      let full = Array.make t.arity v in
+      Array.blit ins 0 full 0 i;
+      Array.blit ins i full (i + 1) (t.arity - 1 - i);
+      eval t full)
+
+let depends_on t i =
+  not (equal (cofactor t i false) (cofactor t i true))
+
+let support_size t =
+  let n = ref 0 in
+  for i = 0 to t.arity - 1 do
+    if depends_on t i then incr n
+  done;
+  !n
+
+let pp ppf t = Format.fprintf ppf "lut%d:%Lx" t.arity t.bits

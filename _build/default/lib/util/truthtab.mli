@@ -1,0 +1,50 @@
+(** Truth tables for LUTs of up to 6 inputs.
+
+    A table over [k] inputs stores 2^k output bits; bit [i] is the
+    output when the inputs, read as a little-endian binary number,
+    equal [i]. Backed by [int64], so [k <= 6]. *)
+
+type t
+
+val max_inputs : int
+(** 6. *)
+
+val create : arity:int -> bits:int64 -> t
+(** Bits above 2^arity are masked off. Raises [Invalid_argument] if
+    [arity] is negative or exceeds {!max_inputs}. *)
+
+val arity : t -> int
+
+val bits : t -> int64
+
+val eval : t -> bool array -> bool
+(** [eval t ins] looks up the row selected by [ins] (length = arity). *)
+
+val of_fun : arity:int -> (bool array -> bool) -> t
+(** Tabulate a Boolean function. *)
+
+val const : bool -> t
+(** 0-input constant table. *)
+
+val var : int -> arity:int -> t
+(** Table of the projection onto input [i]. *)
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+
+val equal : t -> t -> bool
+val is_const : t -> bool option
+(** [Some b] when the table outputs [b] on every row. *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t i v]: fix input [i] to [v]; arity decreases by one. *)
+
+val depends_on : t -> int -> bool
+(** Whether the function actually depends on input [i]. *)
+
+val support_size : t -> int
+(** Number of inputs the function truly depends on. *)
+
+val pp : Format.formatter -> t -> unit

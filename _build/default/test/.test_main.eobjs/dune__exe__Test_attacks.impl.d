@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array List Printf Shell_attacks Shell_fabric Shell_locking Shell_netlist Shell_synth Shell_util

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Fun List Shell_circuits Shell_netlist Shell_rtl Shell_synth String

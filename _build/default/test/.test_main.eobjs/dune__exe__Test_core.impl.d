@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Lazy List Printf Result Shell_circuits Shell_core Shell_fabric Shell_locking Shell_netlist Shell_pnr

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Array List Printf Shell_fabric Shell_netlist Shell_synth Shell_util String

@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array List Printf Shell_locking Shell_netlist Shell_util

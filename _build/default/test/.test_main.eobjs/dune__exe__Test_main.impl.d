@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_attacks Test_circuits Test_core Test_fabric Test_graph Test_locking Test_netlist Test_pnr Test_rtl Test_sat Test_synth Test_util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Printf QCheck QCheck_alcotest Result Shell_core Shell_locking Shell_netlist Shell_sat Shell_util String

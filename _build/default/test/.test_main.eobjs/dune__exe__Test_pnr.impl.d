@@ -1,0 +1,1 @@
+test/test_pnr.ml: Alcotest Array Hashtbl List Printf Shell_fabric Shell_netlist Shell_pnr Shell_synth Shell_util String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array List Printf Shell_netlist Shell_rtl

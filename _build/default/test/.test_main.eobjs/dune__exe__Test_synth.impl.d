@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Shell_netlist Shell_synth Shell_util

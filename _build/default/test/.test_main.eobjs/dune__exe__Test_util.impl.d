@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Hashtbl Int64 List QCheck QCheck_alcotest Shell_util

@@ -1,0 +1,212 @@
+(* Tests for shell_attacks: the SAT attack must break weak schemes and
+   respect budgets; removal and proximity attacks behave as the threat
+   model predicts. *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module L = Shell_locking
+module A = Shell_attacks
+module Rng = Shell_util.Rng
+
+let victim seed n_gates =
+  let rng = Rng.create seed in
+  let nl = N.create "victim" in
+  let pool =
+    ref (Array.init 8 (fun i -> N.add_input nl (Printf.sprintf "i%d" i)))
+  in
+  for _ = 1 to n_gates do
+    let a = Rng.choice rng !pool and b = Rng.choice rng !pool in
+    let kinds = [| Cell.And; Cell.Or; Cell.Xor; Cell.Nand; Cell.Nor |] in
+    let out = N.gate nl kinds.(Rng.int rng 5) [| a; b |] in
+    pool := Array.append !pool [| out |]
+  done;
+  for i = 0 to 4 do
+    N.add_output nl (Printf.sprintf "o%d" i) (!pool).(Array.length !pool - 1 - i)
+  done;
+  nl
+
+let attack ?cycle_blocks ?(max_dips = 128) ~original lk =
+  A.Sat_attack.attack_locked ~max_dips ~max_conflicts:150_000 ~time_limit:20.0
+    ?cycle_blocks ~original lk
+
+let expect_broken name outcome =
+  match outcome with
+  | A.Sat_attack.Broken (_, _) -> ()
+  | A.Sat_attack.Timeout st ->
+      Alcotest.fail
+        (Printf.sprintf "%s should break (dips=%d conflicts=%d)" name
+           st.A.Sat_attack.dips st.A.Sat_attack.conflicts)
+
+let test_breaks_xor () =
+  let nl = victim 1 80 in
+  expect_broken "xor" (attack ~original:nl (L.Schemes.xor_keys ~bits:16 nl))
+
+let test_breaks_random_lut () =
+  let nl = victim 2 80 in
+  expect_broken "random-lut"
+    (attack ~original:nl (L.Schemes.random_lut ~gates:6 nl))
+
+let test_breaks_heuristic_lut () =
+  let nl = victim 3 80 in
+  expect_broken "lut-lock"
+    (attack ~original:nl (L.Schemes.heuristic_lut ~gates:6 nl))
+
+let test_breaks_mux_routing () =
+  let nl = victim 4 80 in
+  expect_broken "full-lock"
+    (attack ~original:nl (L.Schemes.mux_routing ~width:8 nl))
+
+let test_recovered_key_functional () =
+  let nl = victim 5 60 in
+  let lk = L.Schemes.xor_keys ~bits:10 nl in
+  match attack ~original:nl lk with
+  | A.Sat_attack.Broken (key, _) ->
+      Alcotest.(check bool) "key unlocks" true
+        (L.Locked.verify ~original:nl { lk with L.Locked.key = key })
+  | A.Sat_attack.Timeout _ -> Alcotest.fail "should break"
+
+let test_budget_timeout () =
+  let nl = victim 6 80 in
+  let lk = L.Schemes.mux_lut ~width:16 nl in
+  match
+    A.Sat_attack.attack_locked ~max_dips:1 ~max_conflicts:10 ~time_limit:0.001
+      ~original:nl lk
+  with
+  | A.Sat_attack.Timeout _ -> ()
+  | A.Sat_attack.Broken _ -> ()
+(* a break within such a small budget is possible but unlikely; either
+   way the call must return promptly *)
+
+let test_attack_stats_populated () =
+  let nl = victim 7 60 in
+  let lk = L.Schemes.xor_keys ~bits:8 nl in
+  match attack ~original:nl lk with
+  | A.Sat_attack.Broken (_, st) ->
+      Alcotest.(check int) "key bits" 8 st.A.Sat_attack.key_bits;
+      Alcotest.(check bool) "c2v positive" true (st.A.Sat_attack.c2v > 0.0)
+  | A.Sat_attack.Timeout _ -> Alcotest.fail "should break"
+
+let test_sequential_attack () =
+  (* scan-model attack on a sequential victim *)
+  let nl = victim 8 40 in
+  let extra = N.dff nl (List.hd (List.map snd (N.outputs nl))) in
+  N.add_output nl "state" extra;
+  let lk = L.Schemes.xor_keys ~bits:8 nl in
+  expect_broken "sequential xor" (attack ~original:nl lk)
+
+let test_miter_unsat_without_keys () =
+  (* a locked netlist with zero keys: find_dip must be `Unsat at once *)
+  let nl = victim 9 30 in
+  let m = A.Miter.create nl in
+  (match A.Miter.find_dip m with
+  | `Unsat -> ()
+  | `Dip _ | `Budget -> Alcotest.fail "no keys, no DIP");
+  Alcotest.(check int) "no keys" 0 (A.Miter.num_keys m)
+
+let test_cycle_blocks_constrain () =
+  (* blocking clauses must exclude the blocked patterns from both key
+     vectors: craft one key bit and block value=true *)
+  let nl = N.create "cb" in
+  let a = N.add_input nl "a" in
+  let k = N.add_key nl "k" in
+  N.add_output nl "y" (N.xor_ nl a k);
+  let m = A.Miter.create ~cycle_blocks:[ ([| 0 |], [| true |]) ] nl in
+  (* with k=true excluded for both copies, no distinguishing input *)
+  match A.Miter.find_dip m with
+  | `Unsat -> ()
+  | `Dip _ | `Budget -> Alcotest.fail "blocked keyspace should collapse"
+
+let test_removal_true_guess () =
+  let nl = victim 10 50 in
+  let oracle = A.Sat_attack.oracle_of_netlist nl in
+  let v = A.Removal.attempt ~oracle nl in
+  Alcotest.(check bool) "true guess matches" true v.A.Removal.matched
+
+let test_removal_wrong_guess () =
+  let nl = victim 11 50 in
+  let other = victim 12 50 in
+  let oracle = A.Sat_attack.oracle_of_netlist nl in
+  let v = A.Removal.attempt ~oracle other in
+  Alcotest.(check bool) "wrong guess caught" false v.A.Removal.matched;
+  Alcotest.(check bool) "counterexample reported" true
+    (v.A.Removal.first_mismatch <> None)
+
+let test_proximity_reports () =
+  let nl = victim 13 100 in
+  let lk = L.Schemes.mux_routing ~width:8 nl in
+  let r = A.Proximity.run lk in
+  Alcotest.(check bool) "attacked some bits" true (r.A.Proximity.attacked_bits > 0);
+  Alcotest.(check bool) "accuracy in range" true
+    (r.A.Proximity.accuracy >= 0.0 && r.A.Proximity.accuracy <= 1.0)
+
+let test_proximity_no_muxes () =
+  let nl = victim 14 40 in
+  let lk = L.Schemes.xor_keys ~bits:6 nl in
+  let r = A.Proximity.run lk in
+  Alcotest.(check int) "xor keys not attackable" 0 r.A.Proximity.attacked_bits
+
+let test_link_prediction_reports () =
+  let nl = victim 30 120 in
+  let lk = L.Schemes.mux_routing ~width:8 nl in
+  let r = A.Proximity.predict_links lk in
+  Alcotest.(check bool) "finds boundary links" true (r.A.Proximity.links > 0);
+  Alcotest.(check bool) "accuracy in range" true
+    (r.A.Proximity.link_accuracy >= 0.0 && r.A.Proximity.link_accuracy <= 1.0);
+  (* cyclic locked netlists are skipped, not crashed *)
+  let mapped = fst (Shell_synth.Lut_map.map ~k:4 (victim 31 60)) in
+  let e = Shell_fabric.Emit.emit ~style:Shell_fabric.Style.Openfpga mapped in
+  let cyclic_lk =
+    {
+      L.Locked.locked = e.Shell_fabric.Emit.locked;
+      key = Shell_fabric.Bitstream.bits e.Shell_fabric.Emit.bitstream;
+      scheme = "efpga";
+    }
+  in
+  let r2 = A.Proximity.predict_links cyclic_lk in
+  Alcotest.(check int) "cyclic skipped" 0 r2.A.Proximity.links
+
+let test_metrics () =
+  let nl = victim 20 60 in
+  let lk = L.Schemes.random_lut ~gates:5 nl in
+  let m = A.Metrics.of_locked lk.L.Locked.locked in
+  Alcotest.(check int) "key bits" (L.Locked.key_bits lk) m.A.Metrics.key_bits;
+  Alcotest.(check bool) "c2v sane" true
+    (m.A.Metrics.c2v > 1.0 && m.A.Metrics.c2v < 10.0);
+  Alcotest.(check int) "no cycle blocks" 0 m.A.Metrics.cycle_blocked_patterns
+
+let test_metrics_bitstream_split () =
+  let mapped =
+    let nl = victim 21 50 in
+    fst (Shell_synth.Lut_map.map ~k:4 nl)
+  in
+  let e = Shell_fabric.Emit.emit ~style:Shell_fabric.Style.Fabulous_std mapped in
+  let m =
+    A.Metrics.of_locked
+      ~bitstream:e.Shell_fabric.Emit.bitstream
+      e.Shell_fabric.Emit.locked
+  in
+  Alcotest.(check int) "split covers all bits" m.A.Metrics.key_bits
+    (m.A.Metrics.table_bits + m.A.Metrics.routing_bits);
+  Alcotest.(check bool) "has table bits" true (m.A.Metrics.table_bits > 0);
+  Alcotest.(check bool) "has routing bits" true (m.A.Metrics.routing_bits > 0)
+
+let suite =
+  [
+    ("breaks xor", `Quick, test_breaks_xor);
+    ("breaks random lut", `Quick, test_breaks_random_lut);
+    ("breaks heuristic lut", `Quick, test_breaks_heuristic_lut);
+    ("breaks mux routing", `Quick, test_breaks_mux_routing);
+    ("recovered key functional", `Quick, test_recovered_key_functional);
+    ("budget timeout", `Quick, test_budget_timeout);
+    ("attack stats", `Quick, test_attack_stats_populated);
+    ("sequential attack", `Quick, test_sequential_attack);
+    ("miter without keys", `Quick, test_miter_unsat_without_keys);
+    ("cycle blocks constrain", `Quick, test_cycle_blocks_constrain);
+    ("removal true guess", `Quick, test_removal_true_guess);
+    ("removal wrong guess", `Quick, test_removal_wrong_guess);
+    ("proximity reports", `Quick, test_proximity_reports);
+    ("proximity ignores non-mux keys", `Quick, test_proximity_no_muxes);
+    ("link prediction reports", `Quick, test_link_prediction_reports);
+    ("metrics", `Quick, test_metrics);
+    ("metrics bitstream split", `Quick, test_metrics_bitstream_split);
+  ]

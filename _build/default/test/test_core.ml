@@ -1,0 +1,301 @@
+(* Tests for shell_core: connectivity analysis, scoring, selection,
+   extraction, synthesis, the full flow and its baselines. *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Equiv = Shell_netlist.Equiv
+module Style = Shell_fabric.Style
+module C = Shell_core
+module Circ = Shell_circuits
+
+let picosoc = lazy ((List.nth Circ.Catalog.all 0).Circ.Catalog.netlist ())
+let analysis = lazy (C.Connectivity.analyze (Lazy.force picosoc))
+
+let test_connectivity_blocks () =
+  let t = Lazy.force analysis in
+  Alcotest.(check bool) "many blocks" true
+    (Array.length t.C.Connectivity.blocks > 20);
+  (* every non-empty block has cells and normalized attributes *)
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "cells non-empty" true (b.C.Connectivity.cells <> []);
+      let a = b.C.Connectivity.attrs in
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "attr in [0,1]" true (v >= 0.0 && v <= 1.0))
+        [
+          a.C.Score.idgc; a.C.Score.odgc; a.C.Score.clsc; a.C.Score.btwc;
+          a.C.Score.eigc; a.C.Score.lutr;
+        ])
+    t.C.Connectivity.blocks
+
+let test_connectivity_lookup () =
+  let t = Lazy.force analysis in
+  Alcotest.(check bool) "_mem_wr found" true
+    (C.Connectivity.block_index t "_mem_wr" <> None);
+  Alcotest.(check bool) "no ghost" true
+    (C.Connectivity.block_index t "no_such_block_xyz" = None);
+  Alcotest.(check bool) "several peripherals" true
+    (List.length (C.Connectivity.blocks_matching t ":update") >= 4)
+
+let test_distance_and_coverage () =
+  let t = Lazy.force analysis in
+  match C.Connectivity.block_index t "memctl:_mem_wr" with
+  | None -> Alcotest.fail "block missing"
+  | Some b ->
+      let d = C.Connectivity.distance t [ b ] in
+      Alcotest.(check int) "self distance" 0 d.(b);
+      Alcotest.(check bool) "neighbours exist" true
+        (Array.exists (fun x -> x = 1) d);
+      Alcotest.(check bool) "coverage positive" true
+        (C.Connectivity.coverage t [ b ] > 0.1)
+
+let test_score_eval () =
+  let attrs =
+    {
+      C.Score.idgc = 1.0; odgc = 1.0; clsc = 0.5; btwc = 0.5; eigc = 1.0;
+      lutr = 0.0;
+    }
+  in
+  let s = C.Score.eval C.Score.shell_choice attrs in
+  (* h,h,l,l,h,l: 1 + 1 - 0.5 - 0.5 + 1 - 0 = 2.0 *)
+  Alcotest.(check (float 1e-9)) "eq1" 2.0 s;
+  Alcotest.(check int) "five presets" 5 (List.length C.Score.presets)
+
+let test_selection_fixed () =
+  let t = Lazy.force analysis in
+  let c =
+    C.Selection.fixed t ~route:[ "memctl:_mem_wr" ] ~lgc:[ ":_mem_wr_en" ] ()
+  in
+  Alcotest.(check bool) "route non-empty" true (c.C.Selection.route_blocks <> []);
+  Alcotest.(check bool) "lgc non-empty" true (c.C.Selection.lgc_blocks <> []);
+  Alcotest.check_raises "unknown pattern"
+    (Invalid_argument "Selection.fixed: no block matches :ghost") (fun () ->
+      ignore (C.Selection.fixed t ~route:[ ":ghost" ] ~lgc:[] ()))
+
+let test_selection_auto () =
+  let t = Lazy.force analysis in
+  let c = C.Selection.auto t () in
+  Alcotest.(check bool) "selected something" true
+    (c.C.Selection.route_blocks <> []);
+  Alcotest.(check bool) "coverage rule" true (c.C.Selection.coverage > 0.3);
+  Alcotest.(check bool) "LUT budget respected" true
+    (c.C.Selection.lut_estimate <= 220.0)
+
+let test_selection_depth () =
+  let t = Lazy.force analysis in
+  let route = [ "memctl:_mem_wr" ] in
+  let c0 = C.Selection.with_lgc_depth t ~route ~depth:0 in
+  let c2 = C.Selection.with_lgc_depth t ~route ~depth:2 in
+  Alcotest.(check bool) "both pick an lgc" true
+    (c0.C.Selection.lgc_blocks <> [] && c2.C.Selection.lgc_blocks <> []);
+  Alcotest.(check bool) "different blocks" true
+    (c0.C.Selection.lgc_blocks <> c2.C.Selection.lgc_blocks)
+
+let test_extraction_roundtrip () =
+  (* extracting a region and splicing the identical sub back in must
+     preserve sequential behaviour *)
+  let nl = Lazy.force picosoc in
+  let t = Lazy.force analysis in
+  let choice = C.Selection.fixed t ~route:[ "memctl:_mem_wr" ] ~lgc:[] () in
+  let member = C.Selection.member t choice in
+  let cut = C.Extraction.extract nl ~member in
+  Alcotest.(check bool) "cells extracted" true (cut.C.Extraction.cells <> []);
+  (match N.validate cut.C.Extraction.sub with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let back = C.Extraction.reassemble nl cut ~replacement:cut.C.Extraction.sub in
+  match Equiv.check_sequential nl back with
+  | Equiv.Equivalent -> ()
+  | Equiv.Counterexample _ -> Alcotest.fail "identity splice changed behaviour"
+
+let test_synthesize_chain_vs_lut () =
+  let nl = Lazy.force picosoc in
+  let t = Lazy.force analysis in
+  let choice =
+    C.Selection.fixed t ~route:[ "core:mem_wr" ] ~lgc:[ ":_mem_wr_en" ] ()
+  in
+  let cut = C.Extraction.extract nl ~member:(C.Selection.member t choice) in
+  let chain =
+    C.Synthesize.run ~style:Style.Fabulous_muxchain
+      ~route_origins:[ "core:mem_wr" ] cut.C.Extraction.sub
+  in
+  Alcotest.(check bool) "chain cells produced" true
+    (chain.C.Synthesize.chain_mux4 + chain.C.Synthesize.chain_mux2 > 0);
+  let flat =
+    C.Synthesize.run ~style:Style.Openfpga ~route_origins:[] cut.C.Extraction.sub
+  in
+  Alcotest.(check int) "no chain cells for openfpga" 0
+    (flat.C.Synthesize.chain_mux4 + flat.C.Synthesize.chain_mux2);
+  (* both keep function *)
+  List.iter
+    (fun (m : C.Synthesize.mapped) ->
+      match Equiv.check cut.C.Extraction.sub m.C.Synthesize.netlist with
+      | Equiv.Equivalent -> ()
+      | Equiv.Counterexample _ -> Alcotest.fail "synthesis broke the sub")
+    [ chain; flat ]
+
+let run_shell_flow () =
+  let nl = Lazy.force picosoc in
+  let e = List.nth Circ.Catalog.all 0 in
+  let t = e.Circ.Catalog.tfr_shell in
+  let cfg =
+    C.Flow.shell_config
+      ~target:
+        (C.Flow.Fixed
+           {
+             route = t.Circ.Catalog.route;
+             lgc = t.Circ.Catalog.lgc;
+             label = t.Circ.Catalog.label;
+           })
+      ()
+  in
+  C.Flow.run cfg nl
+
+let test_flow_end_to_end () =
+  let r = run_shell_flow () in
+  Alcotest.(check bool) "fits" true (Result.is_ok r.C.Flow.pnr.Shell_pnr.Pnr.fit);
+  Alcotest.(check bool) "verifies" true (C.Flow.verify r);
+  Alcotest.(check bool) "key bits" true
+    (Shell_fabric.Bitstream.length r.C.Flow.emitted.Shell_fabric.Emit.bitstream
+    > 100);
+  Alcotest.(check bool) "overhead above 1" true
+    (r.C.Flow.overhead.C.Overhead.area > 1.0)
+
+let test_flow_locked_sub_verifies () =
+  let r = run_shell_flow () in
+  let lk = C.Flow.locked_sub r in
+  Alcotest.(check bool) "locked sub correct under bitstream" true
+    (Shell_locking.Locked.verify ~original:r.C.Flow.cut.C.Extraction.sub lk)
+
+let test_baselines_ordering () =
+  let nl = Lazy.force picosoc in
+  let e = List.nth Circ.Catalog.all 0 in
+  let t (x : Circ.Catalog.tfr) =
+    {
+      C.Baselines.route = x.Circ.Catalog.route;
+      lgc = x.Circ.Catalog.lgc;
+      label = x.Circ.Catalog.label;
+    }
+  in
+  let run cfg = (C.Flow.run cfg nl).C.Flow.overhead.C.Overhead.area in
+  let shell = run (C.Baselines.case4 (t e.Circ.Catalog.tfr_shell)) in
+  let case1 = run (C.Baselines.case1 (t e.Circ.Catalog.tfr_case1)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "SheLL %.2f beats no-strategy %.2f" shell case1)
+    true (shell < case1)
+
+let test_flow_shrink_reduces () =
+  let nl = Lazy.force picosoc in
+  let e = List.nth Circ.Catalog.all 0 in
+  let t = e.Circ.Catalog.tfr_shell in
+  let target =
+    C.Flow.Fixed
+      {
+        route = t.Circ.Catalog.route;
+        lgc = t.Circ.Catalog.lgc;
+        label = t.Circ.Catalog.label;
+      }
+  in
+  let base = C.Flow.shell_config ~target () in
+  let shrunk = C.Flow.run base nl in
+  let unshrunk = C.Flow.run { base with C.Flow.shrink = false } nl in
+  Alcotest.(check bool) "shrinking reduces area" true
+    (shrunk.C.Flow.overhead.C.Overhead.area
+    < unshrunk.C.Flow.overhead.C.Overhead.area)
+
+let test_overhead_floor () =
+  (* overhead never reported below 1.0 for area/power *)
+  let r = run_shell_flow () in
+  Alcotest.(check bool) "area >= 1" true (r.C.Flow.overhead.C.Overhead.area >= 1.0);
+  Alcotest.(check bool) "power >= 1" true
+    (r.C.Flow.overhead.C.Overhead.power >= 1.0);
+  Alcotest.(check bool) "delay >= 1" true
+    (r.C.Flow.overhead.C.Overhead.delay >= 1.0)
+
+let test_flow_deterministic () =
+  let a = run_shell_flow () and b = run_shell_flow () in
+  Alcotest.(check (array bool)) "same bitstream"
+    (Shell_fabric.Bitstream.bits a.C.Flow.emitted.Shell_fabric.Emit.bitstream)
+    (Shell_fabric.Bitstream.bits b.C.Flow.emitted.Shell_fabric.Emit.bitstream);
+  Alcotest.(check (float 1e-12)) "same overhead"
+    a.C.Flow.overhead.C.Overhead.area b.C.Flow.overhead.C.Overhead.area
+
+let test_explore_beats_or_matches_presets () =
+  (* tiny search budget: must at least evaluate the presets and return
+     a candidate no worse than the best preset *)
+  let nl = Lazy.force picosoc in
+  let o = C.Explore.search ~generations:1 ~population:5 nl in
+  Alcotest.(check bool) "evaluated presets" true
+    (List.length o.C.Explore.evaluated >= 5);
+  let fit = C.Explore.fitness ~min_key_bits:256 in
+  let best_preset =
+    List.fold_left
+      (fun acc c -> Float.min acc (fit c))
+      infinity o.C.Explore.evaluated
+  in
+  Alcotest.(check bool) "best is minimal" true
+    (fit o.C.Explore.best <= best_preset +. 1e-9)
+
+(* every catalog benchmark must run the whole SheLL flow, fit, verify
+   sequentially, and beat the no-strategy baseline *)
+let flow_regression (e : Circ.Catalog.entry) () =
+  let nl = e.Circ.Catalog.netlist () in
+  let t = e.Circ.Catalog.tfr_shell in
+  let target =
+    C.Flow.Fixed
+      {
+        route = t.Circ.Catalog.route;
+        lgc = t.Circ.Catalog.lgc;
+        label = t.Circ.Catalog.label;
+      }
+  in
+  let r = C.Flow.run (C.Flow.shell_config ~target ()) nl in
+  Alcotest.(check bool) "fits" true (Result.is_ok r.C.Flow.pnr.Shell_pnr.Pnr.fit);
+  Alcotest.(check bool) "verifies" true (C.Flow.verify r);
+  Alcotest.(check bool) "locked sub correct" true
+    (Shell_locking.Locked.verify
+       ~original:r.C.Flow.cut.C.Extraction.sub
+       (C.Flow.locked_sub r));
+  let c1 = e.Circ.Catalog.tfr_case1 in
+  let baseline =
+    C.Flow.run
+      (C.Baselines.case1
+         {
+           C.Baselines.route = c1.Circ.Catalog.route;
+           lgc = c1.Circ.Catalog.lgc;
+           label = c1.Circ.Catalog.label;
+         })
+      nl
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "SheLL %.2f < baseline %.2f"
+       r.C.Flow.overhead.C.Overhead.area
+       baseline.C.Flow.overhead.C.Overhead.area)
+    true
+    (r.C.Flow.overhead.C.Overhead.area
+    < baseline.C.Flow.overhead.C.Overhead.area)
+
+let suite =
+  List.map
+    (fun (e : Circ.Catalog.entry) ->
+      (e.Circ.Catalog.name ^ " full flow", `Slow, flow_regression e))
+    Circ.Catalog.all
+  @ [
+    ("connectivity blocks", `Quick, test_connectivity_blocks);
+    ("connectivity lookup", `Quick, test_connectivity_lookup);
+    ("distance and coverage", `Quick, test_distance_and_coverage);
+    ("score eval", `Quick, test_score_eval);
+    ("selection fixed", `Quick, test_selection_fixed);
+    ("selection auto", `Quick, test_selection_auto);
+    ("selection depth", `Quick, test_selection_depth);
+    ("extraction roundtrip", `Quick, test_extraction_roundtrip);
+    ("synthesize chain vs lut", `Quick, test_synthesize_chain_vs_lut);
+    ("flow end to end", `Slow, test_flow_end_to_end);
+    ("flow locked sub verifies", `Slow, test_flow_locked_sub_verifies);
+    ("baseline ordering", `Slow, test_baselines_ordering);
+    ("shrink reduces", `Slow, test_flow_shrink_reduces);
+    ("overhead floor", `Quick, test_overhead_floor);
+    ("explore minimal over presets", `Slow, test_explore_beats_or_matches_presets);
+    ("flow deterministic", `Slow, test_flow_deterministic);
+  ]

@@ -1,0 +1,293 @@
+(* Tests for shell_fabric: styles, geometry/capacity, bitstream,
+   emission (correct-key equivalence, cyclicity, resources, shrink). *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Equiv = Shell_netlist.Equiv
+module Specialize = Shell_netlist.Specialize
+module Style = Shell_fabric.Style
+module Fabric = Shell_fabric.Fabric
+module Resources = Shell_fabric.Resources
+module Bitstream = Shell_fabric.Bitstream
+module Emit = Shell_fabric.Emit
+module Lut_map = Shell_synth.Lut_map
+module Mux_chain = Shell_synth.Mux_chain
+module Rng = Shell_util.Rng
+
+let random_nl seed n_in n_gates =
+  let rng = Rng.create seed in
+  let nl = N.create "rand" in
+  let pool =
+    ref (Array.init n_in (fun i -> N.add_input nl (Printf.sprintf "i%d" i)))
+  in
+  for _ = 1 to n_gates do
+    let a = Rng.choice rng !pool and b = Rng.choice rng !pool in
+    let kinds = [| Cell.And; Cell.Or; Cell.Xor; Cell.Nand |] in
+    let out = N.gate nl kinds.(Rng.int rng 4) [| a; b |] in
+    pool := Array.append !pool [| out |]
+  done;
+  for i = 0 to 3 do
+    N.add_output nl (Printf.sprintf "o%d" i) (!pool).(Array.length !pool - 1 - i)
+  done;
+  nl
+
+let mapped_fixture seed = fst (Lut_map.map ~k:4 (random_nl seed 6 60))
+
+(* ---- geometry ---- *)
+
+let test_sel_bits () =
+  List.iter
+    (fun (n, expect) -> Alcotest.(check int) (string_of_int n) expect (Fabric.sel_bits n))
+    [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4) ]
+
+let test_size_square () =
+  let f = Fabric.size_for Style.Openfpga ~luts:40 ~user_ffs:0 ~chain_muxes:0 in
+  Alcotest.(check bool) "square" true (f.Fabric.cols = f.Fabric.rows);
+  Alcotest.(check bool) "fits" true (Fabric.lut_capacity f >= 40)
+
+let test_size_rect () =
+  let f = Fabric.size_for Style.Fabulous_std ~luts:40 ~user_ffs:0 ~chain_muxes:0 in
+  Alcotest.(check bool) "fits tighter" true
+    (Fabric.lut_capacity f >= 40 && Fabric.lut_capacity f <= 48)
+
+let test_size_chain_rejected () =
+  Alcotest.check_raises "no chains on openfpga"
+    (Invalid_argument "Fabric.size_for: style has no MUX chains") (fun () ->
+      ignore (Fabric.size_for Style.Openfpga ~luts:8 ~user_ffs:0 ~chain_muxes:4))
+
+let test_grow () =
+  let f = Fabric.size_for Style.Fabulous_muxchain ~luts:16 ~user_ffs:0 ~chain_muxes:8 in
+  let g = Fabric.grow f Fabric.Luts_short in
+  Alcotest.(check bool) "more luts" true
+    (Fabric.lut_capacity g > Fabric.lut_capacity f);
+  let c = Fabric.grow f Fabric.Chain_short in
+  Alcotest.(check bool) "more chain" true (c.Fabric.chain_slots > f.Fabric.chain_slots)
+
+let test_capacity_consistent () =
+  let f = Fabric.size_for Style.Openfpga ~luts:30 ~user_ffs:10 ~chain_muxes:0 in
+  let r = Fabric.capacity f in
+  Alcotest.(check bool) "has lut muxes" true (r.Resources.lut_body_mux2 > 0);
+  Alcotest.(check bool) "has config bits" true (r.Resources.config_bits > 0);
+  Alcotest.(check bool) "dff storage for openfpga" true
+    (r.Resources.storage_dffs = r.Resources.config_bits);
+  let f2 = Fabric.size_for Style.Fabulous_std ~luts:30 ~user_ffs:10 ~chain_muxes:0 in
+  let r2 = Fabric.capacity f2 in
+  Alcotest.(check bool) "latch storage for fabulous" true
+    (r2.Resources.storage_latches = r2.Resources.config_bits)
+
+let test_utilization () =
+  let f = Fabric.size_for Style.Openfpga ~luts:40 ~user_ffs:0 ~chain_muxes:0 in
+  let u = Fabric.utilization f ~used_luts:40 in
+  Alcotest.(check bool) "between 0 and 1" true (u > 0.0 && u <= 1.0)
+
+(* ---- bitstream ---- *)
+
+let test_bitstream_segments () =
+  let b = Bitstream.builder () in
+  Bitstream.append b "lut0.table" [| true; false; true; true |];
+  Bitstream.append b "lut0.in0.s" [| false; true |];
+  Alcotest.(check int) "length" 6 (Bitstream.length b);
+  Alcotest.(check (option (array bool))) "segment"
+    (Some [| false; true |])
+    (Bitstream.segment_bits b "lut0.in0.s");
+  Alcotest.(check int) "two segments" 2 (List.length (Bitstream.segments b))
+
+let test_bitstream_hex_hamming () =
+  let b = Bitstream.builder () in
+  Bitstream.append b "x" [| true; false; false; true; true |];
+  Alcotest.(check string) "hex" "91" (Bitstream.to_hex b);
+  Alcotest.(check int) "hamming" 2
+    (Bitstream.hamming [| true; false; true |] [| false; false; false |])
+
+(* ---- emission ---- *)
+
+let check_correct_key style seed =
+  let mapped = mapped_fixture seed in
+  let e = Emit.emit ~style mapped in
+  let key = Bitstream.bits e.Emit.bitstream in
+  Alcotest.(check int) "key = ports"
+    (List.length (N.keys e.Emit.locked))
+    (Array.length key);
+  let bound = Specialize.bind_keys e.Emit.locked key in
+  (match Equiv.check mapped bound with
+  | Equiv.Equivalent -> ()
+  | Equiv.Counterexample _ -> Alcotest.fail "correct key must restore function");
+  e
+
+let test_emit_openfpga () =
+  let e = check_correct_key Style.Openfpga 11 in
+  Alcotest.(check bool) "cyclic decoys present" true
+    (N.has_comb_cycle e.Emit.locked);
+  Alcotest.(check bool) "cycle blocks recorded" true (e.Emit.cycle_blocks <> [])
+
+let test_emit_fabulous_acyclic () =
+  let e = check_correct_key Style.Fabulous_std 12 in
+  Alcotest.(check bool) "acyclic" false (N.has_comb_cycle e.Emit.locked);
+  Alcotest.(check bool) "no cycle blocks" true (e.Emit.cycle_blocks = []);
+  Alcotest.(check bool) "m4 route muxes" true (e.Emit.used.Resources.route_mux4 > 0)
+
+let test_emit_wrong_key_differs () =
+  let mapped = mapped_fixture 13 in
+  let e = Emit.emit ~style:Style.Fabulous_std mapped in
+  let key = Bitstream.bits e.Emit.bitstream in
+  (* flip a LUT table bit: function must change somewhere *)
+  let wrong = Array.copy key in
+  let seg =
+    List.find
+      (fun s ->
+        let open Bitstream in
+        String.length s.label > 5
+        && String.sub s.label (String.length s.label - 5) 5 = "table")
+      (Bitstream.segments e.Emit.bitstream)
+  in
+  wrong.(seg.Bitstream.offset) <- not wrong.(seg.Bitstream.offset);
+  let bound = Specialize.bind_keys e.Emit.locked wrong in
+  match Equiv.check mapped bound with
+  | Equiv.Counterexample _ -> ()
+  | Equiv.Equivalent ->
+      (* a single table bit can be don't-care; tolerate only if the
+         mapped netlist never exercises that row — flip all instead *)
+      let all_wrong = Array.map not key in
+      let bound = Specialize.bind_keys e.Emit.locked all_wrong in
+      (match Equiv.check mapped bound with
+      | Equiv.Counterexample _ -> ()
+      | Equiv.Equivalent -> Alcotest.fail "complemented key cannot be correct")
+
+let test_emit_chain_style () =
+  let nl = N.create "r" in
+  let s0 = N.add_input nl "s0" in
+  let s1 = N.add_input nl "s1" in
+  let d = Array.init 4 (fun i -> N.add_input nl (Printf.sprintf "d%d" i)) in
+  let m0 = N.mux2 nl ~sel:s0 ~a:d.(0) ~b:d.(1) in
+  let m1 = N.mux2 nl ~sel:s0 ~a:d.(2) ~b:d.(3) in
+  N.add_output nl "y" (N.mux2 nl ~sel:s1 ~a:m0 ~b:m1);
+  let packed, _ = Mux_chain.map nl in
+  let e = Emit.emit ~style:Style.Fabulous_muxchain packed in
+  Alcotest.(check bool) "chain cells used" true (e.Emit.used_chain > 0);
+  let key = Bitstream.bits e.Emit.bitstream in
+  let bound = Specialize.bind_keys e.Emit.locked key in
+  match Equiv.check packed bound with
+  | Equiv.Equivalent -> ()
+  | Equiv.Counterexample _ -> Alcotest.fail "chain emission broken"
+
+let test_emit_rejects_plain_gates () =
+  let nl = N.create "g" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  N.add_output nl "y" (N.and_ nl a b);
+  match Emit.emit ~style:Style.Openfpga nl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "plain gate must be rejected"
+
+let test_emit_rejects_chain_on_chainless () =
+  let nl = N.create "m" in
+  let s = N.add_input nl "s" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  N.add_output nl "y" (N.mux2 nl ~sel:s ~a ~b);
+  match Emit.emit ~style:Style.Fabulous_std nl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "chain cell on chain-less style must be rejected"
+
+let test_emit_deterministic () =
+  let mapped = mapped_fixture 21 in
+  let a = Emit.emit ~style:Style.Fabulous_std ~seed:5 mapped in
+  let b = Emit.emit ~style:Style.Fabulous_std ~seed:5 mapped in
+  Alcotest.(check (array bool)) "same bitstream"
+    (Bitstream.bits a.Emit.bitstream)
+    (Bitstream.bits b.Emit.bitstream);
+  let c = Emit.emit ~style:Style.Fabulous_std ~seed:6 mapped in
+  Alcotest.(check bool) "seed changes layout" true
+    (N.num_cells c.Emit.locked = N.num_cells a.Emit.locked)
+
+let test_shrink_keeps_used () =
+  let mapped = mapped_fixture 31 in
+  let e = Emit.emit ~style:Style.Fabulous_muxchain mapped in
+  let f =
+    Fabric.size_for Style.Fabulous_muxchain ~luts:e.Emit.used_luts
+      ~user_ffs:e.Emit.used_ffs ~chain_muxes:e.Emit.used_chain
+  in
+  let shrunk = Fabric.shrink f ~used:e.Emit.used in
+  let cap = Fabric.capacity f in
+  Alcotest.(check bool) "shrunk <= capacity" true
+    (Resources.area Style.Fabulous_muxchain shrunk
+    <= Resources.area Style.Fabulous_muxchain cap);
+  Alcotest.(check int) "used bits kept" e.Emit.used.Resources.config_bits
+    shrunk.Resources.config_bits
+
+let test_sequential_emission () =
+  let nl = N.create "seq" in
+  let a = N.add_input nl "a" in
+  let q = N.new_net nl in
+  let d = N.xor_ nl a q in
+  N.add_cell nl (Cell.make Cell.Dff [| d |] q);
+  N.add_output nl "q" q;
+  let mapped = fst (Lut_map.map ~k:4 nl) in
+  let e = Emit.emit ~style:Style.Fabulous_std mapped in
+  Alcotest.(check int) "user dff hosted" 1 e.Emit.used_ffs;
+  let key = Bitstream.bits e.Emit.bitstream in
+  let bound = Specialize.bind_keys e.Emit.locked key in
+  match Equiv.check_sequential nl bound with
+  | Equiv.Equivalent -> ()
+  | Equiv.Counterexample _ -> Alcotest.fail "sequential behaviour lost"
+
+let test_bitstream_file_roundtrip () =
+  let b = Bitstream.builder () in
+  Bitstream.append b "lut0.table" [| true; false; true; true |];
+  Bitstream.append b "lut0.in0.s" [| false; true; true |];
+  Bitstream.append b "po0" [| true |];
+  let b2 = Bitstream.deserialize (Bitstream.serialize b) in
+  Alcotest.(check (array bool)) "bits survive" (Bitstream.bits b)
+    (Bitstream.bits b2);
+  Alcotest.(check int) "segments survive"
+    (List.length (Bitstream.segments b))
+    (List.length (Bitstream.segments b2));
+  Alcotest.(check (option (array bool))) "segment lookup"
+    (Bitstream.segment_bits b "lut0.in0.s")
+    (Bitstream.segment_bits b2 "lut0.in0.s")
+
+let test_bitstream_file_errors () =
+  List.iter
+    (fun src ->
+      match Bitstream.deserialize src with
+      | exception Bitstream.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("accepted: " ^ src))
+    [
+      "";
+      "not-a-bitstream\n";
+      "shell-bitstream 1 4\nbits f\n";  (* no segments *)
+      "shell-bitstream 1 4\nsegment a 0 2\nbits f\n";  (* gap *)
+    ]
+
+let test_emitted_bitstream_roundtrip () =
+  let mapped = mapped_fixture 41 in
+  let e = Emit.emit ~style:Style.Fabulous_std mapped in
+  let b2 = Bitstream.deserialize (Bitstream.serialize e.Emit.bitstream) in
+  Alcotest.(check (array bool)) "full roundtrip"
+    (Bitstream.bits e.Emit.bitstream)
+    (Bitstream.bits b2)
+
+let suite =
+  [
+    ("sel_bits", `Quick, test_sel_bits);
+    ("size square", `Quick, test_size_square);
+    ("size rect", `Quick, test_size_rect);
+    ("size chain rejected", `Quick, test_size_chain_rejected);
+    ("grow", `Quick, test_grow);
+    ("capacity consistent", `Quick, test_capacity_consistent);
+    ("utilization", `Quick, test_utilization);
+    ("bitstream segments", `Quick, test_bitstream_segments);
+    ("bitstream hex/hamming", `Quick, test_bitstream_hex_hamming);
+    ("emit openfpga cyclic", `Quick, test_emit_openfpga);
+    ("emit fabulous acyclic", `Quick, test_emit_fabulous_acyclic);
+    ("emit wrong key differs", `Quick, test_emit_wrong_key_differs);
+    ("emit chain style", `Quick, test_emit_chain_style);
+    ("emit rejects plain gates", `Quick, test_emit_rejects_plain_gates);
+    ("emit rejects chain on chainless", `Quick, test_emit_rejects_chain_on_chainless);
+    ("emit deterministic", `Quick, test_emit_deterministic);
+    ("shrink keeps used", `Quick, test_shrink_keeps_used);
+    ("sequential emission", `Quick, test_sequential_emission);
+    ("bitstream file roundtrip", `Quick, test_bitstream_file_roundtrip);
+    ("bitstream file errors", `Quick, test_bitstream_file_errors);
+    ("emitted bitstream roundtrip", `Quick, test_emitted_bitstream_roundtrip);
+  ]

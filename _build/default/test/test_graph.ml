@@ -1,0 +1,122 @@
+(* Tests for shell_graph: digraph structure and centrality measures. *)
+
+module D = Shell_graph.Digraph
+module C = Shell_graph.Centrality
+
+(* diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+let diamond () = D.make ~n:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+(* chain: 0 -> 1 -> 2 -> 3 -> 4 *)
+let chain () = D.make ~n:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let test_degrees () =
+  let g = diamond () in
+  Alcotest.(check int) "out 0" 2 (D.out_degree g 0);
+  Alcotest.(check int) "in 3" 2 (D.in_degree g 3);
+  Alcotest.(check int) "in 0" 0 (D.in_degree g 0);
+  Alcotest.(check int) "edges" 4 (D.num_edges g)
+
+let test_duplicate_edges () =
+  let g = D.make ~n:2 ~edges:[ (0, 1); (0, 1); (0, 1) ] in
+  Alcotest.(check int) "deduplicated" 1 (D.num_edges g)
+
+let test_bfs () =
+  let g = chain () in
+  let d = D.bfs_from g [ 0 ] in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4 |] d;
+  let back = D.bfs_from g ~reverse:true [ 4 ] in
+  Alcotest.(check (array int)) "reverse distances" [| 4; 3; 2; 1; 0 |] back
+
+let test_bfs_unreachable () =
+  let g = D.make ~n:3 ~edges:[ (0, 1) ] in
+  let d = D.bfs_from g [ 0 ] in
+  Alcotest.(check int) "unreachable" max_int d.(2)
+
+let test_coverage () =
+  let g = chain () in
+  Alcotest.(check (float 1e-9)) "middle covers all" 1.0 (D.coverage g [ 2 ]);
+  let g2 = D.make ~n:4 ~edges:[ (0, 1) ] in
+  Alcotest.(check (float 1e-9)) "half covered" 0.5 (D.coverage g2 [ 0 ])
+
+let test_topo () =
+  match D.topo_order (diamond ()) with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      Array.iteri (fun p v -> pos.(v) <- p) order;
+      Alcotest.(check bool) "0 before 3" true (pos.(0) < pos.(3))
+
+let test_topo_cycle () =
+  let g = D.make ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "no topo order" true (D.topo_order g = None);
+  Alcotest.(check bool) "cyclic" true (D.is_cyclic g)
+
+let test_sccs () =
+  let g = D.make ~n:5 ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4) ] in
+  let sccs = D.sccs g in
+  Alcotest.(check int) "three components" 3 (List.length sccs);
+  let big = List.find (fun c -> List.length c = 3) sccs in
+  Alcotest.(check (list int)) "cycle component" [ 0; 1; 2 ]
+    (List.sort compare big)
+
+let test_self_loop_cyclic () =
+  let g = D.make ~n:2 ~edges:[ (0, 0); (0, 1) ] in
+  Alcotest.(check bool) "self loop is a cycle" true (D.is_cyclic g)
+
+let test_transpose () =
+  let g = diamond () in
+  let t = D.transpose g in
+  Alcotest.(check bool) "edge reversed" true (D.has_edge t 3 1);
+  Alcotest.(check bool) "edge gone" false (D.has_edge t 1 3)
+
+let test_degree_centrality () =
+  let g = diamond () in
+  let ic = C.in_degree g in
+  Alcotest.(check (float 1e-9)) "sink has max in-degree" 1.0 ic.(3);
+  Alcotest.(check (float 1e-9)) "source has zero" 0.0 ic.(0)
+
+let test_closeness () =
+  let g = chain () in
+  let cl = C.closeness g ~sources:[ 0 ] ~sinks:[ 4 ] in
+  (* endpoints are closest to the I/O boundary, the middle farthest *)
+  Alcotest.(check bool) "ends beat middle" true
+    (cl.(0) > cl.(2) && cl.(4) > cl.(2))
+
+let test_betweenness_chain () =
+  let g = chain () in
+  let b = C.betweenness g ~sources:[ 0 ] ~sinks:[ 4 ] in
+  Alcotest.(check bool) "interior maximal" true
+    (b.(2) > 0.0 && b.(0) = 0.0);
+  Alcotest.(check bool) "all interior equal" true (b.(1) = b.(2) && b.(2) = b.(3))
+
+let test_betweenness_bypass () =
+  (* 0->1->3 and 0->2a->2b->3: node 1 carries the only shortest path *)
+  let g = D.make ~n:5 ~edges:[ (0, 1); (1, 4); (0, 2); (2, 3); (3, 4) ] in
+  let b = C.betweenness g ~sources:[ 0 ] ~sinks:[ 4 ] in
+  Alcotest.(check bool) "short path node wins" true (b.(1) > b.(2))
+
+let test_eigenvector () =
+  (* star: center connected to all leaves *)
+  let g = D.make ~n:5 ~edges:[ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  let e = C.eigenvector g in
+  Alcotest.(check (float 1e-6)) "center maximal" 1.0 e.(0);
+  Alcotest.(check bool) "leaves below" true (e.(1) < 1.0)
+
+let suite =
+  [
+    ("degrees", `Quick, test_degrees);
+    ("duplicate edges", `Quick, test_duplicate_edges);
+    ("bfs", `Quick, test_bfs);
+    ("bfs unreachable", `Quick, test_bfs_unreachable);
+    ("coverage", `Quick, test_coverage);
+    ("topo order", `Quick, test_topo);
+    ("topo cycle", `Quick, test_topo_cycle);
+    ("sccs", `Quick, test_sccs);
+    ("self loop cyclic", `Quick, test_self_loop_cyclic);
+    ("transpose", `Quick, test_transpose);
+    ("degree centrality", `Quick, test_degree_centrality);
+    ("closeness", `Quick, test_closeness);
+    ("betweenness chain", `Quick, test_betweenness_chain);
+    ("betweenness bypass", `Quick, test_betweenness_bypass);
+    ("eigenvector", `Quick, test_eigenvector);
+  ]

@@ -1,0 +1,18 @@
+(* Aggregated alcotest entry point: one suite per library. *)
+
+let () =
+  Alcotest.run "shell"
+    [
+      ("util", Test_util.suite);
+      ("netlist", Test_netlist.suite);
+      ("graph", Test_graph.suite);
+      ("sat", Test_sat.suite);
+      ("rtl", Test_rtl.suite);
+      ("synth", Test_synth.suite);
+      ("fabric", Test_fabric.suite);
+      ("pnr", Test_pnr.suite);
+      ("locking", Test_locking.suite);
+      ("attacks", Test_attacks.suite);
+      ("circuits", Test_circuits.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,401 @@
+(* Tests for shell_netlist: construction, validation, topo order,
+   simulation, cost, Verilog round-trip, CNF encoding, rewriting,
+   key specialization, splicing, equivalence. *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Sim = Shell_netlist.Sim
+module Cost = Shell_netlist.Cost
+module Verilog = Shell_netlist.Verilog
+module Cnf = Shell_netlist.Cnf
+module Rewrite = Shell_netlist.Rewrite
+module Specialize = Shell_netlist.Specialize
+module Splice = Shell_netlist.Splice
+module Equiv = Shell_netlist.Equiv
+module Rng = Shell_util.Rng
+module Truthtab = Shell_util.Truthtab
+
+(* small fixture: y = (a xor b) and c, plus a counter bit *)
+let fixture () =
+  let nl = N.create "fix" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let c = N.add_input nl "c" in
+  let x = N.xor_ nl a b in
+  let y = N.and_ nl x c in
+  N.add_output nl "y" y;
+  let q = N.new_net nl in
+  let d = N.not_ nl q in
+  N.add_cell nl (Cell.make Cell.Dff [| d |] q);
+  N.add_output nl "q" q;
+  nl
+
+(* layered random combinational netlist *)
+let random_nl seed n_in n_gates =
+  let rng = Rng.create seed in
+  let nl = N.create "rand" in
+  let pool = ref (Array.init n_in (fun i -> N.add_input nl (Printf.sprintf "i%d" i))) in
+  for _ = 1 to n_gates do
+    let a = Rng.choice rng !pool and b = Rng.choice rng !pool in
+    let kinds = [| Cell.And; Cell.Or; Cell.Xor; Cell.Nand; Cell.Nor; Cell.Xnor |] in
+    let out = N.gate nl kinds.(Rng.int rng 6) [| a; b |] in
+    pool := Array.append !pool [| out |]
+  done;
+  for i = 0 to min 5 (Array.length !pool - 1) do
+    N.add_output nl (Printf.sprintf "o%d" i) (!pool).(Array.length !pool - 1 - i)
+  done;
+  nl
+
+let test_validate_ok () =
+  match N.validate (fixture ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_validate_double_driver () =
+  let nl = N.create "bad" in
+  let a = N.add_input nl "a" in
+  let x = N.not_ nl a in
+  N.add_cell nl (Cell.make Cell.Buf [| a |] x);
+  Alcotest.(check bool) "rejected" true (Result.is_error (N.validate nl))
+
+let test_validate_floating_read () =
+  let nl = N.create "bad2" in
+  let a = N.add_input nl "a" in
+  let dangling = N.new_net nl in
+  let y = N.and_ nl a dangling in
+  N.add_output nl "y" y;
+  Alcotest.(check bool) "rejected" true (Result.is_error (N.validate nl))
+
+let test_driver_fanout () =
+  let nl = fixture () in
+  let x_cell = 0 in
+  let x_net = (N.cell nl x_cell).Cell.out in
+  Alcotest.(check (option int)) "driver" (Some x_cell) (N.driver nl x_net);
+  Alcotest.(check (list int)) "fanout of x" [ 1 ] (N.fanout nl x_net)
+
+let test_topo_order_valid () =
+  let nl = random_nl 17 8 200 in
+  let order = N.topo_order nl in
+  let pos = Array.make (N.num_cells nl) 0 in
+  Array.iteri (fun p ci -> pos.(ci) <- p) order;
+  Array.iteri
+    (fun ci c ->
+      if not (Cell.is_sequential c.Cell.kind) then
+        Array.iter
+          (fun net ->
+            match N.driver nl net with
+            | Some cj when not (Cell.is_sequential (N.cell nl cj).Cell.kind) ->
+                Alcotest.(check bool) "driver before reader" true
+                  (pos.(cj) < pos.(ci))
+            | Some _ | None -> ())
+          c.Cell.ins)
+    (N.cells nl)
+
+let test_cycle_detection () =
+  let nl = N.create "cyc" in
+  let a = N.add_input nl "a" in
+  let loop_net = N.new_net nl in
+  let x = N.and_ nl a loop_net in
+  N.add_cell nl (Cell.make Cell.Buf [| x |] loop_net);
+  N.add_output nl "y" x;
+  Alcotest.(check bool) "cycle found" true (N.has_comb_cycle nl);
+  Alcotest.(check bool) "fixture acyclic" false (N.has_comb_cycle (fixture ()))
+
+let test_sim_comb () =
+  let nl = fixture () in
+  let sim = Sim.create nl in
+  let out = Sim.eval_comb sim [| true; false; true |] in
+  Alcotest.(check bool) "y = (1^0)&1" true out.(0);
+  let out = Sim.eval_comb sim [| true; true; true |] in
+  Alcotest.(check bool) "y = (1^1)&1" false out.(0)
+
+let test_sim_sequential () =
+  let nl = fixture () in
+  let sim = Sim.create nl in
+  (* q starts 0, toggles every cycle (d = not q) *)
+  let o1 = Sim.step sim [| false; false; false |] in
+  Alcotest.(check bool) "q cycle0" false o1.(1);
+  let o2 = Sim.step sim [| false; false; false |] in
+  Alcotest.(check bool) "q cycle1" true o2.(1);
+  let o3 = Sim.step sim [| false; false; false |] in
+  Alcotest.(check bool) "q cycle2" false o3.(1);
+  Sim.reset sim;
+  let o4 = Sim.step sim [| false; false; false |] in
+  Alcotest.(check bool) "q after reset" false o4.(1)
+
+let test_comb_view_ports () =
+  let nl = fixture () in
+  let cv = N.comb_view nl in
+  Alcotest.(check int) "one extra input" 4 (List.length (N.inputs cv));
+  Alcotest.(check int) "one extra output" 3 (List.length (N.outputs cv));
+  Alcotest.(check bool) "no flops left" false
+    (N.count_kind cv (function Cell.Dff -> true | _ -> false) > 0)
+
+let test_cost_monotone () =
+  let small = random_nl 3 6 50 and large = random_nl 3 6 500 in
+  Alcotest.(check bool) "area grows" true (Cost.area large > Cost.area small);
+  Alcotest.(check bool) "power grows" true (Cost.power large > Cost.power small);
+  Alcotest.(check bool) "delay positive" true (Cost.delay large > 0.0)
+
+let test_cost_normalize () =
+  let nl = fixture () in
+  let r = Cost.report nl in
+  let n = Cost.normalize ~base:r r in
+  Alcotest.(check (float 1e-9)) "area ratio 1" 1.0 n.Cost.area;
+  Alcotest.(check (float 1e-9)) "delay ratio 1" 1.0 n.Cost.delay
+
+let equivalent a b =
+  match Equiv.check a b with Equiv.Equivalent -> true | _ -> false
+
+let test_verilog_roundtrip_fixture () =
+  let nl = fixture () in
+  let nl2 = Verilog.parse (Verilog.to_string nl) in
+  Alcotest.(check bool) "equivalent" true (equivalent nl nl2);
+  Alcotest.(check int) "same cell count" (N.num_cells nl) (N.num_cells nl2)
+
+let test_verilog_roundtrip_random =
+  QCheck.Test.make ~name:"verilog roundtrip random netlists" ~count:20
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let nl = random_nl seed 6 60 in
+      let nl2 = Verilog.parse (Verilog.to_string nl) in
+      equivalent nl nl2)
+
+let test_verilog_lut_roundtrip () =
+  let nl = N.create "l" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let k = N.add_key nl "k0" in
+  let tt = Truthtab.create ~arity:3 ~bits:0xCAL in
+  let y = N.lut nl tt [| a; b; k |] in
+  N.add_output nl "y" y;
+  let nl2 = Verilog.parse (Verilog.to_string nl) in
+  Alcotest.(check int) "key preserved" 1 (List.length (N.keys nl2));
+  Alcotest.(check bool) "equivalent" true
+    (match Equiv.check ~keys_a:[| true |] ~keys_b:[| true |] nl nl2 with
+    | Equiv.Equivalent -> true
+    | _ -> false)
+
+let test_verilog_parse_errors () =
+  List.iter
+    (fun src ->
+      match Verilog.parse src with
+      | exception Verilog.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("accepted malformed: " ^ src))
+    [
+      "module m (a); input a; bogus g0 (a, a); endmodule";
+      "module m (y); output y; endmodule";  (* undriven output *)
+      "module m (a; input a; endmodule";
+      "module m (a, y); input a; output y; and2 g0 (a, y); endmodule";
+    ]
+
+(* CNF: satisfying assignments of the encoding match simulation *)
+let test_cnf_agrees_with_sim =
+  QCheck.Test.make ~name:"cnf encoding agrees with simulation" ~count:30
+    QCheck.(pair (int_bound 1000) (int_bound 255))
+    (fun (seed, input_bits) ->
+      let nl = random_nl seed 6 40 in
+      let cnf = Cnf.encode nl in
+      let sim = Sim.create nl in
+      let ins = Array.init 6 (fun i -> input_bits land (1 lsl i) <> 0) in
+      let outs = Sim.eval_comb sim ins in
+      (* check: unit-fixing the inputs forces the simulated outputs *)
+      let solver = Shell_sat.Solver.create () in
+      Shell_sat.Solver.ensure_vars solver cnf.Cnf.nvars;
+      List.iter (Shell_sat.Solver.add_clause solver) cnf.Cnf.clauses;
+      Array.iteri
+        (fun i net ->
+          Shell_sat.Solver.add_clause solver [ Cnf.lit cnf net ins.(i) ])
+        (N.input_nets nl);
+      (match Shell_sat.Solver.solve solver with
+      | Shell_sat.Solver.Sat -> ()
+      | _ -> failwith "must be satisfiable");
+      Array.for_all2
+        (fun net expect ->
+          Shell_sat.Solver.value solver (Cnf.var_of net cnf) = expect)
+        (N.output_nets nl) outs)
+
+let test_rewrite_sweep_buffers () =
+  let nl = N.create "bufs" in
+  let a = N.add_input nl "a" in
+  let b1 = N.buf nl a in
+  let b2 = N.buf nl b1 in
+  let y = N.not_ nl b2 in
+  N.add_output nl "y" y;
+  let swept = Rewrite.sweep_buffers nl in
+  Alcotest.(check int) "buffers gone" 1 (N.num_cells swept);
+  Alcotest.(check bool) "equivalent" true (equivalent nl swept)
+
+let test_rewrite_dead_cells () =
+  let nl = N.create "dead" in
+  let a = N.add_input nl "a" in
+  let y = N.not_ nl a in
+  let _dead = N.and_ nl a y in
+  N.add_output nl "y" y;
+  let cleaned = Rewrite.dead_cell_elim nl in
+  Alcotest.(check int) "dead gate dropped" 1 (N.num_cells cleaned);
+  Alcotest.(check bool) "equivalent" true (equivalent nl cleaned)
+
+let test_specialize_keys () =
+  (* y = k ? a : b — binding k must leave a pure wire *)
+  let nl = N.create "spec" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let k = N.add_key nl "k" in
+  let y = N.mux2 nl ~sel:k ~a ~b in
+  N.add_output nl "y" y;
+  let t = Specialize.bind_keys nl [| true |] in
+  Alcotest.(check int) "no keys left" 0 (List.length (N.keys t));
+  let sim = Sim.create t in
+  Alcotest.(check bool) "picks b" true (Sim.eval_comb sim [| false; true |]).(0);
+  let f = Specialize.bind_keys nl [| false |] in
+  let sim = Sim.create f in
+  Alcotest.(check bool) "picks a" true (Sim.eval_comb sim [| true; false |]).(0)
+
+let test_specialize_breaks_cycles () =
+  (* structural cycle through an unselected mux arm *)
+  let nl = N.create "cyc" in
+  let a = N.add_input nl "a" in
+  let k = N.add_key nl "k" in
+  let loop_net = N.new_net nl in
+  let m = N.mux2 nl ~sel:k ~a ~b:loop_net in
+  N.add_cell nl (Cell.make Cell.Not [| m |] loop_net);
+  N.add_output nl "y" m;
+  Alcotest.(check bool) "cyclic before" true (N.has_comb_cycle nl);
+  let bound = Specialize.bind_keys nl [| false |] in
+  Alcotest.(check bool) "acyclic after" false (N.has_comb_cycle bound);
+  let sim = Sim.create bound in
+  Alcotest.(check bool) "wires a" true (Sim.eval_comb sim [| true |]).(0)
+
+let test_splice_replace () =
+  (* replace the xor in the fixture with an equivalent xnor+not *)
+  let nl = fixture () in
+  let repl = N.create "r" in
+  let p = N.add_input repl "sub_in0" in
+  let q = N.add_input repl "sub_in1" in
+  let v = N.not_ repl (N.xnor_ repl p q) in
+  N.add_output repl "sub_out0" v;
+  let xor_cell = 0 in
+  let c = N.cell nl xor_cell in
+  let spliced =
+    Splice.replace_cells nl
+      ~remove:(fun i -> i = xor_cell)
+      ~replacement:repl
+      ~input_binding:[ ("sub_in0", c.Cell.ins.(0)); ("sub_in1", c.Cell.ins.(1)) ]
+      ~output_binding:[ ("sub_out0", c.Cell.out) ]
+  in
+  Alcotest.(check bool) "equivalent" true
+    (match Equiv.check_sequential nl spliced with
+    | Equiv.Equivalent -> true
+    | _ -> false)
+
+let test_equiv_detects_difference () =
+  let mk flip =
+    let nl = N.create "d" in
+    let a = N.add_input nl "a" in
+    let b = N.add_input nl "b" in
+    let y = if flip then N.or_ nl a b else N.and_ nl a b in
+    N.add_output nl "y" y;
+    nl
+  in
+  match Equiv.check (mk false) (mk true) with
+  | Equiv.Counterexample _ -> ()
+  | Equiv.Equivalent -> Alcotest.fail "missed difference"
+
+let test_stats () =
+  let nl = fixture () in
+  let stats = N.stats nl in
+  Alcotest.(check (option int)) "one xor" (Some 1) (List.assoc_opt "xor2" stats);
+  Alcotest.(check (option int)) "one dff" (Some 1) (List.assoc_opt "dff" stats)
+
+(* binding keys as constants must agree with simulating under them *)
+let test_bind_keys_agrees_with_sim =
+  QCheck.Test.make ~name:"bind_keys agrees with keyed simulation" ~count:25
+    QCheck.(pair (int_bound 100_000) (int_bound 255))
+    (fun (seed, keybits) ->
+      let nl = random_nl seed 5 40 in
+      (* lock a few nets with xor key gates *)
+      let lk = Shell_locking.Schemes.xor_keys ~seed ~bits:6 nl in
+      let locked = lk.Shell_locking.Locked.locked in
+      let keys =
+        Array.init
+          (List.length (N.keys locked))
+          (fun i -> keybits land (1 lsl i) <> 0)
+      in
+      let bound = Specialize.bind_keys locked keys in
+      let sim_locked = Sim.create locked in
+      let sim_bound = Sim.create bound in
+      let rng = Rng.create (seed + 1) in
+      let ok = ref true in
+      for _ = 1 to 16 do
+        let ins = Array.init 5 (fun _ -> Rng.bool rng) in
+        if Sim.eval_comb sim_locked ~keys ins <> Sim.eval_comb sim_bound ins
+        then ok := false
+      done;
+      !ok)
+
+(* extracting any region and splicing it straight back is an identity *)
+let test_random_region_splice =
+  QCheck.Test.make ~name:"random region extract/splice identity" ~count:20
+    QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+    (fun (seed, mask_seed) ->
+      let nl = random_nl seed 6 60 in
+      let rng = Rng.create mask_seed in
+      let member = Array.init (N.num_cells nl) (fun _ -> Rng.bool rng) in
+      let cut =
+        Shell_core.Extraction.extract nl ~member:(fun i -> member.(i))
+      in
+      let back =
+        Shell_core.Extraction.reassemble nl cut
+          ~replacement:cut.Shell_core.Extraction.sub
+      in
+      match Equiv.check nl back with
+      | Equiv.Equivalent -> true
+      | Equiv.Counterexample _ -> false)
+
+let test_vcd_dump () =
+  let nl = fixture () in
+  let v = Shell_netlist.Vcd.create (Sim.create nl) in
+  ignore (Shell_netlist.Vcd.step v [| true; false; true |]);
+  ignore (Shell_netlist.Vcd.step v [| false; false; true |]);
+  let s = Shell_netlist.Vcd.dump v in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 10 = "$timescale");
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "declares inputs" true (has "$var wire 1");
+  Alcotest.(check bool) "two samples" true (has "#0" && has "#1");
+  Alcotest.(check bool) "enddefinitions" true (has "$enddefinitions")
+
+let suite =
+  [
+    ("validate ok", `Quick, test_validate_ok);
+    ("validate double driver", `Quick, test_validate_double_driver);
+    ("validate floating read", `Quick, test_validate_floating_read);
+    ("driver/fanout", `Quick, test_driver_fanout);
+    ("topo order valid", `Quick, test_topo_order_valid);
+    ("cycle detection", `Quick, test_cycle_detection);
+    ("sim comb", `Quick, test_sim_comb);
+    ("sim sequential", `Quick, test_sim_sequential);
+    ("comb view ports", `Quick, test_comb_view_ports);
+    ("cost monotone", `Quick, test_cost_monotone);
+    ("cost normalize", `Quick, test_cost_normalize);
+    ("verilog roundtrip fixture", `Quick, test_verilog_roundtrip_fixture);
+    QCheck_alcotest.to_alcotest test_verilog_roundtrip_random;
+    ("verilog lut roundtrip", `Quick, test_verilog_lut_roundtrip);
+    ("verilog parse errors", `Quick, test_verilog_parse_errors);
+    QCheck_alcotest.to_alcotest test_cnf_agrees_with_sim;
+    ("rewrite sweep buffers", `Quick, test_rewrite_sweep_buffers);
+    ("rewrite dead cells", `Quick, test_rewrite_dead_cells);
+    ("specialize keys", `Quick, test_specialize_keys);
+    ("specialize breaks cycles", `Quick, test_specialize_breaks_cycles);
+    ("splice replace", `Quick, test_splice_replace);
+    ("equiv detects difference", `Quick, test_equiv_detects_difference);
+    ("stats", `Quick, test_stats);
+    ("vcd dump", `Quick, test_vcd_dump);
+    QCheck_alcotest.to_alcotest test_bind_keys_agrees_with_sim;
+    QCheck_alcotest.to_alcotest test_random_region_splice;
+  ]

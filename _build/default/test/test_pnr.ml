@@ -1,0 +1,129 @@
+(* Tests for shell_pnr: packing, placement, routing, fit loop. *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Style = Shell_fabric.Style
+module Fabric = Shell_fabric.Fabric
+module Pnr = Shell_pnr.Pnr
+module Lut_map = Shell_synth.Lut_map
+module Rng = Shell_util.Rng
+
+let random_mapped seed n_gates =
+  let rng = Rng.create seed in
+  let nl = N.create "rand" in
+  let pool =
+    ref (Array.init 10 (fun i -> N.add_input nl (Printf.sprintf "i%d" i)))
+  in
+  for _ = 1 to n_gates do
+    let a = Rng.choice rng !pool and b = Rng.choice rng !pool in
+    let kinds = [| Cell.And; Cell.Or; Cell.Xor; Cell.Nand |] in
+    let out = N.gate nl kinds.(Rng.int rng 4) [| a; b |] in
+    pool := Array.append !pool [| out |]
+  done;
+  for i = 0 to 5 do
+    N.add_output nl (Printf.sprintf "o%d" i) (!pool).(Array.length !pool - 1 - i)
+  done;
+  fst (Lut_map.map ~k:4 nl)
+
+let test_fit_loop_converges () =
+  let mapped = random_mapped 3 250 in
+  let res = Pnr.fit_loop ~style:Style.Openfpga mapped in
+  (match res.Pnr.fit with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "fit loop should converge");
+  Alcotest.(check bool) "some utilization" true (res.Pnr.utilization > 0.0)
+
+let test_all_cells_placed () =
+  let mapped = random_mapped 4 150 in
+  let res = Pnr.fit_loop ~style:Style.Fabulous_std mapped in
+  let luts =
+    N.count_kind mapped (function Cell.Lut _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "lut count placed" luts res.Pnr.placement.Pnr.used_luts;
+  (* every placed cell is inside the grid *)
+  Hashtbl.iter
+    (fun _ (t : Pnr.tile) ->
+      Alcotest.(check bool) "within grid" true
+        (t.Pnr.x >= 0
+        && t.Pnr.x <= res.Pnr.fabric.Fabric.cols
+        && t.Pnr.y >= 0
+        && t.Pnr.y <= res.Pnr.fabric.Fabric.rows))
+    res.Pnr.placement.Pnr.of_cell
+
+let test_undersized_reports_shortage () =
+  let mapped = random_mapped 5 300 in
+  let tiny = { Fabric.style = Style.Openfpga; cols = 1; rows = 1; chain_slots = 0 } in
+  let res = Pnr.run tiny mapped in
+  match res.Pnr.fit with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "1x1 fabric cannot fit 300 gates"
+
+let test_square_wastes_tiles () =
+  (* the Fig. 2 effect: on the same mapped netlist, the square OpenFPGA
+     grid has at most the LUT utilization of the FABulous rectangle *)
+  let mapped = random_mapped 6 300 in
+  let sq = Pnr.fit_loop ~style:Style.Openfpga mapped in
+  let rc = Pnr.fit_loop ~style:Style.Fabulous_std mapped in
+  Alcotest.(check bool)
+    (Printf.sprintf "square %.2f <= rect %.2f" sq.Pnr.utilization rc.Pnr.utilization)
+    true
+    (sq.Pnr.utilization <= rc.Pnr.utilization +. 1e-9)
+
+let test_deterministic () =
+  let mapped = random_mapped 7 120 in
+  let a = Pnr.fit_loop ~seed:3 ~style:Style.Openfpga mapped in
+  let b = Pnr.fit_loop ~seed:3 ~style:Style.Openfpga mapped in
+  Alcotest.(check int) "same wirelength" a.Pnr.routes.Pnr.wirelength
+    b.Pnr.routes.Pnr.wirelength
+
+let test_annealing_improves () =
+  let mapped = random_mapped 8 250 in
+  let fabric = Fabric.size_for Style.Fabulous_std ~luts:120 ~user_ffs:0 ~chain_muxes:0 in
+  let cold = Pnr.run ~anneal_moves:0 fabric mapped in
+  let hot = Pnr.run ~anneal_moves:30_000 fabric mapped in
+  Alcotest.(check bool)
+    (Printf.sprintf "annealed %d <= initial %d" hot.Pnr.routes.Pnr.wirelength
+       cold.Pnr.routes.Pnr.wirelength)
+    true
+    (hot.Pnr.routes.Pnr.wirelength <= cold.Pnr.routes.Pnr.wirelength + 20)
+
+let test_chain_cells_fit () =
+  let nl = N.create "ch" in
+  let s = N.add_input nl "s" in
+  let data = Array.init 8 (fun i -> N.add_input nl (Printf.sprintf "d%d" i)) in
+  let muxes =
+    Array.init 4 (fun i ->
+        N.mux2 nl ~sel:s ~a:data.(2 * i) ~b:data.((2 * i) + 1))
+  in
+  Array.iteri (fun i m -> N.add_output nl (Printf.sprintf "y%d" i) m) muxes;
+  let res = Pnr.fit_loop ~style:Style.Fabulous_muxchain nl in
+  Alcotest.(check int) "chain cells placed" 4 res.Pnr.placement.Pnr.used_chain;
+  match res.Pnr.fit with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "chain must fit"
+
+let test_floorplan_renders () =
+  let mapped = random_mapped 9 100 in
+  let res = Pnr.fit_loop ~style:Style.Openfpga mapped in
+  let s = Shell_pnr.Floorplan.render res in
+  Alcotest.(check bool) "mentions grid" true
+    (String.length s > 40);
+  (* one row line per fabric row *)
+  let rows =
+    List.filter
+      (fun l -> String.length l > 2 && String.sub l 0 3 = "  |")
+      (String.split_on_char '\n' s)
+  in
+  Alcotest.(check int) "row lines" res.Pnr.fabric.Fabric.rows (List.length rows)
+
+let suite =
+  [
+    ("fit loop converges", `Quick, test_fit_loop_converges);
+    ("all cells placed", `Quick, test_all_cells_placed);
+    ("undersized reports shortage", `Quick, test_undersized_reports_shortage);
+    ("square wastes tiles (fig 2)", `Quick, test_square_wastes_tiles);
+    ("deterministic", `Quick, test_deterministic);
+    ("annealing improves", `Quick, test_annealing_improves);
+    ("chain cells fit", `Quick, test_chain_cells_fit);
+    ("floorplan renders", `Quick, test_floorplan_renders);
+  ]

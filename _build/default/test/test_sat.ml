@@ -1,0 +1,200 @@
+(* Tests for the CDCL solver: hand instances, DIMACS, assumptions,
+   incrementality, budgets, and a brute-force differential fuzz. *)
+
+module Solver = Shell_sat.Solver
+module Dimacs = Shell_sat.Dimacs
+module Rng = Shell_util.Rng
+
+let solve_result =
+  Alcotest.testable
+    (fun ppf -> function
+      | Solver.Sat -> Format.pp_print_string ppf "Sat"
+      | Solver.Unsat -> Format.pp_print_string ppf "Unsat"
+      | Solver.Unknown -> Format.pp_print_string ppf "Unknown")
+    ( = )
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 2;
+  Solver.add_clause s [ 1; 2 ];
+  Solver.add_clause s [ -1; 2 ];
+  Alcotest.check solve_result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "v2 true" true (Solver.value s 2)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 1;
+  Solver.add_clause s [ 1 ];
+  Solver.add_clause s [ -1 ];
+  Alcotest.check solve_result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_empty_clause_unsat () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 1;
+  Solver.add_clause s [ 1; -1 ];  (* tautology: fine *)
+  Alcotest.check solve_result "taut sat" Solver.Sat (Solver.solve s);
+  Solver.add_clause s [];
+  Alcotest.check solve_result "empty clause" Solver.Unsat (Solver.solve s)
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small UNSAT. var p_ij = 2*(i-1)+j *)
+  let s = Solver.create () in
+  Solver.ensure_vars s 6;
+  for i = 0 to 2 do
+    Solver.add_clause s [ (2 * i) + 1; (2 * i) + 2 ]
+  done;
+  for j = 1 to 2 do
+    for i1 = 0 to 2 do
+      for i2 = i1 + 1 to 2 do
+        Solver.add_clause s [ -((2 * i1) + j); -((2 * i2) + j) ]
+      done
+    done
+  done;
+  Alcotest.check solve_result "php(3,2) unsat" Solver.Unsat (Solver.solve s)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 3;
+  Solver.add_clause s [ 1; 2 ];
+  Solver.add_clause s [ -1; 3 ];
+  Alcotest.check solve_result "assume -2" Solver.Sat
+    (Solver.solve ~assumptions:[ -2 ] s);
+  Alcotest.(check bool) "forces v1" true (Solver.value s 1);
+  Alcotest.(check bool) "forces v3" true (Solver.value s 3);
+  Alcotest.check solve_result "conflicting assumptions" Solver.Unsat
+    (Solver.solve ~assumptions:[ -1; -2 ] s);
+  (* assumptions are not permanent *)
+  Alcotest.check solve_result "still sat" Solver.Sat (Solver.solve s)
+
+let test_incremental () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 4;
+  Solver.add_clause s [ 1; 2; 3; 4 ];
+  Alcotest.check solve_result "sat" Solver.Sat (Solver.solve s);
+  Solver.add_clause s [ -1 ];
+  Solver.add_clause s [ -2 ];
+  Solver.add_clause s [ -3 ];
+  Alcotest.check solve_result "narrowed" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "v4 forced" true (Solver.value s 4);
+  Solver.add_clause s [ -4 ];
+  Alcotest.check solve_result "now unsat" Solver.Unsat (Solver.solve s)
+
+let test_budget_unknown () =
+  (* hard random instance at the phase transition with a 1-conflict
+     budget is (almost surely) cut short *)
+  let rng = Rng.create 77 in
+  let s = Solver.create () in
+  let nv = 60 in
+  Solver.ensure_vars s nv;
+  for _ = 1 to int_of_float (4.26 *. float_of_int nv) do
+    let lit () =
+      let v = 1 + Rng.int rng nv in
+      if Rng.bool rng then v else -v
+    in
+    Solver.add_clause s [ lit (); lit (); lit () ]
+  done;
+  match Solver.solve ~max_conflicts:1 s with
+  | Solver.Unknown | Solver.Sat | Solver.Unsat -> ()
+(* any verdict is legal; the call must terminate fast — implicitly
+   checked by the test timeout *)
+
+let test_dimacs_roundtrip () =
+  let src = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let p = Dimacs.parse src in
+  Alcotest.(check int) "vars" 3 p.Dimacs.nvars;
+  Alcotest.(check int) "clauses" 2 (List.length p.Dimacs.clauses);
+  let p2 = Dimacs.parse (Dimacs.print p) in
+  Alcotest.(check bool) "roundtrip" true (p.Dimacs.clauses = p2.Dimacs.clauses)
+
+let test_dimacs_solve () =
+  Alcotest.check solve_result "sat instance" Solver.Sat
+    (Dimacs.solve_string "p cnf 2 2\n1 2 0\n-1 2 0\n");
+  Alcotest.check solve_result "unsat instance" Solver.Unsat
+    (Dimacs.solve_string "p cnf 1 2\n1 0\n-1 0\n")
+
+let test_dimacs_errors () =
+  List.iter
+    (fun src ->
+      match Dimacs.parse src with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail ("accepted: " ^ src))
+    [ "1 2 0\n"; "p cnf x 1\n1 0\n" ]
+
+(* differential fuzz against brute force *)
+let brute nvars clauses =
+  let rec go v assign =
+    if v > nvars then
+      List.for_all
+        (fun c ->
+          List.exists
+            (fun l -> if l > 0 then assign.(l) else not assign.(-l))
+            c)
+        clauses
+    else begin
+      assign.(v) <- false;
+      go (v + 1) assign
+      ||
+      (assign.(v) <- true;
+       go (v + 1) assign)
+    end
+  in
+  go 1 (Array.make (nvars + 1) false)
+
+let test_fuzz_vs_brute =
+  QCheck.Test.make ~name:"cdcl agrees with brute force" ~count:300
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 3 + Rng.int rng 10 in
+      let nclauses = 2 + Rng.int rng (4 * nvars) in
+      let clauses =
+        List.init nclauses (fun _ ->
+            let len = 1 + Rng.int rng 3 in
+            List.init len (fun _ ->
+                let v = 1 + Rng.int rng nvars in
+                if Rng.bool rng then v else -v))
+      in
+      let expected = brute nvars clauses in
+      let s = Solver.create () in
+      Solver.ensure_vars s nvars;
+      List.iter (Solver.add_clause s) clauses;
+      match (Solver.solve s, expected) with
+      | Solver.Sat, true ->
+          (* the model must actually satisfy every clause *)
+          List.for_all
+            (fun c ->
+              List.exists
+                (fun l ->
+                  let v = Solver.value s (abs l) in
+                  if l > 0 then v else not v)
+                c)
+            clauses
+      | Solver.Unsat, false -> true
+      | _ -> false)
+
+let test_conflicts_counter () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 8;
+  (* xor-ish chain to force conflicts *)
+  for v = 1 to 7 do
+    Solver.add_clause s [ v; v + 1 ];
+    Solver.add_clause s [ -v; -(v + 1) ]
+  done;
+  ignore (Solver.solve s);
+  Alcotest.(check bool) "conflicts non-negative" true (Solver.num_conflicts s >= 0)
+
+let suite =
+  [
+    ("trivial sat", `Quick, test_trivial_sat);
+    ("trivial unsat", `Quick, test_trivial_unsat);
+    ("tautology and empty clause", `Quick, test_empty_clause_unsat);
+    ("pigeonhole 3-2", `Quick, test_pigeonhole_3_2);
+    ("assumptions", `Quick, test_assumptions);
+    ("incremental", `Quick, test_incremental);
+    ("budget returns", `Quick, test_budget_unknown);
+    ("dimacs roundtrip", `Quick, test_dimacs_roundtrip);
+    ("dimacs solve", `Quick, test_dimacs_solve);
+    ("dimacs errors", `Quick, test_dimacs_errors);
+    QCheck_alcotest.to_alcotest test_fuzz_vs_brute;
+    ("conflicts counter", `Quick, test_conflicts_counter);
+  ]

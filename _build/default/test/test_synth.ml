@@ -1,0 +1,233 @@
+(* Tests for shell_synth: optimization, LUT mapping and MUX-chain
+   mapping — all passes must preserve function. *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Equiv = Shell_netlist.Equiv
+module Opt = Shell_synth.Opt
+module Lut_map = Shell_synth.Lut_map
+module Mux_chain = Shell_synth.Mux_chain
+module Estimate = Shell_synth.Estimate
+module Rng = Shell_util.Rng
+
+let equivalent a b =
+  match Equiv.check a b with Equiv.Equivalent -> true | _ -> false
+
+let random_nl seed n_in n_gates =
+  let rng = Rng.create seed in
+  let nl = N.create "rand" in
+  let pool =
+    ref (Array.init n_in (fun i -> N.add_input nl (Printf.sprintf "i%d" i)))
+  in
+  for _ = 1 to n_gates do
+    let a = Rng.choice rng !pool and b = Rng.choice rng !pool in
+    let out =
+      match Rng.int rng 8 with
+      | 0 -> N.and_ nl a b
+      | 1 -> N.or_ nl a b
+      | 2 -> N.xor_ nl a b
+      | 3 -> N.nand_ nl a b
+      | 4 -> N.nor_ nl a b
+      | 5 -> N.xnor_ nl a b
+      | 6 -> N.not_ nl a
+      | _ -> N.mux2 nl ~sel:(Rng.choice rng !pool) ~a ~b
+    in
+    pool := Array.append !pool [| out |]
+  done;
+  for i = 0 to 3 do
+    N.add_output nl (Printf.sprintf "o%d" i) (!pool).(Array.length !pool - 1 - i)
+  done;
+  nl
+
+let test_simplify_constants () =
+  let nl = N.create "c" in
+  let a = N.add_input nl "a" in
+  let zero = N.const nl false in
+  let one = N.const nl true in
+  let x = N.and_ nl a zero in  (* = 0 *)
+  let y = N.or_ nl x one in    (* = 1 *)
+  let z = N.xor_ nl y a in     (* = not a *)
+  N.add_output nl "z" z;
+  let s = Opt.simplify nl in
+  Alcotest.(check bool) "equivalent" true (equivalent nl s);
+  Alcotest.(check bool) "collapsed to <= 2 cells" true (N.num_cells s <= 2)
+
+let test_simplify_strash () =
+  let nl = N.create "s" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  (* same AND twice, under both operand orders *)
+  let x = N.and_ nl a b in
+  let y = N.and_ nl b a in
+  N.add_output nl "o" (N.xor_ nl x y);
+  let s = Opt.simplify nl in
+  Alcotest.(check bool) "equivalent" true (equivalent nl s);
+  (* x xor x = 0: everything folds to a constant *)
+  Alcotest.(check bool) "folded" true (N.num_cells s <= 1)
+
+let test_simplify_mux_same_data () =
+  let nl = N.create "m" in
+  let a = N.add_input nl "a" in
+  let s = N.add_input nl "s" in
+  let y = N.mux2 nl ~sel:s ~a ~b:a in
+  N.add_output nl "y" y;
+  let opt = Opt.simplify nl in
+  Alcotest.(check int) "mux gone" 0 (N.num_cells opt)
+
+let test_simplify_preserves_random =
+  QCheck.Test.make ~name:"simplify preserves function" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let nl = random_nl seed 7 120 in
+      equivalent nl (Opt.simplify nl))
+
+let test_simplify_keeps_seq () =
+  let nl = N.create "q" in
+  let a = N.add_input nl "a" in
+  let q = N.new_net nl in
+  let d = N.xor_ nl a q in
+  N.add_cell nl (Cell.make Cell.Dff [| d |] q);
+  N.add_output nl "q" q;
+  let s = Opt.simplify nl in
+  Alcotest.(check int) "dff kept" 1
+    (N.count_kind s (function Cell.Dff -> true | _ -> false))
+
+let test_lut_map_equivalent =
+  QCheck.Test.make ~name:"lut mapping preserves function" ~count:25
+    QCheck.(pair (int_bound 100_000) (int_range 2 6))
+    (fun (seed, k) ->
+      let nl = random_nl seed 7 100 in
+      let mapped, _ = Lut_map.map ~k nl in
+      equivalent nl mapped)
+
+let test_lut_map_arity_bound () =
+  let nl = random_nl 5 8 150 in
+  let mapped, stats = Lut_map.map ~k:4 nl in
+  Array.iter
+    (fun c ->
+      match c.Cell.kind with
+      | Cell.Lut tt ->
+          Alcotest.(check bool) "arity <= 4" true
+            (Shell_util.Truthtab.arity tt <= 4)
+      | _ -> ())
+    (N.cells mapped);
+  Alcotest.(check bool) "compresses" true (stats.Lut_map.luts < N.num_cells nl)
+
+let test_lut_map_bad_k () =
+  let nl = random_nl 1 4 10 in
+  Alcotest.check_raises "k=1 rejected" (Invalid_argument "Lut_map.map: k")
+    (fun () -> ignore (Lut_map.map ~k:1 nl));
+  Alcotest.check_raises "k=7 rejected" (Invalid_argument "Lut_map.map: k")
+    (fun () -> ignore (Lut_map.map ~k:7 nl))
+
+let test_lut_map_boundary_pred () =
+  let nl = N.create "b" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let s = N.add_input nl "s" in
+  let m = N.mux2 ~origin:"route" nl ~sel:s ~a ~b in
+  let y = N.not_ nl m in
+  N.add_output nl "y" y;
+  let keep c = c.Cell.kind = Cell.Mux2 && c.Cell.origin = "route" in
+  let mapped, _ = Lut_map.map ~k:4 ~boundary:keep nl in
+  Alcotest.(check int) "mux survived" 1
+    (N.count_kind mapped (function Cell.Mux2 -> true | _ -> false));
+  Alcotest.(check bool) "equivalent" true (equivalent nl mapped)
+
+(* balanced 4:1 mux tree packs into a single Mux4 *)
+let test_mux_chain_full_pack () =
+  let nl = N.create "r" in
+  let s0 = N.add_input nl "s0" in
+  let s1 = N.add_input nl "s1" in
+  let d = Array.init 4 (fun i -> N.add_input nl (Printf.sprintf "d%d" i)) in
+  let m0 = N.mux2 nl ~sel:s0 ~a:d.(0) ~b:d.(1) in
+  let m1 = N.mux2 nl ~sel:s0 ~a:d.(2) ~b:d.(3) in
+  N.add_output nl "y" (N.mux2 nl ~sel:s1 ~a:m0 ~b:m1);
+  let packed, st = Mux_chain.map nl in
+  Alcotest.(check int) "one mux4" 1 st.Mux_chain.mux4;
+  Alcotest.(check int) "no mux2 left" 0 st.Mux_chain.mux2;
+  Alcotest.(check bool) "equivalent" true (equivalent nl packed)
+
+let test_mux_chain_cascade () =
+  (* 8:1 priority chain with distinct selects: chain-pattern packing *)
+  let nl = N.create "chain" in
+  let sels = Array.init 7 (fun i -> N.add_input nl (Printf.sprintf "s%d" i)) in
+  let data = Array.init 8 (fun i -> N.add_input nl (Printf.sprintf "d%d" i)) in
+  let rec build i acc =
+    if i < 0 then acc
+    else build (i - 1) (N.mux2 nl ~sel:sels.(i) ~a:acc ~b:data.(i))
+  in
+  N.add_output nl "y" (build 6 data.(7));
+  let packed, st = Mux_chain.map nl in
+  Alcotest.(check bool) "some mux4 packed" true (st.Mux_chain.mux4 >= 2);
+  Alcotest.(check bool) "equivalent" true (equivalent nl packed)
+
+let test_mux_chain_respects_fanout () =
+  (* inner mux read twice: must NOT be absorbed *)
+  let nl = N.create "f" in
+  let s0 = N.add_input nl "s0" in
+  let s1 = N.add_input nl "s1" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let inner = N.mux2 nl ~sel:s0 ~a ~b in
+  let outer = N.mux2 nl ~sel:s1 ~a:inner ~b:a in
+  N.add_output nl "y" outer;
+  N.add_output nl "probe" inner;
+  let packed, st = Mux_chain.map nl in
+  Alcotest.(check int) "no pack" 0 st.Mux_chain.mux4;
+  Alcotest.(check bool) "equivalent" true (equivalent nl packed)
+
+let test_mux_chain_pred () =
+  let nl = N.create "p" in
+  let s = N.add_input nl "s" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let m1 = N.mux2 ~origin:"lgc" nl ~sel:s ~a ~b in
+  let y = N.mux2 ~origin:"lgc" nl ~sel:s ~a:m1 ~b in
+  N.add_output nl "y" y;
+  let packed, st =
+    Mux_chain.map ~should_pack:(fun c -> c.Cell.origin = "route") nl
+  in
+  Alcotest.(check int) "nothing packed" 0 st.Mux_chain.mux4;
+  Alcotest.(check bool) "equivalent" true (equivalent nl packed)
+
+let test_estimate_positive () =
+  let nl = random_nl 9 6 80 in
+  let est = Estimate.estimate_cells nl (List.init (N.num_cells nl) Fun.id) in
+  Alcotest.(check bool) "positive" true (est > 0.0);
+  (* estimate within a factor ~3 of the true mapping *)
+  let _, stats = Lut_map.map ~k:4 nl in
+  let ratio = est /. float_of_int (max 1 stats.Lut_map.luts) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f sane" ratio)
+    true
+    (ratio > 0.2 && ratio < 5.0)
+
+let test_route_fraction () =
+  let nl = N.create "rf" in
+  let s = N.add_input nl "s" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let m = N.mux2 nl ~sel:s ~a ~b in
+  let g = N.and_ nl m a in
+  N.add_output nl "y" g;
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Mux_chain.route_fraction nl)
+
+let suite =
+  [
+    ("simplify constants", `Quick, test_simplify_constants);
+    ("simplify strash", `Quick, test_simplify_strash);
+    ("simplify mux same data", `Quick, test_simplify_mux_same_data);
+    QCheck_alcotest.to_alcotest test_simplify_preserves_random;
+    ("simplify keeps sequential", `Quick, test_simplify_keeps_seq);
+    QCheck_alcotest.to_alcotest test_lut_map_equivalent;
+    ("lut map arity bound", `Quick, test_lut_map_arity_bound);
+    ("lut map bad k", `Quick, test_lut_map_bad_k);
+    ("lut map boundary predicate", `Quick, test_lut_map_boundary_pred);
+    ("mux chain full pack", `Quick, test_mux_chain_full_pack);
+    ("mux chain cascade", `Quick, test_mux_chain_cascade);
+    ("mux chain respects fanout", `Quick, test_mux_chain_respects_fanout);
+    ("mux chain predicate", `Quick, test_mux_chain_pred);
+    ("estimate positive and sane", `Quick, test_estimate_positive);
+    ("route fraction", `Quick, test_route_fraction);
+  ]

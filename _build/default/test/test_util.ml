@@ -1,0 +1,185 @@
+(* Unit and property tests for shell_util: Rng, Truthtab, Vec. *)
+
+module Rng = Shell_util.Rng
+module Truthtab = Shell_util.Truthtab
+module Vec = Shell_util.Vec
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 9 in
+  let s = Rng.sample rng 10 (Array.init 30 Fun.id) in
+  let tbl = Hashtbl.create 10 in
+  Array.iter (fun x -> Hashtbl.replace tbl x ()) s;
+  Alcotest.(check int) "distinct" 10 (Hashtbl.length tbl)
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "split streams differ" true (!matches < 4)
+
+(* ---- Truthtab ---- *)
+
+let test_tt_const () =
+  Alcotest.(check bool) "const0" false (Truthtab.eval (Truthtab.const false) [||]);
+  Alcotest.(check bool) "const1" true (Truthtab.eval (Truthtab.const true) [||])
+
+let test_tt_var () =
+  let t = Truthtab.var 1 ~arity:3 in
+  Alcotest.(check bool) "picks v1" true (Truthtab.eval t [| false; true; false |]);
+  Alcotest.(check bool) "ignores others" false
+    (Truthtab.eval t [| true; false; true |])
+
+let test_tt_ops () =
+  let a = Truthtab.var 0 ~arity:2 and b = Truthtab.var 1 ~arity:2 in
+  let t_and = Truthtab.land_ a b in
+  let t_or = Truthtab.lor_ a b in
+  let t_xor = Truthtab.lxor_ a b in
+  List.iter
+    (fun (x, y) ->
+      let ins = [| x; y |] in
+      Alcotest.(check bool) "and" (x && y) (Truthtab.eval t_and ins);
+      Alcotest.(check bool) "or" (x || y) (Truthtab.eval t_or ins);
+      Alcotest.(check bool) "xor" (x <> y) (Truthtab.eval t_xor ins))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_tt_not_involution () =
+  let t = Truthtab.create ~arity:4 ~bits:0xBEEFL in
+  Alcotest.(check bool) "double negation" true
+    (Truthtab.equal t (Truthtab.lnot (Truthtab.lnot t)))
+
+let test_tt_cofactor () =
+  (* f = x0 AND x1; cofactor x0=1 is x1's projection *)
+  let f = Truthtab.land_ (Truthtab.var 0 ~arity:2) (Truthtab.var 1 ~arity:2) in
+  let g = Truthtab.cofactor f 0 true in
+  Alcotest.(check bool) "f|x0=1 = x1" true
+    (Truthtab.equal g (Truthtab.var 0 ~arity:1));
+  let z = Truthtab.cofactor f 0 false in
+  Alcotest.(check (option bool)) "f|x0=0 = 0" (Some false) (Truthtab.is_const z)
+
+let test_tt_depends_on () =
+  let f = Truthtab.var 2 ~arity:4 in
+  Alcotest.(check bool) "depends on x2" true (Truthtab.depends_on f 2);
+  Alcotest.(check bool) "not on x0" false (Truthtab.depends_on f 0);
+  Alcotest.(check int) "support 1" 1 (Truthtab.support_size f)
+
+let test_tt_arity6 () =
+  (* full-width table must not lose bit 63 *)
+  let f = Truthtab.of_fun ~arity:6 (fun ins -> Array.for_all Fun.id ins) in
+  Alcotest.(check bool) "row 63 set" true (Truthtab.eval f (Array.make 6 true));
+  Alcotest.(check bool) "row 62 clear" false
+    (Truthtab.eval f [| false; true; true; true; true; true |])
+
+let test_tt_of_fun_roundtrip =
+  QCheck.Test.make ~name:"truthtab of_fun/eval roundtrip" ~count:200
+    QCheck.(pair (int_bound 5) (int_bound 0x3FFFFFFF))
+    (fun (arity_minus, seed) ->
+      let arity = 1 + arity_minus in
+      let bits = Int64.of_int seed in
+      let t = Truthtab.create ~arity ~bits in
+      let t' = Truthtab.of_fun ~arity (fun ins -> Truthtab.eval t ins) in
+      Truthtab.equal t t')
+
+(* ---- Vec ---- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  Alcotest.(check int) "set 7" 0 (Vec.get v 7)
+
+let test_vec_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "pop" (Some 3) (Vec.pop v);
+  Alcotest.(check int) "len" 2 (Vec.length v);
+  ignore (Vec.pop v);
+  ignore (Vec.pop v);
+  Alcotest.(check (option int)) "empty pop" None (Vec.pop v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1))
+
+let test_vec_fold_iter () =
+  let v = Vec.of_array (Array.init 10 Fun.id) in
+  Alcotest.(check int) "fold sum" 45 (Vec.fold ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 10 (List.length !acc);
+  Alcotest.(check (list int)) "to_list" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Vec.to_list v)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seeds differ", `Quick, test_rng_seeds_differ);
+    ("rng int range", `Quick, test_rng_int_range);
+    ("rng int covers", `Quick, test_rng_int_covers);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
+    ("rng sample distinct", `Quick, test_rng_sample_distinct);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("truthtab const", `Quick, test_tt_const);
+    ("truthtab var", `Quick, test_tt_var);
+    ("truthtab ops", `Quick, test_tt_ops);
+    ("truthtab not involution", `Quick, test_tt_not_involution);
+    ("truthtab cofactor", `Quick, test_tt_cofactor);
+    ("truthtab depends_on", `Quick, test_tt_depends_on);
+    ("truthtab arity 6", `Quick, test_tt_arity6);
+    QCheck_alcotest.to_alcotest test_tt_of_fun_roundtrip;
+    ("vec push/get/set", `Quick, test_vec_push_get);
+    ("vec pop", `Quick, test_vec_pop);
+    ("vec bounds", `Quick, test_vec_bounds);
+    ("vec fold/iter", `Quick, test_vec_fold_iter);
+  ]

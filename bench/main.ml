@@ -3,10 +3,20 @@
    micro-benchmarks of the core kernels.
 
    Usage: main.exe [table1|table4|table5|table6|table7|
-                    fig1|fig2|fig3|fig4|micro|all]  (default: all)
+                    fig1|fig2|fig3|fig4|micro|portfolio|json|all]
+   (default: all)
 
    Budgets here stand in for the paper's 48-hour SAT timeout: a case
-   is reported "resilient" when the attack exhausts its budget. *)
+   is reported "resilient" when the attack exhausts its budget.
+
+   Parallel evaluation: the (benchmark x case) grids of Tables I and
+   IV-VII and Fig. 1's scheme sweep run on the Shell_util.Pool domain
+   pool (SHELL_JOBS=n, default all cores). Each grid cell renders its
+   rows to a string off to the side and the strings are printed in grid
+   order, so stdout is byte-identical at every job count; the wall-time
+   footer goes to stderr for the same reason. Each task builds its own
+   netlist: Netlist.t carries lazily-populated fanout/driver caches and
+   must not be shared across domains. *)
 
 module N = Shell_netlist
 module F = Shell_fabric
@@ -16,11 +26,18 @@ module L = Shell_locking
 module A = Shell_attacks
 module C = Shell_core
 module Circ = Shell_circuits
+module Pool = Shell_util.Pool
 
 let printf = Printf.printf
+let bpf = Printf.bprintf
 
-let heading title =
-  printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+let with_output f =
+  let buf = Buffer.create (1 lsl 16) in
+  f buf;
+  Buffer.contents buf
+
+let heading out title =
+  bpf out "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let tfr (t : Circ.Catalog.tfr) =
   {
@@ -65,35 +82,37 @@ let paper_table1 =
     ("FABulous (std cell w/ mux chain)", "185 M4s + 63 M2s", "12 CFFs", "431");
   ]
 
-let table1 () =
-  heading "Table I: Resource utilization, ROUTE circuit (8-AXI-channel Xbar)";
+let table1 out =
+  heading out "Table I: Resource utilization, ROUTE circuit (8-AXI-channel Xbar)";
   let xbar = Circ.Axi_xbar.netlist () in
-  printf "xbar: %d cells, route fraction %.2f\n\n"
+  bpf out "xbar: %d cells, route fraction %.2f\n\n"
     (N.Netlist.num_cells xbar)
     (S.Mux_chain.route_fraction xbar);
-  printf "%-34s %-22s %-12s %s\n" "Tool" "Multiplexer" "Flip Flop" "Latch";
+  bpf out "%-34s %-22s %-12s %s\n" "Tool" "Multiplexer" "Flip Flop" "Latch";
+  let rows =
+    Pool.map
+      (fun style ->
+        let nl = Circ.Axi_xbar.netlist () in
+        let cfg =
+          {
+            (C.Flow.shell_config
+               ~target:
+                 (C.Flow.Fixed
+                    { route = [ ":_xbar_route"; ":_xbar_arb" ]; lgc = []; label = "xbar" })
+               ())
+            with
+            C.Flow.style;
+            shrink = true;
+          }
+        in
+        let r = C.Flow.run cfg nl in
+        Format.asprintf "%a" F.Resources.pp_table1_row (style, r.C.Flow.resources))
+      (Array.of_list F.Style.all)
+  in
+  Array.iter (fun row -> bpf out "%s\n" row) rows;
+  bpf out "\npaper reported:\n";
   List.iter
-    (fun style ->
-      let cfg =
-        {
-          (C.Flow.shell_config
-             ~target:
-               (C.Flow.Fixed
-                  { route = [ ":_xbar_route"; ":_xbar_arb" ]; lgc = []; label = "xbar" })
-             ())
-          with
-          C.Flow.style;
-          shrink = true;
-        }
-      in
-      let r = C.Flow.run cfg xbar in
-      printf "%s\n"
-        (Format.asprintf "%a" F.Resources.pp_table1_row
-           (style, r.C.Flow.resources)))
-    F.Style.all;
-  printf "\npaper reported:\n";
-  List.iter
-    (fun (a, b, c, d) -> printf "%-34s %-22s %-12s %s\n" a b c d)
+    (fun (a, b, c, d) -> bpf out "%-34s %-22s %-12s %s\n" a b c d)
     paper_table1
 
 (* ------------------------------------------------------------------ *)
@@ -109,29 +128,49 @@ let paper_table4 =
     ("DLA", [ (1.41, 1.57, 2.34); (1.55, 1.72, 2.66); (1.60, 1.74, 2.44); (1.29, 1.33, 1.40) ]);
   ]
 
-let table4 ?(attack = true) () =
-  heading "Table IV: Comparative (normalized) overhead, Cases 1-4";
+(* Flatten an (entry x case) grid into pool tasks, then print the rows
+   back under their per-entry headers in grid order. *)
+let grid_rows ~entries ~cases_of ~row =
+  let tasks =
+    Array.concat
+      (List.mapi
+         (fun ei e ->
+           Array.of_list
+             (List.mapi (fun ci case -> (ei, e, ci, case)) (cases_of e)))
+         entries)
+  in
+  Pool.map (fun (_, e, ci, case) -> row e ci case) tasks
+
+let table4 ?(attack = true) out =
+  heading out "Table IV: Comparative (normalized) overhead, Cases 1-4";
+  let entries = Circ.Catalog.all in
+  let rows =
+    grid_rows ~entries ~cases_of
+      ~row:(fun (e : Circ.Catalog.entry) i (name, cfg) ->
+        let nl = e.Circ.Catalog.netlist () in
+        let paper = List.assoc e.Circ.Catalog.name paper_table4 in
+        let r = C.Flow.run cfg nl in
+        let pa, pp_, pd = List.nth paper i in
+        let sec =
+          if attack then "  SAT: " ^ resilience_tag (run_sat_attack r) else ""
+        in
+        Printf.sprintf "  %-32s A=%.2f P=%.2f D=%.2f   (paper %.2f/%.2f/%.2f)%s\n"
+          name r.C.Flow.overhead.C.Overhead.area
+          r.C.Flow.overhead.C.Overhead.power r.C.Flow.overhead.C.Overhead.delay
+          pa pp_ pd sec)
+  in
+  let cursor = ref 0 in
   List.iter
     (fun (e : Circ.Catalog.entry) ->
       let nl = e.Circ.Catalog.netlist () in
-      let paper = List.assoc e.Circ.Catalog.name paper_table4 in
-      printf "\n%s (%s): %d cells\n" e.Circ.Catalog.name
+      bpf out "\n%s (%s): %d cells\n" e.Circ.Catalog.name
         e.Circ.Catalog.description (N.Netlist.num_cells nl);
-      List.iteri
-        (fun i (name, cfg) ->
-          let r = C.Flow.run cfg nl in
-          let pa, pp_, pd = List.nth paper i in
-          let sec =
-            if attack then "  SAT: " ^ resilience_tag (run_sat_attack r)
-            else ""
-          in
-          printf "  %-32s A=%.2f P=%.2f D=%.2f   (paper %.2f/%.2f/%.2f)%s\n"
-            name r.C.Flow.overhead.C.Overhead.area
-            r.C.Flow.overhead.C.Overhead.power r.C.Flow.overhead.C.Overhead.delay
-            pa pp_ pd sec;
-          flush stdout)
+      List.iter
+        (fun _ ->
+          bpf out "%s" rows.(!cursor);
+          incr cursor)
         (cases_of e))
-    Circ.Catalog.all
+    entries
 
 (* ------------------------------------------------------------------ *)
 (* Table V: same (ROUTE-based) TfR for every case                      *)
@@ -144,30 +183,40 @@ let paper_table5 =
     ("FIR", [ (3.251, 3.50, 4.68); (3.421, 3.559, 4.697); (3.31, 3.57, 3.82); (1.663, 1.768, 1.816) ]);
   ]
 
-let table5 () =
-  heading "Table V: same ROUTE-based target for all cases";
+let table5 out =
+  heading out "Table V: same ROUTE-based target for all cases";
+  let entries =
+    List.filter_map
+      (fun (name, paper) ->
+        Option.map (fun e -> (name, paper, e)) (Circ.Catalog.find name))
+      paper_table5
+  in
+  let shell_cases (_, _, (e : Circ.Catalog.entry)) =
+    let shell_t = tfr e.Circ.Catalog.tfr_shell in
+    C.Baselines.all ~case1:shell_t ~case2:shell_t ~case3:shell_t ~shell:shell_t
+  in
+  let rows =
+    grid_rows ~entries ~cases_of:shell_cases
+      ~row:(fun (_, paper, (e : Circ.Catalog.entry)) i (cname, cfg) ->
+        let nl = e.Circ.Catalog.netlist () in
+        let r = C.Flow.run cfg nl in
+        let pa, pp_, pd = List.nth paper i in
+        Printf.sprintf "  %-32s A=%.3f P=%.3f D=%.3f   (paper %.3f/%.3f/%.3f)\n"
+          cname r.C.Flow.overhead.C.Overhead.area
+          r.C.Flow.overhead.C.Overhead.power r.C.Flow.overhead.C.Overhead.delay
+          pa pp_ pd)
+  in
+  let cursor = ref 0 in
   List.iter
-    (fun (name, paper) ->
-      match Circ.Catalog.find name with
-      | None -> ()
-      | Some e ->
-          let nl = e.Circ.Catalog.netlist () in
-          let shell_t = tfr e.Circ.Catalog.tfr_shell in
-          printf "\n%s (TfR: %s)\n" name shell_t.C.Baselines.label;
-          let cases =
-            C.Baselines.all ~case1:shell_t ~case2:shell_t ~case3:shell_t
-              ~shell:shell_t
-          in
-          List.iteri
-            (fun i (cname, cfg) ->
-              let r = C.Flow.run cfg nl in
-              let pa, pp_, pd = List.nth paper i in
-              printf "  %-32s A=%.3f P=%.3f D=%.3f   (paper %.3f/%.3f/%.3f)\n"
-                cname r.C.Flow.overhead.C.Overhead.area
-                r.C.Flow.overhead.C.Overhead.power
-                r.C.Flow.overhead.C.Overhead.delay pa pp_ pd)
-            cases)
-    paper_table5
+    (fun ((name, _, (e : Circ.Catalog.entry)) as entry) ->
+      let shell_t = tfr e.Circ.Catalog.tfr_shell in
+      bpf out "\n%s (TfR: %s)\n" name shell_t.C.Baselines.label;
+      List.iter
+        (fun _ ->
+          bpf out "%s" rows.(!cursor);
+          incr cursor)
+        (shell_cases entry))
+    entries
 
 (* ------------------------------------------------------------------ *)
 (* Table VI: coefficient sweep                                         *)
@@ -185,42 +234,47 @@ let paper_table6 =
 (* the paper strikes through the cells its SAT attack broke *)
 let paper_broken = [ ("AES", "c2") ]
 
-let table6 ?(attack = true) () =
-  heading "Table VI: coefficient profiles for sub-circuit selection";
+let table6 ?(attack = true) out =
+  heading out "Table VI: coefficient profiles for sub-circuit selection";
+  let entries = Circ.Catalog.all in
+  let rows =
+    grid_rows ~entries
+      ~cases_of:(fun _ -> C.Score.presets)
+      ~row:(fun (e : Circ.Catalog.entry) i (cname, coeffs) ->
+        let nl = e.Circ.Catalog.netlist () in
+        let paper = List.assoc e.Circ.Catalog.name paper_table6 in
+        let cfg =
+          C.Flow.shell_config ~target:(C.Flow.Auto { coeffs; lgc_depth = 0 }) ()
+        in
+        let r = C.Flow.run cfg nl in
+        let pa, pp_, pd = List.nth paper i in
+        let sec =
+          if attack then "  SAT: " ^ resilience_tag (run_sat_attack r) else ""
+        in
+        let expect =
+          if List.mem (e.Circ.Catalog.name, cname) paper_broken then
+            " [paper: broken]"
+          else ""
+        in
+        Printf.sprintf
+          "  %-3s A=%.2f P=%.2f D=%.2f (paper %.2f/%.2f/%.2f)  TfR: %-40s%s%s\n"
+          cname r.C.Flow.overhead.C.Overhead.area
+          r.C.Flow.overhead.C.Overhead.power r.C.Flow.overhead.C.Overhead.delay
+          pa pp_ pd
+          (let l = r.C.Flow.choice.C.Selection.label in
+           if String.length l > 40 then String.sub l 0 40 else l)
+          sec expect)
+  in
+  let cursor = ref 0 in
   List.iter
     (fun (e : Circ.Catalog.entry) ->
-      let nl = e.Circ.Catalog.netlist () in
-      let paper = List.assoc e.Circ.Catalog.name paper_table6 in
-      printf "\n%s\n" e.Circ.Catalog.name;
-      List.iteri
-        (fun i (cname, coeffs) ->
-          let cfg =
-            C.Flow.shell_config
-              ~target:(C.Flow.Auto { coeffs; lgc_depth = 0 })
-              ()
-          in
-          let r = C.Flow.run cfg nl in
-          let pa, pp_, pd = List.nth paper i in
-          let sec =
-            if attack then "  SAT: " ^ resilience_tag (run_sat_attack r)
-            else ""
-          in
-          let expect =
-            if List.mem (e.Circ.Catalog.name, cname) paper_broken then
-              " [paper: broken]"
-            else ""
-          in
-          printf
-            "  %-3s A=%.2f P=%.2f D=%.2f (paper %.2f/%.2f/%.2f)  TfR: %-40s%s%s\n"
-            cname r.C.Flow.overhead.C.Overhead.area
-            r.C.Flow.overhead.C.Overhead.power
-            r.C.Flow.overhead.C.Overhead.delay pa pp_ pd
-            (let l = r.C.Flow.choice.C.Selection.label in
-             if String.length l > 40 then String.sub l 0 40 else l)
-            sec expect;
-          flush stdout)
+      bpf out "\n%s\n" e.Circ.Catalog.name;
+      List.iter
+        (fun _ ->
+          bpf out "%s" rows.(!cursor);
+          incr cursor)
         C.Score.presets)
-    Circ.Catalog.all
+    entries
 
 (* ------------------------------------------------------------------ *)
 (* Table VII: LGC/ROUTE correlation depth                              *)
@@ -233,79 +287,95 @@ let paper_table7 =
     ("FIR", [ (3.554, 3.701, 5.138); (3.439, 3.766, 5.082); (1.663, 1.768, 1.816) ]);
   ]
 
-let table7 () =
-  heading "Table VII: LGC/ROUTE correlation (node distance) vs overhead";
+let table7 out =
+  heading out "Table VII: LGC/ROUTE correlation (node distance) vs overhead";
+  let entries =
+    List.filter_map
+      (fun (name, paper) ->
+        Option.map (fun e -> (name, paper, e)) (Circ.Catalog.find name))
+      paper_table7
+  in
+  let depths _ = List.map (fun d -> d) [ 2; 1; 0 ] in
+  let rows =
+    grid_rows ~entries ~cases_of:depths
+      ~row:(fun (_, paper, (e : Circ.Catalog.entry)) i depth ->
+        let nl = e.Circ.Catalog.netlist () in
+        let route = e.Circ.Catalog.tfr_shell.Circ.Catalog.route in
+        let cfg =
+          C.Flow.shell_config
+            ~target:(C.Flow.Route_with_lgc_depth { route; depth })
+            ()
+        in
+        let r = C.Flow.run cfg nl in
+        let pa, pp_, pd = List.nth paper i in
+        Printf.sprintf
+          "  depth %d: A=%.3f P=%.3f D=%.3f (paper %.3f/%.3f/%.3f)  pins=%d\n"
+          depth r.C.Flow.overhead.C.Overhead.area
+          r.C.Flow.overhead.C.Overhead.power r.C.Flow.overhead.C.Overhead.delay
+          pa pp_ pd r.C.Flow.resources.F.Resources.io_pins)
+  in
+  let cursor = ref 0 in
   List.iter
-    (fun (name, paper) ->
-      match Circ.Catalog.find name with
-      | None -> ()
-      | Some e ->
-          let nl = e.Circ.Catalog.netlist () in
-          printf "\n%s\n" name;
-          let route = e.Circ.Catalog.tfr_shell.Circ.Catalog.route in
-          List.iteri
-            (fun i depth ->
-              let cfg =
-                C.Flow.shell_config
-                  ~target:(C.Flow.Route_with_lgc_depth { route; depth })
-                  ()
-              in
-              let r = C.Flow.run cfg nl in
-              let pa, pp_, pd = List.nth paper i in
-              printf
-                "  depth %d: A=%.3f P=%.3f D=%.3f (paper %.3f/%.3f/%.3f)  pins=%d\n"
-                depth r.C.Flow.overhead.C.Overhead.area
-                r.C.Flow.overhead.C.Overhead.power
-                r.C.Flow.overhead.C.Overhead.delay pa pp_ pd
-                r.C.Flow.resources.F.Resources.io_pins)
-            [ 2; 1; 0 ])
-    paper_table7
+    (fun (name, _, _) ->
+      bpf out "\n%s\n" name;
+      List.iter
+        (fun _ ->
+          bpf out "%s" rows.(!cursor);
+          incr cursor)
+        [ 2; 1; 0 ])
+    entries
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: the locking taxonomy, attacked                              *)
 (* ------------------------------------------------------------------ *)
 
-let fig1 () =
-  heading "Fig. 1: reconfigurability-based locking taxonomy under attack";
+let fig1 out =
+  heading out "Fig. 1: reconfigurability-based locking taxonomy under attack";
   (* a small structured victim keeps the miter tractable so the weak
      schemes actually fall within the budget *)
-  let nl = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
-  printf "victim: 4-channel Xbar (%d cells); budget 128 DIPs / 200k conflicts / 20 s\n"
-    (N.Netlist.num_cells nl);
+  let victim () = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
+  bpf out "victim: 4-channel Xbar (%d cells); budget 128 DIPs / 200k conflicts / 20 s\n"
+    (N.Netlist.num_cells (victim ()));
   let schemes =
-    [
-      ("(a) random LUT insertion [17]", L.Schemes.random_lut ~gates:10 nl);
-      ("(b) heuristic LUT insertion [18]", L.Schemes.heuristic_lut ~gates:10 nl);
-      ("(c) MUX routing locking [3]", L.Schemes.mux_routing ~width:32 nl);
-      ("(d) MUX+LUT locking [4,5]", L.Schemes.mux_lut ~width:32 nl);
-    ]
+    [|
+      ("(a) random LUT insertion [17]", fun nl -> L.Schemes.random_lut ~gates:10 nl);
+      ("(b) heuristic LUT insertion [18]", fun nl -> L.Schemes.heuristic_lut ~gates:10 nl);
+      ("(c) MUX routing locking [3]", fun nl -> L.Schemes.mux_routing ~width:32 nl);
+      ("(d) MUX+LUT locking [4,5]", fun nl -> L.Schemes.mux_lut ~width:32 nl);
+    |]
   in
-  List.iter
-    (fun (name, lk) ->
-      assert (L.Locked.verify ~original:nl lk);
-      let out =
-        A.Sat_attack.attack_locked ~max_dips:128 ~max_conflicts:200_000
-          ~time_limit:20.0 ~original:nl lk
-      in
-      let prox = A.Proximity.predict_links lk in
-      printf "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
-        name (L.Locked.key_bits lk) (resilience_tag out)
-        prox.A.Proximity.links_correct prox.A.Proximity.links
-        (100.0 *. prox.A.Proximity.link_accuracy);
-      flush stdout)
-    schemes;
+  let rows =
+    Pool.map
+      (fun (name, mk) ->
+        let nl = victim () in
+        let lk = mk nl in
+        assert (L.Locked.verify ~original:nl lk);
+        let out =
+          A.Sat_attack.attack_locked ~max_dips:128 ~max_conflicts:200_000
+            ~time_limit:20.0 ~original:nl lk
+        in
+        let prox = A.Proximity.predict_links lk in
+        Printf.sprintf
+          "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
+          name (L.Locked.key_bits lk) (resilience_tag out)
+          prox.A.Proximity.links_correct prox.A.Proximity.links
+          (100.0 *. prox.A.Proximity.link_accuracy))
+      schemes
+  in
+  Array.iter (fun row -> bpf out "%s" row) rows;
   (* (e) eFPGA redaction: scored selection over the desX layers *)
+  let nl = victim () in
   let r = C.Flow.run (C.Flow.shell_config ()) nl in
   let lk = C.Flow.locked_sub r in
   let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
-  let out =
+  let outc =
     A.Sat_attack.run ~max_dips:64 ~max_conflicts:200_000 ~time_limit:20.0
       ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
       lk.L.Locked.locked
   in
   let prox = A.Proximity.predict_links lk in
-  printf "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
-    "(e) eFPGA redaction (SheLL)" (L.Locked.key_bits lk) (resilience_tag out)
+  bpf out "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
+    "(e) eFPGA redaction (SheLL)" (L.Locked.key_bits lk) (resilience_tag outc)
     prox.A.Proximity.links_correct prox.A.Proximity.links
     (100.0 *. prox.A.Proximity.link_accuracy)
 
@@ -313,38 +383,38 @@ let fig1 () =
 (* Fig. 2: OpenFPGA square-fabric utilization on desX                  *)
 (* ------------------------------------------------------------------ *)
 
-let fig2 () =
-  heading "Fig. 2: inefficient square mapping in OpenFPGA (desX on 7x7)";
+let fig2 out =
+  heading out "Fig. 2: inefficient square mapping in OpenFPGA (desX on 7x7)";
   let nl = Circ.Desx.netlist () in
   let mapped, st = S.Lut_map.map ~k:4 (S.Opt.simplify nl) in
   let res = P.Pnr.fit_loop ~style:F.Style.Openfpga mapped in
   let fab = res.P.Pnr.fabric in
-  printf "  desX: %d gates -> %d LUTs\n" (N.Netlist.num_cells nl) st.S.Lut_map.luts;
-  printf "  OpenFPGA fabric: %dx%d (%d tiles), used tiles %d, unused %d\n"
+  bpf out "  desX: %d gates -> %d LUTs\n" (N.Netlist.num_cells nl) st.S.Lut_map.luts;
+  bpf out "  OpenFPGA fabric: %dx%d (%d tiles), used tiles %d, unused %d\n"
     fab.F.Fabric.cols fab.F.Fabric.rows (F.Fabric.clb_tiles fab)
     res.P.Pnr.placement.P.Pnr.used_tiles
     (F.Fabric.clb_tiles fab - res.P.Pnr.placement.P.Pnr.used_tiles);
-  printf "  LUT utilization %.1f%%, tile utilization %.1f%%\n"
+  bpf out "  LUT utilization %.1f%%, tile utilization %.1f%%\n"
     (100.0 *. res.P.Pnr.utilization)
     (100.0 *. res.P.Pnr.tile_utilization);
   let packed_tiles = (st.S.Lut_map.luts + 7) / 8 in
-  printf "  densely packed the design needs %d tiles -> %d of %d tiles wasted\n"
+  bpf out "  densely packed the design needs %d tiles -> %d of %d tiles wasted\n"
     packed_tiles
     (F.Fabric.clb_tiles fab - packed_tiles)
     (F.Fabric.clb_tiles fab);
-  printf "%s" (P.Floorplan.render res);
+  bpf out "%s" (P.Floorplan.render res);
   let res_fab = P.Pnr.fit_loop ~style:F.Style.Fabulous_std mapped in
-  printf "  FABulous rectangle: %dx%d, LUT utilization %.1f%%\n"
+  bpf out "  FABulous rectangle: %dx%d, LUT utilization %.1f%%\n"
     res_fab.P.Pnr.fabric.F.Fabric.cols res_fab.P.Pnr.fabric.F.Fabric.rows
     (100.0 *. res_fab.P.Pnr.utilization);
-  printf "  paper: 11 of 49 tiles unused, <77%% utilization\n"
+  bpf out "  paper: 11 of 49 tiles unused, <77%% utilization\n"
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 3: SoC-level redaction                                         *)
 (* ------------------------------------------------------------------ *)
 
-let fig3 () =
-  heading "Fig. 3: SoC-level locking (Xbar + core2/core4 wrappers)";
+let fig3 out =
+  heading out "Fig. 3: SoC-level locking (Xbar + core2/core4 wrappers)";
   let nl = Circ.Soc.netlist () in
   let cfg =
     C.Flow.shell_config
@@ -358,13 +428,13 @@ let fig3 () =
       ()
   in
   let r = C.Flow.run cfg nl in
-  printf "%s\n" (Format.asprintf "%a" C.Flow.pp_summary r);
-  printf "  end-to-end verify (sequential): %b\n" (C.Flow.verify r);
+  bpf out "%s\n" (Format.asprintf "%a" C.Flow.pp_summary r);
+  bpf out "  end-to-end verify (sequential): %b\n" (C.Flow.verify r);
   (* removal attack: with LGC entangled the plain-Xbar guess must fail *)
   let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
   let sub = r.C.Flow.cut.C.Extraction.sub in
   let sanity = A.Removal.attempt ~oracle sub in
-  printf "  removal attack, true netlist guess: %s (sanity, must match)\n"
+  bpf out "  removal attack, true netlist guess: %s (sanity, must match)\n"
     (if sanity.A.Removal.matched then "match" else "MISMATCH");
   (* candidate: plain Xbar without the wrapper LGC *)
   let route_only =
@@ -383,29 +453,29 @@ let fig3 () =
        = List.length (N.Netlist.outputs sub)
   then begin
     let v = A.Removal.attempt ~oracle route_only in
-    printf "  removal attack, plain-Xbar guess: %s\n"
+    bpf out "  removal attack, plain-Xbar guess: %s\n"
       (if v.A.Removal.matched then "MATCH (attack wins)"
        else "mismatch (defeated)")
   end
   else
-    printf
+    bpf out
       "  removal attack, plain-Xbar guess: port shape differs (wrapper LGC entangled) -> defeated\n"
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 4: the 8-step flow, verbose                                    *)
 (* ------------------------------------------------------------------ *)
 
-let fig4 () =
-  heading "Fig. 4: SheLL framework steps on PicoSoC";
+let fig4 out =
+  heading out "Fig. 4: SheLL framework steps on PicoSoC";
   let e = List.nth Circ.Catalog.all 0 in
   let nl = e.Circ.Catalog.netlist () in
   let t = e.Circ.Catalog.tfr_shell in
-  printf "  (1) connectivity & modular analysis\n";
+  bpf out "  (1) connectivity & modular analysis\n";
   let analysis = C.Connectivity.analyze nl in
-  printf "      %d blocks, %d inter-block edges\n"
+  bpf out "      %d blocks, %d inter-block edges\n"
     (Array.length analysis.C.Connectivity.blocks)
     (Shell_graph.Digraph.num_edges analysis.C.Connectivity.graph);
-  printf "  (2) scoring (Eq. 1, SheLL coefficients) - top blocks:\n";
+  bpf out "  (2) scoring (Eq. 1, SheLL coefficients) - top blocks:\n";
   let scored =
     Array.to_list
       (Array.mapi
@@ -417,7 +487,7 @@ let fig4 () =
   List.iteri
     (fun i (s, _, b) ->
       if i < 5 then
-        printf "      %.3f  %-44s %s\n" s b.C.Connectivity.name
+        bpf out "      %.3f  %-44s %s\n" s b.C.Connectivity.name
           (Format.asprintf "%a" C.Score.pp_attrs b.C.Connectivity.attrs))
     scored;
   let cfg =
@@ -432,23 +502,23 @@ let fig4 () =
       ()
   in
   let r = C.Flow.run cfg nl in
-  printf "  (3) selection: %s (coverage %.2f)\n" r.C.Flow.choice.C.Selection.label
+  bpf out "  (3) selection: %s (coverage %.2f)\n" r.C.Flow.choice.C.Selection.label
     r.C.Flow.choice.C.Selection.coverage;
-  printf "  (4) decoupling/extraction: %d cells, %d in / %d out nets\n"
+  bpf out "  (4) decoupling/extraction: %d cells, %d in / %d out nets\n"
     (List.length r.C.Flow.cut.C.Extraction.cells)
     (List.length r.C.Flow.cut.C.Extraction.input_binding)
     (List.length r.C.Flow.cut.C.Extraction.output_binding);
-  printf "  (5) dual synthesis: %d LUTs + %d Mux4 / %d Mux2 chain cells\n"
+  bpf out "  (5) dual synthesis: %d LUTs + %d Mux4 / %d Mux2 chain cells\n"
     r.C.Flow.mapped.C.Synthesize.luts r.C.Flow.mapped.C.Synthesize.chain_mux4
     r.C.Flow.mapped.C.Synthesize.chain_mux2;
-  printf "  (6-7) fabric fit: %s (fit %s, utilization %.2f)\n"
+  bpf out "  (6-7) fabric fit: %s (fit %s, utilization %.2f)\n"
     (Format.asprintf "%a" F.Fabric.pp r.C.Flow.pnr.P.Pnr.fabric)
     (match r.C.Flow.pnr.P.Pnr.fit with Ok () -> "ok" | Error _ -> "failed")
     r.C.Flow.pnr.P.Pnr.utilization;
-  printf "  (8) shrink: %d config bits kept, bitstream %d bits\n"
+  bpf out "  (8) shrink: %d config bits kept, bitstream %d bits\n"
     r.C.Flow.resources.F.Resources.config_bits
     (F.Bitstream.length r.C.Flow.emitted.F.Emit.bitstream);
-  printf "  overhead: %s   verify: %b\n"
+  bpf out "  overhead: %s   verify: %b\n"
     (Format.asprintf "%a" C.Overhead.pp r.C.Flow.overhead)
     (C.Flow.verify r)
 
@@ -456,8 +526,8 @@ let fig4 () =
 (* Ablations: the design choices DESIGN.md calls out                   *)
 (* ------------------------------------------------------------------ *)
 
-let ablation () =
-  heading "Ablations: shrink / MUX chains / routing flexibility";
+let ablation out =
+  heading out "Ablations: shrink / MUX chains / routing flexibility";
   let e = List.nth Circ.Catalog.all 0 in
   let nl = e.Circ.Catalog.netlist () in
   let t = e.Circ.Catalog.tfr_shell in
@@ -470,24 +540,24 @@ let ablation () =
       }
   in
   let base = C.Flow.shell_config ~target () in
-  printf "
+  bpf out "
 (a) step-8 shrinking (PicoSoC, SheLL target):
 ";
   List.iter
     (fun (name, shrink) ->
       let r = C.Flow.run { base with C.Flow.shrink } nl in
-      printf "  %-22s A=%.3f P=%.3f D=%.3f
+      bpf out "  %-22s A=%.3f P=%.3f D=%.3f
 " name
         r.C.Flow.overhead.C.Overhead.area r.C.Flow.overhead.C.Overhead.power
         r.C.Flow.overhead.C.Overhead.delay)
     [ ("with shrinking", true); ("without shrinking", false) ];
-  printf "
+  bpf out "
 (b) MUX chains vs LUT-only mapping of the same ROUTE target:
 ";
   List.iter
     (fun (name, style) ->
       let r = C.Flow.run { base with C.Flow.style } nl in
-      printf "  %-22s A=%.3f  (%d LUTs + %d chain cells, %d key bits)
+      bpf out "  %-22s A=%.3f  (%d LUTs + %d chain cells, %d key bits)
 " name
         r.C.Flow.overhead.C.Overhead.area r.C.Flow.mapped.C.Synthesize.luts
         (r.C.Flow.mapped.C.Synthesize.chain_mux4
@@ -497,10 +567,10 @@ let ablation () =
       ("MUX chains", F.Style.Fabulous_muxchain);
       ("LUT-only (FABulous)", F.Style.Fabulous_std);
     ];
-  printf "
+  bpf out "
 (c) fabric parameters vs attack effort (cf. [26]):
 ";
-  printf "    %-34s %8s %10s %s
+  bpf out "    %-34s %8s %10s %s
 " "fabric" "key bits" "c2v" "SAT (3s budget)";
   List.iter
     (fun style ->
@@ -512,26 +582,26 @@ let ablation () =
           ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
           lk.L.Locked.locked
       in
-      let out =
+      let outc =
         run_sat_attack
           ~budget:(`Dips 32, `Conflicts 60_000, `Seconds 3.0)
           r
       in
-      printf "    %-34s %8d %10.2f %s
+      bpf out "    %-34s %8d %10.2f %s
 " (F.Style.name style)
-        m.A.Metrics.key_bits m.A.Metrics.c2v (resilience_tag out))
+        m.A.Metrics.key_bits m.A.Metrics.c2v (resilience_tag outc))
     F.Style.all
 
 (* ------------------------------------------------------------------ *)
 (* Coefficient search (the paper's future-work extension)              *)
 (* ------------------------------------------------------------------ *)
 
-let explore () =
-  heading "Coefficient search (paper future work: heuristic exploration)";
+let explore out =
+  heading out "Coefficient search (paper future work: heuristic exploration)";
   let e = List.nth Circ.Catalog.all 3 in
   (* SPMV: mid-size *)
   let nl = e.Circ.Catalog.netlist () in
-  printf "searching Eq. 1 coefficient space on %s...
+  bpf out "searching Eq. 1 coefficient space on %s...
 " e.Circ.Catalog.name;
   let o = C.Explore.search ~generations:4 ~population:6 nl in
   let c5 =
@@ -540,28 +610,53 @@ let explore () =
         c.C.Explore.coeffs = C.Score.shell_choice)
       o.C.Explore.evaluated
   in
-  printf "  profiles evaluated: %d
+  bpf out "  profiles evaluated: %d
 " (List.length o.C.Explore.evaluated);
-  printf "  hand-picked c5:  A=%.3f (key %d bits)  TfR %s
+  bpf out "  hand-picked c5:  A=%.3f (key %d bits)  TfR %s
 "
     c5.C.Explore.overhead.C.Overhead.area c5.C.Explore.key_bits
     c5.C.Explore.label;
-  printf "  searched best:   A=%.3f (key %d bits)  TfR %s
+  bpf out "  searched best:   A=%.3f (key %d bits)  TfR %s
 "
     o.C.Explore.best.C.Explore.overhead.C.Overhead.area
     o.C.Explore.best.C.Explore.key_bits o.C.Explore.best.C.Explore.label;
   let cc = o.C.Explore.best.C.Explore.coeffs in
-  printf "  best coefficients: a=%.2f b=%.2f g=%.2f l=%.2f xi=%.2f s=%.2f
+  bpf out "  best coefficients: a=%.2f b=%.2f g=%.2f l=%.2f xi=%.2f s=%.2f
 "
     cc.C.Score.alpha cc.C.Score.beta cc.C.Score.gamma cc.C.Score.lambda
     cc.C.Score.xi cc.C.Score.sigma
 
 (* ------------------------------------------------------------------ *)
+(* Attack portfolio: seeded solver race                                *)
+(* ------------------------------------------------------------------ *)
+
+let portfolio out =
+  heading out "Attack portfolio: differently-seeded solvers race one lock";
+  let nl = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
+  let lk = L.Schemes.mux_routing ~width:32 nl in
+  bpf out "victim: 4-channel Xbar (%d cells), MUX routing lock, %d key bits\n"
+    (N.Netlist.num_cells nl) (L.Locked.key_bits lk);
+  bpf out "budget per racer: 64 DIPs / 60k conflicts / 5 s\n";
+  let p =
+    A.Portfolio.run ~max_dips:64 ~max_conflicts:60_000 ~time_limit:5.0
+      ~original:nl lk.L.Locked.locked
+  in
+  Array.iter
+    (fun ((cfg : A.Portfolio.config), o) ->
+      bpf out "  %-24s %s\n" cfg.A.Portfolio.label (resilience_tag o))
+    p.A.Portfolio.outcomes;
+  (match p.A.Portfolio.winner with
+  | Some i ->
+      bpf out "  winner: config %d (%s)\n" i
+        (fst p.A.Portfolio.outcomes.(i)).A.Portfolio.label
+  | None -> bpf out "  no racer broke the lock within budget\n")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
-  heading "Micro-benchmarks (Bechamel)";
+let micro out =
+  heading out "Micro-benchmarks (Bechamel)";
   let module B = Bechamel in
   let open B in
   let nl = Circ.Fir.netlist () in
@@ -595,7 +690,7 @@ let micro () =
               done));
     ]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let instances = [ Toolkit.Instance.monotonic_clock ] in
       let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
@@ -604,48 +699,173 @@ let micro () =
         Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
       in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> printf "  %-28s %12.0f ns/run\n" name est
-          | Some _ | None -> printf "  %-28s (no estimate)\n" name)
-        results)
+          | Some [ est ] ->
+              bpf out "  %-28s %12.0f ns/run\n" name est;
+              (name, est) :: acc
+          | Some _ | None ->
+              bpf out "  %-28s (no estimate)\n" name;
+              acc)
+        results [])
     tests
 
 (* ------------------------------------------------------------------ *)
+(* json: machine-readable perf trajectory (BENCH_1.json)               *)
+(* ------------------------------------------------------------------ *)
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* CPU-bound filler for the pool's synthetic speedup probe *)
+let spin_task i =
+  let acc = ref (float_of_int i) in
+  for k = 1 to 400_000 do
+    acc := !acc +. sin (float_of_int k *. 1e-3)
+  done;
+  !acc
+
+let json () =
+  let jn = Pool.default_jobs () in
+  printf "writing BENCH_1.json (jobs=%d)...\n%!" jn;
+  (* table4-fast: the acceptance workload — timed at jobs=1 and jobs=N,
+     outputs compared byte for byte *)
+  let s1, t4_j1 =
+    Pool.set_default_jobs 1;
+    time_wall (fun () -> with_output (table4 ~attack:false))
+  in
+  let sn, t4_jn =
+    Pool.set_default_jobs jn;
+    time_wall (fun () -> with_output (table4 ~attack:false))
+  in
+  let identical = String.equal s1 sn in
+  (* synthetic pool probe: pure CPU tasks, no flow noise *)
+  let spin_input = Array.init 32 (fun i -> i) in
+  let _, spin_j1 =
+    time_wall (fun () -> ignore (Pool.map ~jobs:1 spin_task spin_input))
+  in
+  let _, spin_jn =
+    time_wall (fun () -> ignore (Pool.map ~jobs:jn spin_task spin_input))
+  in
+  (* per-table wall times at jobs=N (attack-free sections only, so the
+     numbers track compute, not SAT-budget luck) *)
+  let sections =
+    [
+      ("table1", table1);
+      ("table5", table5);
+      ("table6_fast", table6 ~attack:false);
+      ("table7", table7);
+      ("fig2", fig2);
+      ("fig4", fig4);
+    ]
+  in
+  let table_times =
+    List.map
+      (fun (name, f) ->
+        let _, t = time_wall (fun () -> ignore (with_output f)) in
+        (name, t))
+      sections
+  in
+  let micro_results =
+    let scratch = Buffer.create 4096 in
+    micro scratch
+  in
+  let oc = open_out "BENCH_1.json" in
+  let out = Buffer.create 4096 in
+  bpf out "{\n";
+  bpf out "  \"pr\": 1,\n";
+  bpf out "  \"jobs\": %d,\n" jn;
+  bpf out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  bpf out
+    "  \"table4_fast\": { \"jobs1_s\": %.3f, \"jobsN_s\": %.3f, \"speedup\": %.2f, \"identical_output\": %b },\n"
+    t4_j1 t4_jn (t4_j1 /. Float.max 1e-9 t4_jn) identical;
+  bpf out
+    "  \"pool_synthetic\": { \"tasks\": %d, \"jobs1_s\": %.3f, \"jobsN_s\": %.3f, \"speedup\": %.2f },\n"
+    (Array.length spin_input) spin_j1 spin_jn
+    (spin_j1 /. Float.max 1e-9 spin_jn);
+  bpf out "  \"tables_s\": {\n";
+  List.iteri
+    (fun i (name, t) ->
+      bpf out "    \"%s\": %.3f%s\n" (json_escape name) t
+        (if i = List.length table_times - 1 then "" else ","))
+    table_times;
+  bpf out "  },\n";
+  bpf out "  \"micro_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      bpf out "    \"%s\": %.0f%s\n" (json_escape name) est
+        (if i = List.length micro_results - 1 then "" else ","))
+    micro_results;
+  bpf out "  }\n";
+  bpf out "}\n";
+  output_string oc (Buffer.contents out);
+  close_out oc;
+  printf "  table4-fast: %.2fs @ jobs=1, %.2fs @ jobs=%d (speedup %.2fx, identical=%b)\n"
+    t4_j1 t4_jn jn
+    (t4_j1 /. Float.max 1e-9 t4_jn)
+    identical;
+  printf "  pool synthetic: speedup %.2fx over %d tasks\n"
+    (spin_j1 /. Float.max 1e-9 spin_jn)
+    (Array.length spin_input);
+  printf "done: BENCH_1.json\n"
+
+(* ------------------------------------------------------------------ *)
+
+let emit f =
+  print_string (with_output f);
+  flush stdout
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   (match which with
-  | "table1" -> table1 ()
-  | "table4" -> table4 ()
-  | "table4-fast" -> table4 ~attack:false ()
-  | "table5" -> table5 ()
-  | "table6" -> table6 ()
-  | "table6-fast" -> table6 ~attack:false ()
-  | "table7" -> table7 ()
-  | "fig1" -> fig1 ()
-  | "fig2" -> fig2 ()
-  | "fig3" -> fig3 ()
-  | "fig4" -> fig4 ()
-  | "ablation" -> ablation ()
-  | "explore" -> explore ()
-  | "micro" -> micro ()
+  | "table1" -> emit table1
+  | "table4" -> emit (table4 ~attack:true)
+  | "table4-fast" -> emit (table4 ~attack:false)
+  | "table5" -> emit table5
+  | "table6" -> emit (table6 ~attack:true)
+  | "table6-fast" -> emit (table6 ~attack:false)
+  | "table7" -> emit table7
+  | "fig1" -> emit fig1
+  | "fig2" -> emit fig2
+  | "fig3" -> emit fig3
+  | "fig4" -> emit fig4
+  | "ablation" -> emit ablation
+  | "explore" -> emit explore
+  | "portfolio" -> emit portfolio
+  | "micro" -> emit (fun out -> ignore (micro out))
+  | "json" -> json ()
   | "all" ->
-      table1 ();
-      fig2 ();
-      table4 ();
-      table5 ();
-      table6 ();
-      table7 ();
-      fig1 ();
-      fig3 ();
-      fig4 ();
-      ablation ();
-      explore ();
-      micro ()
+      emit table1;
+      emit fig2;
+      emit (table4 ~attack:true);
+      emit table5;
+      emit (table6 ~attack:true);
+      emit table7;
+      emit fig1;
+      emit fig3;
+      emit fig4;
+      emit ablation;
+      emit explore;
+      emit portfolio;
+      emit (fun out -> ignore (micro out))
   | other ->
       printf "unknown target %s\n" other;
       exit 1);
-  printf "\ntotal bench time: %.1fs\n" (Sys.time () -. t0)
+  (* stderr, so stdout stays byte-comparable across job counts *)
+  Printf.eprintf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

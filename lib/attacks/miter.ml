@@ -24,10 +24,10 @@ let add_copy solver base =
 
 let vars_of cnf nets = Array.map (fun n -> cnf.Cnf.var_of_net.(n)) nets
 
-let create ?(cycle_blocks = []) locked =
+let create ?(cycle_blocks = []) ?(seed = 0) locked =
   let comb = Netlist.comb_view locked in
   let base = Cnf.encode comb in
-  let solver = Solver.create () in
+  let solver = Solver.create ~seed () in
   let c1 = add_copy solver base in
   let c2 = add_copy solver base in
   let ins = Netlist.input_nets comb in

@@ -11,12 +11,15 @@ type t
 
 val create :
   ?cycle_blocks:(int array * bool array) list ->
+  ?seed:int ->
   Shell_netlist.Netlist.t ->
   t
 (** [create locked] — sequential designs are attacked through their
     full-scan view. [cycle_blocks] adds the cyclic-reduction
     pre-processing clauses (key patterns that would close structural
-    combinational cycles are excluded for both key vectors). *)
+    combinational cycles are excluded for both key vectors). [seed]
+    perturbs the solver's initial phases (see {!Shell_sat.Solver.create});
+    the attack portfolio races several seeds. *)
 
 val num_inputs : t -> int
 val num_keys : t -> int

@@ -1,0 +1,60 @@
+module Pool = Shell_util.Pool
+
+type config = { solver_seed : int; label : string }
+
+let default_configs k =
+  List.init (max 1 k) (fun i ->
+      if i = 0 then { solver_seed = 0; label = "phase=minisat" }
+      else
+        let seed = 0x5eed + (i * 0x9e37) in
+        { solver_seed = seed; label = Printf.sprintf "phase=rand(%#x)" seed })
+
+type t = {
+  winner : int option;
+  outcomes : (config * Sat_attack.outcome) array;
+}
+
+let run ?jobs ?(stop_on_first_broken = false) ?max_dips ?max_conflicts
+    ?time_limit ?cycle_blocks ?(configs = default_configs 4) ~original locked =
+  let arr = Array.of_list configs in
+  let stop = Atomic.make false in
+  let should_stop =
+    if stop_on_first_broken then fun () -> Atomic.get stop
+    else fun () -> false
+  in
+  let outcomes =
+    Pool.map ?jobs
+      (fun cfg ->
+        let oracle = Sat_attack.oracle_of_netlist original in
+        let o =
+          Sat_attack.run ?max_dips ?max_conflicts ?time_limit ?cycle_blocks
+            ~solver_seed:cfg.solver_seed ~should_stop ~oracle locked
+        in
+        (match o with
+        | Sat_attack.Broken _ -> Atomic.set stop true
+        | Sat_attack.Timeout _ -> ());
+        (cfg, o))
+      arr
+  in
+  let winner = ref None in
+  Array.iteri
+    (fun i (_, o) ->
+      match o with
+      | Sat_attack.Broken _ when !winner = None -> winner := Some i
+      | _ -> ())
+    outcomes;
+  { winner = !winner; outcomes }
+
+let best t =
+  match t.winner with
+  | Some i -> snd t.outcomes.(i)
+  | None ->
+      let most = ref (snd t.outcomes.(0)) in
+      Array.iter
+        (fun (_, o) ->
+          match (o, !most) with
+          | Sat_attack.Timeout st, Sat_attack.Timeout best_st
+            when st.Sat_attack.dips > best_st.Sat_attack.dips -> most := o
+          | _ -> ())
+        t.outcomes;
+      !most

@@ -1,0 +1,49 @@
+(** Attack portfolio: the same SAT attack raced under several solver
+    phase seeds on separate domains.
+
+    CDCL runtime on a fixed instance varies wildly with the initial
+    phase/branching choices; racing k differently-seeded solvers and
+    taking the first break is the classic portfolio speedup, and it is
+    the attacker model a defender should budget against (the paper's
+    48-hour timeout assumes one solver).
+
+    Determinism contract: with [stop_on_first_broken = false] (the
+    default) every configuration runs to its own budget and the
+    reported [winner] is the lowest-index configuration that broke the
+    key — independent of scheduling. With [stop_on_first_broken = true]
+    the remaining racers abort as soon as any domain breaks; the set of
+    aborted [Timeout]s then depends on timing (use it for wall-clock
+    wins, not for reproducible tables). *)
+
+type config = { solver_seed : int; label : string }
+
+val default_configs : int -> config list
+(** [default_configs k] — seed 0 (MiniSat's all-false phases) plus
+    [k - 1] fixed pseudorandom phase seeds. *)
+
+type t = {
+  winner : int option;  (** lowest-index config whose attack broke *)
+  outcomes : (config * Sat_attack.outcome) array;  (** per config, in order *)
+}
+
+val run :
+  ?jobs:int ->
+  ?stop_on_first_broken:bool ->
+  ?max_dips:int ->
+  ?max_conflicts:int ->
+  ?time_limit:float ->
+  ?cycle_blocks:(int array * bool array) list ->
+  ?configs:config list ->
+  original:Shell_netlist.Netlist.t ->
+  Shell_netlist.Netlist.t ->
+  t
+(** [run ~original locked] races {!Sat_attack.run} over the
+    configurations (default [default_configs 4]) on up to [jobs]
+    domains. Each racer builds a private oracle from [original] (oracle
+    closures carry mutable simulator state and must not be shared
+    across domains). Budget options are per racer. *)
+
+val best : t -> Sat_attack.outcome
+(** The winner's outcome, or — when nothing broke — the outcome of the
+    configuration that got through the most DIPs (ties to the lowest
+    index), i.e. the strongest attack evidence gathered. *)

@@ -17,21 +17,29 @@ let oracle_of_netlist original =
   let sim = Sim.create comb in
   fun input -> Sim.eval_comb sim input
 
+(* Per-attack wall clock: [Sys.time] is process-wide CPU time, which
+   inflates with every concurrently attacking domain and would shrink
+   the effective budget of parallel runs. *)
+let now () = Unix.gettimeofday ()
+
 let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
-    ?cycle_blocks ~oracle locked =
-  let start = Sys.time () in
-  let miter = Miter.create ?cycle_blocks locked in
+    ?cycle_blocks ?(solver_seed = 0) ?(should_stop = fun () -> false) ~oracle
+    locked =
+  let start = now () in
+  let miter = Miter.create ?cycle_blocks ~seed:solver_seed locked in
   let stats dips =
     {
       dips;
       conflicts = Miter.conflicts miter;
-      elapsed = Sys.time () -. start;
+      elapsed = now () -. start;
       key_bits = Miter.num_keys miter;
       c2v = Miter.clause_to_var_ratio miter;
     }
   in
   let budget_left () =
-    Miter.conflicts miter < max_conflicts && Sys.time () -. start < time_limit
+    (not (should_stop ()))
+    && Miter.conflicts miter < max_conflicts
+    && now () -. start < time_limit
   in
   let rec loop dips =
     if dips >= max_dips || not (budget_left ()) then Timeout (stats dips)
@@ -57,11 +65,11 @@ let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
   in
   loop 0
 
-let attack_locked ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ~original
-    (lk : Locked.t) =
+let attack_locked ?max_dips ?max_conflicts ?time_limit ?cycle_blocks
+    ?solver_seed ~original (lk : Locked.t) =
   let oracle = oracle_of_netlist original in
   match
-    run ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ~oracle
+    run ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ?solver_seed ~oracle
       lk.Locked.locked
   with
   | Broken (key, st) ->

@@ -14,7 +14,7 @@
 type stats = {
   dips : int;
   conflicts : int;
-  elapsed : float;  (** CPU seconds *)
+  elapsed : float;  (** wall-clock seconds for this attack *)
   key_bits : int;
   c2v : float;
 }
@@ -31,17 +31,24 @@ val run :
   ?max_conflicts:int ->
   ?time_limit:float ->
   ?cycle_blocks:(int array * bool array) list ->
+  ?solver_seed:int ->
+  ?should_stop:(unit -> bool) ->
   oracle:(bool array -> bool array) ->
   Shell_netlist.Netlist.t ->
   outcome
 (** Defaults: [max_dips] 256, [max_conflicts] 200_000 total,
-    [time_limit] 30.0 s. *)
+    [time_limit] 30.0 s (wall clock). [solver_seed] perturbs the
+    underlying solver's initial phases (0 = MiniSat default).
+    [should_stop] is polled at every DIP-loop head; when it returns
+    true the attack gives up with [Timeout] — the portfolio uses it to
+    cancel losers once a racer breaks the key. *)
 
 val attack_locked :
   ?max_dips:int ->
   ?max_conflicts:int ->
   ?time_limit:float ->
   ?cycle_blocks:(int array * bool array) list ->
+  ?solver_seed:int ->
   original:Shell_netlist.Netlist.t ->
   Shell_locking.Locked.t ->
   outcome

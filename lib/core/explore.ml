@@ -1,4 +1,5 @@
 module Rng = Shell_util.Rng
+module Pool = Shell_util.Pool
 module Bitstream = Shell_fabric.Bitstream
 module Emit = Shell_fabric.Emit
 
@@ -50,13 +51,28 @@ let coeff_key (c : Score.coeffs) =
   Printf.sprintf "%.2f/%.2f/%.2f/%.2f/%.2f/%.2f" c.Score.alpha c.Score.beta
     c.Score.gamma c.Score.lambda c.Score.xi c.Score.sigma
 
+(* [List.init]'s application order is unspecified; the GA needs its RNG
+   draws in a fixed sequence, so generate lists explicitly in order. *)
+let init_in_order n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
 let search ?(seed = 0xeea) ?(generations = 6) ?(population = 8)
-    ?(min_key_bits = 256) nl =
+    ?(min_key_bits = 256) ?jobs nl =
   let rng = Rng.create seed in
+  (* The flow-result cache is shared across the domains evaluating one
+     generation; the mutex covers lookups and inserts only — flows run
+     outside it. Two domains may race to evaluate the same fresh
+     profile; both compute the identical (deterministic) candidate, and
+     the duplicate insert is dropped. *)
   let cache : (string, candidate) Hashtbl.t = Hashtbl.create 64 in
+  let cache_mutex = Mutex.create () in
   let evaluate coeffs =
     let key = coeff_key coeffs in
-    match Hashtbl.find_opt cache key with
+    let cached =
+      Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
+    in
+    match cached with
     | Some c -> c
     | None ->
         let cfg =
@@ -71,14 +87,22 @@ let search ?(seed = 0xeea) ?(generations = 6) ?(population = 8)
             label = r.Flow.choice.Selection.label;
           }
         in
-        Hashtbl.add cache key c;
+        Mutex.protect cache_mutex (fun () ->
+            if not (Hashtbl.mem cache key) then Hashtbl.add cache key c);
         c
+  in
+  (* One generation's population evaluates in parallel. All RNG draws
+     happen on the caller before the batch is submitted, so the GA's
+     random stream — hence the population sequence — is identical at
+     every job count. *)
+  let evaluate_all coeff_list =
+    Pool.map_list ?jobs evaluate coeff_list
   in
   (* seed population: the five Table VI presets plus random mutants of
      the SheLL choice *)
   let init =
     List.map snd Score.presets
-    @ List.init (max 0 (population - 5)) (fun _ ->
+    @ init_in_order (max 0 (population - 5)) (fun _ ->
           mutate rng Score.shell_choice)
   in
   let score c = fitness ~min_key_bits c in
@@ -88,17 +112,22 @@ let search ?(seed = 0xeea) ?(generations = 6) ?(population = 8)
       let ranked = List.sort (fun a b -> compare (score a) (score b)) pop in
       let elite = List.filteri (fun i _ -> i < max 2 (population / 4)) ranked in
       let parents = Array.of_list elite in
-      let children =
-        List.init (population - Array.length parents) (fun _ ->
+      let child_coeffs =
+        init_in_order (population - Array.length parents) (fun _ ->
             let a = Rng.choice rng parents and b = Rng.choice rng parents in
-            let child = mutate rng (crossover rng a.coeffs b.coeffs) in
-            evaluate child)
+            mutate rng (crossover rng a.coeffs b.coeffs))
       in
+      let children = evaluate_all child_coeffs in
       evolve (elite @ children) (gen + 1)
     end
   in
-  let final = evolve (List.map evaluate init) 0 in
-  let all = Hashtbl.fold (fun _ c acc -> c :: acc) cache [] in
+  let final = evolve (evaluate_all init) 0 in
+  (* [Hashtbl.fold] order depends on parallel insertion order; sort by
+     profile key so [evaluated] is deterministic *)
+  let all =
+    Hashtbl.fold (fun _ c acc -> c :: acc) cache []
+    |> List.sort (fun a b -> compare (coeff_key a.coeffs) (coeff_key b.coeffs))
+  in
   let best =
     match List.sort (fun a b -> compare (score a) (score b)) final with
     | b :: _ -> b

@@ -26,12 +26,18 @@ val search :
   ?generations:int ->
   ?population:int ->
   ?min_key_bits:int ->
+  ?jobs:int ->
   Shell_netlist.Netlist.t ->
   outcome
 (** Defaults: 6 generations of 8 individuals, 256-bit key floor.
     Fitness = area overhead (power/delay follow area closely in this
     model); individuals violating the key floor are penalized, not
-    discarded, so the search can traverse them. *)
+    discarded, so the search can traverse them.
+
+    Each generation's population is evaluated on up to [jobs] domains
+    (default {!Shell_util.Pool.default_jobs}); all genetic-operator
+    randomness is drawn on the caller before a generation is submitted,
+    so [best] and [evaluated] are identical at every job count. *)
 
 val fitness : min_key_bits:int -> candidate -> float
 (** Lower is better. *)

@@ -20,55 +20,110 @@ let closeness g ~sources ~sinks =
 
 (* Brandes (2001), restricted: shortest-path counting from each source,
    dependency accumulation seeded only at sink nodes, so the score
-   counts occurrences on source->sink geodesics. *)
-let betweenness g ~sources ~sinks =
+   counts occurrences on source->sink geodesics.
+
+   Per-source scratch buffers, reused across the sources a single
+   domain processes. *)
+type brandes_scratch = {
+  sigma : float array;
+  dist : int array;
+  delta : float array;
+  preds_on_sp : int list array;
+}
+
+let make_scratch n =
+  {
+    sigma = Array.make n 0.0;
+    dist = Array.make n (-1);
+    delta = Array.make n 0.0;
+    preds_on_sp = Array.make n [];
+  }
+
+(* One Brandes pass from source [s]: adds each node's dependency into
+   [bc]. The additions into [bc] are the only writes outside the
+   scratch, so passes with private [bc] arrays are independent. *)
+let brandes_pass g ~is_sink sc bc s =
   let n = Digraph.n g in
-  let bc = Array.make n 0.0 in
+  let { sigma; dist; delta; preds_on_sp } = sc in
+  Array.fill sigma 0 n 0.0;
+  Array.fill dist 0 n (-1);
+  Array.fill delta 0 n 0.0;
+  Array.fill preds_on_sp 0 n [];
+  sigma.(s) <- 1.0;
+  dist.(s) <- 0;
+  let order = ref [] in
+  let queue = Queue.create () in
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    Array.iter
+      (fun v ->
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end;
+        if dist.(v) = dist.(u) + 1 then begin
+          sigma.(v) <- sigma.(v) +. sigma.(u);
+          preds_on_sp.(v) <- u :: preds_on_sp.(v)
+        end)
+      (Digraph.succs g u)
+  done;
+  (* accumulate in reverse BFS order *)
+  List.iter
+    (fun w ->
+      let seed = if is_sink.(w) && w <> s then 1.0 else 0.0 in
+      let d = seed +. delta.(w) in
+      List.iter
+        (fun v ->
+          if sigma.(w) > 0.0 then
+            delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w)) *. d)
+        preds_on_sp.(w);
+      if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+    !order
+
+let betweenness ?jobs g ~sources ~sinks =
+  let n = Digraph.n g in
   let is_sink = Array.make n false in
   List.iter (fun v -> is_sink.(v) <- true) sinks;
-  let sigma = Array.make n 0.0 in
-  let dist = Array.make n (-1) in
-  let delta = Array.make n 0.0 in
-  let preds_on_sp = Array.make n [] in
-  List.iter
-    (fun s ->
-      Array.fill sigma 0 n 0.0;
-      Array.fill dist 0 n (-1);
-      Array.fill delta 0 n 0.0;
-      Array.fill preds_on_sp 0 n [];
-      sigma.(s) <- 1.0;
-      dist.(s) <- 0;
-      let order = ref [] in
-      let queue = Queue.create () in
-      Queue.add s queue;
-      while not (Queue.is_empty queue) do
-        let u = Queue.pop queue in
-        order := u :: !order;
-        Array.iter
-          (fun v ->
-            if dist.(v) = -1 then begin
-              dist.(v) <- dist.(u) + 1;
-              Queue.add v queue
-            end;
-            if dist.(v) = dist.(u) + 1 then begin
-              sigma.(v) <- sigma.(v) +. sigma.(u);
-              preds_on_sp.(v) <- u :: preds_on_sp.(v)
-            end)
-          (Digraph.succs g u)
+  let srcs = Array.of_list sources in
+  let nsrc = Array.length srcs in
+  let jobs =
+    match jobs with Some j -> j | None -> Shell_util.Pool.default_jobs ()
+  in
+  let bc =
+    if jobs <= 1 || nsrc < 4 then begin
+      (* sequential: one scratch, one accumulator, sources in order *)
+      let bc = Array.make n 0.0 in
+      let sc = make_scratch n in
+      Array.iter (fun s -> brandes_pass g ~is_sink sc bc s) srcs;
+      bc
+    end
+    else begin
+      (* Parallel passes write per-source private accumulators, folded
+         elementwise on the caller in source order. Every bc.(w) then
+         receives exactly the sequential sequence of additions — float
+         addition is not associative, so chunk-level partial sums would
+         NOT reproduce the sequential result; per-source arrays do,
+         bit for bit. *)
+      let parts =
+        Shell_util.Pool.map ~jobs
+          (fun s ->
+            let bc = Array.make n 0.0 in
+            brandes_pass g ~is_sink (make_scratch n) bc s;
+            bc)
+          srcs
+      in
+      let bc = parts.(0) in
+      for k = 1 to nsrc - 1 do
+        let part = parts.(k) in
+        for w = 0 to n - 1 do
+          bc.(w) <- bc.(w) +. part.(w)
+        done
       done;
-      (* accumulate in reverse BFS order *)
-      List.iter
-        (fun w ->
-          let seed = if is_sink.(w) && w <> s then 1.0 else 0.0 in
-          let d = seed +. delta.(w) in
-          List.iter
-            (fun v ->
-              if sigma.(w) > 0.0 then
-                delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w)) *. d)
-            preds_on_sp.(w);
-          if w <> s then bc.(w) <- bc.(w) +. delta.(w))
-        !order)
-    sources;
+      bc
+    end
+  in
   rescale bc
 
 let eigenvector ?(iters = 50) ?(weight = fun _ -> 1.0) g =

@@ -17,10 +17,14 @@ val closeness : Digraph.t -> sources:int list -> sinks:int list -> float array
     paths. High value = near the I/O boundary (easily
     controlled/observed); the paper selects for LOW closeness. *)
 
-val betweenness : Digraph.t -> sources:int list -> sinks:int list -> float array
+val betweenness :
+  ?jobs:int -> Digraph.t -> sources:int list -> sinks:int list -> float array
 (** BtwC — node occurrence on shortest paths between controllable and
     observable nodes (Brandes' algorithm restricted to source/sink
-    pairs). *)
+    pairs). Per-source passes run on up to [jobs] domains (default
+    {!Shell_util.Pool.default_jobs}); per-source accumulators are
+    reduced in source order, so the result is bit-identical to the
+    sequential run at any job count. *)
 
 val eigenvector :
   ?iters:int -> ?weight:(int -> float) -> Digraph.t -> float array

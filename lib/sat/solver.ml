@@ -3,6 +3,7 @@
    [lxor 1]. Clause 0-and-1 slots hold the watched literals. *)
 
 module Vec = Shell_util.Vec
+module Rng = Shell_util.Rng
 
 type clause = { lits : int array; learnt : bool }
 
@@ -26,9 +27,13 @@ type t = {
   (* binary heap over vars ordered by activity *)
   heap : int Vec.t;
   mutable heap_pos : int array;  (* var -> index in heap or -1 *)
+  (* conflict-analysis scratch, reused across conflicts *)
+  mutable seen : bool array;
+  seen_touched : int Vec.t;
+  seed : int;  (* 0 = all-false initial phases; else per-var pseudorandom *)
 }
 
-let create () =
+let create ?(seed = 0) () =
   {
     nvars = 0;
     assigns = Array.make 1 (-1);
@@ -46,6 +51,9 @@ let create () =
     conflicts = 0;
     heap = Vec.create ();
     heap_pos = Array.make 1 (-1);
+    seen = Array.make 1 false;
+    seen_touched = Vec.create ();
+    seed;
   }
 
 let num_vars t = t.nvars
@@ -128,6 +136,7 @@ let new_var t =
   t.phase <- grow_array t.phase (v + 1) false;
   t.activity <- grow_array t.activity (v + 1) 0.0;
   t.heap_pos <- grow_array t.heap_pos (v + 1) (-1);
+  t.seen <- grow_array t.seen (v + 1) false;
   let nlits = 2 * (v + 1) in
   if Array.length t.watches < nlits then begin
     let w = Array.init (max nlits (2 * Array.length t.watches)) (fun _ -> Vec.create ()) in
@@ -136,6 +145,8 @@ let new_var t =
   end;
   t.assigns.(v) <- -1;
   t.heap_pos.(v) <- -1;
+  if t.seed <> 0 then
+    t.phase.(v) <- Rng.bool (Rng.create (t.seed lxor (v * 0x9E3779B9)));
   heap_insert t v;
   v
 
@@ -212,13 +223,22 @@ let propagate t =
     (* watches.(p): clauses watching the literal that just became
        false are registered under the *true* literal's slot; we store
        watch entries under [lit lxor 1] in [attach], so reading the list
-       at [p] yields clauses in which [p lxor 1] is watched. *)
-    let old = Vec.to_array ws in
-    Vec.clear ws;
-    let n = Array.length old in
-    let i = ref 0 in
+       at [p] yields clauses in which [p lxor 1] is watched.
+
+       The list is compacted in place with read/write cursors: entries
+       that keep their watch slide down past entries that moved to
+       another list, with no per-propagation array allocation. A new
+       watch is never this same list (the replacement literal is
+       non-false, [p lxor 1] is false), so pushes cannot disturb the
+       compaction. *)
+    let n = Vec.length ws in
+    let i = ref 0 and w = ref 0 in
+    let keep ci =
+      Vec.set ws !w ci;
+      incr w
+    in
     while !i < n do
-      let ci = old.(!i) in
+      let ci = Vec.get ws !i in
       incr i;
       let c = (Vec.get t.clauses ci).lits in
       (* ensure the false literal is in slot 1 *)
@@ -228,7 +248,7 @@ let propagate t =
       end;
       if lit_value t c.(0) = 1 then
         (* satisfied; keep watching the same literal *)
-        Vec.push ws ci
+        keep ci
       else begin
         (* look for a new watch *)
         let len = Array.length c in
@@ -244,20 +264,21 @@ let propagate t =
           incr j
         done;
         if not !found then begin
-          Vec.push ws ci;
+          keep ci;
           if lit_value t c.(0) = 0 then begin
-            (* conflict: copy the rest of the old watch list back *)
+            (* conflict: keep the unexamined rest of the watch list *)
             confl := ci;
             t.qhead <- Vec.length t.trail;
             while !i < n do
-              Vec.push ws old.(!i);
+              keep (Vec.get ws !i);
               incr i
             done
           end
           else enqueue t c.(0) ci
         end
       end
-    done
+    done;
+    Vec.truncate ws !w
   done;
   !confl
 
@@ -276,7 +297,10 @@ let var_decay t = t.var_inc <- t.var_inc /. 0.95
 (* First-UIP conflict analysis. Returns (learnt clause, backjump level);
    learnt.(0) is the asserting literal. *)
 let analyze t confl =
-  let seen = Array.make (t.nvars + 1) false in
+  (* [t.seen] is all-false between conflicts: every entry set here is
+     recorded in [t.seen_touched] and cleared before returning, so the
+     array is reused without an O(nvars) allocation or fill. *)
+  let seen = t.seen in
   let learnt = Vec.create () in
   Vec.push learnt 0;  (* slot for the asserting literal *)
   let counter = ref 0 in
@@ -292,6 +316,7 @@ let analyze t confl =
       let v = ivar q in
       if (not seen.(v)) && t.level.(v) > 0 then begin
         seen.(v) <- true;
+        Vec.push t.seen_touched v;
         var_bump t v;
         if t.level.(v) >= decision_level t then incr counter
         else Vec.push learnt q
@@ -310,6 +335,8 @@ let analyze t confl =
     if !counter = 0 then continue_loop := false
     else confl := t.reason.(ivar l)
   done;
+  Vec.iter (fun v -> seen.(v) <- false) t.seen_touched;
+  Vec.clear t.seen_touched;
   Vec.set learnt 0 (!p lxor 1);
   let lits = Vec.to_array learnt in
   (* backjump level = max level among lits.(1..) *)

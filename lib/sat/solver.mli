@@ -13,7 +13,11 @@ type t
 
 type result = Sat | Unsat | Unknown
 
-val create : unit -> t
+val create : ?seed:int -> unit -> t
+(** [seed] perturbs the initial saved phase of each variable (the
+    default 0 keeps MiniSat's all-false phases). Distinct seeds steer
+    the search down different branches of the same instance — the knob
+    the attack portfolio races over. *)
 
 val new_var : t -> int
 (** Allocate the next variable (1, 2, ...). *)

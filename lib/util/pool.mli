@@ -1,0 +1,72 @@
+(** Fixed-size domain pool for the evaluation engine.
+
+    The paper's evaluation grid — (benchmark x case) locking flows,
+    SAT-attack runs, per-source Brandes passes, GA generations — is
+    embarrassingly parallel. This pool runs such task batches on OCaml
+    5 domains under a {e deterministic contract}:
+
+    - results are collected into the output by input index, never by
+      completion order;
+    - reductions ([map_reduce]) run sequentially on the caller in input
+      order once all mapped values exist, so floating-point sums are
+      bit-identical to the sequential fold;
+    - stochastic tasks derive their randomness from {!task_rng}, which
+      seeds from the task index alone;
+    - if several tasks raise, the exception of the {e lowest} task
+      index is re-raised (the one a sequential run would have hit
+      first);
+    - [jobs = 1] bypasses the pool entirely and runs in the caller.
+
+    Consequently every parallel entry point in the code base produces
+    byte-identical output at any job count, and the paper tables stay
+    reproducible.
+
+    The pool is a process-wide singleton of long-lived worker domains
+    (created lazily, grown on demand, joined at exit). Tasks submitted
+    from inside a pool task run sequentially in the submitting domain —
+    nested parallelism degrades gracefully instead of deadlocking. *)
+
+val default_jobs : unit -> int
+(** Job count used when [?jobs] is omitted: the [SHELL_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; clamped to [1, 64]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default at runtime (the bench harness uses this to
+    time the same workload at several job counts in one process). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f arr] is [Array.map f arr], evaluated on up to [jobs]
+    domains. [f] must not depend on evaluation order. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List counterpart of [map] (input order preserved). *)
+
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** Parallel map, then a sequential left fold over the mapped values in
+    input order — the reduction order is fixed, so non-associative
+    reductions (floats!) match the sequential run exactly. *)
+
+val iter_chunks : ?jobs:int -> ?chunk:int -> (int -> int -> unit) -> int -> unit
+(** [iter_chunks f n] partitions [0, n) into contiguous chunks and
+    calls [f lo hi] (half-open) for each, in parallel. [chunk] defaults
+    to [max 1 (n / (4 * jobs))]. The [f] calls must write to disjoint
+    state (e.g. distinct array slices). *)
+
+val task_rng : seed:int -> int -> Rng.t
+(** [task_rng ~seed i] is the RNG for task [i] of a batch: a splitmix
+    stream derived from [(seed, i)] only, independent of job count and
+    scheduling. *)
+
+val inside_task : unit -> bool
+(** True while executing on a pool worker (or inside the caller's share
+    of a batch); parallel entry points use this to fall back to their
+    sequential path. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "shell"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("netlist", Test_netlist.suite);
       ("graph", Test_graph.suite);
       ("sat", Test_sat.suite);

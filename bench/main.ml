@@ -712,7 +712,7 @@ let micro out =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* json: machine-readable perf trajectory (BENCH_1.json)               *)
+(* json: machine-readable perf trajectory (BENCH_2.json)               *)
 (* ------------------------------------------------------------------ *)
 
 let time_wall f =
@@ -742,7 +742,7 @@ let spin_task i =
 
 let json () =
   let jn = Pool.default_jobs () in
-  printf "writing BENCH_1.json (jobs=%d)...\n%!" jn;
+  printf "writing BENCH_2.json (jobs=%d)...\n%!" jn;
   (* table4-fast: the acceptance workload — timed at jobs=1 and jobs=N,
      outputs compared byte for byte *)
   let s1, t4_j1 =
@@ -785,10 +785,26 @@ let json () =
     let scratch = Buffer.create 4096 in
     micro scratch
   in
-  let oc = open_out "BENCH_1.json" in
+  (* per-pass trace + pass-level cache reuse on the FIR SheLL flow:
+     cold (empty cache), warm (all upstream passes reused), and a
+     cache-bypassing run whose summary must match byte for byte *)
+  let fir =
+    (List.find (fun e -> e.Circ.Catalog.name = "FIR") Circ.Catalog.all)
+      .Circ.Catalog.netlist ()
+  in
+  let fir_cfg = C.Flow.shell_config () in
+  C.Pipeline.clear_cache ();
+  let o_cold, cold_s = time_wall (fun () -> C.Flow.run_staged fir_cfg fir) in
+  let cold_hits, cold_misses = C.Pipeline.cache_stats () in
+  let o_warm, warm_s = time_wall (fun () -> C.Flow.run_staged fir_cfg fir) in
+  let all_hits, all_misses = C.Pipeline.cache_stats () in
+  let o_nocache = C.Flow.run_staged ~use_cache:false fir_cfg fir in
+  let summary o = Format.asprintf "%a" C.Flow.pp_summary (C.Flow.of_outcome o) in
+  let cache_identical = String.equal (summary o_warm) (summary o_nocache) in
+  let oc = open_out "BENCH_2.json" in
   let out = Buffer.create 4096 in
   bpf out "{\n";
-  bpf out "  \"pr\": 1,\n";
+  bpf out "  \"pr\": 2,\n";
   bpf out "  \"jobs\": %d,\n" jn;
   bpf out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   bpf out
@@ -811,7 +827,14 @@ let json () =
       bpf out "    \"%s\": %.0f%s\n" (json_escape name) est
         (if i = List.length micro_results - 1 then "" else ","))
     micro_results;
-  bpf out "  }\n";
+  bpf out "  },\n";
+  bpf out
+    "  \"pass_cache\": { \"cold_s\": %.4f, \"warm_s\": %.4f, \"cold_hits\": \
+     %d, \"cold_misses\": %d, \"warm_hits\": %d, \"warm_misses\": %d, \
+     \"identical_summary\": %b },\n"
+    cold_s warm_s cold_hits cold_misses (all_hits - cold_hits)
+    (all_misses - cold_misses) cache_identical;
+  bpf out "  \"trace\": %s\n" (Shell_util.Trace.to_json o_cold.C.Pipeline.trace);
   bpf out "}\n";
   output_string oc (Buffer.contents out);
   close_out oc;
@@ -822,7 +845,7 @@ let json () =
   printf "  pool synthetic: speedup %.2fx over %d tasks\n"
     (spin_j1 /. Float.max 1e-9 spin_jn)
     (Array.length spin_input);
-  printf "done: BENCH_1.json\n"
+  printf "done: BENCH_2.json\n"
 
 (* ------------------------------------------------------------------ *)
 

@@ -16,7 +16,19 @@ module L = Shell_locking
 module A = Shell_attacks
 module C = Shell_core
 module Circ = Shell_circuits
+module Diag = Shell_util.Diag
 open Cmdliner
+
+(* The single fatal-exit path: every error — bad argument, parse
+   failure, aborted pipeline pass — is rendered as a structured
+   diagnostic ("pass: context: message [payload]") before exit 1. *)
+let die (d : Diag.t) : 'a =
+  prerr_endline (Diag.to_string d);
+  exit 1
+
+let dief fmt = Format.kasprintf (fun m -> die (Diag.make m)) fmt
+
+let run_flow cfg nl = try C.Flow.run cfg nl with Diag.Error d -> die d
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -101,7 +113,7 @@ let list_cmd =
 let analyze_cmd =
   let run bench =
     match netlist_of_bench bench with
-    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Error (`Msg m) -> dief "%s" m
     | Ok nl ->
         let t = C.Connectivity.analyze nl in
         Printf.printf "%d cells, %d blocks\n\n" (N.Netlist.num_cells nl)
@@ -131,17 +143,16 @@ let analyze_cmd =
 
 (* ---------------- lock ---------------- *)
 
-let lock_run bench style route lgc seed out bitstream_out =
+let lock_run bench style route lgc seed trace out bitstream_out =
+  if trace then Shell_util.Trace.set_enabled true;
   match netlist_of_bench bench with
-  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Error (`Msg m) -> dief "%s" m
   | Ok nl ->
       let route, lgc, label =
         if route = [] && lgc = [] then
           match default_tfr bench with
           | Some t -> t
-          | None ->
-              prerr_endline "no default TfR for this design: pass --route/--lgc";
-              exit 1
+          | None -> dief "no default TfR for this design: pass --route/--lgc"
         else (route, lgc, String.concat "+" (route @ lgc))
       in
       let cfg =
@@ -152,7 +163,7 @@ let lock_run bench style route lgc seed out bitstream_out =
           seed;
         }
       in
-      let r = C.Flow.run cfg nl in
+      let r = run_flow cfg nl in
       Format.printf "%a@." C.Flow.pp_summary r;
       Printf.printf "verify: %s\n" (if C.Flow.verify r then "PASS" else "FAIL");
       (match out with
@@ -172,6 +183,13 @@ let lock_run bench style route lgc seed out bitstream_out =
           close_out oc;
           Printf.printf "bitstream written to %s\n" path)
 
+let trace_arg =
+  let doc =
+    "Print per-pass wall time and counters to stderr (same as setting \
+     SHELL_TRACE=1)."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let lock_cmd =
   let out_arg =
     Arg.(
@@ -189,11 +207,12 @@ let lock_cmd =
     (Cmd.info "lock" ~doc:"Redact a benchmark with the SheLL flow.")
     Term.(
       const lock_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
-      $ out_arg $ bs_arg)
+      $ trace_arg $ out_arg $ bs_arg)
 
 (* ---------------- lock-file ---------------- *)
 
-let lock_file_run input style route lgc seed out bitstream_out =
+let lock_file_run input style route lgc seed trace out bitstream_out =
+  if trace then Shell_util.Trace.set_enabled true;
   let src =
     try
       let ic = open_in input in
@@ -201,19 +220,14 @@ let lock_file_run input style route lgc seed out bitstream_out =
       let s = really_input_string ic n in
       close_in ic;
       s
-    with Sys_error m -> prerr_endline m; exit 1
+    with Sys_error m -> dief "%s" m
   in
   let nl =
     match N.Verilog.parse src with
     | nl -> nl
-    | exception N.Verilog.Parse_error m ->
-        prerr_endline ("parse error: " ^ m);
-        exit 1
+    | exception N.Verilog.Parse_error m -> dief "parse error: %s" m
   in
-  if route = [] && lgc = [] then begin
-    prerr_endline "pass --route/--lgc origin patterns";
-    exit 1
-  end;
+  if route = [] && lgc = [] then dief "pass --route/--lgc origin patterns";
   Printf.printf "parsed %s: %d cells
 " (N.Netlist.name nl)
     (N.Netlist.num_cells nl);
@@ -229,7 +243,7 @@ let lock_file_run input style route lgc seed out bitstream_out =
       seed;
     }
   in
-  let r = C.Flow.run cfg nl in
+  let r = run_flow cfg nl in
   Format.printf "%a@." C.Flow.pp_summary r;
   Printf.printf "verify: %s
 " (if C.Flow.verify r then "PASS" else "FAIL");
@@ -272,13 +286,13 @@ let lock_file_cmd =
        ~doc:"Redact an external structural netlist with the SheLL flow.")
     Term.(
       const lock_file_run $ input $ style_arg $ route_arg $ lgc_arg $ seed_arg
-      $ out_arg $ bs_arg)
+      $ trace_arg $ out_arg $ bs_arg)
 
 (* ---------------- attack ---------------- *)
 
 let attack_run bench style route lgc seed dips conflicts seconds =
   match netlist_of_bench bench with
-  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Error (`Msg m) -> dief "%s" m
   | Ok nl ->
       let route, lgc, label =
         if route = [] && lgc = [] then
@@ -287,10 +301,7 @@ let attack_run bench style route lgc seed dips conflicts seconds =
           | None -> ([], [], "")
         else (route, lgc, String.concat "+" (route @ lgc))
       in
-      if route = [] && lgc = [] then begin
-        prerr_endline "pass --route/--lgc";
-        exit 1
-      end;
+      if route = [] && lgc = [] then dief "pass --route/--lgc";
       let cfg =
         {
           (C.Flow.shell_config ~target:(C.Flow.Fixed { route; lgc; label }) ())
@@ -299,7 +310,7 @@ let attack_run bench style route lgc seed dips conflicts seconds =
           seed;
         }
       in
-      let r = C.Flow.run cfg nl in
+      let r = run_flow cfg nl in
       let lk = C.Flow.locked_sub r in
       Printf.printf "attacking %s (%s), key %d bits, budget %d DIPs / %d conflicts / %.0fs\n"
         bench label (L.Locked.key_bits lk) dips conflicts seconds;

@@ -20,7 +20,7 @@ let oracle_of_netlist original =
 (* Per-attack wall clock: [Sys.time] is process-wide CPU time, which
    inflates with every concurrently attacking domain and would shrink
    the effective budget of parallel runs. *)
-let now () = Unix.gettimeofday ()
+let now = Shell_util.Clock.now
 
 let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
     ?cycle_blocks ?(solver_seed = 0) ?(should_stop = fun () -> false) ~oracle

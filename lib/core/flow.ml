@@ -6,14 +6,14 @@ module Emit = Shell_fabric.Emit
 module Bitstream = Shell_fabric.Bitstream
 module Pnr = Shell_pnr.Pnr
 module Locked = Shell_locking.Locked
+module Diag = Shell_util.Diag
 
-type target =
+type target = Pipeline.target =
   | Fixed of { route : string list; lgc : string list; label : string }
   | Auto of { coeffs : Score.coeffs; lgc_depth : int }
   | Route_with_lgc_depth of { route : string list; depth : int }
-      (** Table VII methodology: fixed ROUTE, best LGC at a distance *)
 
-type config = {
+type config = Pipeline.config = {
   style : Style.t;
   target : target;
   shrink : bool;
@@ -21,17 +21,7 @@ type config = {
   max_luts : float;
 }
 
-let shell_config ?target () =
-  {
-    style = Style.Fabulous_muxchain;
-    target =
-      (match target with
-      | Some t -> t
-      | None -> Auto { coeffs = Score.shell_choice; lgc_depth = 0 });
-    shrink = true;
-    seed = 0x51e11;
-    max_luts = 96.0;
-  }
+let shell_config = Pipeline.shell_config
 
 type result = {
   config : config;
@@ -47,137 +37,31 @@ type result = {
   locked_full : Shell_netlist.Netlist.t;
 }
 
-let run config original =
-  (* steps 1-2: connectivity analysis *)
-  let analysis = Connectivity.analyze original in
-  (* step 3: selection *)
-  let choice =
-    match config.target with
-    | Fixed { route; lgc; label } ->
-        Selection.fixed analysis ~label ~route ~lgc ()
-    | Auto { coeffs; lgc_depth } ->
-        Selection.auto analysis ~coeffs ~lgc_depth ~max_luts:config.max_luts ()
-    | Route_with_lgc_depth { route; depth } ->
-        Selection.with_lgc_depth analysis ~route ~depth
-  in
-  (* step 4: extraction (decoupling is by origin inside the sub) *)
-  let member_cell = Selection.member analysis choice in
-  let cut = Extraction.extract original ~member:member_cell in
-  (* step 5: dual synthesis *)
-  let route_origins = Selection.route_origins analysis choice in
-  let mapped = Synthesize.run ~style:config.style ~route_origins cut.Extraction.sub in
-  (* steps 6-7: fabric sizing + fit loop *)
-  let pnr =
-    Pnr.fit_loop ~seed:config.seed ~style:config.style mapped.Synthesize.netlist
-  in
-  (* functional emission (the locked sub-circuit + bitstream) *)
-  let emitted = Emit.emit ~style:config.style ~seed:config.seed mapped.Synthesize.netlist in
-  (* acyclic twin for timing *)
-  let timing =
-    if (Style.params config.style).Style.cyclic_routing then
-      (Emit.emit ~style:config.style ~seed:config.seed ~force_acyclic:true
-         mapped.Synthesize.netlist)
-        .Emit.locked
-    else emitted.Emit.locked
-  in
-  (* Table VII mechanism: ROUTE <-> LGC traffic that has to leave the
-     fabric, traverse the excluded middle logic and come back. Only
-     cross-family paths count: a directly-connected (depth-0) pick
-     keeps this traffic internal and pays nothing. *)
-  let feedthroughs =
-    let module Cell = Shell_netlist.Cell in
-    let member = Hashtbl.create 64 in
-    List.iter (fun ci -> Hashtbl.replace member ci ()) cut.Extraction.cells;
-    let origin_matches pats (c : Cell.t) =
-      List.exists
-        (fun pat ->
-          let s = c.Cell.origin and m = String.length pat in
-          let n = String.length s in
-          let rec go i = i + m <= n && (String.sub s i m = pat || go (i + 1)) in
-          m > 0 && go 0)
-        pats
-    in
-    let family ci =
-      if origin_matches route_origins (Netlist.cell original ci) then `Route
-      else `Lgc
-    in
-    (* family of each boundary-output driver / boundary-input reader *)
-    let in_family = Hashtbl.create 32 in
-    List.iter
-      (fun (_, net) ->
-        List.iter
-          (fun ci ->
-            if Hashtbl.mem member ci then
-              Hashtbl.replace in_family net (family ci))
-          (Netlist.fanout original net))
-      cut.Extraction.input_binding;
-    let count = ref 0 in
-    List.iter
-      (fun (_, start) ->
-        match Netlist.driver original start with
-        | None -> ()
-        | Some drv when not (Hashtbl.mem member drv) -> ()
-        | Some drv ->
-            let out_fam = family drv in
-            let seen = Hashtbl.create 64 in
-            let hit = ref false in
-            let rec go net depth =
-              if depth >= 0 && not !hit then begin
-                (match Hashtbl.find_opt in_family net with
-                | Some fam when fam <> out_fam && net <> start -> hit := true
-                | Some _ | None -> ());
-                if not !hit then
-                  List.iter
-                    (fun ci ->
-                      if
-                        (not (Hashtbl.mem member ci))
-                        && not (Hashtbl.mem seen ci)
-                      then begin
-                        Hashtbl.replace seen ci ();
-                        let c = Netlist.cell original ci in
-                        if not (Cell.is_sequential c.Cell.kind) then
-                          go c.Cell.out (depth - 1)
-                      end)
-                    (Netlist.fanout original net)
-              end
-            in
-            go start 6;
-            if !hit then incr count)
-      cut.Extraction.output_binding;
-    !count
-  in
-  (* step 8: shrinking (or full-capacity accounting for the baselines) *)
-  let resources =
-    let base =
-      if config.shrink then Fabric.shrink pnr.Pnr.fabric ~used:emitted.Emit.used
-      else Fabric.capacity pnr.Pnr.fabric
-    in
-    {
-      base with
-      Shell_fabric.Resources.feedthrough_tracks = feedthroughs;
-      io_pins = base.Shell_fabric.Resources.io_pins + (2 * feedthroughs);
-    }
-  in
-  let overhead =
-    Overhead.compute ~original ~sub:cut.Extraction.sub ~resources
-      ~style:config.style ~timing_sub:timing ~feedthroughs ()
-  in
-  let locked_full =
-    Extraction.reassemble original cut ~replacement:emitted.Emit.locked
+let of_outcome (o : Pipeline.outcome) =
+  (match o.Pipeline.failed with Some d -> raise (Diag.Error d) | None -> ());
+  let a = o.Pipeline.artifacts in
+  let the field = function
+    | Some x -> x
+    | None -> Diag.failf "Flow.run: pipeline left no %s artifact" field
   in
   {
-    config;
-    original;
-    analysis;
-    choice;
-    cut;
-    mapped;
-    pnr;
-    emitted;
-    resources;
-    overhead;
-    locked_full;
+    config = a.Pipeline.config;
+    original = a.Pipeline.original;
+    analysis = the "analysis" a.Pipeline.analysis;
+    choice = the "choice" a.Pipeline.choice;
+    cut = the "cut" a.Pipeline.cut;
+    mapped = the "mapped" a.Pipeline.mapped;
+    pnr = the "pnr" a.Pipeline.pnr;
+    emitted = the "emitted" a.Pipeline.emitted;
+    resources = the "resources" a.Pipeline.resources;
+    overhead = the "overhead" a.Pipeline.overhead;
+    locked_full = the "locked_full" a.Pipeline.locked_full;
   }
+
+let run_staged ?use_cache ?strict_fit ?fabric config original =
+  Pipeline.execute ?use_cache ?strict_fit ?fabric config original
+
+let run config original = of_outcome (Pipeline.execute config original)
 
 let locked_sub r =
   {

@@ -7,7 +7,7 @@
     fabric sizing / place-and-route fit loop, (8) post-bitstream
     shrinking, plus the splice that rebuilds the full locked design. *)
 
-type target =
+type target = Pipeline.target =
   | Fixed of { route : string list; lgc : string list; label : string }
       (** origin-substring selection (the TfR columns) *)
   | Auto of { coeffs : Score.coeffs; lgc_depth : int }
@@ -16,7 +16,7 @@ type target =
       (** Table VII methodology: fixed ROUTE selection, best LGC
           companion at exactly [depth] block hops *)
 
-type config = {
+type config = Pipeline.config = {
   style : Shell_fabric.Style.t;
   target : target;
   shrink : bool;  (** step 8 on/off *)
@@ -43,6 +43,23 @@ type result = {
 }
 
 val run : config -> Shell_netlist.Netlist.t -> result
+(** The composed {!Pipeline}: executes the eight passes and packs the
+    staged artifacts into a [result]. Raises {!Shell_util.Diag.Error}
+    (naming the failing pass) if any pass aborts. *)
+
+val run_staged :
+  ?use_cache:bool ->
+  ?strict_fit:bool ->
+  ?fabric:Shell_fabric.Fabric.t ->
+  config ->
+  Shell_netlist.Netlist.t ->
+  Pipeline.outcome
+(** {!Pipeline.execute}: never raises on pass failure, returns the
+    per-pass trace and whatever artifacts were produced. *)
+
+val of_outcome : Pipeline.outcome -> result
+(** Pack a completed outcome into a [result]; raises
+    {!Shell_util.Diag.Error} if the outcome failed. *)
 
 val locked_sub : result -> Shell_locking.Locked.t
 (** The attack surface: the redacted block as a locked netlist whose

@@ -1,0 +1,91 @@
+(** The SheLL flow as a staged pass pipeline.
+
+    The eight steps of Fig. 4 — connectivity, selection, extraction,
+    synthesis, PnR, emission, shrinking, overhead — are named passes,
+    each consuming and producing fields of a staged {!artifacts}
+    record. {!execute} runs them in order, recording a
+    {!Shell_util.Trace.span} per pass (wall time, cache hit, counters)
+    and stopping at the first pass that raises
+    {!Shell_util.Diag.Error}: the outcome then carries the diagnostic
+    (stamped with the failing pass) alongside every artifact produced
+    before it.
+
+    Pass outputs are memoized in a process-wide cache keyed by a
+    fingerprint of each pass's inputs, so re-running a flow that only
+    changed a downstream input (a different selection on the same
+    netlist, a different seed on the same mapping) reuses the upstream
+    results. Passes are pure functions of their fingerprinted inputs,
+    which keeps cached and uncached executions byte-identical — the
+    property [Explore.search] and the Table VI sweep rely on. Disable
+    with [SHELL_PASS_CACHE=0] (or [~use_cache:false]). *)
+
+type target =
+  | Fixed of { route : string list; lgc : string list; label : string }
+      (** origin-substring selection (the TfR columns) *)
+  | Auto of { coeffs : Score.coeffs; lgc_depth : int }
+      (** scored selection; [lgc_depth] 0 is the SheLL constraint *)
+  | Route_with_lgc_depth of { route : string list; depth : int }
+      (** Table VII methodology: fixed ROUTE, best LGC at a distance *)
+
+type config = {
+  style : Shell_fabric.Style.t;
+  target : target;
+  shrink : bool;  (** step 8 on/off *)
+  seed : int;
+  max_luts : float;  (** budget for [Auto] selection *)
+}
+
+val shell_config : ?target:target -> unit -> config
+(** SheLL defaults: FABulous + MUX chains, auto (c5) selection at
+    depth 0, shrinking on. *)
+
+type artifacts = {
+  config : config;
+  original : Shell_netlist.Netlist.t;
+  fingerprint : string;  (** structural fingerprint of [original] *)
+  analysis : Connectivity.t option;
+  choice : Selection.choice option;
+  cut : Extraction.cut option;
+  mapped : Synthesize.mapped option;
+  pnr : Shell_pnr.Pnr.result option;
+  emitted : Shell_fabric.Emit.t option;
+  timing : Shell_netlist.Netlist.t option;
+      (** topologically-orderable twin of the emission *)
+  feedthroughs : int option;
+  resources : Shell_fabric.Resources.t option;
+  overhead : Overhead.t option;
+  locked_full : Shell_netlist.Netlist.t option;
+}
+(** Staged record: a pass fills its fields and leaves the rest. After
+    an aborted execution the fields of every completed pass are still
+    set. *)
+
+type outcome = {
+  artifacts : artifacts;
+  trace : Shell_util.Trace.span list;  (** one span per completed pass *)
+  failed : Shell_util.Diag.t option;  (** [Some] when a pass aborted *)
+}
+
+val pass_names : string list
+(** The eight pass names, in execution order. *)
+
+val execute :
+  ?use_cache:bool ->
+  ?strict_fit:bool ->
+  ?fabric:Shell_fabric.Fabric.t ->
+  config ->
+  Shell_netlist.Netlist.t ->
+  outcome
+(** Run the pipeline. Never raises on pass failure — the diagnostic
+    lands in [failed]. [~strict_fit] turns a PnR fit-check failure
+    into an abort (diagnostic carries the typed
+    {!Shell_fabric.Fabric.Shortage}); the default preserves the
+    legacy behavior of reporting the shortage in
+    [result.fit]. [~fabric] pins the fabric (skipping the sizing/grow
+    loop) — used with [~strict_fit] to force a fit failure. When
+    [SHELL_TRACE] is on, spans are printed to stderr. *)
+
+val cache_stats : unit -> int * int
+(** (hits, misses) since the last {!clear_cache}. *)
+
+val clear_cache : unit -> unit

@@ -26,7 +26,8 @@ let fixed t ?label ~route ~lgc () =
     List.concat_map
       (fun pat ->
         match Connectivity.blocks_matching t pat with
-        | [] -> invalid_arg ("Selection.fixed: no block matches " ^ pat)
+        | [] ->
+            Shell_util.Diag.failf "Selection.fixed: no block matches %s" pat
         | l -> l)
       pats
   in

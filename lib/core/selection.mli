@@ -21,7 +21,7 @@ type choice = {
 val fixed :
   Connectivity.t -> ?label:string -> route:string list -> lgc:string list ->
   unit -> choice
-(** Select blocks by origin-substring; raises [Invalid_argument]
+(** Select blocks by origin-substring; raises {!Shell_util.Diag.Error}
     (naming the pattern) if a pattern matches nothing. *)
 
 val auto :

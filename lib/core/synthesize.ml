@@ -11,6 +11,7 @@ type mapped = {
   lut_levels : int;
   chain_mux4 : int;
   chain_mux2 : int;
+  chain_stages : int;
   ffs : int;
 }
 
@@ -28,18 +29,21 @@ let count nl p = Netlist.count_kind nl p
 let run ~style ~route_origins sub =
   let p = Style.params style in
   let simplified = Opt.simplify sub in
-  let mapped_nl, lut_stats =
+  let mapped_nl, lut_stats, chain_stages =
     if p.Style.supports_chain && route_origins <> [] then begin
       let is_route = origin_matches route_origins in
-      let packed, _chain_stats =
+      let packed, chain_stats =
         Mux_chain.map ~should_pack:is_route simplified
       in
       (* keep chain cells out of the LUT covering: Mux4 is structural
          (arity 6 > 4); route-origin Mux2 via the boundary predicate *)
       let boundary c = c.Cell.kind = Cell.Mux2 && is_route c in
-      Lut_map.map ~k:p.Style.lut_k ~boundary packed
+      let nl, stats = Lut_map.map ~k:p.Style.lut_k ~boundary packed in
+      (nl, stats, chain_stats.Mux_chain.chain_length)
     end
-    else Lut_map.map ~k:p.Style.lut_k simplified
+    else
+      let nl, stats = Lut_map.map ~k:p.Style.lut_k simplified in
+      (nl, stats, 0)
   in
   {
     netlist = mapped_nl;
@@ -47,5 +51,6 @@ let run ~style ~route_origins sub =
     lut_levels = lut_stats.Lut_map.levels;
     chain_mux4 = count mapped_nl (function Cell.Mux4 -> true | _ -> false);
     chain_mux2 = count mapped_nl (function Cell.Mux2 -> true | _ -> false);
+    chain_stages;
     ffs = count mapped_nl (function Cell.Dff -> true | _ -> false);
   }

@@ -11,6 +11,7 @@ type mapped = {
   lut_levels : int;
   chain_mux4 : int;
   chain_mux2 : int;
+  chain_stages : int;  (** longest packed MUX-chain, in cells (0 when unpacked) *)
   ffs : int;
 }
 

@@ -34,7 +34,8 @@ let to_hex t =
 
 let hamming a b =
   if Array.length a <> Array.length b then
-    invalid_arg "Bitstream.hamming: length mismatch";
+    Shell_util.Diag.failf "Bitstream.hamming: length mismatch (%d vs %d)"
+      (Array.length a) (Array.length b);
   let d = ref 0 in
   Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
   !d

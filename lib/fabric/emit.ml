@@ -2,6 +2,7 @@ module Netlist = Shell_netlist.Netlist
 module Cell = Shell_netlist.Cell
 module Rng = Shell_util.Rng
 module Truthtab = Shell_util.Truthtab
+module Diag = Shell_util.Diag
 
 type t = {
   locked : Shell_netlist.Netlist.t;
@@ -267,7 +268,8 @@ let emit ~style ?(seed = 0xfab) ?(force_acyclic = false) src =
           connect_out out ctx.net_map.(c.Cell.out) ~origin
       | Cell.Mux2 ->
           if not p.Style.supports_chain then
-            invalid_arg "Emit: chain cell on a chain-less style";
+            Diag.failf "Emit: chain cell (Mux2) on chain-less style %s"
+              (Style.name style);
           incr used_chain;
           ctx.chain_mux2 <- ctx.chain_mux2 + 1;
           let lbl = label_of "ch" in
@@ -286,7 +288,8 @@ let emit ~style ?(seed = 0xfab) ?(force_acyclic = false) src =
           connect_out out ctx.net_map.(c.Cell.out) ~origin
       | Cell.Mux4 ->
           if not p.Style.supports_chain then
-            invalid_arg "Emit: chain cell on a chain-less style";
+            Diag.failf "Emit: chain cell (Mux4) on chain-less style %s"
+              (Style.name style);
           incr used_chain;
           ctx.chain_mux4 <- ctx.chain_mux4 + 1;
           let lbl = label_of "ch" in
@@ -316,9 +319,8 @@ let emit ~style ?(seed = 0xfab) ?(force_acyclic = false) src =
             (Cell.make ~origin (Cell.Const b) [||] ctx.net_map.(c.Cell.out))
       | Cell.And | Cell.Or | Cell.Nand | Cell.Nor | Cell.Xor | Cell.Xnor
       | Cell.Not | Cell.Buf | Cell.Config_latch ->
-          invalid_arg
-            ("Emit: cell kind not hostable on fabric: "
-           ^ Cell.kind_name c.Cell.kind))
+          Diag.failf "Emit: cell kind not hostable on fabric: %s"
+            (Cell.kind_name c.Cell.kind))
     cells;
   (* primary outputs exit through keyed connection boxes too *)
   List.iteri

@@ -40,8 +40,8 @@ val emit :
   ?force_acyclic:bool ->
   Shell_netlist.Netlist.t ->
   t
-(** Raises [Invalid_argument] on cells the fabric cannot host (plain
-    gates — technology-map first) or on chain cells for a style without
-    chain support. [force_acyclic] draws decoys level-monotonically
+(** Raises {!Shell_util.Diag.Error} on cells the fabric cannot host
+    (plain gates — technology-map first) or on chain cells for a style
+    without chain support. [force_acyclic] draws decoys level-monotonically
     even for cyclic styles — used to build a topologically-orderable
     twin of a cyclic emission for timing analysis. *)

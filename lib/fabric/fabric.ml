@@ -1,6 +1,25 @@
+module Diag = Shell_util.Diag
+
 type t = { style : Style.t; cols : int; rows : int; chain_slots : int }
 
 type shortage = Luts_short | Ffs_short | Chain_short | Routing_short
+
+let shortage_name = function
+  | Luts_short -> "LUTs"
+  | Ffs_short -> "FFs"
+  | Chain_short -> "chain slots"
+  | Routing_short -> "routing"
+
+type Diag.payload +=
+  | Shortage of { shortage : shortage; demand : int; capacity : int }
+
+let () =
+  Diag.register_printer (function
+    | Shortage { shortage; demand; capacity } ->
+        Some
+          (Printf.sprintf "fit-check shortage: %s (demand %d > capacity %d)"
+             (shortage_name shortage) demand capacity)
+    | _ -> None)
 
 let chain_slots_per_tile = 16
 
@@ -13,7 +32,8 @@ let sel_bits n =
 let size_for style ~luts ~user_ffs ~chain_muxes =
   let p = Style.params style in
   if chain_muxes > 0 && not p.Style.supports_chain then
-    invalid_arg "Fabric.size_for: style has no MUX chains";
+    Diag.failf ~payload:(Shortage { shortage = Chain_short; demand = chain_muxes; capacity = 0 })
+      "Fabric.size_for: style %s has no MUX chains" (Style.name style);
   (* each BLE provides one LUT and one user flop *)
   let bles_needed = max luts user_ffs in
   let tiles = max 1 ((bles_needed + p.Style.clb_luts - 1) / p.Style.clb_luts) in

@@ -17,11 +17,20 @@ type t = {
 
 type shortage = Luts_short | Ffs_short | Chain_short | Routing_short
 
+val shortage_name : shortage -> string
+
+type Shell_util.Diag.payload +=
+  | Shortage of { shortage : shortage; demand : int; capacity : int }
+      (** The typed fit-check payload: which resource ran short and by
+          how much. Attached to diagnostics raised by {!size_for} and
+          by the pipeline's strict PnR pass. *)
+
 val size_for : Style.t -> luts:int -> user_ffs:int -> chain_muxes:int -> t
 (** Smallest fabric of the style fitting the given demand. OpenFPGA
     fabrics are square (the Fig. 2 inefficiency); FABulous fabrics use
     the smallest rectangle. Chain demand on a style without chain
-    support raises [Invalid_argument]. *)
+    support raises {!Shell_util.Diag.Error} with a [Shortage]
+    payload. *)
 
 val grow : t -> shortage -> t
 (** Expand the named resource by one step (a row/column of tiles, or a

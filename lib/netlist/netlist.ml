@@ -1,5 +1,6 @@
 module Vec = Shell_util.Vec
 module Truthtab = Shell_util.Truthtab
+module Diag = Shell_util.Diag
 
 type t = {
   name : string;
@@ -36,6 +37,29 @@ let new_net t =
   t.n_nets <- id + 1;
   id
 
+type invalid =
+  | Bad_net_id of { port : string; net : int }
+  | Duplicate_port of { port : string }
+  | Multiple_drivers of { net : int; drivers : int }
+  | Undriven_output of { port : string; net : int }
+  | Undriven_read of { net : int }
+
+type Diag.payload += Invalid of invalid
+
+let () =
+  Diag.register_printer (function
+    | Invalid (Bad_net_id { port; net }) ->
+        Some (Printf.sprintf "bad-net-id port=%s net=%d" port net)
+    | Invalid (Duplicate_port { port }) ->
+        Some (Printf.sprintf "duplicate-port %s" port)
+    | Invalid (Multiple_drivers { net; drivers }) ->
+        Some (Printf.sprintf "multiple-drivers net=%d drivers=%d" net drivers)
+    | Invalid (Undriven_output { port; net }) ->
+        Some (Printf.sprintf "undriven-output port=%s net=%d" port net)
+    | Invalid (Undriven_read { net }) ->
+        Some (Printf.sprintf "undriven-read net=%d" net)
+    | _ -> None)
+
 let add_input t nm =
   let net = new_net t in
   t.inputs <- (nm, net) :: t.inputs;
@@ -47,7 +71,11 @@ let add_key t nm =
   net
 
 let add_output t nm net =
-  if net < 0 || net >= t.n_nets then invalid_arg "Netlist.add_output: bad net";
+  if net < 0 || net >= t.n_nets then
+    Diag.failf
+      ~payload:(Invalid (Bad_net_id { port = nm; net }))
+      "Netlist.add_output: port %s names net %d outside [0, %d)" nm net
+      t.n_nets;
   t.outputs <- (nm, net) :: t.outputs
 
 let add_cell t c =
@@ -133,25 +161,115 @@ let copy t =
   }
 
 let validate t =
-  let drivers = Array.make (max t.n_nets 1) 0 in
-  let mark net = drivers.(net) <- drivers.(net) + 1 in
-  List.iter (fun (_, n) -> mark n) t.inputs;
-  List.iter (fun (_, n) -> mark n) t.keys;
-  Vec.iter (fun c -> mark c.Cell.out) t.cells;
   let err = ref None in
-  for net = 0 to t.n_nets - 1 do
-    if !err = None && drivers.(net) > 1 then
-      err := Some (Printf.sprintf "net n%d has %d drivers" net drivers.(net))
-  done;
-  (* Floating nets are only an error when something reads them. *)
-  let reads = Array.make (max t.n_nets 1) false in
-  Vec.iter (fun c -> Array.iter (fun n -> reads.(n) <- true) c.Cell.ins) t.cells;
-  List.iter (fun (_, n) -> reads.(n) <- true) t.outputs;
-  for net = 0 to t.n_nets - 1 do
-    if !err = None && reads.(net) && drivers.(net) = 0 then
-      err := Some (Printf.sprintf "net n%d is read but never driven" net)
-  done;
-  match !err with None -> Ok () | Some e -> Error e
+  let report payload fmt =
+    Printf.ksprintf
+      (fun m ->
+        if !err = None then
+          err := Some (Diag.make ~context:[ "validate"; t.name ] ~payload m))
+      fmt
+  in
+  (* port sanity: every port names an in-range net, names are unique
+     within their class *)
+  let seen = Hashtbl.create 16 in
+  let check_port cls (nm, net) =
+    if net < 0 || net >= t.n_nets then
+      report (Invalid (Bad_net_id { port = nm; net }))
+        "%s port %s names net n%d outside [0, %d)" cls nm net t.n_nets
+    else if Hashtbl.mem seen (cls, nm) then
+      report (Invalid (Duplicate_port { port = nm }))
+        "duplicate %s port name %s" cls nm
+    else Hashtbl.add seen (cls, nm) ()
+  in
+  List.iter (check_port "input") (List.rev t.inputs);
+  List.iter (check_port "key") (List.rev t.keys);
+  List.iter (check_port "output") (List.rev t.outputs);
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let drivers = Array.make (max t.n_nets 1) 0 in
+      let mark net = drivers.(net) <- drivers.(net) + 1 in
+      List.iter (fun (_, n) -> mark n) t.inputs;
+      List.iter (fun (_, n) -> mark n) t.keys;
+      Vec.iter (fun c -> mark c.Cell.out) t.cells;
+      for net = 0 to t.n_nets - 1 do
+        if drivers.(net) > 1 then
+          report
+            (Invalid (Multiple_drivers { net; drivers = drivers.(net) }))
+            "net n%d has %d drivers" net drivers.(net)
+      done;
+      (* a dangling output is reported by port name, not just as a
+         floating read *)
+      List.iter
+        (fun (nm, net) ->
+          if drivers.(net) = 0 then
+            report (Invalid (Undriven_output { port = nm; net }))
+              "output %s reads undriven net n%d" nm net)
+        (List.rev t.outputs);
+      (* other floating nets are only an error when something reads them *)
+      let reads = Array.make (max t.n_nets 1) false in
+      Vec.iter
+        (fun c -> Array.iter (fun n -> reads.(n) <- true) c.Cell.ins)
+        t.cells;
+      for net = 0 to t.n_nets - 1 do
+        if reads.(net) && drivers.(net) = 0 then
+          report (Invalid (Undriven_read { net }))
+            "net n%d is read but never driven" net
+      done;
+      (match !err with Some e -> Error e | None -> Ok ())
+
+(* Structural fingerprint (FNV-1a over the whole construction) for the
+   pass pipeline's input keys: two netlists with equal fingerprints are
+   treated as the same pass input. Cheap — one linear scan, no
+   allocation beyond the fold state. *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let mix i = h := Int64.mul (Int64.logxor !h (Int64.of_int i)) prime in
+  let mix_str s =
+    String.iter (fun c -> mix (Char.code c)) s;
+    mix 0x11f
+  in
+  let mix_ports l =
+    List.iter
+      (fun (nm, net) ->
+        mix_str nm;
+        mix net)
+      l
+  in
+  mix_str t.name;
+  mix t.n_nets;
+  mix_ports (List.rev t.inputs);
+  mix 0x21;
+  mix_ports (List.rev t.keys);
+  mix 0x22;
+  mix_ports (List.rev t.outputs);
+  mix 0x23;
+  Vec.iter
+    (fun c ->
+      (match c.Cell.kind with
+      | Cell.And -> mix 1
+      | Cell.Or -> mix 2
+      | Cell.Nand -> mix 3
+      | Cell.Nor -> mix 4
+      | Cell.Xor -> mix 5
+      | Cell.Xnor -> mix 6
+      | Cell.Not -> mix 7
+      | Cell.Buf -> mix 8
+      | Cell.Mux2 -> mix 9
+      | Cell.Mux4 -> mix 10
+      | Cell.Lut tt ->
+          mix 11;
+          mix (Truthtab.arity tt);
+          h := Int64.mul (Int64.logxor !h (Truthtab.bits tt)) prime
+      | Cell.Const b -> mix (if b then 12 else 13)
+      | Cell.Dff -> mix 14
+      | Cell.Config_latch -> mix 15);
+      Array.iter mix c.Cell.ins;
+      mix c.Cell.out;
+      mix_str c.Cell.origin)
+    t.cells;
+  Printf.sprintf "%016Lx" !h
 
 (* Kahn's algorithm on the combinational dependency graph: an edge goes
    from the driver of each input net of a combinational cell to that

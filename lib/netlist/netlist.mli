@@ -31,7 +31,9 @@ val add_key : t -> string -> int
 (** Declare a key (configuration) input; returns its net. *)
 
 val add_output : t -> string -> int -> unit
-(** [add_output t nm net] exposes [net] as primary output [nm]. *)
+(** [add_output t nm net] exposes [net] as primary output [nm]. Raises
+    {!Shell_util.Diag.Error} with a [Bad_net_id] payload when [net] is
+    out of range. *)
 
 val add_cell : t -> Cell.t -> unit
 
@@ -83,8 +85,31 @@ val copy : t -> t
 
 (** {1 Analysis} *)
 
-val validate : t -> (unit, string) result
-(** Check the single-driver invariant and port sanity. *)
+(** Structural defects {!validate} detects, carried as the typed
+    payload ({!Shell_util.Diag.payload}) of its diagnostic. *)
+type invalid =
+  | Bad_net_id of { port : string; net : int }
+      (** a port names a net outside [0, num_nets) *)
+  | Duplicate_port of { port : string }
+      (** two ports of the same class share a name *)
+  | Multiple_drivers of { net : int; drivers : int }
+  | Undriven_output of { port : string; net : int }
+      (** dangling output: the named output reads a floating net *)
+  | Undriven_read of { net : int }
+      (** a cell input reads a floating net *)
+
+type Shell_util.Diag.payload += Invalid of invalid
+
+val validate : t -> (unit, Shell_util.Diag.t) result
+(** Check the single-driver invariant and port sanity. The error's
+    payload is [Invalid _]; its context stack is
+    [["validate"; module-name]]. *)
+
+val fingerprint : t -> string
+(** 64-bit structural hash (hex) over nets, ports and cells — the pass
+    pipeline's cache key ingredient. Equal netlists (same construction
+    order) have equal fingerprints; the hash covers cell kinds, LUT
+    truth tables, connectivity, origins and port names. *)
 
 val topo_order : t -> int array
 (** Indices of all cells in topological order, where sequential cell

@@ -68,4 +68,7 @@ let replace_cells parent ~remove ~replacement ~input_binding ~output_binding =
     (Netlist.outputs parent);
   match Netlist.validate out with
   | Ok () -> Rewrite.sweep_buffers out
-  | Error e -> invalid_arg ("Splice: invalid result: " ^ e)
+  | Error d ->
+      raise
+        (Shell_util.Diag.Error
+           { d with Shell_util.Diag.context = "Splice" :: d.Shell_util.Diag.context })

@@ -328,5 +328,6 @@ let parse src =
     (List.rev !pending_outputs);
   (match Netlist.validate nl with
   | Ok () -> ()
-  | Error e -> raise (Parse_error ("invalid netlist: " ^ e)));
+  | Error d ->
+      raise (Parse_error ("invalid netlist: " ^ Shell_util.Diag.to_string d)));
   nl

@@ -383,6 +383,40 @@ let run ?(seed = 7) ?(anneal_moves = 20_000) fabric nl =
        else float_of_int (Hashtbl.length tiles_touched) /. float_of_int tiles);
   }
 
+let diag_of_fit ?netlist (r : result) =
+  match r.fit with
+  | Ok () -> None
+  | Error s ->
+      let demand, capacity =
+        match s with
+        | Fabric.Luts_short ->
+            (r.placement.used_luts, Fabric.lut_capacity r.fabric)
+        | Fabric.Ffs_short -> (r.placement.used_ffs, Fabric.ff_capacity r.fabric)
+        | Fabric.Chain_short -> (r.placement.used_chain, r.fabric.Fabric.chain_slots)
+        | Fabric.Routing_short -> (
+            let congestion =
+              (r.routes.max_congestion,
+               (Style.params r.fabric.Fabric.style).Style.channel_width)
+            in
+            (* routing can run short on channels or on boundary pins;
+               report whichever actually exceeded *)
+            match netlist with
+            | Some nl ->
+                let pins =
+                  List.length (Netlist.inputs nl)
+                  + List.length (Netlist.outputs nl)
+                in
+                let io = Fabric.io_capacity r.fabric in
+                if pins > io then (pins, io) else congestion
+            | None -> congestion)
+      in
+      Some
+        (Shell_util.Diag.msgf
+           ~payload:(Fabric.Shortage { shortage = s; demand; capacity })
+           "fit check failed on %s: %s short (demand %d, capacity %d)"
+           (Format.asprintf "%a" Fabric.pp r.fabric)
+           (Fabric.shortage_name s) demand capacity)
+
 let fit_loop ?seed ?(max_grows = 16) ~style nl =
   let cells = Netlist.cells nl in
   let luts = ref 0 and ffs = ref 0 and chain = ref 0 in

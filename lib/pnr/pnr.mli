@@ -46,6 +46,15 @@ val run :
     [Dff]/[Const] cells). Never raises on over-capacity input: the
     verdict lands in [fit]. *)
 
+val diag_of_fit :
+  ?netlist:Shell_netlist.Netlist.t -> result -> Shell_util.Diag.t option
+(** [None] when the mapping fits; otherwise a diagnostic whose typed
+    payload is the {!Shell_fabric.Fabric.Shortage} (which resource ran
+    short, demanded vs available). Pass the mapped [netlist] so a
+    routing shortage can distinguish boundary-pin demand from channel
+    congestion. The pipeline's PnR pass raises it when fit failures
+    are strict. *)
+
 val fit_loop :
   ?seed:int ->
   ?max_grows:int ->

@@ -254,7 +254,7 @@ let elaborate ?(clean = true) design =
     (Rtl_module.outputs top);
   (match Netlist.validate nl with
   | Ok () -> ()
-  | Error e -> fail "elaborated netlist invalid: %s" e);
+  | Error d -> fail "elaborated netlist invalid: %s" (Shell_util.Diag.to_string d));
   if clean then Rewrite.clean nl else nl
 
 let module_footprint nl =

@@ -1,0 +1,7 @@
+let now () = Unix.gettimeofday ()
+let elapsed t0 = now () -. t0
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

@@ -1,0 +1,17 @@
+(** Monotonic-enough wall clock for budgets and tracing.
+
+    A single shared clock source so attack budgets (PR 1) and the pass
+    pipeline's per-pass timing agree on what "elapsed" means.
+    [Sys.time] is process-wide CPU time, which under the domain pool
+    advances once per core — wall time is what budgets and traces
+    want. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the wall seconds it
+    took. *)

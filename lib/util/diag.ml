@@ -1,0 +1,77 @@
+type payload = ..
+type payload += Msg of string
+
+type t = {
+  pass : string option;
+  context : string list;
+  payload : payload;
+  message : string;
+}
+
+exception Error of t
+
+let make ?pass ?(context = []) ?(payload = Msg "") message =
+  { pass; context; payload; message }
+
+let msgf ?pass ?payload fmt =
+  Format.kasprintf (fun message -> make ?pass ?payload message) fmt
+
+let fail ?pass ?payload message = raise (Error (make ?pass ?payload message))
+
+let failf ?pass ?payload fmt =
+  Format.kasprintf (fun message -> fail ?pass ?payload message) fmt
+
+let error ?pass ?payload message =
+  Result.Error (make ?pass ?payload message)
+
+let of_exn = function
+  | Error d -> Some d
+  | Invalid_argument m | Failure m -> Some (make m)
+  | _ -> None
+
+let with_context label f =
+  try f ()
+  with e -> (
+    match of_exn e with
+    | Some d -> raise (Error { d with context = label :: d.context })
+    | None -> raise e)
+
+let in_pass name f =
+  try f ()
+  with e -> (
+    match of_exn e with
+    | Some d ->
+        let pass = match d.pass with Some _ as p -> p | None -> Some name in
+        raise (Error { d with pass })
+    | None -> raise e)
+
+(* printers for extension payloads live with their definitions;
+   most-recent registration wins *)
+let printers : (payload -> string option) list ref = ref []
+let register_printer p = printers := p :: !printers
+
+let payload_string p =
+  match p with
+  | Msg "" -> None
+  | Msg m -> Some m
+  | _ ->
+      let rec go = function
+        | [] -> None
+        | pr :: tl -> ( match pr p with Some _ as s -> s | None -> go tl)
+      in
+      go !printers
+
+let pp ppf d =
+  (match d.pass with Some p -> Format.fprintf ppf "%s: " p | None -> ());
+  List.iter (fun c -> Format.fprintf ppf "%s: " c) d.context;
+  Format.pp_print_string ppf d.message;
+  match payload_string d.payload with
+  | Some s when s <> d.message -> Format.fprintf ppf " [%s]" s
+  | Some _ | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d
+
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some ("Shell_util.Diag.Error: " ^ to_string d)
+    | _ -> None)

@@ -1,0 +1,48 @@
+type span = {
+  pass : string;
+  seconds : float;
+  cache_hit : bool;
+  counters : (string * int) list;
+}
+
+let forced = ref None
+let set_enabled b = forced := Some b
+
+let enabled () =
+  match !forced with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "SHELL_TRACE" with
+      | None | Some "" | Some "0" | Some "false" -> false
+      | Some _ -> true)
+
+let pp_span ppf s =
+  Format.fprintf ppf "%-14s %8.1f ms%s" s.pass (1000.0 *. s.seconds)
+    (if s.cache_hit then "  (cached)" else "          ");
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) s.counters
+
+let pp ppf spans =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun s -> Format.fprintf ppf "  %a@," pp_span s) spans;
+  let total = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 spans in
+  let hits = List.length (List.filter (fun s -> s.cache_hit) spans) in
+  Format.fprintf ppf "  %-14s %8.1f ms  (%d/%d passes cached)@]" "total"
+    (1000.0 *. total) hits (List.length spans)
+
+let to_json spans =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf
+        "\n    { \"pass\": \"%s\", \"seconds\": %.6f, \"cache_hit\": %b, \"counters\": {"
+        s.pass s.seconds s.cache_hit;
+      List.iteri
+        (fun j (k, v) ->
+          Printf.bprintf buf "%s\"%s\": %d" (if j > 0 then ", " else " ") k v)
+        s.counters;
+      Buffer.add_string buf " } }")
+    spans;
+  Buffer.add_string buf "\n  ]";
+  Buffer.contents buf

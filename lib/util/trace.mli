@@ -1,0 +1,31 @@
+(** Per-pass execution traces.
+
+    Every pipeline pass records a [span]: its wall time (via {!Clock}),
+    whether it was served from the pass-level cache, and a set of named
+    integer counters (cells, nets, LUTs, mux-chain stages, config bits,
+    routed nets, ...). Traces surface through the [--trace] CLI flag,
+    the [SHELL_TRACE] environment variable, and the bench JSON
+    emitter. *)
+
+type span = {
+  pass : string;
+  seconds : float;
+  cache_hit : bool;  (** output reused from the pass-level cache *)
+  counters : (string * int) list;
+}
+
+val enabled : unit -> bool
+(** True when [SHELL_TRACE] is set to anything but ["0"], [""] or
+    ["false"]: pipeline executions print their spans to stderr. *)
+
+val set_enabled : bool -> unit
+(** Programmatic override of the environment gate (the CLI's
+    [--trace] flag). *)
+
+val pp_span : Format.formatter -> span -> unit
+val pp : Format.formatter -> span list -> unit
+(** Aligned table, one line per span, with a total row. *)
+
+val to_json : span list -> string
+(** JSON array; schema documented in DESIGN.md §3e:
+    [{"pass": .., "seconds": .., "cache_hit": .., "counters": {..}}]. *)

@@ -17,7 +17,7 @@ let origins nl =
 
 let check_benchmark (e : Circ.Catalog.entry) () =
   let nl = e.Circ.Catalog.netlist () in
-  (match N.validate nl with Ok () -> () | Error m -> Alcotest.fail m);
+  (match N.validate nl with Ok () -> () | Error m -> Alcotest.fail (Shell_util.Diag.to_string m));
   Alcotest.(check bool) "acyclic" false (N.has_comb_cycle nl);
   Alcotest.(check bool) "has cells" true (N.num_cells nl > 1000);
   Alcotest.(check bool) "has state" true
@@ -78,7 +78,7 @@ let test_xbar_route_fraction () =
 
 let test_soc_builds () =
   let nl = Circ.Soc.netlist () in
-  (match N.validate nl with Ok () -> () | Error m -> Alcotest.fail m);
+  (match N.validate nl with Ok () -> () | Error m -> Alcotest.fail (Shell_util.Diag.to_string m));
   let os = origins nl in
   Alcotest.(check bool) "xbar instance present" true
     (List.exists (fun o -> contains ~sub:"/xbar" o) os);

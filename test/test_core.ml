@@ -69,9 +69,12 @@ let test_selection_fixed () =
   in
   Alcotest.(check bool) "route non-empty" true (c.C.Selection.route_blocks <> []);
   Alcotest.(check bool) "lgc non-empty" true (c.C.Selection.lgc_blocks <> []);
-  Alcotest.check_raises "unknown pattern"
-    (Invalid_argument "Selection.fixed: no block matches :ghost") (fun () ->
-      ignore (C.Selection.fixed t ~route:[ ":ghost" ] ~lgc:[] ()))
+  (match C.Selection.fixed t ~route:[ ":ghost" ] ~lgc:[] () with
+  | _ -> Alcotest.fail "unknown pattern should raise"
+  | exception Shell_util.Diag.Error d ->
+      Alcotest.(check string)
+        "diag message" "Selection.fixed: no block matches :ghost"
+        d.Shell_util.Diag.message)
 
 let test_selection_auto () =
   let t = Lazy.force analysis in
@@ -103,7 +106,7 @@ let test_extraction_roundtrip () =
   Alcotest.(check bool) "cells extracted" true (cut.C.Extraction.cells <> []);
   (match N.validate cut.C.Extraction.sub with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Shell_util.Diag.to_string e));
   let back = C.Extraction.reassemble nl cut ~replacement:cut.C.Extraction.sub in
   match Equiv.check_sequential nl back with
   | Equiv.Equivalent -> ()

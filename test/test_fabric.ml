@@ -51,9 +51,13 @@ let test_size_rect () =
     (Fabric.lut_capacity f >= 40 && Fabric.lut_capacity f <= 48)
 
 let test_size_chain_rejected () =
-  Alcotest.check_raises "no chains on openfpga"
-    (Invalid_argument "Fabric.size_for: style has no MUX chains") (fun () ->
-      ignore (Fabric.size_for Style.Openfpga ~luts:8 ~user_ffs:0 ~chain_muxes:4))
+  match Fabric.size_for Style.Openfpga ~luts:8 ~user_ffs:0 ~chain_muxes:4 with
+  | exception Shell_util.Diag.Error d ->
+      (* the diagnostic carries the typed shortage *)
+      (match d.Shell_util.Diag.payload with
+      | Fabric.Shortage { shortage = Fabric.Chain_short; demand = 4; _ } -> ()
+      | _ -> Alcotest.fail "expected a Chain_short Shortage payload")
+  | _ -> Alcotest.fail "chain demand on openfpga must be rejected"
 
 let test_grow () =
   let f = Fabric.size_for Style.Fabulous_muxchain ~luts:16 ~user_ffs:0 ~chain_muxes:8 in
@@ -176,7 +180,7 @@ let test_emit_rejects_plain_gates () =
   let b = N.add_input nl "b" in
   N.add_output nl "y" (N.and_ nl a b);
   match Emit.emit ~style:Style.Openfpga nl with
-  | exception Invalid_argument _ -> ()
+  | exception Shell_util.Diag.Error _ -> ()
   | _ -> Alcotest.fail "plain gate must be rejected"
 
 let test_emit_rejects_chain_on_chainless () =
@@ -186,7 +190,7 @@ let test_emit_rejects_chain_on_chainless () =
   let b = N.add_input nl "b" in
   N.add_output nl "y" (N.mux2 nl ~sel:s ~a ~b);
   match Emit.emit ~style:Style.Fabulous_std nl with
-  | exception Invalid_argument _ -> ()
+  | exception Shell_util.Diag.Error _ -> ()
   | _ -> Alcotest.fail "chain cell on chain-less style must be rejected"
 
 let test_emit_deterministic () =

@@ -69,7 +69,7 @@ let test_no_back_to_back_luts () =
      here is structural sanity: the locked netlist validates and grew *)
   (match N.validate lk.L.Locked.locked with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Shell_util.Diag.to_string e));
   Alcotest.(check bool) "netlist grew" true
     (N.num_cells lk.L.Locked.locked > N.num_cells nl)
 

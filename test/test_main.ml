@@ -16,4 +16,5 @@ let () =
       ("attacks", Test_attacks.suite);
       ("circuits", Test_circuits.suite);
       ("core", Test_core.suite);
+      ("pipeline", Test_pipeline.suite);
     ]

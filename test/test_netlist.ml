@@ -49,7 +49,7 @@ let random_nl seed n_in n_gates =
 let test_validate_ok () =
   match N.validate (fixture ()) with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Shell_util.Diag.to_string e)
 
 let test_validate_double_driver () =
   let nl = N.create "bad" in
@@ -65,6 +65,42 @@ let test_validate_floating_read () =
   let y = N.and_ nl a dangling in
   N.add_output nl "y" y;
   Alcotest.(check bool) "rejected" true (Result.is_error (N.validate nl))
+
+let payload_of nl =
+  match N.validate nl with
+  | Ok () -> Alcotest.fail "expected validation failure"
+  | Error d -> d.Shell_util.Diag.payload
+
+let test_validate_bad_net_id () =
+  (* the builder refuses an out-of-range port net with the same typed
+     payload the validator uses for internally-corrupted netlists *)
+  let nl = N.create "bad3" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.not_ nl a);
+  match N.add_output nl "oops" 999 with
+  | () -> Alcotest.fail "expected Bad_net_id failure"
+  | exception Shell_util.Diag.Error d -> (
+      match d.Shell_util.Diag.payload with
+      | N.Invalid (N.Bad_net_id { port = "oops"; net = 999 }) -> ()
+      | _ -> Alcotest.fail "expected Bad_net_id{oops,999} payload")
+
+let test_validate_dangling_output () =
+  let nl = N.create "bad4" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.not_ nl a);
+  N.add_output nl "z" (N.new_net nl);
+  match payload_of nl with
+  | N.Invalid (N.Undriven_output { port = "z"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Undriven_output{z}"
+
+let test_validate_duplicate_port () =
+  let nl = N.create "bad5" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.not_ nl a);
+  N.add_output nl "y" (N.buf nl a);
+  match payload_of nl with
+  | N.Invalid (N.Duplicate_port { port = "y" }) -> ()
+  | _ -> Alcotest.fail "expected Duplicate_port{y}"
 
 let test_driver_fanout () =
   let nl = fixture () in
@@ -375,6 +411,9 @@ let suite =
     ("validate ok", `Quick, test_validate_ok);
     ("validate double driver", `Quick, test_validate_double_driver);
     ("validate floating read", `Quick, test_validate_floating_read);
+    ("validate bad net id", `Quick, test_validate_bad_net_id);
+    ("validate dangling output", `Quick, test_validate_dangling_output);
+    ("validate duplicate port", `Quick, test_validate_duplicate_port);
     ("driver/fanout", `Quick, test_driver_fanout);
     ("topo order valid", `Quick, test_topo_order_valid);
     ("cycle detection", `Quick, test_cycle_detection);

@@ -1,0 +1,156 @@
+(* Tests for the staged pass pipeline: trace spans and counters,
+   abort-at-PnR with prior artifacts intact, and pass-level cache
+   reuse producing byte-identical results. *)
+
+module N = Shell_netlist.Netlist
+module F = Shell_fabric
+module C = Shell_core
+module Circ = Shell_circuits
+module Diag = Shell_util.Diag
+module Trace = Shell_util.Trace
+
+let fir = lazy (Circ.Fir.netlist ())
+
+let fir_cfg () = C.Flow.shell_config ()
+
+let test_pass_names () =
+  Alcotest.(check (list string))
+    "eight passes"
+    [
+      "connectivity";
+      "selection";
+      "extraction";
+      "synthesis";
+      "pnr";
+      "emit";
+      "shrink";
+      "overhead";
+    ]
+    C.Pipeline.pass_names
+
+let test_trace_counters () =
+  C.Pipeline.clear_cache ();
+  let o = C.Flow.run_staged (fir_cfg ()) (Lazy.force fir) in
+  Alcotest.(check bool) "no failure" true (o.C.Pipeline.failed = None);
+  Alcotest.(check (list string))
+    "one span per pass, in order" C.Pipeline.pass_names
+    (List.map (fun s -> s.Trace.pass) o.C.Pipeline.trace);
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool)
+        (s.Trace.pass ^ " has counters")
+        true
+        (s.Trace.counters <> []);
+      Alcotest.(check bool)
+        (s.Trace.pass ^ " time non-negative")
+        true (s.Trace.seconds >= 0.0))
+    o.C.Pipeline.trace;
+  let counter pass name =
+    let s = List.find (fun s -> s.Trace.pass = pass) o.C.Pipeline.trace in
+    List.assoc name s.Trace.counters
+  in
+  Alcotest.(check bool) "cells counted" true (counter "connectivity" "cells" > 0);
+  Alcotest.(check bool) "luts counted" true (counter "synthesis" "luts" > 0);
+  Alcotest.(check bool)
+    "config bits counted" true
+    (counter "emit" "config_bits" > 0);
+  Alcotest.(check bool)
+    "routed nets counted" true
+    (counter "pnr" "routed_nets" > 0)
+
+let test_forced_pnr_failure () =
+  (* pin a 1x1 fabric: the FIR mapping cannot fit, and strict mode
+     must abort the pipeline at the pnr pass *)
+  let tiny =
+    { F.Fabric.style = F.Style.Fabulous_muxchain; cols = 1; rows = 1; chain_slots = 0 }
+  in
+  let o =
+    C.Flow.run_staged ~strict_fit:true ~fabric:tiny (fir_cfg ())
+      (Lazy.force fir)
+  in
+  (match o.C.Pipeline.failed with
+  | None -> Alcotest.fail "expected a pnr abort"
+  | Some d ->
+      Alcotest.(check (option string))
+        "failing pass named" (Some "pnr") d.Diag.pass;
+      (match d.Diag.payload with
+      | F.Fabric.Shortage { demand; capacity; _ } ->
+          Alcotest.(check bool) "demand over capacity" true (demand > capacity)
+      | _ -> Alcotest.fail "expected a typed Shortage payload"));
+  let a = o.C.Pipeline.artifacts in
+  Alcotest.(check bool) "analysis intact" true (a.C.Pipeline.analysis <> None);
+  Alcotest.(check bool) "choice intact" true (a.C.Pipeline.choice <> None);
+  Alcotest.(check bool) "cut intact" true (a.C.Pipeline.cut <> None);
+  Alcotest.(check bool) "mapped intact" true (a.C.Pipeline.mapped <> None);
+  Alcotest.(check bool) "no emission" true (a.C.Pipeline.emitted = None);
+  Alcotest.(check bool) "no overhead" true (a.C.Pipeline.overhead = None)
+
+let summary r = Format.asprintf "%a" C.Flow.pp_summary r
+
+let test_cache_reuse_identical () =
+  let nl = Lazy.force fir in
+  let cfg = fir_cfg () in
+  C.Pipeline.clear_cache ();
+  let cold = C.Flow.of_outcome (C.Flow.run_staged cfg nl) in
+  let h0, m0 = C.Pipeline.cache_stats () in
+  Alcotest.(check int) "cold run misses every pass" 0 h0;
+  Alcotest.(check bool) "cold run fills the cache" true (m0 > 0);
+  let warm = C.Flow.of_outcome (C.Flow.run_staged cfg nl) in
+  let h1, _ = C.Pipeline.cache_stats () in
+  Alcotest.(check bool) "warm run hits the cache" true (h1 > 0);
+  let uncached = C.Flow.of_outcome (C.Flow.run_staged ~use_cache:false cfg nl) in
+  Alcotest.(check string)
+    "cached byte-identical to uncached" (summary uncached) (summary warm);
+  Alcotest.(check string)
+    "warm byte-identical to cold" (summary cold) (summary warm)
+
+let test_downstream_change_reuses_upstream () =
+  (* changing only the seed must reuse connectivity..synthesis and
+     re-run pnr/emit (their keys include the seed) *)
+  let nl = Lazy.force fir in
+  let cfg = fir_cfg () in
+  C.Pipeline.clear_cache ();
+  let _ = C.Flow.run_staged cfg nl in
+  let o2 = C.Flow.run_staged { cfg with C.Flow.seed = 7 } nl in
+  let hit name =
+    (List.find (fun s -> s.Trace.pass = name) o2.C.Pipeline.trace)
+      .Trace.cache_hit
+  in
+  List.iter
+    (fun p -> Alcotest.(check bool) (p ^ " reused") true (hit p))
+    [ "connectivity"; "selection"; "extraction"; "synthesis" ];
+  List.iter
+    (fun p -> Alcotest.(check bool) (p ^ " re-run") false (hit p))
+    [ "pnr"; "emit"; "shrink" ]
+
+let test_explore_cache_byte_identical () =
+  (* the GA sweep with a warm pass cache must produce the same tables
+     as a cold one: candidates share upstream passes, results do not
+     drift *)
+  let nl = Circ.Fir.netlist () in
+  let render (o : C.Explore.outcome) =
+    String.concat "\n"
+      (List.map
+         (fun (c : C.Explore.candidate) ->
+           Format.asprintf "%s A=%.3f P=%.3f D=%.3f key=%d" c.C.Explore.label
+             c.C.Explore.overhead.C.Overhead.area
+             c.C.Explore.overhead.C.Overhead.power
+             c.C.Explore.overhead.C.Overhead.delay c.C.Explore.key_bits)
+         o.C.Explore.evaluated)
+  in
+  C.Pipeline.clear_cache ();
+  let cold = render (C.Explore.search ~generations:2 ~population:6 nl) in
+  let h, _ = C.Pipeline.cache_stats () in
+  Alcotest.(check bool) "sweep hits the pass cache" true (h > 0);
+  let warm = render (C.Explore.search ~generations:2 ~population:6 nl) in
+  Alcotest.(check string) "cold and warm sweeps identical" cold warm
+
+let suite =
+  [
+    ("pass names", `Quick, test_pass_names);
+    ("trace counters populated", `Quick, test_trace_counters);
+    ("forced pnr failure", `Quick, test_forced_pnr_failure);
+    ("cache reuse byte-identical", `Quick, test_cache_reuse_identical);
+    ("downstream change reuses upstream", `Quick, test_downstream_change_reuses_upstream);
+    ("explore cache byte-identical", `Slow, test_explore_cache_byte_identical);
+  ]

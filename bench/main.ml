@@ -712,25 +712,16 @@ let micro out =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* json: machine-readable perf trajectory (BENCH_2.json)               *)
+(* json: machine-readable perf trajectory (BENCH_3.json)               *)
 (* ------------------------------------------------------------------ *)
+
+module J = Shell_util.Jsonw
+module Obs = Shell_util.Obs
 
 let time_wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 (* CPU-bound filler for the pool's synthetic speedup probe *)
 let spin_task i =
@@ -742,7 +733,7 @@ let spin_task i =
 
 let json () =
   let jn = Pool.default_jobs () in
-  printf "writing BENCH_2.json (jobs=%d)...\n%!" jn;
+  printf "writing BENCH_3.json (jobs=%d)...\n%!" jn;
   (* table4-fast: the acceptance workload — timed at jobs=1 and jobs=N,
      outputs compared byte for byte *)
   let s1, t4_j1 =
@@ -801,42 +792,76 @@ let json () =
   let o_nocache = C.Flow.run_staged ~use_cache:false fir_cfg fir in
   let summary o = Format.asprintf "%a" C.Flow.pp_summary (C.Flow.of_outcome o) in
   let cache_identical = String.equal (summary o_warm) (summary o_nocache) in
-  let oc = open_out "BENCH_2.json" in
-  let out = Buffer.create 4096 in
-  bpf out "{\n";
-  bpf out "  \"pr\": 2,\n";
-  bpf out "  \"jobs\": %d,\n" jn;
-  bpf out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
-  bpf out
-    "  \"table4_fast\": { \"jobs1_s\": %.3f, \"jobsN_s\": %.3f, \"speedup\": %.2f, \"identical_output\": %b },\n"
-    t4_j1 t4_jn (t4_j1 /. Float.max 1e-9 t4_jn) identical;
-  bpf out
-    "  \"pool_synthetic\": { \"tasks\": %d, \"jobs1_s\": %.3f, \"jobsN_s\": %.3f, \"speedup\": %.2f },\n"
-    (Array.length spin_input) spin_j1 spin_jn
-    (spin_j1 /. Float.max 1e-9 spin_jn);
-  bpf out "  \"tables_s\": {\n";
-  List.iteri
-    (fun i (name, t) ->
-      bpf out "    \"%s\": %.3f%s\n" (json_escape name) t
-        (if i = List.length table_times - 1 then "" else ","))
-    table_times;
-  bpf out "  },\n";
-  bpf out "  \"micro_ns_per_run\": {\n";
-  List.iteri
-    (fun i (name, est) ->
-      bpf out "    \"%s\": %.0f%s\n" (json_escape name) est
-        (if i = List.length micro_results - 1 then "" else ","))
-    micro_results;
-  bpf out "  },\n";
-  bpf out
-    "  \"pass_cache\": { \"cold_s\": %.4f, \"warm_s\": %.4f, \"cold_hits\": \
-     %d, \"cold_misses\": %d, \"warm_hits\": %d, \"warm_misses\": %d, \
-     \"identical_summary\": %b },\n"
-    cold_s warm_s cold_hits cold_misses (all_hits - cold_hits)
-    (all_misses - cold_misses) cache_identical;
-  bpf out "  \"trace\": %s\n" (Shell_util.Trace.to_json o_cold.C.Pipeline.trace);
-  bpf out "}\n";
-  output_string oc (Buffer.contents out);
+  (* obs: telemetry snapshot of a fixed instrumented workload — the
+     FIR staged flow (cold cache) plus a short SAT attack on a
+     MUX-routing-locked Xbar *)
+  let obs_was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  C.Pipeline.clear_cache ();
+  let _ = C.Flow.run_staged fir_cfg fir in
+  let xnl = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
+  let xlk = L.Schemes.mux_routing ~width:16 xnl in
+  let _ =
+    A.Sat_attack.attack_locked ~max_dips:16 ~max_conflicts:50_000
+      ~time_limit:5.0 ~original:xnl xlk
+  in
+  let obs_metrics = Obs.json (Obs.snapshot ()) in
+  let obs_spans = Obs.spans_json (Obs.spans ()) in
+  Obs.set_enabled obs_was;
+  let doc =
+    J.Obj
+      [
+        ("pr", J.Int 3);
+        ("jobs", J.Int jn);
+        ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+        ( "table4_fast",
+          J.Obj
+            [
+              ("jobs1_s", J.float ~dec:3 t4_j1);
+              ("jobsN_s", J.float ~dec:3 t4_jn);
+              ("speedup", J.float ~dec:2 (t4_j1 /. Float.max 1e-9 t4_jn));
+              ("identical_output", J.Bool identical);
+            ] );
+        ( "pool_synthetic",
+          J.Obj
+            [
+              ("tasks", J.Int (Array.length spin_input));
+              ("jobs1_s", J.float ~dec:3 spin_j1);
+              ("jobsN_s", J.float ~dec:3 spin_jn);
+              ("speedup", J.float ~dec:2 (spin_j1 /. Float.max 1e-9 spin_jn));
+            ] );
+        ( "tables_s",
+          J.Obj (List.map (fun (name, t) -> (name, J.float ~dec:3 t)) table_times)
+        );
+        ( "micro_ns_per_run",
+          J.Obj
+            (List.map (fun (name, est) -> (name, J.float ~dec:0 est))
+               micro_results) );
+        ( "pass_cache",
+          J.Obj
+            [
+              ("cold_s", J.float ~dec:4 cold_s);
+              ("warm_s", J.float ~dec:4 warm_s);
+              ("cold_hits", J.Int cold_hits);
+              ("cold_misses", J.Int cold_misses);
+              ("warm_hits", J.Int (all_hits - cold_hits));
+              ("warm_misses", J.Int (all_misses - cold_misses));
+              ("identical_summary", J.Bool cache_identical);
+            ] );
+        ("trace", Shell_util.Trace.json o_cold.C.Pipeline.trace);
+        ( "obs",
+          J.Obj
+            [
+              ("workload", J.Str "FIR staged flow + Xbar mux-routing attack");
+              ("snapshot", obs_metrics);
+              ("spans", obs_spans);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_3.json" in
+  output_string oc (J.to_string ~indent:2 doc);
+  output_char oc '\n';
   close_out oc;
   printf "  table4-fast: %.2fs @ jobs=1, %.2fs @ jobs=%d (speedup %.2fx, identical=%b)\n"
     t4_j1 t4_jn jn
@@ -845,7 +870,7 @@ let json () =
   printf "  pool synthetic: speedup %.2fx over %d tasks\n"
     (spin_j1 /. Float.max 1e-9 spin_jn)
     (Array.length spin_input);
-  printf "done: BENCH_2.json\n"
+  printf "done: BENCH_3.json\n"
 
 (* ------------------------------------------------------------------ *)
 

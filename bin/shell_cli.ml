@@ -17,6 +17,7 @@ module A = Shell_attacks
 module C = Shell_core
 module Circ = Shell_circuits
 module Diag = Shell_util.Diag
+module Obs = Shell_util.Obs
 open Cmdliner
 
 (* The single fatal-exit path: every error — bad argument, parse
@@ -61,6 +62,27 @@ let lgc_arg =
 let seed_arg =
   let doc = "Deterministic seed for decoys and placement." in
   Arg.(value & opt int 0x51e11 & info [ "seed" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry and write a snapshot to $(docv) on \
+     completion. A .prom suffix selects Prometheus text format, anything \
+     else JSON (same as setting SHELL_METRICS=$(docv); \
+     SHELL_METRICS_STABLE=1 restricts the snapshot to deterministic \
+     metrics)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with the registry on, writing the snapshot even when [f]
+   dies through [die] (which exits rather than unwinds) — hence
+   at_exit instead of Fun.protect. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.set_enabled true;
+      at_exit (fun () -> try Obs.write_file path with Sys_error _ -> ());
+      f ()
 
 let netlist_of_bench name =
   match Circ.Catalog.find name with
@@ -143,8 +165,9 @@ let analyze_cmd =
 
 (* ---------------- lock ---------------- *)
 
-let lock_run bench style route lgc seed trace out bitstream_out =
+let lock_run bench style route lgc seed trace metrics out bitstream_out =
   if trace then Shell_util.Trace.set_enabled true;
+  with_metrics metrics @@ fun () ->
   match netlist_of_bench bench with
   | Error (`Msg m) -> dief "%s" m
   | Ok nl ->
@@ -207,12 +230,13 @@ let lock_cmd =
     (Cmd.info "lock" ~doc:"Redact a benchmark with the SheLL flow.")
     Term.(
       const lock_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
-      $ trace_arg $ out_arg $ bs_arg)
+      $ trace_arg $ metrics_arg $ out_arg $ bs_arg)
 
 (* ---------------- lock-file ---------------- *)
 
-let lock_file_run input style route lgc seed trace out bitstream_out =
+let lock_file_run input style route lgc seed trace metrics out bitstream_out =
   if trace then Shell_util.Trace.set_enabled true;
+  with_metrics metrics @@ fun () ->
   let src =
     try
       let ic = open_in input in
@@ -286,11 +310,12 @@ let lock_file_cmd =
        ~doc:"Redact an external structural netlist with the SheLL flow.")
     Term.(
       const lock_file_run $ input $ style_arg $ route_arg $ lgc_arg $ seed_arg
-      $ trace_arg $ out_arg $ bs_arg)
+      $ trace_arg $ metrics_arg $ out_arg $ bs_arg)
 
 (* ---------------- attack ---------------- *)
 
-let attack_run bench style route lgc seed dips conflicts seconds =
+let attack_run bench style route lgc seed dips conflicts seconds metrics =
+  with_metrics metrics @@ fun () ->
   match netlist_of_bench bench with
   | Error (`Msg m) -> dief "%s" m
   | Ok nl ->
@@ -328,13 +353,21 @@ let attack_run bench style route lgc seed dips conflicts seconds =
             "BROKEN: key recovered in %d DIPs, %d conflicts, %.2fs\n"
             st.A.Sat_attack.dips st.A.Sat_attack.conflicts
             st.A.Sat_attack.elapsed;
+          Printf.printf
+            "solver effort: %d decisions, %d propagations, %d restarts\n"
+            st.A.Sat_attack.decisions st.A.Sat_attack.propagations
+            st.A.Sat_attack.restarts;
           Printf.printf "hamming distance to real bitstream: %d / %d\n"
             (F.Bitstream.hamming key lk.L.Locked.key)
             (Array.length key)
       | A.Sat_attack.Timeout st ->
           Printf.printf "RESILIENT within budget (%d DIPs, %d conflicts, %.2fs, c2v %.2f)\n"
             st.A.Sat_attack.dips st.A.Sat_attack.conflicts
-            st.A.Sat_attack.elapsed st.A.Sat_attack.c2v)
+            st.A.Sat_attack.elapsed st.A.Sat_attack.c2v;
+          Printf.printf
+            "solver effort: %d decisions, %d propagations, %d restarts\n"
+            st.A.Sat_attack.decisions st.A.Sat_attack.propagations
+            st.A.Sat_attack.restarts)
 
 let attack_cmd =
   let dips = Arg.(value & opt int 64 & info [ "dips" ] ~doc:"Max DIPs.") in
@@ -349,7 +382,62 @@ let attack_cmd =
        ~doc:"Run the oracle-guided SAT attack on a SheLL-redacted benchmark.")
     Term.(
       const attack_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
-      $ dips $ conflicts $ seconds)
+      $ dips $ conflicts $ seconds $ metrics_arg)
+
+(* ---------------- stats ---------------- *)
+
+let stats_run bench style route lgc seed attack =
+  Obs.set_enabled true;
+  match netlist_of_bench bench with
+  | Error (`Msg m) -> dief "%s" m
+  | Ok nl ->
+      let route, lgc, label =
+        if route = [] && lgc = [] then
+          match default_tfr bench with
+          | Some t -> t
+          | None -> dief "no default TfR for this design: pass --route/--lgc"
+        else (route, lgc, String.concat "+" (route @ lgc))
+      in
+      let cfg =
+        {
+          (C.Flow.shell_config ~target:(C.Flow.Fixed { route; lgc; label }) ())
+          with
+          C.Flow.style;
+          seed;
+        }
+      in
+      let r = run_flow cfg nl in
+      if attack then begin
+        let lk = C.Flow.locked_sub r in
+        let oracle =
+          A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub
+        in
+        ignore
+          (A.Sat_attack.run ~max_dips:32 ~max_conflicts:50_000 ~time_limit:5.0
+             ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
+             lk.L.Locked.locked)
+      end;
+      Printf.printf "span tree for `lock -b %s`%s:\n" bench
+        (if attack then " + attack" else "");
+      Obs.pp_spans Format.std_formatter (Obs.spans ());
+      print_newline ();
+      print_string (Obs.to_prometheus (Obs.snapshot ()))
+
+let stats_cmd =
+  let attack =
+    Arg.(
+      value & flag
+      & info [ "attack" ]
+          ~doc:"Also run a short SAT attack so its spans show up.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the lock flow with telemetry on and print the hierarchical \
+          span tree plus all metrics (Prometheus text format).")
+    Term.(
+      const stats_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
+      $ attack)
 
 (* ---------------- main ---------------- *)
 
@@ -358,4 +446,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "shell" ~version:"1.0.0" ~doc)
-          [ list_cmd; analyze_cmd; lock_cmd; lock_file_cmd; attack_cmd ]))
+          [ list_cmd; analyze_cmd; lock_cmd; lock_file_cmd; attack_cmd; stats_cmd ]))

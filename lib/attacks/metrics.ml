@@ -13,10 +13,6 @@ type t = {
   log2_keyspace : float;
 }
 
-let ends_with ~suffix s =
-  let n = String.length s and m = String.length suffix in
-  m <= n && String.sub s (n - m) m = suffix
-
 let of_locked ?bitstream ?(cycle_blocks = []) locked =
   let comb = Netlist.comb_view locked in
   let cnf = Cnf.encode comb in
@@ -24,15 +20,7 @@ let of_locked ?bitstream ?(cycle_blocks = []) locked =
   let variables = cnf.Cnf.nvars in
   let key_bits = Array.length (Netlist.key_nets comb) in
   let table_bits, routing_bits =
-    match bitstream with
-    | None -> (0, 0)
-    | Some bs ->
-        List.fold_left
-          (fun (t, r) (s : Bitstream.segment) ->
-            if ends_with ~suffix:"table" s.Bitstream.label then
-              (t + s.Bitstream.length, r)
-            else (t, r + s.Bitstream.length))
-          (0, 0) (Bitstream.segments bs)
+    match bitstream with None -> (0, 0) | Some bs -> Bitstream.kind_bits bs
   in
   {
     key_bits;

@@ -123,6 +123,7 @@ let extract_key ?max_conflicts t =
   | Solver.Unsat | Solver.Unknown -> None
 
 let conflicts t = Solver.num_conflicts t.solver
+let stats t = Solver.stats t.solver
 
 let clause_to_var_ratio t =
   float_of_int t.base_clauses /. float_of_int (max 1 t.base_vars)

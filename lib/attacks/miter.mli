@@ -40,5 +40,8 @@ val extract_key : ?max_conflicts:int -> t -> bool array option
 val conflicts : t -> int
 (** Cumulative solver conflicts (the attack-effort metric). *)
 
+val stats : t -> Shell_sat.Solver.stats
+(** Full search-effort breakdown of the underlying solver. *)
+
 val clause_to_var_ratio : t -> float
 (** c2v of the base miter — the paper's SAT-hardness indicator. *)

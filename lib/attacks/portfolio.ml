@@ -1,6 +1,20 @@
 module Pool = Shell_util.Pool
+module Obs = Shell_util.Obs
 
 type config = { solver_seed : int; label : string }
+
+let m_races =
+  Obs.counter ~stable:true ~help:"portfolio races run" "portfolio_races"
+
+(* winner identity and its effort depend on which racer finishes the
+   budgeted search first, so both are unstable *)
+let g_winner =
+  Obs.gauge ~help:"index of the last race's winning config (-1 = none)"
+    "portfolio_winner"
+
+let m_conflicts_at_win =
+  Obs.counter ~help:"winning attack's solver conflicts, summed over races"
+    "portfolio_conflicts_at_win"
 
 let default_configs k =
   List.init (max 1 k) (fun i ->
@@ -16,6 +30,8 @@ type t = {
 
 let run ?jobs ?(stop_on_first_broken = false) ?max_dips ?max_conflicts
     ?time_limit ?cycle_blocks ?(configs = default_configs 4) ~original locked =
+  Obs.incr m_races;
+  Obs.with_span "portfolio" @@ fun () ->
   let arr = Array.of_list configs in
   let stop = Atomic.make false in
   let should_stop =
@@ -43,6 +59,16 @@ let run ?jobs ?(stop_on_first_broken = false) ?max_dips ?max_conflicts
       | Sat_attack.Broken _ when !winner = None -> winner := Some i
       | _ -> ())
     outcomes;
+  (match !winner with
+  | Some i ->
+      Obs.set g_winner i;
+      Obs.span_add "winner" i;
+      (match snd outcomes.(i) with
+      | Sat_attack.Broken (_, st) ->
+          Obs.add m_conflicts_at_win st.Sat_attack.conflicts;
+          Obs.span_add "conflicts_at_win" st.Sat_attack.conflicts
+      | Sat_attack.Timeout _ -> ())
+  | None -> Obs.set g_winner (-1));
   { winner = !winner; outcomes }
 
 let best t =

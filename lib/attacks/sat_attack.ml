@@ -1,14 +1,32 @@
 module Netlist = Shell_netlist.Netlist
 module Sim = Shell_netlist.Sim
 module Locked = Shell_locking.Locked
+module Solver = Shell_sat.Solver
+module Obs = Shell_util.Obs
 
 type stats = {
   dips : int;
   conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
   elapsed : float;
   key_bits : int;
   c2v : float;
 }
+
+(* Attack effort depends on the wall-clock budget, so everything here
+   is unstable except the run count (one per [run] invocation, a pure
+   function of the workload). *)
+let m_runs = Obs.counter ~stable:true ~help:"SAT attacks started" "attack_runs"
+
+let m_iters =
+  Obs.counter ~help:"DIS-loop solver calls across all attacks"
+    "attack_dis_iterations"
+
+let h_solve_us =
+  Obs.histogram ~help:"microseconds per DIS-loop solver call"
+    "attack_solve_us"
 
 type outcome = Broken of bool array * stats | Timeout of stats
 
@@ -25,12 +43,18 @@ let now = Shell_util.Clock.now
 let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
     ?cycle_blocks ?(solver_seed = 0) ?(should_stop = fun () -> false) ~oracle
     locked =
+  Obs.incr m_runs;
+  Obs.with_span "sat_attack" @@ fun () ->
   let start = now () in
   let miter = Miter.create ?cycle_blocks ~seed:solver_seed locked in
   let stats dips =
+    let s = Miter.stats miter in
     {
       dips;
-      conflicts = Miter.conflicts miter;
+      conflicts = s.Solver.conflicts;
+      decisions = s.Solver.decisions;
+      propagations = s.Solver.propagations;
+      restarts = s.Solver.restarts;
       elapsed = now () -. start;
       key_bits = Miter.num_keys miter;
       c2v = Miter.clause_to_var_ratio miter;
@@ -41,6 +65,21 @@ let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
     && Miter.conflicts miter < max_conflicts
     && now () -. start < time_limit
   in
+  (* one capped DIS-loop solver call; each becomes a child span of the
+     attack with its own latency sample when Obs is on *)
+  let find_dip per_call =
+    if not (Obs.enabled ()) then Miter.find_dip ~max_conflicts:per_call miter
+    else begin
+      Obs.incr m_iters;
+      let t0 = now () in
+      let r =
+        Obs.with_span "dip" (fun () ->
+            Miter.find_dip ~max_conflicts:per_call miter)
+      in
+      Obs.observe_us h_solve_us (now () -. t0);
+      r
+    end
+  in
   let rec loop dips =
     if dips >= max_dips || not (budget_left ()) then Timeout (stats dips)
     else
@@ -49,7 +88,7 @@ let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
       let per_call =
         max 1_000 (min 20_000 ((max_conflicts - Miter.conflicts miter) / 2))
       in
-      match Miter.find_dip ~max_conflicts:per_call miter with
+      match find_dip per_call with
       | `Dip input ->
           let output = oracle input in
           Miter.add_dip miter input output;
@@ -63,7 +102,12 @@ let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
           | Some key -> Broken (key, stats dips)
           | None -> Timeout (stats dips))
   in
-  loop 0
+  let outcome = loop 0 in
+  (match outcome with
+  | Broken (_, st) | Timeout st ->
+      Obs.span_add "dips" st.dips;
+      Obs.span_add "conflicts" st.conflicts);
+  outcome
 
 let attack_locked ?max_dips ?max_conflicts ?time_limit ?cycle_blocks
     ?solver_seed ~original (lk : Locked.t) =

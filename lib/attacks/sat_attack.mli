@@ -14,6 +14,9 @@
 type stats = {
   dips : int;
   conflicts : int;
+  decisions : int;  (** solver branching decisions *)
+  propagations : int;  (** solver unit propagations *)
+  restarts : int;  (** solver restarts *)
   elapsed : float;  (** wall-clock seconds for this attack *)
   key_bits : int;
   c2v : float;

@@ -75,7 +75,15 @@ let pass_names =
    so a hit returns the identical artifact a fresh run would produce —
    which is what keeps cached and uncached executions byte-identical.
    Shared across domains (Explore.search evaluates candidates on the
-   PR-1 pool), hence the mutex. *)
+   PR-1 pool), hence the mutex.
+
+   The cache is single-flight: a lookup that finds another domain
+   already computing the same key blocks until that computation lands
+   instead of recomputing. Besides saving the duplicate work, this
+   makes the number of pass-body executions a pure function of the
+   workload — which is what lets stable Obs counters incremented
+   inside pass bodies (pool tasks, emitted bitstream bits) stay
+   byte-identical across SHELL_JOBS settings. *)
 
 type product =
   | P_analysis of Connectivity.t
@@ -87,11 +95,32 @@ type product =
   | P_shrink of int * Resources.t
   | P_overhead of Overhead.t * Netlist.t
 
-let cache : (string, product) Hashtbl.t = Hashtbl.create 251
+type slot = Ready of product | Pending
+
+let cache : (string, slot) Hashtbl.t = Hashtbl.create 251
 let cache_lock = Mutex.create ()
+let cache_landed = Condition.create ()
 let cache_cap = 512
 let hits = ref 0
 let misses = ref 0
+
+module Obs = Shell_util.Obs
+
+(* Hit/miss splits survive single-flight deterministically in the
+   common case, but cap evictions and failed computations re-open keys
+   whose timing is scheduling-dependent — so they stay unstable. *)
+let m_cache_hits = Obs.counter ~help:"pass-cache hits" "pipeline_cache_hits"
+
+let m_cache_misses =
+  Obs.counter ~help:"pass-cache misses" "pipeline_cache_misses"
+
+let m_cache_bytes =
+  Obs.counter ~help:"bytes of artifacts added to the pass cache"
+    "pipeline_cache_bytes"
+
+let m_passes =
+  Obs.counter ~stable:true ~help:"pipeline passes processed (cached or not)"
+    "pipeline_passes"
 
 let env_cache_enabled () =
   match Sys.getenv_opt "SHELL_PASS_CACHE" with
@@ -103,6 +132,7 @@ let clear_cache () =
   Hashtbl.reset cache;
   hits := 0;
   misses := 0;
+  Condition.broadcast cache_landed;
   Mutex.unlock cache_lock
 
 let cache_stats () =
@@ -111,12 +141,39 @@ let cache_stats () =
   Mutex.unlock cache_lock;
   r
 
+(* [Some p] on a hit (including waiting out another domain's in-flight
+   computation of the same key); [None] claims the key — the caller
+   must follow up with [cache_add] or [cache_abort]. *)
 let cache_find key =
   Mutex.lock cache_lock;
-  let r = Hashtbl.find_opt cache key in
-  (match r with Some _ -> incr hits | None -> incr misses);
+  let rec look () =
+    match Hashtbl.find_opt cache key with
+    | Some (Ready p) ->
+        incr hits;
+        Obs.incr m_cache_hits;
+        Some p
+    | Some Pending ->
+        Condition.wait cache_landed cache_lock;
+        look ()
+    | None ->
+        incr misses;
+        Obs.incr m_cache_misses;
+        Hashtbl.replace cache key Pending;
+        None
+  in
+  let r = look () in
   Mutex.unlock cache_lock;
   r
+
+(* the computation claimed by [cache_find] failed: re-open the key so
+   waiters retry it themselves *)
+let cache_abort key =
+  Mutex.lock cache_lock;
+  (match Hashtbl.find_opt cache key with
+  | Some Pending -> Hashtbl.remove cache key
+  | Some (Ready _) | None -> ());
+  Condition.broadcast cache_landed;
+  Mutex.unlock cache_lock
 
 (* Lazy driver/fanout tables must be materialized before a netlist is
    published to other domains through the cache. *)
@@ -140,9 +197,12 @@ let warm_product = function
 
 let cache_add key product =
   warm_product product;
+  if Obs.enabled () then
+    Obs.add m_cache_bytes (8 * Obj.reachable_words (Obj.repr product));
   Mutex.lock cache_lock;
   if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
-  Hashtbl.replace cache key product;
+  Hashtbl.replace cache key (Ready product);
+  Condition.broadcast cache_landed;
   Mutex.unlock cache_lock
 
 (* ------------------------------------------------------------------ *)
@@ -561,45 +621,59 @@ let execute ?(use_cache = true) ?(strict_fit = false) ?fabric config original =
     }
   in
   let art = ref init and spans = ref [] and failed = ref None in
-  (try
-     List.iter
-       (fun p ->
-         let t0 = Clock.now () in
-         let key =
-           if ctx.use_cache then
-             Option.map (fun k -> p.name ^ "|" ^ k) (p.key ctx !art)
-           else None
-         in
-         let hit = ref false in
-         let product =
-           match Option.bind key cache_find with
-           | Some pr ->
-               hit := true;
-               pr
-           | None ->
-               let pr = Diag.in_pass p.name (fun () -> p.run ctx !art) in
-               Option.iter (fun k -> cache_add k pr) key;
-               pr
-         in
-         art := apply !art product;
-         spans :=
-           {
-             Trace.pass = p.name;
-             seconds = Clock.now () -. t0;
-             cache_hit = !hit;
-             counters = p.counters !art;
-           }
-           :: !spans;
-         if p.name = "pnr" && ctx.strict_fit then
-           let mapped = the "pnr" !art.mapped in
-           match
-             Pnr.diag_of_fit ~netlist:mapped.Synthesize.netlist
-               (the "pnr" !art.pnr)
-           with
-           | None -> ()
-           | Some d ->
-               raise (Diag.Error { d with Diag.pass = Some p.name }))
-       passes
+  let run_pass p =
+    Obs.with_span p.name @@ fun () ->
+    Obs.incr m_passes;
+    let t0 = Clock.now () in
+    let key =
+      if ctx.use_cache then
+        Option.map (fun k -> p.name ^ "|" ^ k) (p.key ctx !art)
+      else None
+    in
+    let hit = ref false in
+    let compute () = Diag.in_pass p.name (fun () -> p.run ctx !art) in
+    let product =
+      match key with
+      | None -> compute ()
+      | Some k -> (
+          match cache_find k with
+          | Some pr ->
+              hit := true;
+              pr
+          | None -> (
+              (* we claimed the key: land it or re-open it *)
+              match compute () with
+              | pr ->
+                  cache_add k pr;
+                  pr
+              | exception e ->
+                  cache_abort k;
+                  raise e))
+    in
+    art := apply !art product;
+    let counters = p.counters !art in
+    spans :=
+      {
+        Trace.pass = p.name;
+        seconds = Clock.now () -. t0;
+        cache_hit = !hit;
+        counters;
+      }
+      :: !spans;
+    if Obs.enabled () then begin
+      Obs.span_add "cache_hit" (if !hit then 1 else 0);
+      List.iter (fun (k, v) -> Obs.span_add k v) counters
+    end;
+    if p.name = "pnr" && ctx.strict_fit then
+      let mapped = the "pnr" !art.mapped in
+      match
+        Pnr.diag_of_fit ~netlist:mapped.Synthesize.netlist
+          (the "pnr" !art.pnr)
+      with
+      | None -> ()
+      | Some d -> raise (Diag.Error { d with Diag.pass = Some p.name })
+  in
+  (try Obs.with_span "pipeline" (fun () -> List.iter run_pass passes)
    with Diag.Error d -> failed := Some d);
   let trace = List.rev !spans in
   if Trace.enabled () then Format.eprintf "%a@." Trace.pp trace;

@@ -15,6 +15,21 @@ let bits t = Vec.to_array t.bits
 let length t = Vec.length t.bits
 let segments t = List.rev t.segs
 
+type kind = Table | Routing
+
+(* the single authority on label classification — [Metrics] and the
+   emitter's bit counters must agree on what counts as table storage *)
+let kind_of_label label =
+  if String.ends_with ~suffix:"table" label then Table else Routing
+
+let kind_bits t =
+  List.fold_left
+    (fun (tbl, rt) s ->
+      match kind_of_label s.label with
+      | Table -> (tbl + s.length, rt)
+      | Routing -> (tbl, rt + s.length))
+    (0, 0) (segments t)
+
 let segment_bits t label =
   match List.find_opt (fun s -> s.label = label) (segments t) with
   | None -> None

@@ -22,6 +22,17 @@ val length : t -> int
 val segments : t -> segment list
 val segment_bits : t -> string -> bool array option
 
+type kind = Table | Routing  (** LUT truth-table vs route/chain select *)
+
+val kind_of_label : string -> kind
+(** Classify a segment label: [*table] segments hold truth-table
+    storage, everything else is routing configuration. The one shared
+    classifier behind {!Shell_attacks.Metrics} and the emitter's bit
+    counters. *)
+
+val kind_bits : t -> int * int
+(** [(table_bits, routing_bits)] totals over all segments. *)
+
 val to_hex : t -> string
 (** Little-endian nibbles, segment directory not included. *)
 

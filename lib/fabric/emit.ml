@@ -3,6 +3,17 @@ module Cell = Shell_netlist.Cell
 module Rng = Shell_util.Rng
 module Truthtab = Shell_util.Truthtab
 module Diag = Shell_util.Diag
+module Obs = Shell_util.Obs
+
+(* Stable: emission is deterministic and the single-flight pass cache
+   runs each distinct emission exactly once at any job count. *)
+let m_table_bits =
+  Obs.counter ~stable:true ~help:"LUT truth-table bits emitted"
+    "bitstream_table_bits"
+
+let m_routing_bits =
+  Obs.counter ~stable:true ~help:"route/chain select bits emitted"
+    "bitstream_routing_bits"
 
 type t = {
   locked : Shell_netlist.Netlist.t;
@@ -337,6 +348,11 @@ let emit ~style ?(seed = 0xfab) ?(force_acyclic = false) src =
     | Style.Dff_chain -> (ctx.config_bits, 0)
     | Style.Latch_array -> (0, ctx.config_bits)
   in
+  if Obs.enabled () then begin
+    let table_bits, routing_bits = Bitstream.kind_bits ctx.bs in
+    Obs.add m_table_bits table_bits;
+    Obs.add m_routing_bits routing_bits
+  end;
   {
     locked = Shell_netlist.Rewrite.sweep_buffers dst;
     bitstream = ctx.bs;

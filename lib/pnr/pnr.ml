@@ -3,6 +3,14 @@ module Cell = Shell_netlist.Cell
 module Fabric = Shell_fabric.Fabric
 module Style = Shell_fabric.Style
 module Rng = Shell_util.Rng
+module Obs = Shell_util.Obs
+
+(* Retries are a pure function of the netlist/style/seed, and the
+   single-flight pass cache runs each distinct PnR input exactly once
+   — so the total is stable across job counts. *)
+let m_retries =
+  Obs.counter ~stable:true ~help:"fabric grow retries across all fit loops"
+    "pnr_retries"
 
 type tile = { x : int; y : int }
 
@@ -430,10 +438,19 @@ let fit_loop ?seed ?(max_grows = 16) ~style nl =
     cells;
   let fabric = Fabric.size_for style ~luts:!luts ~user_ffs:!ffs ~chain_muxes:!chain in
   let rec go fabric grows =
-    let res = run ?seed fabric nl in
+    let res =
+      Obs.with_span "pnr.attempt" (fun () ->
+          let res = run ?seed fabric nl in
+          Obs.span_add "cols" fabric.Fabric.cols;
+          Obs.span_add "rows" fabric.Fabric.rows;
+          Obs.span_add "fit" (match res.fit with Ok () -> 1 | Error _ -> 0);
+          res)
+    in
     match res.fit with
     | Ok () -> res
-    | Error shortage when grows > 0 -> go (Fabric.grow fabric shortage) (grows - 1)
+    | Error shortage when grows > 0 ->
+        Obs.incr m_retries;
+        go (Fabric.grow fabric shortage) (grows - 1)
     | Error _ -> res
   in
   go fabric max_grows

@@ -4,6 +4,23 @@
 
 module Vec = Shell_util.Vec
 module Rng = Shell_util.Rng
+module Obs = Shell_util.Obs
+
+(* Process-wide effort metrics, flushed from the per-solver counters at
+   the end of each [solve]. Registered unstable: how much work the
+   solver is asked to do depends on the attack's wall-clock budget, so
+   the totals are not a pure function of the workload. *)
+let m_solve_calls = Obs.counter ~help:"calls to Solver.solve" "solver_solve_calls"
+let m_decisions = Obs.counter ~help:"branching decisions" "solver_decisions"
+
+let m_propagations =
+  Obs.counter ~help:"literals implied by unit propagation" "solver_propagations"
+
+let m_conflicts = Obs.counter ~help:"conflicts analyzed" "solver_conflicts"
+let m_restarts = Obs.counter ~help:"Luby restarts taken" "solver_restarts"
+
+let h_learned_len =
+  Obs.histogram ~help:"learned clause length (literals)" "solver_learned_len"
 
 type clause = { lits : int array; learnt : bool }
 
@@ -24,6 +41,9 @@ type t = {
   mutable qhead : int;
   mutable unsat : bool;
   mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
   (* binary heap over vars ordered by activity *)
   heap : int Vec.t;
   mutable heap_pos : int array;  (* var -> index in heap or -1 *)
@@ -49,6 +69,9 @@ let create ?(seed = 0) () =
     qhead = 0;
     unsat = false;
     conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
     heap = Vec.create ();
     heap_pos = Array.make 1 (-1);
     seen = Array.make 1 false;
@@ -58,6 +81,21 @@ let create ?(seed = 0) () =
 
 let num_vars t = t.nvars
 let num_conflicts t = t.conflicts
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+}
+
+let stats (t : t) =
+  {
+    decisions = t.decisions;
+    propagations = t.propagations;
+    conflicts = t.conflicts;
+    restarts = t.restarts;
+  }
 
 let grow_array arr n default =
   let old = Array.length arr in
@@ -274,7 +312,10 @@ let propagate t =
               incr i
             done
           end
-          else enqueue t c.(0) ci
+          else begin
+            t.propagations <- t.propagations + 1;
+            enqueue t c.(0) ci
+          end
         end
       end
     done;
@@ -369,7 +410,8 @@ let record_learnt t lits =
     let ci = Vec.length t.clauses - 1 in
     attach t ci;
     enqueue t lits.(0) ci
-  end
+  end;
+  Obs.observe h_learned_len (Array.length lits)
 
 let add_clause t lits =
   cancel_until t 0;
@@ -430,7 +472,7 @@ let luby x =
   done;
   1 lsl !seq
 
-let solve ?(assumptions = []) ?max_conflicts t =
+let solve_search ?(assumptions = []) ?max_conflicts t =
   cancel_until t 0;
   if t.unsat then Unsat
   else if propagate t <> -1 then begin
@@ -461,6 +503,7 @@ let solve ?(assumptions = []) ?max_conflicts t =
         if t.conflicts >= budget && !result = None then result := Some Unknown
         else if !conflicts_until_restart <= 0 && !result = None then begin
           incr restart_n;
+          t.restarts <- t.restarts + 1;
           conflicts_until_restart := 100 * luby !restart_n;
           cancel_until t (Array.length assumptions)
         end
@@ -483,6 +526,7 @@ let solve ?(assumptions = []) ?max_conflicts t =
           match pick_branch t with
           | None -> result := Some Sat
           | Some v ->
+              t.decisions <- t.decisions + 1;
               Vec.push t.trail_lim (Vec.length t.trail);
               let l = if t.phase.(v) then 2 * v else (2 * v) + 1 in
               enqueue t l (-1)
@@ -494,6 +538,23 @@ let solve ?(assumptions = []) ?max_conflicts t =
         cancel_until t 0;
         r
     | None -> assert false
+  end
+
+let solve ?assumptions ?max_conflicts t =
+  if not (Obs.enabled ()) then solve_search ?assumptions ?max_conflicts t
+  else begin
+    Obs.incr m_solve_calls;
+    let d0 = t.decisions
+    and p0 = t.propagations
+    and c0 = t.conflicts
+    and r0 = t.restarts in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.add m_decisions (t.decisions - d0);
+        Obs.add m_propagations (t.propagations - p0);
+        Obs.add m_conflicts (t.conflicts - c0);
+        Obs.add m_restarts (t.restarts - r0))
+      (fun () -> solve_search ?assumptions ?max_conflicts t)
   end
 
 let value t v =

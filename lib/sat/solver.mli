@@ -42,3 +42,13 @@ val model : t -> bool array
 
 val num_conflicts : t -> int
 (** Total conflicts across all [solve] calls (attack effort metric). *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+}
+(** Cumulative search effort across all [solve] calls on this solver. *)
+
+val stats : t -> stats

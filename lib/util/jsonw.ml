@@ -1,0 +1,234 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Num of string
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let float ?(dec = 6) v =
+  if Float.is_finite v then Num (Printf.sprintf "%.*f" dec v) else Null
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  add_escaped buf s;
+  Buffer.contents buf
+
+let add_string_lit buf s =
+  Buffer.add_char buf '"';
+  add_escaped buf s;
+  Buffer.add_char buf '"'
+
+let to_buffer ?(indent = 0) buf v =
+  let pad depth =
+    if indent > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * depth) ' ')
+    end
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Num s -> Buffer.add_string buf s
+    | Str s -> add_string_lit buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            add_string_lit buf k;
+            Buffer.add_string buf (if indent > 0 then ": " else ":");
+            go (depth + 1) item)
+          fields;
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v
+
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  to_buffer ?indent buf v;
+  Buffer.contents buf
+
+(* ---------------- parser ---------------- *)
+
+exception Bad of string
+
+let utf8_of_code buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let of_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && src.[!pos] = c then incr pos
+    else raise (Bad (Printf.sprintf "expected %C at %d" c !pos))
+  in
+  let lit s v =
+    if !pos + String.length s <= n && String.sub src !pos (String.length s) = s
+    then begin
+      pos := !pos + String.length s;
+      v
+    end
+    else raise (Bad (Printf.sprintf "bad literal at %d" !pos))
+  in
+  let hex4 () =
+    if !pos + 4 > n then raise (Bad "truncated \\u escape");
+    let v = int_of_string ("0x" ^ String.sub src !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match src.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          (if !pos >= n then raise (Bad "trailing backslash");
+           let c = src.[!pos] in
+           incr pos;
+           match c with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' -> utf8_of_code buf (hex4 ())
+           | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match src.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Bad (Printf.sprintf "bad token at %d" start));
+    Num (String.sub src start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Bad "empty input")
+    | Some '"' -> Str (string_body ())
+    | Some 'n' -> lit "null" Null
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [ value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr pos;
+            items := value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            (k, value ())
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr pos;
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some _ -> number ()
+  in
+  match value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing input at %d" !pos)
+      else Ok v
+  | exception Bad m -> Error m

@@ -1,0 +1,39 @@
+(** A small escaping-correct JSON writer (and reader, for tests).
+
+    Three hand-rolled JSON emitters grew in the code base — the trace
+    serializer, the bench harness and the metrics snapshot — each with
+    its own escaping bugs waiting to happen. They now all render
+    through this one value type. Numbers can be carried preformatted
+    ([Num]) so call sites keep exact control over float precision
+    (which matters for byte-identical snapshots). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Num of string  (** preformatted number literal, emitted verbatim *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val float : ?dec:int -> float -> t
+(** [Num] with [dec] decimal places (default 6). Non-finite values
+    render as [Null] (JSON has no NaN/Infinity). *)
+
+val escape : string -> string
+(** The escaped contents of a JSON string, without the surrounding
+    quotes: quote, backslash and control characters become escape
+    sequences;
+    bytes >= 0x80 pass through untouched (the string is assumed
+    UTF-8). *)
+
+val to_buffer : ?indent:int -> Buffer.t -> t -> unit
+
+val to_string : ?indent:int -> t -> string
+(** [indent = 0] (default) is compact one-line JSON; a positive
+    [indent] pretty-prints objects and arrays at that step. *)
+
+val of_string : string -> (t, string) result
+(** Minimal strict parser, the round-trip partner of {!to_string}:
+    numbers are kept as [Num] literals verbatim, [\uXXXX] escapes are
+    decoded to UTF-8. Meant for tests and small trusted inputs. *)

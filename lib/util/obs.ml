@@ -1,0 +1,328 @@
+(* Process-wide metrics registry + span recorder.
+
+   Sharding: each domain lazily claims a shard index; a metric's cells
+   are per-shard atomics, so recording never contends and merging is a
+   sum — order-independent, which is what makes stable snapshots
+   byte-identical across job counts. Shard indices wrap at
+   [max_shards]; a wrap only means two domains share (still correct)
+   atomic cells. *)
+
+let on_flag = Atomic.make false
+let enabled () = Atomic.get on_flag
+let set_enabled b = Atomic.set on_flag b
+
+let max_shards = 128
+let next_shard = Atomic.make 0
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      Atomic.fetch_and_add next_shard 1 land (max_shards - 1))
+
+let shard () = Domain.DLS.get shard_key
+
+(* ---------------- registry ---------------- *)
+
+let nbuckets = 32
+
+type kind = K_counter | K_gauge | K_histogram
+
+type metric = {
+  name : string;
+  help : string;
+  stable : bool;
+  kind : kind;
+  cells : int Atomic.t array;
+      (* counters/gauges: one cell per shard (gauges use cell 0 only);
+         histograms: per shard, [nbuckets] bucket cells + 1 sum cell *)
+}
+
+let registry : metric list ref = ref [] (* newest first *)
+let reg_mutex = Mutex.create ()
+
+let register name help stable kind =
+  let ncells =
+    match kind with
+    | K_counter | K_gauge -> max_shards
+    | K_histogram -> max_shards * (nbuckets + 1)
+  in
+  let m =
+    { name; help; stable; kind; cells = Array.init ncells (fun _ -> Atomic.make 0) }
+  in
+  Mutex.lock reg_mutex;
+  if List.exists (fun m' -> m'.name = name) !registry then begin
+    Mutex.unlock reg_mutex;
+    invalid_arg ("Obs: duplicate metric " ^ name)
+  end;
+  registry := m :: !registry;
+  Mutex.unlock reg_mutex;
+  m
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let counter ?(stable = false) ~help name = register name help stable K_counter
+
+let add m n =
+  if Atomic.get on_flag then
+    ignore (Atomic.fetch_and_add m.cells.(shard ()) n)
+
+let incr m = add m 1
+
+let gauge ?(stable = false) ~help name = register name help stable K_gauge
+let set m v = if Atomic.get on_flag then Atomic.set m.cells.(0) v
+
+let histogram ?(stable = false) ~help name =
+  register name help stable K_histogram
+
+(* bucket 0: v <= 1; bucket i: 2^(i-1) < v <= 2^i; top bucket absorbs
+   the overflow *)
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    let b =
+      (* index of the highest set bit of (v - 1), plus one *)
+      let x = v - 1 in
+      let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + 1) in
+      go x 0
+    in
+    min b (nbuckets - 1)
+
+let observe m v =
+  if Atomic.get on_flag then begin
+    let base = shard () * (nbuckets + 1) in
+    ignore (Atomic.fetch_and_add m.cells.(base + bucket_of v) 1);
+    ignore (Atomic.fetch_and_add m.cells.(base + nbuckets) v)
+  end
+
+let observe_us m seconds =
+  if Atomic.get on_flag then observe m (int_of_float (1e6 *. seconds))
+
+(* ---------------- snapshots ---------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { buckets : int array; count : int; sum : int }
+
+type sample = { name : string; help : string; stable : bool; value : value }
+
+let sample_of (m : metric) =
+  let value =
+    match m.kind with
+    | K_counter ->
+        let total = ref 0 in
+        Array.iter (fun c -> total := !total + Atomic.get c) m.cells;
+        Counter !total
+    | K_gauge -> Gauge (Atomic.get m.cells.(0))
+    | K_histogram ->
+        let buckets = Array.make nbuckets 0 in
+        let sum = ref 0 in
+        for s = 0 to max_shards - 1 do
+          let base = s * (nbuckets + 1) in
+          for b = 0 to nbuckets - 1 do
+            buckets.(b) <- buckets.(b) + Atomic.get m.cells.(base + b)
+          done;
+          sum := !sum + Atomic.get m.cells.(base + nbuckets)
+        done;
+        let count = Array.fold_left ( + ) 0 buckets in
+        Histogram { buckets; count; sum = !sum }
+  in
+  { name = m.name; help = m.help; stable = m.stable; value }
+
+let snapshot () =
+  Mutex.lock reg_mutex;
+  let ms = !registry in
+  Mutex.unlock reg_mutex;
+  List.rev_map sample_of ms
+
+let keep stable_only s = (not stable_only) || s.stable
+
+let json ?(stable_only = false) samples =
+  let metric s =
+    let base =
+      [
+        ("name", Jsonw.Str s.name);
+        ("help", Jsonw.Str s.help);
+        ("stable", Jsonw.Bool s.stable);
+      ]
+    in
+    match s.value with
+    | Counter v -> Jsonw.Obj (base @ [ ("type", Str "counter"); ("value", Int v) ])
+    | Gauge v -> Jsonw.Obj (base @ [ ("type", Str "gauge"); ("value", Int v) ])
+    | Histogram { buckets; count; sum } ->
+        Jsonw.Obj
+          (base
+          @ [
+              ("type", Str "histogram");
+              ("count", Int count);
+              ("sum", Int sum);
+              ( "buckets",
+                Arr (Array.to_list (Array.map (fun b -> Jsonw.Int b) buckets))
+              );
+            ])
+  in
+  Jsonw.Obj
+    [
+      ( "metrics",
+        Arr (List.filter_map
+               (fun s -> if keep stable_only s then Some (metric s) else None)
+               samples) );
+    ]
+
+let to_json ?stable_only samples =
+  Jsonw.to_string ~indent:2 (json ?stable_only samples)
+
+let to_prometheus ?(stable_only = false) samples =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      if keep stable_only s then begin
+        let n = "shell_" ^ s.name in
+        Printf.bprintf buf "# HELP %s %s\n" n s.help;
+        match s.value with
+        | Counter v ->
+            Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n v
+        | Gauge v -> Printf.bprintf buf "# TYPE %s gauge\n%s %d\n" n n v
+        | Histogram { buckets; count; sum } ->
+            Printf.bprintf buf "# TYPE %s histogram\n" n;
+            let cum = ref 0 in
+            Array.iteri
+              (fun i b ->
+                cum := !cum + b;
+                if i < nbuckets - 1 then
+                  Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" n (1 lsl i)
+                    !cum)
+              buckets;
+            Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" n count;
+            Printf.bprintf buf "%s_sum %d\n%s_count %d\n" n sum n count
+      end)
+    samples;
+  Buffer.contents buf
+
+let stable_from_env () =
+  match Sys.getenv_opt "SHELL_METRICS_STABLE" with
+  | Some ("1" | "true") -> true
+  | _ -> false
+
+let write_file path =
+  let stable_only = stable_from_env () in
+  let samples = snapshot () in
+  let text =
+    if Filename.check_suffix path ".prom" then
+      to_prometheus ~stable_only samples
+    else to_json ~stable_only samples ^ "\n"
+  in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* ---------------- spans ---------------- *)
+
+type span = {
+  name : string;
+  seconds : float;
+  counters : (string * int) list;
+  children : span list;
+}
+
+(* open spans accumulate children/counters newest-first; [freeze]
+   restores recording order for the public view *)
+type open_span = {
+  sname : string;
+  mutable acc : (string * int) list;
+  mutable kids : span list;
+}
+
+type stack = { mutable stack : open_span list }
+
+let stack_key = Domain.DLS.new_key (fun () -> { stack = [] })
+
+let roots : span list ref = ref [] (* newest first *)
+let roots_mutex = Mutex.create ()
+
+let freeze o seconds =
+  {
+    name = o.sname;
+    seconds;
+    counters = List.rev o.acc;
+    children = List.rev o.kids;
+  }
+
+let with_span name f =
+  if not (Atomic.get on_flag) then f ()
+  else begin
+    let st = Domain.DLS.get stack_key in
+    let o = { sname = name; acc = []; kids = [] } in
+    st.stack <- o :: st.stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let sp = freeze o (Unix.gettimeofday () -. t0) in
+        (match st.stack with
+        | top :: rest when top == o -> st.stack <- rest
+        | _ -> () (* unbalanced: leave the stack alone *));
+        match st.stack with
+        | parent :: _ -> parent.kids <- sp :: parent.kids
+        | [] ->
+            Mutex.lock roots_mutex;
+            roots := sp :: !roots;
+            Mutex.unlock roots_mutex)
+      f
+  end
+
+let span_add name v =
+  if Atomic.get on_flag then
+    match (Domain.DLS.get stack_key).stack with
+    | o :: _ -> o.acc <- (name, v) :: o.acc
+    | [] -> ()
+
+let spans () =
+  Mutex.lock roots_mutex;
+  let r = !roots in
+  Mutex.unlock roots_mutex;
+  List.rev r
+
+let pp_spans ppf spans =
+  let rec go depth sp =
+    Format.fprintf ppf "%s%-*s %8.1f ms"
+      (String.make (2 * depth) ' ')
+      (max 1 (24 - (2 * depth)))
+      sp.name (1000.0 *. sp.seconds);
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) sp.counters;
+    Format.pp_print_newline ppf ();
+    List.iter (go (depth + 1)) sp.children
+  in
+  List.iter (go 0) spans
+
+let rec span_json sp =
+  Jsonw.Obj
+    [
+      ("name", Jsonw.Str sp.name);
+      ("seconds", Jsonw.float sp.seconds);
+      ("counters", Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Int v)) sp.counters));
+      ("children", Jsonw.Arr (List.map span_json sp.children));
+    ]
+
+let spans_json spans = Jsonw.Arr (List.map span_json spans)
+
+let reset () =
+  Mutex.lock reg_mutex;
+  let ms = !registry in
+  Mutex.unlock reg_mutex;
+  List.iter (fun m -> Array.iter (fun c -> Atomic.set c 0) m.cells) ms;
+  Mutex.lock roots_mutex;
+  roots := [];
+  Mutex.unlock roots_mutex
+
+(* ---------------- env gates ---------------- *)
+
+let () =
+  (match Sys.getenv_opt "SHELL_OBS" with
+  | Some ("1" | "true") -> set_enabled true
+  | _ -> ());
+  match Sys.getenv_opt "SHELL_METRICS" with
+  | Some path when path <> "" ->
+      set_enabled true;
+      at_exit (fun () -> try write_file path with Sys_error _ -> ())
+  | _ -> ()

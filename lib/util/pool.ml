@@ -33,6 +33,32 @@ let pool =
 let inside_key = Domain.DLS.new_key (fun () -> false)
 let inside_task () = Domain.DLS.get inside_key
 
+(* Telemetry. Tasks and batches are counted at the [mapi] choke point
+   — before the sequential/parallel path split — so the totals are a
+   count of what reaches these entry points — but callers with their
+   own sequential fallback (e.g. Centrality.betweenness below nsrc=4
+   or at jobs=1) bypass the pool entirely, so the totals legitimately
+   vary with the job count and register as unstable, like the
+   queue-wait / latency histograms and the busy-time counter (which
+   only see the parallel path and carry wall-clock values). *)
+let m_tasks =
+  Obs.counter ~help:"tasks submitted to the domain pool" "pool_tasks"
+
+let m_batches =
+  Obs.counter ~help:"batches submitted to the domain pool" "pool_batches"
+
+let h_queue_wait_us =
+  Obs.histogram ~help:"microseconds between batch submission and task start"
+    "pool_queue_wait_us"
+
+let h_task_us =
+  Obs.histogram ~help:"task execution microseconds" "pool_task_us"
+
+let m_busy_us =
+  Obs.counter
+    ~help:"summed task execution microseconds across all pool domains"
+    "pool_busy_us"
+
 let max_jobs = 64
 
 let parse_env () =
@@ -103,6 +129,19 @@ let ensure_workers n =
 
 let run_batch ~jobs ~total run_task =
   if total <= 0 then invalid_arg "Pool.run_batch: empty batch";
+  let run_task =
+    if not (Obs.enabled ()) then run_task
+    else begin
+      let submitted = Clock.now () in
+      fun i ->
+        let t0 = Clock.now () in
+        Obs.observe_us h_queue_wait_us (t0 -. submitted);
+        run_task i;
+        let dt = Clock.now () -. t0 in
+        Obs.observe_us h_task_us dt;
+        Obs.add m_busy_us (int_of_float (1e6 *. dt))
+    end
+  in
   Mutex.lock pool.mutex;
   ensure_workers (jobs - 1);
   while pool.current <> None do
@@ -135,7 +174,17 @@ let seq_mapi f arr =
     out
   end
 
-let mapi ?jobs f arr =
+(* Counted on every path (sequential, parallel, nested) so the totals
+   match at any job count. [iter_chunks] counts its logical element
+   count, not its piece count — the piece count is a function of the
+   job count and would break snapshot byte-identity. *)
+let count_batch n =
+  if n > 0 then begin
+    Obs.incr m_batches;
+    Obs.add m_tasks n
+  end
+
+let mapi_uncounted ?jobs f arr =
   let n = Array.length arr in
   let jobs = resolve jobs in
   if n <= 1 || jobs <= 1 || inside_task () then seq_mapi f arr
@@ -152,6 +201,10 @@ let mapi ?jobs f arr =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
+let mapi ?jobs f arr =
+  count_batch (Array.length arr);
+  mapi_uncounted ?jobs f arr
+
 let map ?jobs f arr = mapi ?jobs (fun _ x -> f x) arr
 
 let map_list ?jobs f l = Array.to_list (map ?jobs f (Array.of_list l))
@@ -161,6 +214,7 @@ let map_reduce ?jobs ~map:f ~reduce ~init arr =
 
 let iter_chunks ?jobs ?chunk f n =
   if n > 0 then begin
+    count_batch n;
     let jobs = resolve jobs in
     let chunk =
       match chunk with
@@ -171,7 +225,7 @@ let iter_chunks ?jobs ?chunk f n =
     let bounds =
       Array.init pieces (fun k -> (k * chunk, min n ((k + 1) * chunk)))
     in
-    ignore (mapi ~jobs (fun _ (lo, hi) -> f lo hi) bounds)
+    ignore (mapi_uncounted ~jobs (fun _ (lo, hi) -> f lo hi) bounds)
   end
 
 let task_rng ~seed i =

@@ -29,20 +29,19 @@ let pp ppf spans =
   Format.fprintf ppf "  %-14s %8.1f ms  (%d/%d passes cached)@]" "total"
     (1000.0 *. total) hits (List.length spans)
 
-let to_json spans =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf "[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_string buf ",";
-      Printf.bprintf buf
-        "\n    { \"pass\": \"%s\", \"seconds\": %.6f, \"cache_hit\": %b, \"counters\": {"
-        s.pass s.seconds s.cache_hit;
-      List.iteri
-        (fun j (k, v) ->
-          Printf.bprintf buf "%s\"%s\": %d" (if j > 0 then ", " else " ") k v)
-        s.counters;
-      Buffer.add_string buf " } }")
-    spans;
-  Buffer.add_string buf "\n  ]";
-  Buffer.contents buf
+let json spans =
+  Jsonw.Arr
+    (List.map
+       (fun s ->
+         Jsonw.Obj
+           [
+             ("pass", Jsonw.Str s.pass);
+             ("seconds", Jsonw.float s.seconds);
+             ("cache_hit", Jsonw.Bool s.cache_hit);
+             ( "counters",
+               Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Int v)) s.counters)
+             );
+           ])
+       spans)
+
+let to_json spans = Jsonw.to_string ~indent:2 (json spans)

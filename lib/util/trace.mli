@@ -26,6 +26,9 @@ val pp_span : Format.formatter -> span -> unit
 val pp : Format.formatter -> span list -> unit
 (** Aligned table, one line per span, with a total row. *)
 
-val to_json : span list -> string
+val json : span list -> Jsonw.t
 (** JSON array; schema documented in DESIGN.md §3e:
     [{"pass": .., "seconds": .., "cache_hit": .., "counters": {..}}]. *)
+
+val to_json : span list -> string
+(** [json] rendered through {!Jsonw.to_string}. *)

@@ -17,4 +17,5 @@ let () =
       ("circuits", Test_circuits.suite);
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,8 +1,9 @@
-(* Unit and property tests for shell_util: Rng, Truthtab, Vec. *)
+(* Unit and property tests for shell_util: Rng, Truthtab, Vec, Jsonw. *)
 
 module Rng = Shell_util.Rng
 module Truthtab = Shell_util.Truthtab
 module Vec = Shell_util.Vec
+module J = Shell_util.Jsonw
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -160,6 +161,47 @@ let test_vec_fold_iter () =
   Alcotest.(check (list int)) "to_list" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (Vec.to_list v)
 
+(* ---- Jsonw ---- *)
+
+let test_jsonw_escaping () =
+  let nasty = "quote \" backslash \\ newline \n tab \t nul \x00 bell \x07" in
+  let s = J.to_string (J.Str nasty) in
+  Alcotest.(check bool) "escapes the quote" true
+    (String.length s > 2 && s.[0] = '"');
+  match J.of_string s with
+  | Ok (J.Str back) -> Alcotest.(check string) "round-trips" nasty back
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error e -> Alcotest.fail ("parse error: " ^ e)
+
+let test_jsonw_roundtrip_doc () =
+  let doc =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("bools", J.Arr [ J.Bool true; J.Bool false ]);
+        ("int", J.Int (-42));
+        ("num", J.float ~dec:3 1.5);
+        ("str", J.Str "weird \"keys\"\\and\nvalues");
+        ("nested", J.Obj [ ("empty_arr", J.Arr []); ("empty_obj", J.Obj []) ]);
+      ]
+  in
+  (* the parser keeps numbers as verbatim [Num] literals, so
+     round-trips are compared on the serialized form *)
+  let compact = J.to_string doc in
+  let pretty = J.to_string ~indent:2 doc in
+  (match J.of_string compact with
+  | Ok back -> Alcotest.(check string) "compact round-trips" compact (J.to_string back)
+  | Error e -> Alcotest.fail ("compact parse error: " ^ e));
+  match J.of_string pretty with
+  | Ok back -> Alcotest.(check string) "pretty round-trips" compact (J.to_string back)
+  | Error e -> Alcotest.fail ("pretty parse error: " ^ e)
+
+let test_jsonw_float_special () =
+  Alcotest.(check bool) "nan is null" true (J.float Float.nan = J.Null);
+  Alcotest.(check bool) "inf is null" true (J.float Float.infinity = J.Null);
+  Alcotest.(check string) "dec respected" "0.25"
+    (J.to_string (J.float ~dec:2 0.25))
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -182,4 +224,7 @@ let suite =
     ("vec pop", `Quick, test_vec_pop);
     ("vec bounds", `Quick, test_vec_bounds);
     ("vec fold/iter", `Quick, test_vec_fold_iter);
+    ("jsonw escaping", `Quick, test_jsonw_escaping);
+    ("jsonw document round-trip", `Quick, test_jsonw_roundtrip_doc);
+    ("jsonw float specials", `Quick, test_jsonw_float_special);
   ]

@@ -16,6 +16,7 @@ module L = Shell_locking
 module A = Shell_attacks
 module C = Shell_core
 module Circ = Shell_circuits
+module Fz = Shell_fuzz
 module Diag = Shell_util.Diag
 module Obs = Shell_util.Obs
 open Cmdliner
@@ -439,6 +440,103 @@ let stats_cmd =
       const stats_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
       $ attack)
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_run metrics seed cases jobs oracle_names self_test no_shrink dir
+    list_oracles =
+  with_metrics metrics @@ fun () ->
+  if list_oracles then
+    List.iter
+      (fun (o : Fz.Oracles.t) ->
+        Printf.printf "%-12s %s\n" o.Fz.Oracles.name o.Fz.Oracles.description)
+      Fz.Oracles.all
+  else begin
+    let oracles =
+      match oracle_names with
+      | [] -> Fz.Oracles.all
+      | names ->
+          List.map
+            (fun nm ->
+              match Fz.Oracles.find nm with
+              | Some o -> o
+              | None -> dief "unknown oracle %S (try --list-oracles)" nm)
+            names
+    in
+    if self_test then begin
+      let stats = Fz.Runner.self_test ?jobs ~oracles ~seed ~cases () in
+      Fz.Runner.pp_self_test Format.std_formatter stats;
+      if not (Fz.Runner.self_test_ok stats) then begin
+        prerr_endline "self-test failed: some oracle is blind to its fault class";
+        exit 1
+      end
+    end
+    else begin
+      let report =
+        Fz.Runner.run ?jobs ~oracles ~shrink:(not no_shrink) ?out_dir:dir ~seed
+          ~cases ()
+      in
+      Fz.Runner.pp_report Format.std_formatter report;
+      if not (Fz.Runner.ok report) then exit 1
+    end
+  end
+
+let fuzz_cmd =
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "cases" ] ~docv:"N"
+          ~doc:"Number of random cases to generate.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: SHELL_JOBS or the core count). The \
+             report is byte-identical for any value.")
+  in
+  let oracle =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Run only this oracle (repeatable; default: all).")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Mutation-injection mode: inject single faults and verify every \
+             oracle catches its fault class at least once.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Write a minimized Verilog reproducer per failure into $(docv).")
+  in
+  let list_oracles =
+    Arg.(
+      value & flag
+      & info [ "list-oracles" ] ~doc:"List the oracle battery and exit.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random netlists through the oracle battery \
+          (sim vs SAT, passes vs Equiv, lock/unlock, emit round-trips). \
+          Deterministic in --seed; exits 1 on any failure.")
+    Term.(
+      const fuzz_run $ metrics_arg $ seed_arg $ cases $ jobs $ oracle
+      $ self_test $ no_shrink $ dir $ list_oracles)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -446,4 +544,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "shell" ~version:"1.0.0" ~doc)
-          [ list_cmd; analyze_cmd; lock_cmd; lock_file_cmd; attack_cmd; stats_cmd ]))
+          [
+            list_cmd;
+            analyze_cmd;
+            lock_cmd;
+            lock_file_cmd;
+            attack_cmd;
+            stats_cmd;
+            fuzz_cmd;
+          ]))

@@ -1,0 +1,125 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rng = Shell_util.Rng
+module Truthtab = Shell_util.Truthtab
+
+type shape = {
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  with_luts : bool;
+  with_muxes : bool;
+  with_dffs : bool;
+  key_bits : int;
+  blocks : int;
+  adversarial_names : bool;
+}
+
+let pp_shape ppf s =
+  Format.fprintf ppf "in=%d out=%d gates=%d%s%s%s%s key=%d blocks=%d"
+    s.n_inputs s.n_outputs s.n_gates
+    (if s.with_luts then " luts" else "")
+    (if s.with_muxes then " muxes" else "")
+    (if s.with_dffs then " dffs" else "")
+    (if s.adversarial_names then " n-names" else "")
+    s.key_bits s.blocks
+
+let random_shape rng =
+  {
+    n_inputs = 3 + Rng.int rng 6;
+    n_outputs = 1 + Rng.int rng 4;
+    n_gates = 12 + Rng.int rng 60;
+    with_luts = Rng.int rng 3 > 0;
+    with_muxes = Rng.int rng 4 > 0;
+    with_dffs = Rng.int rng 4 = 0;
+    key_bits = (if Rng.int rng 3 = 0 then 1 + Rng.int rng 5 else 0);
+    blocks = 1 + Rng.int rng 3;
+    adversarial_names = Rng.int rng 4 = 0;
+  }
+
+let netlist rng shape =
+  let nl = N.create "fuzz" in
+  (* An input named like an anonymous-net fallback ("n<k>") keeps
+     pressure on the emitter's uniquification. *)
+  let adversarial_at =
+    if shape.adversarial_names then Rng.int rng shape.n_inputs else -1
+  in
+  let input_name i =
+    if i = adversarial_at then
+      Printf.sprintf "n%d" (Rng.int rng (shape.n_inputs + shape.n_gates + 4))
+    else Printf.sprintf "i%d" i
+  in
+  let ins = Array.init shape.n_inputs (fun i -> N.add_input nl (input_name i)) in
+  let keys =
+    Array.init shape.key_bits (fun i -> N.add_key nl (Printf.sprintf "k%d" i))
+  in
+  let pool = ref (Array.append ins keys) in
+  let pick () = Rng.choice rng !pool in
+  (* Flop outputs exist up front so combinational logic can read state;
+     the Dff cells themselves are appended once the pool is complete. *)
+  let n_dffs = if shape.with_dffs then 1 + Rng.int rng 3 else 0 in
+  let dff_q = Array.init n_dffs (fun _ -> N.new_net nl) in
+  if n_dffs > 0 then pool := Array.append !pool dff_q;
+  let block_of g = g * shape.blocks / max 1 shape.n_gates in
+  for g = 0 to shape.n_gates - 1 do
+    let origin = Printf.sprintf "top/b%d" (block_of g) in
+    (* block b0 is route-shaped: mostly muxes when muxes are enabled *)
+    let mux_bias =
+      shape.with_muxes && (block_of g = 0 || Rng.int rng 4 = 0)
+    in
+    let out =
+      if mux_bias && Rng.int rng 3 > 0 then
+        if Rng.int rng 5 = 0 then
+          N.mux4 ~origin nl ~s0:(pick ()) ~s1:(pick ())
+            (Array.init 4 (fun _ -> pick ()))
+        else N.mux2 ~origin nl ~sel:(pick ()) ~a:(pick ()) ~b:(pick ())
+      else
+        match Rng.int rng 12 with
+        | 0 -> N.and_ ~origin nl (pick ()) (pick ())
+        | 1 -> N.or_ ~origin nl (pick ()) (pick ())
+        | 2 -> N.xor_ ~origin nl (pick ()) (pick ())
+        | 3 -> N.nand_ ~origin nl (pick ()) (pick ())
+        | 4 -> N.nor_ ~origin nl (pick ()) (pick ())
+        | 5 -> N.xnor_ ~origin nl (pick ()) (pick ())
+        | 6 -> N.not_ ~origin nl (pick ())
+        | 7 -> N.buf ~origin nl (pick ())
+        | 8 when shape.with_luts ->
+            let arity = 2 + Rng.int rng 3 in
+            let tt =
+              Truthtab.create ~arity ~bits:(Rng.bits64 rng)
+            in
+            N.lut ~origin nl tt (Array.init arity (fun _ -> pick ()))
+        | 9 when Rng.int rng 3 = 0 -> N.const ~origin nl (Rng.bool rng)
+        | _ -> N.and_ ~origin nl (pick ()) (pick ())
+    in
+    pool := Array.append !pool [| out |]
+  done;
+  for i = 0 to n_dffs - 1 do
+    N.add_cell nl
+      (Cell.make ~origin:"top/state" Cell.Dff [| pick () |] dff_q.(i))
+  done;
+  (* outputs: distinct nets drawn from the most recently created logic *)
+  let len = Array.length !pool in
+  let chosen = Hashtbl.create 8 in
+  let n_out = ref 0 in
+  let tries = ref 0 in
+  while !n_out < shape.n_outputs && !tries < 50 do
+    incr tries;
+    let net = (!pool).(len - 1 - Rng.int rng (min len (shape.n_outputs * 4))) in
+    if not (Hashtbl.mem chosen net) then begin
+      Hashtbl.add chosen net ();
+      N.add_output nl (Printf.sprintf "o%d" !n_out) net;
+      incr n_out
+    end
+  done;
+  if !n_out = 0 then N.add_output nl "o0" (!pool).(len - 1);
+  (match N.validate nl with
+  | Ok () -> ()
+  | Error d ->
+      failwith
+        ("Fuzz.Gen.netlist: generator produced an invalid netlist: "
+        ^ Shell_util.Diag.to_string d));
+  nl
+
+let vectors rng ~count ~width =
+  List.init count (fun _ -> Array.init width (fun _ -> Rng.bool rng))

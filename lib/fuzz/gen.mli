@@ -1,0 +1,40 @@
+(** Deterministic random netlist and workload generation.
+
+    The fuzzer's input distribution: every case draws a {!shape} (the
+    structural knobs) and then a netlist realizing it, both from an
+    explicit {!Shell_util.Rng.t}, so a (seed, case-index) pair fully
+    determines the design under test. Generated netlists always
+    validate ({!Shell_netlist.Netlist.validate}) and are acyclic.
+
+    Shapes deliberately cover the emitter's historical trouble spots:
+    a quarter of generated designs carry a primary input literally
+    named [n<k>] (the fallback-name family used for anonymous nets),
+    and origins are block-structured ([top/b0], [top/b1], ...) so the
+    full lock pipeline can select ROUTE/LGC regions on them. *)
+
+type shape = {
+  n_inputs : int;  (** primary inputs, >= 2 *)
+  n_outputs : int;  (** primary outputs, >= 1 *)
+  n_gates : int;  (** combinational cells to grow *)
+  with_luts : bool;  (** include random [Lut] cells *)
+  with_muxes : bool;  (** include [Mux2]/[Mux4] cells *)
+  with_dffs : bool;  (** include flops (feedback allowed) *)
+  key_bits : int;  (** key input ports mixed into the logic *)
+  blocks : int;  (** origin-tagged blocks ([top/b<i>]), >= 1 *)
+  adversarial_names : bool;  (** name an input [n<k>] to hunt aliasing *)
+}
+
+val pp_shape : Format.formatter -> shape -> unit
+(** One-line rendering, e.g. [in=5 out=2 gates=40 luts+muxes blocks=2]. *)
+
+val random_shape : Shell_util.Rng.t -> shape
+
+val netlist : Shell_util.Rng.t -> shape -> Shell_netlist.Netlist.t
+(** Realize a shape. Block [b0] is biased toward muxes (route-like)
+    when [with_muxes] so the pipeline's ROUTE selection has a natural
+    target. Raises [Failure] if the generated netlist does not
+    validate — that is a generator bug, and the fuzzer treats it as
+    such. *)
+
+val vectors : Shell_util.Rng.t -> count:int -> width:int -> bool array list
+(** Random stimulus vectors. *)

@@ -1,0 +1,83 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rng = Shell_util.Rng
+module Truthtab = Shell_util.Truthtab
+
+type mutation = { label : string; cell : int; netlist : N.t }
+
+(* Cells whose output cone reaches a primary output (mutating dead
+   logic is undetectable by construction). *)
+let live_cells nl =
+  let live = Array.make (max 1 (N.num_cells nl)) false in
+  let seen_net = Array.make (max 1 (N.num_nets nl)) false in
+  let rec walk net =
+    if not seen_net.(net) then begin
+      seen_net.(net) <- true;
+      match N.driver nl net with
+      | None -> ()
+      | Some ci ->
+          live.(ci) <- true;
+          Array.iter walk (N.cell nl ci).Cell.ins
+    end
+  in
+  Array.iter walk (N.output_nets nl);
+  live
+
+let swap arr i j =
+  let a = Array.copy arr in
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t;
+  a
+
+(* A single candidate fault for one cell, or None for kinds where no
+   cell-local change alters the function (commutative gates aside from
+   negation are handled via kind flips). *)
+let fault rng (c : Cell.t) =
+  let negated kind = Some (Cell.{ c with kind }, "gate-negate") in
+  match c.Cell.kind with
+  | Cell.Lut tt ->
+      let row = Rng.int rng (1 lsl Truthtab.arity tt) in
+      let bits = Int64.logxor (Truthtab.bits tt) (Int64.shift_left 1L row) in
+      let tt' = Truthtab.create ~arity:(Truthtab.arity tt) ~bits in
+      Some ({ c with Cell.kind = Cell.Lut tt' }, "lut-bit-flip")
+  | Cell.Mux2 ->
+      if Rng.bool rng && c.Cell.ins.(1) <> c.Cell.ins.(2) then
+        Some ({ c with Cell.ins = swap c.Cell.ins 1 2 }, "mux-arm-swap")
+      else Some ({ c with Cell.ins = swap c.Cell.ins 0 1 }, "mux-sel-swap")
+  | Cell.Mux4 ->
+      let i = 2 + Rng.int rng 4 and j = 2 + Rng.int rng 4 in
+      if i <> j && c.Cell.ins.(i) <> c.Cell.ins.(j) then
+        Some ({ c with Cell.ins = swap c.Cell.ins i j }, "mux-arm-swap")
+      else Some ({ c with Cell.ins = swap c.Cell.ins 0 2 }, "mux-sel-swap")
+  | Cell.And -> negated Cell.Nand
+  | Cell.Nand -> negated Cell.And
+  | Cell.Or -> negated Cell.Nor
+  | Cell.Nor -> negated Cell.Or
+  | Cell.Xor -> negated Cell.Xnor
+  | Cell.Xnor -> negated Cell.Xor
+  | Cell.Not -> Some ({ c with Cell.kind = Cell.Buf }, "gate-negate")
+  | Cell.Buf -> Some ({ c with Cell.kind = Cell.Not }, "gate-negate")
+  | Cell.Const b ->
+      Some ({ c with Cell.kind = Cell.Const (not b) }, "const-flip")
+  | Cell.Dff | Cell.Config_latch -> None
+
+let mutate rng nl =
+  let n = N.num_cells nl in
+  if n = 0 then None
+  else begin
+    let live = live_cells nl in
+    let result = ref None in
+    let tries = ref 0 in
+    while !result = None && !tries < 16 do
+      incr tries;
+      let i = Rng.int rng n in
+      if live.(i) then
+        match fault rng (N.cell nl i) with
+        | Some (c', label) ->
+            let netlist = N.map_cells nl (fun j c -> if j = i then c' else c) in
+            result := Some { label; cell = i; netlist }
+        | None -> ()
+    done;
+    !result
+  end

@@ -1,0 +1,26 @@
+(** Single-fault mutation injection — the fuzzer's self-test seam.
+
+    A differential oracle is only trustworthy if it demonstrably fails
+    on a netlist that computes a different function. [mutate] plants
+    exactly one such fault — a flipped LUT truth-table row, swapped
+    mux arms, a negated gate — into a cell on some primary-output
+    cone, and the self-test then asserts the oracle's comparator
+    reports the mismatch.
+
+    Every mutation preserves structural validity and acyclicity (only
+    cell-local kind/operand-order changes, never connectivity), so a
+    detection failure always means the {e oracle} is blind, not that
+    the mutant crashed. *)
+
+type mutation = {
+  label : string;  (** e.g. ["lut-bit-flip"], ["mux-arm-swap"] *)
+  cell : int;  (** mutated cell index *)
+  netlist : Shell_netlist.Netlist.t;
+}
+
+val mutate : Shell_util.Rng.t -> Shell_netlist.Netlist.t -> mutation option
+(** Inject one fault into a cell reachable from a primary output.
+    [None] when no cell admits a function-changing mutation (e.g. a
+    pure wire of buffers). Mutations can still be functionally masked
+    (a flipped don't-care row); callers average detection over several
+    mutants. *)

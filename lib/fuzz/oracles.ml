@@ -1,0 +1,601 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Sim = Shell_netlist.Sim
+module Cnf = Shell_netlist.Cnf
+module Equiv = Shell_netlist.Equiv
+module Verilog = Shell_netlist.Verilog
+module Vcd = Shell_netlist.Vcd
+module Specialize = Shell_netlist.Specialize
+module Solver = Shell_sat.Solver
+module Opt = Shell_synth.Opt
+module Lut_map = Shell_synth.Lut_map
+module Mux_chain = Shell_synth.Mux_chain
+module Schemes = Shell_locking.Schemes
+module Locked = Shell_locking.Locked
+module Emit = Shell_fabric.Emit
+module Style = Shell_fabric.Style
+module Bitstream = Shell_fabric.Bitstream
+module Flow = Shell_core.Flow
+module Pipeline = Shell_core.Pipeline
+module Extraction = Shell_core.Extraction
+module Rng = Shell_util.Rng
+module Diag = Shell_util.Diag
+
+type verdict = Pass | Fail of string | Skip of string
+
+let pp_verdict ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Fail m -> Format.fprintf ppf "FAIL: %s" m
+  | Skip m -> Format.fprintf ppf "skip (%s)" m
+
+type t = {
+  name : string;
+  description : string;
+  applies : Gen.shape -> bool;
+  run : Rng.t -> N.t -> verdict;
+  inject : Rng.t -> N.t -> verdict option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let vec_str v = String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let has_dff nl = N.count_kind nl (function Cell.Dff -> true | _ -> false) > 0
+
+let comb_of nl = if has_dff nl then N.comb_view nl else nl
+
+let rand_bits rng n = Array.init n (fun _ -> Rng.bool rng)
+
+(* Vector equivalence as a verdict. Sequential designs go through the
+   clocked black-box check (no scan-port-order assumption, so passes
+   that reorder flops are not falsely flagged). *)
+let equiv_verdict ?(vectors = 64) rng ~keys_a ~keys_b a b =
+  let render = function
+    | Equiv.Equivalent -> Pass
+    | Equiv.Counterexample v -> Fail ("differs on input " ^ vec_str v)
+  in
+  match
+    if has_dff a || has_dff b then
+      Equiv.check_sequential ~runs:4 ~cycles:16 ~rng ~keys_a ~keys_b a b
+    else Equiv.check ~vectors ~rng ~keys_a ~keys_b a b
+  with
+  | v -> render v
+  | exception Invalid_argument m -> Fail ("comparator: " ^ m)
+
+(* Run a semantics-preserving transform and compare against the
+   original under a shared random key. A transform that raises is a
+   bug, not a skip. *)
+let transform_oracle ~name ~description ?(applies = fun _ -> true) f =
+  let compare_pair rng a b =
+    let keys = rand_bits rng (List.length (N.keys a)) in
+    let keys_b =
+      if List.length (N.keys b) = Array.length keys then keys else [||]
+    in
+    equiv_verdict rng ~keys_a:keys ~keys_b a b
+  in
+  let run rng nl =
+    match f rng nl with
+    | nl' -> compare_pair rng nl nl'
+    | exception Diag.Error d -> Skip (Diag.to_string d)
+    | exception Invalid_argument m -> Fail (name ^ " raised Invalid_argument: " ^ m)
+    | exception Failure m -> Fail (name ^ " raised Failure: " ^ m)
+  in
+  let inject rng nl =
+    match f rng nl with
+    | exception _ -> None
+    | nl' -> (
+        match Inject.mutate rng nl' with
+        | None -> None
+        | Some m -> Some (compare_pair rng nl m.Inject.netlist))
+  in
+  { name; description; applies; run; inject }
+
+(* ------------------------------------------------------------------ *)
+(* Sim vs CNF                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate [encoded] through Tseitin + CDCL on concrete vectors and
+   compare with cycle-accurate simulation of [golden]. *)
+let sim_cnf_compare rng ~golden ~encoded =
+  let n_in = Array.length (N.input_nets golden) in
+  let n_key = Array.length (N.key_nets golden) in
+  let sim = Sim.create golden in
+  let cnf = Cnf.encode encoded in
+  let rec go k =
+    if k >= 8 then Pass
+    else begin
+      let ins = rand_bits rng n_in in
+      let keys = rand_bits rng n_key in
+      let outs = Sim.eval_comb sim ~keys ins in
+      let solver = Solver.create () in
+      Solver.ensure_vars solver cnf.Cnf.nvars;
+      List.iter (Solver.add_clause solver) cnf.Cnf.clauses;
+      Array.iteri
+        (fun i net -> Solver.add_clause solver [ Cnf.lit cnf net ins.(i) ])
+        (N.input_nets encoded);
+      Array.iteri
+        (fun i net -> Solver.add_clause solver [ Cnf.lit cnf net keys.(i) ])
+        (N.key_nets encoded);
+      match Solver.solve solver with
+      | Solver.Sat ->
+          let cnf_outs =
+            Array.map
+              (fun net -> Solver.value solver (Cnf.var_of net cnf))
+              (N.output_nets encoded)
+          in
+          if cnf_outs = outs then go (k + 1)
+          else
+            Fail
+              (Printf.sprintf "input %s: sim=%s cnf=%s" (vec_str ins)
+                 (vec_str outs) (vec_str cnf_outs))
+      | Solver.Unsat -> Fail ("CNF unsatisfiable under input " ^ vec_str ins)
+      | Solver.Unknown -> Skip "solver budget exhausted"
+    end
+  in
+  go 0
+
+let sim_cnf =
+  {
+    name = "sim_cnf";
+    description = "simulation vs Tseitin CNF + SAT on random vectors";
+    applies = (fun _ -> true);
+    run =
+      (fun rng nl ->
+        let cv = comb_of nl in
+        if N.has_comb_cycle cv then Skip "combinational cycle"
+        else sim_cnf_compare rng ~golden:cv ~encoded:cv);
+    inject =
+      (fun rng nl ->
+        let cv = comb_of nl in
+        if N.has_comb_cycle cv then None
+        else
+          match Inject.mutate rng cv with
+          | None -> None
+          | Some m ->
+              Some (sim_cnf_compare rng ~golden:cv ~encoded:m.Inject.netlist));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite / synthesis passes vs Equiv                                 *)
+(* ------------------------------------------------------------------ *)
+
+let opt =
+  transform_oracle ~name:"opt"
+    ~description:"Opt.simplify preserves function"
+    (fun _rng nl -> Opt.simplify nl)
+
+let lut_map =
+  transform_oracle ~name:"lut_map"
+    ~description:"Lut_map.map (random k) preserves function"
+    (fun rng nl -> fst (Lut_map.map ~k:(2 + Rng.int rng 5) nl))
+
+let mux_chain =
+  transform_oracle ~name:"mux_chain"
+    ~description:"Mux_chain.map preserves function"
+    (fun _rng nl -> fst (Mux_chain.map nl))
+
+(* ------------------------------------------------------------------ *)
+(* Key binding (Specialize) vs keyed simulation                        *)
+(* ------------------------------------------------------------------ *)
+
+let specialize =
+  let bind rng nl =
+    let bits = 2 + Rng.int rng 5 in
+    let lk = Schemes.xor_keys ~seed:(Rng.int rng 1_000_000) ~bits nl in
+    let locked = lk.Locked.locked in
+    let guess = rand_bits rng (List.length (N.keys locked)) in
+    (locked, guess, Specialize.bind_keys locked guess)
+  in
+  {
+    name = "specialize";
+    description = "bind_keys under a random key agrees with keyed simulation";
+    applies = (fun s -> s.Gen.key_bits = 0);
+    run =
+      (fun rng nl ->
+        let locked, guess, bound = bind rng nl in
+        equiv_verdict rng ~keys_a:guess ~keys_b:[||] locked bound);
+    inject =
+      (fun rng nl ->
+        let locked, guess, bound = bind rng nl in
+        match Inject.mutate rng bound with
+        | None -> None
+        | Some m ->
+            Some (equiv_verdict rng ~keys_a:guess ~keys_b:[||] locked m.Inject.netlist));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Region extraction / splice identity                                 *)
+(* ------------------------------------------------------------------ *)
+
+let splice =
+  let cut_of rng nl =
+    let member = Array.init (N.num_cells nl) (fun _ -> Rng.bool rng) in
+    Extraction.extract nl ~member:(fun i -> member.(i))
+  in
+  {
+    name = "splice";
+    description = "extracting a random region and splicing it back is identity";
+    applies = (fun _ -> true);
+    run =
+      (fun rng nl ->
+        let keys = rand_bits rng (List.length (N.keys nl)) in
+        match cut_of rng nl with
+        | exception Invalid_argument m -> Fail ("extract raised: " ^ m)
+        | cut ->
+            let back =
+              Extraction.reassemble nl cut ~replacement:cut.Extraction.sub
+            in
+            if List.length (N.keys back) <> Array.length keys then
+              Fail "splice changed the key ports"
+            else equiv_verdict rng ~keys_a:keys ~keys_b:keys nl back);
+    inject =
+      (fun rng nl ->
+        let keys = rand_bits rng (List.length (N.keys nl)) in
+        match cut_of rng nl with
+        | exception Invalid_argument _ -> None
+        | cut -> (
+            match Inject.mutate rng cut.Extraction.sub with
+            | None -> None
+            | Some m ->
+                let back =
+                  Extraction.reassemble nl cut ~replacement:m.Inject.netlist
+                in
+                Some (equiv_verdict rng ~keys_a:keys ~keys_b:keys nl back)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Locking schemes: correct key restores the original                  *)
+(* ------------------------------------------------------------------ *)
+
+let lock_schemes =
+  let lock rng nl =
+    let seed = Rng.int rng 1_000_000 in
+    match Rng.int rng 4 with
+    | 0 -> Schemes.xor_keys ~seed ~bits:(1 + Rng.int rng 6) nl
+    | 1 -> Schemes.random_lut ~seed ~gates:(1 + Rng.int rng 4) nl
+    | 2 -> Schemes.heuristic_lut ~seed ~gates:(1 + Rng.int rng 4) nl
+    | _ -> Schemes.mux_routing ~seed ~width:(1 lsl (1 + Rng.int rng 2)) nl
+  in
+  {
+    name = "lock_schemes";
+    description = "locked design under the correct key matches the original";
+    applies = (fun s -> s.Gen.key_bits = 0);
+    run =
+      (fun rng nl ->
+        match lock rng nl with
+        | exception Invalid_argument m -> Skip ("scheme inapplicable: " ^ m)
+        | exception Failure m -> Skip ("scheme inapplicable: " ^ m)
+        | exception Diag.Error d -> Skip (Diag.to_string d)
+        | lk ->
+            if Locked.verify ~vectors:64 ~original:nl lk then Pass
+            else Fail (lk.Locked.scheme ^ ": correct key does not unlock"));
+    inject =
+      (fun rng nl ->
+        match lock rng nl with
+        | exception _ -> None
+        | lk -> (
+            match Inject.mutate rng lk.Locked.locked with
+            | None -> None
+            | Some m ->
+                let faulted = { lk with Locked.locked = m.Inject.netlist } in
+                Some
+                  (if Locked.verify ~vectors:64 ~original:nl faulted then Pass
+                   else Fail "injected fault detected")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Full pipeline: lock then unlock with the correct bitstream          *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_cfg rng =
+  {
+    (Flow.shell_config
+       ~target:
+         (Flow.Fixed { route = [ "/b0" ]; lgc = [ "/b1" ]; label = "fuzz" })
+       ())
+    with
+    Flow.style = Style.Fabulous_muxchain;
+    seed = Rng.int rng 1_000_000;
+  }
+
+let pipeline =
+  let run_locked rng nl =
+    let cfg = pipeline_cfg rng in
+    let o = Flow.run_staged ~use_cache:false cfg nl in
+    match o.Pipeline.failed with
+    | Some d -> Error (Diag.to_string d)
+    | None -> Ok (Flow.of_outcome o)
+  in
+  {
+    name = "pipeline";
+    description =
+      "full lock pipeline; reassembled design under the correct bitstream \
+       matches the original";
+    applies =
+      (fun s ->
+        s.Gen.blocks >= 2 && s.Gen.key_bits = 0 && s.Gen.with_muxes
+        && s.Gen.n_gates >= 24);
+    run =
+      (fun rng nl ->
+        match run_locked rng nl with
+        | Error m -> Skip m
+        | exception Diag.Error d -> Skip (Diag.to_string d)
+        | Ok r ->
+            if Flow.verify ~runs:4 ~cycles:16 r then Pass
+            else Fail "locked design under correct bitstream differs");
+    inject =
+      (fun rng nl ->
+        match run_locked rng nl with
+        | Error _ | (exception Diag.Error _) -> None
+        | Ok r -> (
+            let lk = Flow.locked_sub r in
+            match Inject.mutate rng lk.Locked.locked with
+            | None -> None
+            | Some m ->
+                let faulted = { lk with Locked.locked = m.Inject.netlist } in
+                let original = r.Flow.cut.Extraction.sub in
+                Some
+                  (if Locked.verify ~vectors:64 ~original faulted then Pass
+                   else Fail "injected fault detected")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fabric emission: bitstream round-trip + configured-fabric function  *)
+(* ------------------------------------------------------------------ *)
+
+let emit_fabric =
+  let emit rng nl =
+    let mapped, _ = Lut_map.map ~k:4 nl in
+    let e = Emit.emit ~style:Style.Fabulous_muxchain ~seed:(Rng.int rng 1_000_000) mapped in
+    (mapped, e)
+  in
+  let bound_of e =
+    Specialize.bind_keys e.Emit.locked (Bitstream.bits e.Emit.bitstream)
+  in
+  {
+    name = "emit_fabric";
+    description =
+      "emitted fabric under its own bitstream matches the mapped circuit; \
+       bitstream file format round-trips";
+    applies = (fun s -> s.Gen.key_bits = 0);
+    run =
+      (fun rng nl ->
+        match emit rng nl with
+        | exception Diag.Error d -> Skip (Diag.to_string d)
+        | mapped, e ->
+            let b = e.Emit.bitstream in
+            let b' = Bitstream.deserialize (Bitstream.serialize b) in
+            if Bitstream.bits b' <> Bitstream.bits b then
+              Fail "bitstream bits do not round-trip through serialize"
+            else if Bitstream.segments b' <> Bitstream.segments b then
+              Fail "bitstream segment directory does not round-trip"
+            else if Bitstream.to_hex b' <> Bitstream.to_hex b then
+              Fail "bitstream hex rendering drifts after round-trip"
+            else
+              equiv_verdict rng ~keys_a:[||] ~keys_b:[||] mapped (bound_of e));
+    inject =
+      (fun rng nl ->
+        match emit rng nl with
+        | exception Diag.Error _ -> None
+        | mapped, e -> (
+            match Inject.mutate rng (bound_of e) with
+            | None -> None
+            | Some m ->
+                Some (equiv_verdict rng ~keys_a:[||] ~keys_b:[||] mapped m.Inject.netlist)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verilog emission round-trip + lint                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Static lint of the emitted text: no bare "keyinput" declarations
+   (not a Verilog keyword) and no duplicate declared identifiers (the
+   fallback-name aliasing bug). *)
+let lint_verilog src =
+  let declared = Hashtbl.create 32 in
+  let problem = ref None in
+  let note m = if !problem = None then problem := Some m in
+  let declare nm =
+    if Hashtbl.mem declared nm then note ("duplicate identifier " ^ nm)
+    else Hashtbl.add declared nm ()
+  in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         let starts p =
+           String.length line >= String.length p
+           && String.sub line 0 (String.length p) = p
+         in
+         let decl_name p =
+           (* "input x;" -> "x" *)
+           let s = String.sub line (String.length p) (String.length line - String.length p) in
+           match String.index_opt s ';' with
+           | Some i -> Some (String.trim (String.sub s 0 i))
+           | None -> None
+         in
+         if starts "keyinput " then note "bare keyinput declaration"
+         else
+           List.iter
+             (fun p ->
+               if starts p then
+                 match decl_name p with
+                 | Some nm when nm <> "" -> declare nm
+                 | _ -> note ("malformed declaration: " ^ line))
+             [ "input "; "(* keyinput *) input "; "output "; "wire " ]);
+  !problem
+
+let verilog =
+  let roundtrip nl = Verilog.parse (Verilog.to_string nl) in
+  {
+    name = "verilog";
+    description = "emit -> lint -> reparse round-trip preserves the netlist";
+    applies = (fun _ -> true);
+    run =
+      (fun rng nl ->
+        let src = Verilog.to_string nl in
+        match lint_verilog src with
+        | Some m -> Fail ("lint: " ^ m)
+        | None -> (
+            match Verilog.parse src with
+            | exception Verilog.Parse_error m -> Fail ("reparse: " ^ m)
+            | nl2 ->
+                (* the emitter may add Buf alias cells for port
+                   aliasing, so compare non-Buf populations *)
+                let logic n =
+                  N.count_kind n (function Cell.Buf -> false | _ -> true)
+                in
+                if logic nl2 <> logic nl then
+                  Fail
+                    (Printf.sprintf "cell count drift: %d -> %d" (logic nl)
+                       (logic nl2))
+                else
+                  let keys = rand_bits rng (List.length (N.keys nl)) in
+                  equiv_verdict rng ~keys_a:keys ~keys_b:keys nl nl2));
+    inject =
+      (fun rng nl ->
+        match roundtrip nl with
+        | exception Verilog.Parse_error _ -> None
+        | nl2 -> (
+            match Inject.mutate rng nl2 with
+            | None -> None
+            | Some m ->
+                let keys = rand_bits rng (List.length (N.keys nl)) in
+                Some (equiv_verdict rng ~keys_a:keys ~keys_b:keys nl m.Inject.netlist)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* VCD dump well-formedness                                            *)
+(* ------------------------------------------------------------------ *)
+
+let printable s =
+  String.for_all (fun c -> c > ' ' && c < '\x7f') s && s <> ""
+
+(* A small VCD reader: header structure, one well-formed $var per
+   signal with unique printable ids, then only #time and value-change
+   lines referring to declared ids. *)
+let check_vcd dump =
+  let lines = String.split_on_char '\n' dump |> List.filter (fun l -> l <> "") in
+  let ids = Hashtbl.create 32 in
+  let problem = ref None in
+  let note m = if !problem = None then problem := Some m in
+  let in_header = ref true in
+  List.iter
+    (fun line ->
+      if !problem = None then
+        let fields =
+          String.split_on_char ' ' line |> List.filter (fun f -> f <> "")
+        in
+        match fields with
+        | "$timescale" :: _ | "$scope" :: _ -> ()
+        | [ "$upscope"; "$end" ] -> ()
+        | [ "$enddefinitions"; "$end" ] -> in_header := false
+        | "$var" :: rest ->
+            if not !in_header then note "$var after $enddefinitions"
+            else (
+              match rest with
+              | [ "wire"; "1"; id; name; "$end" ] ->
+                  if not (printable id) then note ("bad id " ^ id)
+                  else if Hashtbl.mem ids id then note ("duplicate id " ^ id)
+                  else if not (printable name) then
+                    note ("unescaped name " ^ String.escaped name)
+                  else Hashtbl.add ids id ()
+              | _ -> note ("malformed $var line: " ^ String.escaped line))
+        | [ tok ] when String.length tok > 1 && tok.[0] = '#' ->
+            if !in_header then note "sample time inside header"
+            else if
+              not
+                (String.for_all
+                   (fun c -> c >= '0' && c <= '9')
+                   (String.sub tok 1 (String.length tok - 1)))
+            then note ("bad time " ^ tok)
+        | [ tok ] when String.length tok > 1 && (tok.[0] = '0' || tok.[0] = '1') ->
+            let id = String.sub tok 1 (String.length tok - 1) in
+            if not (Hashtbl.mem ids id) then
+              note ("value change for undeclared id " ^ id)
+        | _ -> note ("unrecognized line: " ^ String.escaped line))
+    lines;
+  !problem
+
+let nasty_names =
+  [| "sp ace"; "tab\tname"; "line\nbreak"; ""; "ctrl\x01char"; "ok.name[3]" |]
+
+let vcd =
+  let dump_of rng nl =
+    let sim = Sim.create nl in
+    let v = Vcd.create sim in
+    (* probe a few cell-driven nets under hostile names *)
+    let n_cells = N.num_cells nl in
+    if n_cells > 0 then
+      for _ = 1 to 3 do
+        let c = N.cell nl (Rng.int rng n_cells) in
+        Vcd.probe v (Rng.choice rng nasty_names) c.Cell.out
+      done;
+    let n_in = Array.length (N.input_nets nl) in
+    let n_key = Array.length (N.key_nets nl) in
+    for _ = 1 to 4 do
+      ignore (Vcd.step v ~keys:(rand_bits rng n_key) (rand_bits rng n_in))
+    done;
+    Vcd.dump v
+  in
+  {
+    name = "vcd";
+    description = "VCD dumps with hostile net names stay parseable";
+    applies = (fun _ -> true);
+    run =
+      (fun rng nl ->
+        if N.has_comb_cycle nl then Skip "combinational cycle"
+        else
+          match check_vcd (dump_of rng nl) with
+          | None -> Pass
+          | Some m -> Fail m);
+    inject =
+      (fun rng nl ->
+        if N.has_comb_cycle nl then None
+        else
+          (* corrupt a $var name in the dump the way an unescaped
+             whitespace byte would, and require the checker to object *)
+          let dump = dump_of rng nl in
+          let lines = String.split_on_char '\n' dump in
+          let corrupted = ref false in
+          let lines =
+            List.map
+              (fun line ->
+                if
+                  (not !corrupted)
+                  && String.length line > 5
+                  && String.sub line 0 5 = "$var "
+                then begin
+                  corrupted := true;
+                  (* split the name field with a raw tab *)
+                  String.concat "\t" [ line; "oops" ]
+                end
+                else line)
+              lines
+          in
+          if not !corrupted then None
+          else
+            Some
+              (match check_vcd (String.concat "\n" lines) with
+              | None -> Pass
+              | Some m -> Fail m));
+  }
+
+let all =
+  [
+    sim_cnf;
+    opt;
+    lut_map;
+    mux_chain;
+    specialize;
+    splice;
+    lock_schemes;
+    pipeline;
+    emit_fabric;
+    verilog;
+    vcd;
+  ]
+
+let names = List.map (fun o -> o.name) all
+let find nm = List.find_opt (fun o -> o.name = nm) all

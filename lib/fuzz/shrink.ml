@@ -1,0 +1,100 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Rewrite = Shell_netlist.Rewrite
+
+type stats = {
+  oracle_calls : int;
+  cells_before : int;
+  cells_after : int;
+  outputs_before : int;
+  outputs_after : int;
+}
+
+let valid nl = match N.validate nl with Ok () -> true | Error _ -> false
+
+(* Cell replacements that sever fan-in: a constant (drops the whole
+   cone) or a wire from the first input (keeps one path). *)
+let replacements (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Const _ | Cell.Dff | Cell.Config_latch -> []
+  | Cell.Buf ->
+      [ { c with Cell.kind = Cell.Const false; ins = [||] } ]
+  | _ ->
+      let wire =
+        if Array.length c.Cell.ins > 0 then
+          [ { c with Cell.kind = Cell.Buf; ins = [| c.Cell.ins.(0) |] } ]
+        else []
+      in
+      { c with Cell.kind = Cell.Const false; ins = [||] }
+      :: { c with Cell.kind = Cell.Const true; ins = [||] }
+      :: wire
+
+let size nl = (N.num_cells nl, List.length (N.outputs nl))
+
+let minimize ?(max_calls = 400) ~failing nl =
+  if not (failing nl) then
+    invalid_arg "Shrink.minimize: predicate does not fail on the input";
+  let calls = ref 1 in
+  let cells_before = N.num_cells nl in
+  let outputs_before = List.length (N.outputs nl) in
+  let check cand =
+    if !calls >= max_calls then false
+    else begin
+      incr calls;
+      valid cand && failing cand
+    end
+  in
+  let smaller a b = size a < size b in
+  let current = ref nl in
+  let progress = ref true in
+  while !progress && !calls < max_calls do
+    progress := false;
+    (* 1. drop one primary output (and its now-dead cone) at a time *)
+    let outs = List.map fst (N.outputs !current) in
+    if List.length outs > 1 then
+      List.iter
+        (fun drop ->
+          if (not !progress) && !calls < max_calls then begin
+            let cand =
+              Rewrite.dead_cell_elim
+                (N.filter_outputs !current (fun nm -> nm <> drop))
+            in
+            if smaller cand !current && check cand then begin
+              current := cand;
+              progress := true
+            end
+          end)
+        outs;
+    (* 2. replace one cell by a constant or a wire, sweep the cone *)
+    if not !progress then begin
+      let n = N.num_cells !current in
+      let i = ref (n - 1) in
+      while (not !progress) && !i >= 0 && !calls < max_calls do
+        let c = N.cell !current !i in
+        List.iter
+          (fun repl ->
+            if (not !progress) && !calls < max_calls then begin
+              let the_i = !i in
+              let cand =
+                Rewrite.dead_cell_elim
+                  (N.map_cells !current (fun j c0 ->
+                       if j = the_i then repl else c0))
+              in
+              if smaller cand !current && check cand then begin
+                current := cand;
+                progress := true
+              end
+            end)
+          (replacements c);
+        decr i
+      done
+    end
+  done;
+  ( !current,
+    {
+      oracle_calls = !calls;
+      cells_before;
+      cells_after = N.num_cells !current;
+      outputs_before;
+      outputs_after = List.length (N.outputs !current);
+    } )

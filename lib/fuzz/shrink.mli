@@ -1,0 +1,28 @@
+(** Delta-debugging minimizer for failing fuzz cases.
+
+    Given a netlist on which a (deterministic) failure predicate
+    holds, greedily shrink it while the failure persists: drop
+    primary outputs, replace cells by constants or wires, and sweep
+    the dead fan-in cones. The result is the netlist checked into
+    [test/regressions/] as a reproducer, so smaller is strictly
+    better — but the predicate is re-evaluated on every candidate, so
+    the cost is bounded by [max_calls]. *)
+
+type stats = {
+  oracle_calls : int;  (** failure-predicate invocations spent *)
+  cells_before : int;
+  cells_after : int;
+  outputs_before : int;
+  outputs_after : int;
+}
+
+val minimize :
+  ?max_calls:int ->
+  failing:(Shell_netlist.Netlist.t -> bool) ->
+  Shell_netlist.Netlist.t ->
+  Shell_netlist.Netlist.t * stats
+(** [minimize ~failing nl] requires [failing nl = true] (raises
+    [Invalid_argument] otherwise: minimizing a passing case means the
+    caller's predicate is not deterministic). [failing] must be a pure
+    function of the netlist — derive any randomness it needs from a
+    fixed seed. [max_calls] (default 400) bounds predicate calls. *)

@@ -160,6 +160,16 @@ let copy t =
     fanout_cache = None;
   }
 
+let map_cells t f =
+  let t' = copy t in
+  Vec.iteri (fun i c -> Vec.set t'.cells i (f i c)) t'.cells;
+  t'
+
+let filter_outputs t p =
+  let t' = copy t in
+  t'.outputs <- List.filter (fun (nm, _) -> p nm) t'.outputs;
+  t'
+
 let validate t =
   let err = ref None in
   let report payload fmt =

@@ -83,6 +83,17 @@ val fanout : t -> int -> int list
 
 val copy : t -> t
 
+val map_cells : t -> (int -> Cell.t -> Cell.t) -> t
+(** Fresh netlist with cell [i] replaced by [f i cell]; nets, ports and
+    numbering are untouched. The replacement must keep the original
+    output net (and in-range input nets) or the result will not
+    validate. The fuzzer's fault injector and shrinker are the
+    intended users. *)
+
+val filter_outputs : t -> (string -> bool) -> t
+(** Fresh netlist keeping only the primary outputs whose name satisfies
+    the predicate (declaration order preserved). *)
+
 (** {1 Analysis} *)
 
 (** Structural defects {!validate} detects, carried as the typed

@@ -60,8 +60,12 @@ let step t ?keys ins =
   t.time <- t.time + 1;
   outs
 
+(* VCD reference names are whitespace-delimited tokens: replace every
+   whitespace *and* non-printable byte, not just spaces, or a stray
+   tab/newline in a net name splits (or terminates) the $var line. *)
 let escape name =
-  String.map (fun c -> if c = ' ' then '_' else c) name
+  if name = "" then "_"
+  else String.map (fun c -> if c <= ' ' || c >= '\x7f' then '_' else c) name
 
 let dump t =
   let buf = Buffer.create 4096 in

@@ -8,15 +8,27 @@ exception Parse_error of string
 
 (* Nets driven by ports keep their port name; nets exposed as outputs
    take the output name (so most outputs need no alias buffer); the rest
-   print as n<id>. *)
+   print as n<id> — uniquified against every claimed name, so a user
+   port literally called "n3" can never alias an anonymous net. *)
 let net_names nl =
   let names = Array.make (max (Netlist.num_nets nl) 1) "" in
-  let claim (nm, net) = if names.(net) = "" then names.(net) <- nm in
+  let claimed = Hashtbl.create 64 in
+  let claim (nm, net) =
+    if names.(net) = "" && not (Hashtbl.mem claimed nm) then begin
+      names.(net) <- nm;
+      Hashtbl.add claimed nm ()
+    end
+  in
   List.iter claim (Netlist.inputs nl);
   List.iter claim (Netlist.keys nl);
   List.iter claim (Netlist.outputs nl);
   for net = 0 to Netlist.num_nets nl - 1 do
-    if names.(net) = "" then names.(net) <- Printf.sprintf "n%d" net
+    if names.(net) = "" then begin
+      let rec fresh nm = if Hashtbl.mem claimed nm then fresh (nm ^ "_") else nm in
+      let nm = fresh (Printf.sprintf "n%d" net) in
+      names.(net) <- nm;
+      Hashtbl.add claimed nm ()
+    end
   done;
   names
 
@@ -34,8 +46,11 @@ let print ppf nl =
   List.iter
     (fun (_, net) -> Format.fprintf ppf "  input %s;@." names.(net))
     inputs;
+  (* Key ports are ordinary inputs tagged with a (* keyinput *)
+     attribute — "keyinput" is not a Verilog keyword. *)
   List.iter
-    (fun (_, net) -> Format.fprintf ppf "  keyinput %s;@." names.(net))
+    (fun (_, net) ->
+      Format.fprintf ppf "  (* keyinput *) input %s;@." names.(net))
     keys;
   List.iter (fun (nm, _) -> Format.fprintf ppf "  output %s;@." nm) outputs;
   (* Internal nets that are driven by cells. Output-named nets are
@@ -92,6 +107,7 @@ type token =
   | Semi
   | Comma
   | Hash
+  | Attr of string  (* "(* ... *)" attribute, contents trimmed *)
   | Origin of string  (* the printer's "// ^ origin: ..." annotation *)
 
 let lex src =
@@ -122,6 +138,20 @@ let lex src =
           toks :=
             (Origin (String.sub comment ml (String.length comment - ml)), !line)
             :: !toks
+    | '(' when !i + 1 < n && src.[!i + 1] = '*' ->
+        (* attribute instance: scan to the matching "*)" *)
+        let start = !i + 2 in
+        i := start;
+        while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = ')') do
+          if src.[!i] = '\n' then incr line;
+          incr i
+        done;
+        if !i + 1 >= n then fail "unterminated attribute"
+        else begin
+          let body = String.trim (String.sub src start (!i - start)) in
+          toks := (Attr body, !line) :: !toks;
+          i := !i + 2
+        end
     | '(' -> toks := (Lparen, !line) :: !toks; incr i
     | ')' -> toks := (Rparen, !line) :: !toks; incr i
     | ';' -> toks := (Semi, !line) :: !toks; incr i
@@ -273,7 +303,21 @@ let parse src =
         if Hashtbl.mem nets nm then fail_at 0 ("duplicate net: " ^ nm);
         Hashtbl.add nets nm (Netlist.add_input nl nm);
         statements ()
+    | Attr "keyinput", line ->
+        (* the emitted form: "(* keyinput *) input nm;" *)
+        (match next st with
+        | Ident "input", _ -> ()
+        | _, l -> fail_at l "expected 'input' after (* keyinput *)");
+        let nm = ident st in
+        expect st Semi "';'";
+        if Hashtbl.mem nets nm then fail_at line ("duplicate net: " ^ nm);
+        Hashtbl.add nets nm (Netlist.add_key nl nm);
+        statements ()
+    | Attr _, _ ->
+        (* other attributes carry no meaning in this dialect *)
+        statements ()
     | Ident "keyinput", _ ->
+        (* legacy files written before keys became attributed inputs *)
         let nm = ident st in
         expect st Semi "';'";
         if Hashtbl.mem nets nm then fail_at 0 ("duplicate net: " ^ nm);

@@ -22,11 +22,33 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+let child t i =
+  if i < 0 then invalid_arg "Rng.child: negative index";
+  (* Perturb the current state by a per-index multiple of the gamma and
+     re-mix; the parent's own stream is left untouched. *)
+  let s = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix s }
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
+(* Keep 62 bits so the value stays non-negative in OCaml's 63-bit int;
+   on 64-bit OCaml [max_int] is exactly 2^62 - 1, the largest raw draw. *)
+let bits62_max = max_int
+
 let int t bound =
   assert (bound > 0);
-  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit int. *)
-  let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  raw mod bound
+  (* Rejection sampling: [raw mod bound] alone over-weights the low
+     residues whenever [bound] does not divide 2^62. Redraw in the
+     (vanishingly rare for small bounds) tail where the last, partial
+     block of residues starts. *)
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let r = raw mod bound in
+    if raw - r > bits62_max - bound + 1 then draw () else r
+  in
+  draw ()
 
 let float t bound =
   let raw = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

@@ -17,6 +17,17 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val child : t -> int -> t
+(** [child t i] derives an independent generator for index [i] from
+    [t]'s {e current} state without advancing [t]: equal states and
+    equal indices yield equal streams. This is how batch workers (the
+    fuzzer's per-oracle streams) get reproducible randomness that does
+    not depend on how many sibling streams were taken before them. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] advances [t] [n] times and returns [n] independent
+    generators ([Array.init n (fun _ -> split t)]). *)
+
 val bits64 : t -> int64
 (** Next raw 64 random bits. *)
 

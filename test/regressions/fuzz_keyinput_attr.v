@@ -1,0 +1,17 @@
+// shell fuzz reproducer (minimized)
+// oracle: verilog
+// seed: 7  case: 3
+// shape: in=2 out=1 gates=2 key=1 blocks=1
+// failure: lint: bare keyinput declaration
+// Key ports are ordinary inputs tagged with a (* keyinput *)
+// attribute; "keyinput" is not a Verilog keyword and must never be
+// emitted as a bare declaration.
+module fuzz_keyinput (a, b, kx0, y);
+  input a;
+  input b;
+  (* keyinput *) input kx0;
+  output y;
+  wire t;
+  xor2 g0 (a, kx0, t);
+  and2 g1 (t, b, y);
+endmodule

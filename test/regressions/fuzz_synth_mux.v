@@ -1,0 +1,21 @@
+// shell fuzz reproducer (minimized)
+// oracle: mux_chain
+// seed: 11  case: 46
+// shape: in=4 out=2 gates=4 muxes key=0 blocks=1
+// failure: differs on input 0110
+// Mux feeding a mux through an inverting gate: the shape that
+// exercises chain packing and LUT covering across a mux boundary.
+module fuzz_synth_mux (a, b, c, s, y, z);
+  input a;
+  input b;
+  input c;
+  input s;
+  output y;
+  output z;
+  wire t0;
+  wire t1;
+  mux2 g0 (s, a, b, t0);
+  nand2 g1 (t0, c, t1);
+  mux2 g2 (t1, b, a, z);
+  xor2 g3 (t0, t1, y);
+endmodule

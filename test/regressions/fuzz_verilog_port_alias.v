@@ -1,0 +1,17 @@
+// shell fuzz reproducer (minimized)
+// oracle: verilog
+// seed: 7  case: 20
+// shape: in=3 out=1 gates=2 n-names key=0 blocks=1
+// failure: lint: duplicate identifier n1
+// A primary input literally named "n1" (plus "n3") collides with the
+// emitter's fallback names for anonymous cell-driven nets unless the
+// printer uniquifies against claimed port names.
+module fuzz_port_alias (a, n1, n3, y);
+  input a;
+  input n1;
+  input n3;
+  output y;
+  wire t;
+  and2 g0 (a, n1, t);
+  xor2 g1 (t, n3, y);
+endmodule

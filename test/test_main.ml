@@ -18,4 +18,5 @@ let () =
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

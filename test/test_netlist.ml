@@ -406,6 +406,100 @@ let test_vcd_dump () =
   Alcotest.(check bool) "two samples" true (has "#0" && has "#1");
   Alcotest.(check bool) "enddefinitions" true (has "$enddefinitions")
 
+(* ---------------- fuzz regression corpus + emitter lint ---------------- *)
+
+let read_regression file =
+  let ic = open_in (Filename.concat "regressions" file) in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  src
+
+let declared_names src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         let strip p =
+           if
+             String.length line > String.length p
+             && String.sub line 0 (String.length p) = p
+           then
+             let rest =
+               String.sub line (String.length p)
+                 (String.length line - String.length p)
+             in
+             match String.index_opt rest ';' with
+             | Some i -> Some (String.trim (String.sub rest 0 i))
+             | None -> None
+           else None
+         in
+         List.find_map strip
+           [ "(* keyinput *) input "; "input "; "output "; "wire " ])
+
+let check_unique_decls src =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun nm ->
+      if Hashtbl.mem tbl nm then Alcotest.fail ("duplicate declaration: " ^ nm);
+      Hashtbl.add tbl nm ())
+    (declared_names src)
+
+let test_verilog_keyinput_attribute () =
+  (* keys are attribute-tagged inputs; "keyinput" is not a Verilog
+     keyword and must never appear as a bare declaration *)
+  let nl = N.create "k" in
+  let a = N.add_input nl "a" in
+  let k = N.add_key nl "kx0" in
+  N.add_output nl "y" (N.xor_ nl a k);
+  let src = Verilog.to_string nl in
+  let lines = String.split_on_char '\n' src |> List.map String.trim in
+  Alcotest.(check bool)
+    "no bare keyinput declaration" false
+    (List.exists
+       (fun l -> String.length l >= 9 && String.sub l 0 9 = "keyinput ")
+       lines);
+  Alcotest.(check bool)
+    "attribute form present" true
+    (List.mem "(* keyinput *) input kx0;" lines);
+  let nl2 = Verilog.parse src in
+  Alcotest.(check int) "key survives roundtrip" 1 (List.length (N.keys nl2));
+  check_unique_decls src
+
+let test_verilog_fallback_collision () =
+  (* a port literally named n3 while net 3 is an anonymous cell output:
+     the fallback name must be uniquified away from the port *)
+  let nl = N.create "alias" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let n3 = N.add_input nl "n3" in
+  let t = N.and_ nl a b in
+  N.add_output nl "y" (N.xor_ nl t n3);
+  let src = Verilog.to_string nl in
+  check_unique_decls src;
+  let nl2 = Verilog.parse src in
+  Alcotest.(check bool) "equivalent" true (equivalent nl nl2)
+
+let test_regression_port_alias () =
+  let nl = Verilog.parse (read_regression "fuzz_verilog_port_alias.v") in
+  Alcotest.(check int) "three inputs" 3 (List.length (N.inputs nl));
+  let src = Verilog.to_string nl in
+  check_unique_decls src;
+  let nl2 = Verilog.parse src in
+  Alcotest.(check bool) "equivalent" true (equivalent nl nl2)
+
+let test_regression_keyinput_attr () =
+  let nl = Verilog.parse (read_regression "fuzz_keyinput_attr.v") in
+  Alcotest.(check int) "one key" 1 (List.length (N.keys nl));
+  Alcotest.(check (list string))
+    "key name" [ "kx0" ]
+    (List.map fst (N.keys nl));
+  let src = Verilog.to_string nl in
+  check_unique_decls src;
+  let nl2 = Verilog.parse src in
+  Alcotest.(check bool) "equivalent under key" true
+    (match Equiv.check ~keys_a:[| true |] ~keys_b:[| true |] nl nl2 with
+    | Equiv.Equivalent -> true
+    | _ -> false)
+
 let suite =
   [
     ("validate ok", `Quick, test_validate_ok);
@@ -426,6 +520,10 @@ let suite =
     QCheck_alcotest.to_alcotest test_verilog_roundtrip_random;
     ("verilog lut roundtrip", `Quick, test_verilog_lut_roundtrip);
     ("verilog parse errors", `Quick, test_verilog_parse_errors);
+    ("verilog keyinput attribute", `Quick, test_verilog_keyinput_attribute);
+    ("verilog fallback collision", `Quick, test_verilog_fallback_collision);
+    ("regression: port named n1", `Quick, test_regression_port_alias);
+    ("regression: keyinput attr file", `Quick, test_regression_keyinput_attr);
     QCheck_alcotest.to_alcotest test_cnf_agrees_with_sim;
     ("rewrite sweep buffers", `Quick, test_rewrite_sweep_buffers);
     ("rewrite dead cells", `Quick, test_rewrite_dead_cells);

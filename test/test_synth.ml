@@ -213,6 +213,22 @@ let test_route_fraction () =
   N.add_output nl "y" g;
   Alcotest.(check (float 1e-9)) "half" 0.5 (Mux_chain.route_fraction nl)
 
+(* fuzzer-minimized reproducer: mux -> nand -> mux shape that
+   exercises chain packing and LUT covering across a mux boundary *)
+let test_regression_mux_passes () =
+  let read file =
+    let ic = open_in (Filename.concat "regressions" file) in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    src
+  in
+  let nl = Shell_netlist.Verilog.parse (read "fuzz_synth_mux.v") in
+  Alcotest.(check bool) "opt equivalent" true (equivalent nl (Opt.simplify nl));
+  let mapped, _ = Lut_map.map ~k:4 nl in
+  Alcotest.(check bool) "lut map equivalent" true (equivalent nl mapped);
+  let chained, _ = Mux_chain.map nl in
+  Alcotest.(check bool) "mux chain equivalent" true (equivalent nl chained)
+
 let suite =
   [
     ("simplify constants", `Quick, test_simplify_constants);
@@ -230,4 +246,5 @@ let suite =
     ("mux chain predicate", `Quick, test_mux_chain_pred);
     ("estimate positive and sane", `Quick, test_estimate_positive);
     ("route fraction", `Quick, test_route_fraction);
+    ("regression: fuzz mux reproducer", `Quick, test_regression_mux_passes);
   ]

@@ -202,9 +202,64 @@ let test_jsonw_float_special () =
   Alcotest.(check string) "dec respected" "0.25"
     (J.to_string (J.float ~dec:2 0.25))
 
+let test_rng_child_stable () =
+  let t = Rng.create 42 in
+  let a = Rng.child t 3 and b = Rng.child t 3 in
+  for _ = 1 to 16 do
+    Alcotest.(check int64) "same child stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  (* deriving a child must not advance the parent *)
+  let p = Rng.copy t in
+  ignore (Rng.child t 9);
+  Alcotest.(check int64) "parent unmoved" (Rng.bits64 p) (Rng.bits64 t)
+
+let test_rng_child_indices_differ () =
+  let t = Rng.create 7 in
+  let a = Rng.child t 0 and b = Rng.child t 1 in
+  let same = ref 0 in
+  for _ = 1 to 16 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "index streams differ" true (!same < 4)
+
+let test_rng_split_n () =
+  let t = Rng.create 5 in
+  let gens = Rng.split_n t 6 in
+  Alcotest.(check int) "count" 6 (Array.length gens);
+  let tbl = Hashtbl.create 8 in
+  Array.iter (fun g -> Hashtbl.replace tbl (Rng.bits64 g) ()) gens;
+  Alcotest.(check int) "distinct first draws" 6 (Hashtbl.length tbl)
+
+let test_rng_int_large_bound () =
+  (* rejection sampling must stay in range right up to huge bounds
+     (the old modulo fold-back skewed these) and stay roughly even on
+     small non-power-of-two bounds *)
+  let rng = Rng.create 13 in
+  let big = (max_int / 2) + 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng big in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < big)
+  done;
+  let buckets = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let v = Rng.int rng 6 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d even" i)
+        true
+        (n > 800 && n < 1200))
+    buckets
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng child stable", `Quick, test_rng_child_stable);
+    ("rng child indices differ", `Quick, test_rng_child_indices_differ);
+    ("rng split_n", `Quick, test_rng_split_n);
+    ("rng int large bound", `Quick, test_rng_int_large_bound);
     ("rng seeds differ", `Quick, test_rng_seeds_differ);
     ("rng int range", `Quick, test_rng_int_range);
     ("rng int covers", `Quick, test_rng_int_covers);

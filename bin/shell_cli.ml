@@ -537,6 +537,215 @@ let fuzz_cmd =
       const fuzz_run $ metrics_arg $ seed_arg $ cases $ jobs $ oracle
       $ self_test $ no_shrink $ dir $ list_oracles)
 
+(* ---------------- lint ---------------- *)
+
+module Lint = Shell_lint.Lint
+module Rules = Shell_lint.Rules
+
+(* Rebuild the same subject the pipeline's lint pass checks, so the CLI
+   can re-lint a locked flow under a different severity floor, baseline
+   or job count. *)
+let lint_subject_of_result (r : C.Flow.result) =
+  let route_origins =
+    C.Selection.route_origins r.C.Flow.analysis r.C.Flow.choice
+  in
+  let lgc_origins =
+    List.map
+      (fun i ->
+        r.C.Flow.analysis.C.Connectivity.blocks.(i).C.Connectivity.name)
+      r.C.Flow.choice.C.Selection.lgc_blocks
+  in
+  Lint.subject
+    ~name:(N.Netlist.name r.C.Flow.original)
+    ~key:(F.Bitstream.bits r.C.Flow.emitted.F.Emit.bitstream)
+    ~selection:{ Lint.design = r.C.Flow.original; route_origins; lgc_origins }
+    ~fabric:r.C.Flow.pnr.Shell_pnr.Pnr.fabric
+    ~bitstream:r.C.Flow.emitted.F.Emit.bitstream ~used:r.C.Flow.resources
+    ~pnr:r.C.Flow.pnr
+    ~shrunk:r.C.Flow.config.C.Flow.shrink r.C.Flow.locked_full
+
+let read_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error m -> dief "%s" m
+
+let lint_run metrics benches files locked style seed jobs json_out severity
+    baseline update_baseline list_rules =
+  with_metrics metrics @@ fun () ->
+  if list_rules then
+    List.iter
+      (fun (r : Lint.rule) ->
+        Printf.printf "%-22s %-10s %-5s %s\n" r.Lint.name
+          (Lint.pack_name r.Lint.pack)
+          (Lint.severity_name r.Lint.severity)
+          r.Lint.help)
+      Rules.all
+  else begin
+    let severity =
+      match Lint.severity_of_string severity with
+      | Some s -> s
+      | None -> dief "unknown severity %S (error, warn or info)" severity
+    in
+    let base_fps =
+      match baseline with
+      | Some path when not update_baseline -> (
+          match Lint.load_baseline path with
+          | Ok fps -> fps
+          | Error m -> dief "%s" m)
+      | _ -> []
+    in
+    if benches = [] && files = [] then
+      dief "nothing to lint: pass -b BENCH and/or -i FILE";
+    let bench_subjects =
+      List.map
+        (fun b ->
+          match netlist_of_bench b with
+          | Error (`Msg m) -> dief "%s" m
+          | Ok nl ->
+              if locked then
+                let cfg =
+                  { (C.Flow.shell_config ()) with C.Flow.style; seed }
+                in
+                lint_subject_of_result (run_flow cfg nl)
+              else Lint.subject nl)
+        benches
+    in
+    let file_subjects =
+      List.map
+        (fun path ->
+          match N.Verilog.parse (read_file path) with
+          | nl -> Lint.subject nl
+          | exception N.Verilog.Parse_error m ->
+              dief "%s: parse error: %s" path m)
+        files
+    in
+    let reports =
+      List.map
+        (Lint.run ?jobs ~severity ~baseline:base_fps ~rules:Rules.all)
+        (bench_subjects @ file_subjects)
+    in
+    (match (baseline, update_baseline) with
+    | Some path, true ->
+        let oc = open_out path in
+        output_string oc
+          "# shell lint baseline: one fingerprint per accepted finding\n";
+        let n = ref 0 in
+        List.iter
+          (fun (r : Lint.report) ->
+            List.iter
+              (fun f ->
+                incr n;
+                output_string oc
+                  (Lint.baseline_line ~subject_name:r.Lint.subject_name f);
+                output_char oc '\n')
+              r.Lint.findings)
+          reports;
+        close_out oc;
+        Printf.printf "baseline written to %s (%d finding%s)\n" path !n
+          (if !n = 1 then "" else "s")
+    | None, true -> dief "--update-baseline needs --baseline FILE"
+    | _ -> ());
+    let total f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+    if json_out then
+      print_endline
+        (Shell_util.Jsonw.to_string ~indent:2 (Lint.reports_json reports))
+    else begin
+      List.iter (fun r -> Format.printf "%a@.@?" Lint.pp_report r) reports;
+      Printf.printf
+        "lint: %d subject%s, %d error%s, %d warning%s, %d note%s, %d \
+         suppressed\n"
+        (List.length reports)
+        (if List.length reports = 1 then "" else "s")
+        (total (fun r -> r.Lint.errors))
+        (if total (fun r -> r.Lint.errors) = 1 then "" else "s")
+        (total (fun r -> r.Lint.warns))
+        (if total (fun r -> r.Lint.warns) = 1 then "" else "s")
+        (total (fun r -> r.Lint.infos))
+        (if total (fun r -> r.Lint.infos) = 1 then "" else "s")
+        (total (fun r -> r.Lint.suppressed))
+    end;
+    if total (fun r -> r.Lint.errors) > 0 && not update_baseline then exit 1
+  end
+
+let lint_cmd =
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Lint a bundled benchmark (repeatable).")
+  in
+  let files =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:"Lint a structural netlist file (repeatable).")
+  in
+  let locked =
+    Arg.(
+      value & flag
+      & info [ "locked" ]
+          ~doc:
+            "Run the SheLL flow on each benchmark first and lint the locked \
+             result with its fabric, bitstream and selection artifacts \
+             (activates the security and fabric rule packs).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the rule fan-out (default: SHELL_JOBS or the \
+             core count). Output is byte-identical for any value.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable report on stdout.")
+  in
+  let severity =
+    Arg.(
+      value & opt string "info"
+      & info [ "severity" ] ~docv:"LEVEL"
+          ~doc:"Reporting floor: error, warn or info (default).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Suppress findings whose fingerprint appears in $(docv) (one per \
+             line, # comments allowed).")
+  in
+  let update_baseline =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Rewrite the --baseline file to accept every finding of this \
+             run, then exit 0.")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"List the rule registry and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis over netlists and locked designs: structural \
+          well-formedness, the paper's locking invariants and \
+          fabric/bitstream accounting. Exits 1 on unsuppressed errors.")
+    Term.(
+      const lint_run $ metrics_arg $ benches $ files $ locked $ style_arg
+      $ seed_arg $ jobs $ json $ severity $ baseline $ update_baseline
+      $ list_rules)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -552,4 +761,5 @@ let () =
             attack_cmd;
             stats_cmd;
             fuzz_cmd;
+            lint_cmd;
           ]))

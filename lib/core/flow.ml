@@ -35,6 +35,7 @@ type result = {
   resources : Shell_fabric.Resources.t;
   overhead : Overhead.t;
   locked_full : Shell_netlist.Netlist.t;
+  lint : Shell_lint.Lint.report;
 }
 
 let of_outcome (o : Pipeline.outcome) =
@@ -56,6 +57,7 @@ let of_outcome (o : Pipeline.outcome) =
     resources = the "resources" a.Pipeline.resources;
     overhead = the "overhead" a.Pipeline.overhead;
     locked_full = the "locked_full" a.Pipeline.locked_full;
+    lint = the "lint" a.Pipeline.lint;
   }
 
 let run_staged ?use_cache ?strict_fit ?fabric config original =

@@ -40,10 +40,12 @@ type result = {
   resources : Shell_fabric.Resources.t;  (** shrunk or full capacity *)
   overhead : Overhead.t;
   locked_full : Shell_netlist.Netlist.t;
+  lint : Shell_lint.Lint.report;
+      (** static-analysis report over the locked result *)
 }
 
 val run : config -> Shell_netlist.Netlist.t -> result
-(** The composed {!Pipeline}: executes the eight passes and packs the
+(** The composed {!Pipeline}: executes the nine passes and packs the
     staged artifacts into a [result]. Raises {!Shell_util.Diag.Error}
     (naming the failing pass) if any pass aborts. *)
 

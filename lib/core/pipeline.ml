@@ -5,6 +5,8 @@ module Fabric = Shell_fabric.Fabric
 module Emit = Shell_fabric.Emit
 module Resources = Shell_fabric.Resources
 module Pnr = Shell_pnr.Pnr
+module Lint = Shell_lint.Lint
+module Lint_rules = Shell_lint.Rules
 module Diag = Shell_util.Diag
 module Trace = Shell_util.Trace
 module Clock = Shell_util.Clock
@@ -49,6 +51,7 @@ type artifacts = {
   resources : Resources.t option;
   overhead : Overhead.t option;
   locked_full : Netlist.t option;
+  lint : Lint.report option;
 }
 
 type outcome = {
@@ -67,6 +70,7 @@ let pass_names =
     "emit";
     "shrink";
     "overhead";
+    "lint";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -94,6 +98,7 @@ type product =
   | P_emit of Emit.t * Netlist.t
   | P_shrink of int * Resources.t
   | P_overhead of Overhead.t * Netlist.t
+  | P_lint of Lint.report
 
 type slot = Ready of product | Pending
 
@@ -194,6 +199,7 @@ let warm_product = function
       warm timing
   | P_shrink _ -> ()
   | P_overhead (_, locked_full) -> warm locked_full
+  | P_lint _ -> ()
 
 let cache_add key product =
   warm_product product;
@@ -577,6 +583,56 @@ let p_overhead =
         ]);
   }
 
+let p_lint =
+  {
+    name = "lint";
+    key =
+      (fun ctx a ->
+        (* the lint subject — locked netlist, bitstream, pnr, shrunk
+           resources, selection origins — is a function of the same
+           determinants as the overhead pass *)
+        Some
+          (Printf.sprintf "%s|%s|%s|%d|%b|%s" a.fingerprint
+             (target_key a.config.target)
+             (Style.name a.config.style)
+             a.config.seed a.config.shrink (fabric_key ctx.fabric)));
+    run =
+      (fun _ a ->
+        let analysis = the "lint" a.analysis
+        and choice = the "lint" a.choice
+        and pnr = the "lint" a.pnr
+        and emitted = the "lint" a.emitted
+        and resources = the "lint" a.resources
+        and locked_full = the "lint" a.locked_full in
+        let route_origins = Selection.route_origins analysis choice in
+        let lgc_origins =
+          List.map
+            (fun i -> analysis.Connectivity.blocks.(i).Connectivity.name)
+            choice.Selection.lgc_blocks
+        in
+        let subject =
+          Lint.subject
+            ~name:(Netlist.name a.original)
+            ~key:(Shell_fabric.Bitstream.bits emitted.Emit.bitstream)
+            ~selection:
+              { Lint.design = a.original; route_origins; lgc_origins }
+            ~fabric:pnr.Pnr.fabric ~bitstream:emitted.Emit.bitstream
+            ~used:resources ~pnr ~shrunk:a.config.shrink locked_full
+        in
+        (* diagnostics only: findings land in the artifacts and the
+           per-rule Obs counters, they do not abort the flow *)
+        P_lint (Lint.run ~rules:Lint_rules.all subject));
+    counters =
+      (fun a ->
+        let r = the "lint" a.lint in
+        [
+          ("rules", List.length Lint_rules.all);
+          ("errors", r.Lint.errors);
+          ("warns", r.Lint.warns);
+          ("infos", r.Lint.infos);
+        ]);
+  }
+
 let passes =
   [
     p_connectivity;
@@ -587,6 +643,7 @@ let passes =
     p_emit;
     p_shrink;
     p_overhead;
+    p_lint;
   ]
 
 let apply a = function
@@ -598,6 +655,7 @@ let apply a = function
   | P_emit (e, timing) -> { a with emitted = Some e; timing = Some timing }
   | P_shrink (ft, r) -> { a with feedthroughs = Some ft; resources = Some r }
   | P_overhead (o, l) -> { a with overhead = Some o; locked_full = Some l }
+  | P_lint r -> { a with lint = Some r }
 
 let execute ?(use_cache = true) ?(strict_fit = false) ?fabric config original =
   warm original;
@@ -618,6 +676,7 @@ let execute ?(use_cache = true) ?(strict_fit = false) ?fabric config original =
       resources = None;
       overhead = None;
       locked_full = None;
+      lint = None;
     }
   in
   let art = ref init and spans = ref [] and failed = ref None in

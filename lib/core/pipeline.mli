@@ -1,8 +1,9 @@
 (** The SheLL flow as a staged pass pipeline.
 
     The eight steps of Fig. 4 — connectivity, selection, extraction,
-    synthesis, PnR, emission, shrinking, overhead — are named passes,
-    each consuming and producing fields of a staged {!artifacts}
+    synthesis, PnR, emission, shrinking, overhead — plus a final
+    diagnostics-only [lint] pass are named passes, each consuming and
+    producing fields of a staged {!artifacts}
     record. {!execute} runs them in order, recording a
     {!Shell_util.Trace.span} per pass (wall time, cache hit, counters)
     and stopping at the first pass that raises
@@ -55,6 +56,9 @@ type artifacts = {
   resources : Shell_fabric.Resources.t option;
   overhead : Overhead.t option;
   locked_full : Shell_netlist.Netlist.t option;
+  lint : Shell_lint.Lint.report option;
+      (** static-analysis report over the locked result (never aborts
+          the flow; see {!Shell_lint.Rules}) *)
 }
 (** Staged record: a pass fills its fields and leaves the rest. After
     an aborted execution the fields of every completed pass are still
@@ -67,7 +71,7 @@ type outcome = {
 }
 
 val pass_names : string list
-(** The eight pass names, in execution order. *)
+(** The nine pass names, in execution order. *)
 
 val execute :
   ?use_cache:bool ->

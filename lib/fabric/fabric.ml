@@ -11,14 +11,32 @@ let shortage_name = function
   | Routing_short -> "routing"
 
 type Diag.payload +=
-  | Shortage of { shortage : shortage; demand : int; capacity : int }
+  | Shortage of {
+      shortage : shortage;
+      demand : int;
+      capacity : int;
+      counts : (string * int * int) list;
+          (* every resource class at the failing fit as
+             (name, demand, capacity) — "luts", "ffs", "chain",
+             "io_pins", "congestion" — not just the one that ran
+             short, so downstream analyses (lint's fabric pack) can
+             reuse the full accounting without re-deriving it *)
+    }
 
 let () =
   Diag.register_printer (function
-    | Shortage { shortage; demand; capacity } ->
+    | Shortage { shortage; demand; capacity; counts } ->
+        let detail =
+          match counts with
+          | [] -> ""
+          | cs ->
+              "; "
+              ^ String.concat ", "
+                  (List.map (fun (n, d, c) -> Printf.sprintf "%s %d/%d" n d c) cs)
+        in
         Some
-          (Printf.sprintf "fit-check shortage: %s (demand %d > capacity %d)"
-             (shortage_name shortage) demand capacity)
+          (Printf.sprintf "fit-check shortage: %s (demand %d > capacity %d%s)"
+             (shortage_name shortage) demand capacity detail)
     | _ -> None)
 
 let chain_slots_per_tile = 16
@@ -32,7 +50,15 @@ let sel_bits n =
 let size_for style ~luts ~user_ffs ~chain_muxes =
   let p = Style.params style in
   if chain_muxes > 0 && not p.Style.supports_chain then
-    Diag.failf ~payload:(Shortage { shortage = Chain_short; demand = chain_muxes; capacity = 0 })
+    Diag.failf
+      ~payload:
+        (Shortage
+           {
+             shortage = Chain_short;
+             demand = chain_muxes;
+             capacity = 0;
+             counts = [ ("chain", chain_muxes, 0) ];
+           })
       "Fabric.size_for: style %s has no MUX chains" (Style.name style);
   (* each BLE provides one LUT and one user flop *)
   let bles_needed = max luts user_ffs in

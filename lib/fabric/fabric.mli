@@ -20,7 +20,17 @@ type shortage = Luts_short | Ffs_short | Chain_short | Routing_short
 val shortage_name : shortage -> string
 
 type Shell_util.Diag.payload +=
-  | Shortage of { shortage : shortage; demand : int; capacity : int }
+  | Shortage of {
+      shortage : shortage;
+      demand : int;
+      capacity : int;
+      counts : (string * int * int) list;
+          (** the full resource accounting at the failing fit, as
+              [(name, demand, capacity)] triples ("luts", "ffs",
+              "chain", "io_pins", "congestion") — not just the class
+              that ran short, so consumers (lint's fabric rules) can
+              reuse the numbers without re-deriving them *)
+    }
       (** The typed fit-check payload: which resource ran short and by
           how much. Attached to diagnostics raised by {!size_for} and
           by the pipeline's strict PnR pass. *)

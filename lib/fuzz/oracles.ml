@@ -33,7 +33,10 @@ type t = {
   description : string;
   applies : Gen.shape -> bool;
   run : Rng.t -> N.t -> verdict;
-  inject : Rng.t -> N.t -> verdict option;
+  inject : Rng.t -> N.t -> (string * verdict) option;
+      (** plant one fault and re-judge; the label names the fault
+          class (e.g. ["lut-bit-flip"]) so the self-test can demand
+          per-class coverage *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -88,7 +91,7 @@ let transform_oracle ~name ~description ?(applies = fun _ -> true) f =
     | nl' -> (
         match Inject.mutate rng nl' with
         | None -> None
-        | Some m -> Some (compare_pair rng nl m.Inject.netlist))
+        | Some m -> Some (m.Inject.label, compare_pair rng nl m.Inject.netlist))
   in
   { name; description; applies; run; inject }
 
@@ -154,7 +157,9 @@ let sim_cnf =
           match Inject.mutate rng cv with
           | None -> None
           | Some m ->
-              Some (sim_cnf_compare rng ~golden:cv ~encoded:m.Inject.netlist));
+              Some
+                ( m.Inject.label,
+                  sim_cnf_compare rng ~golden:cv ~encoded:m.Inject.netlist ));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -202,7 +207,10 @@ let specialize =
         match Inject.mutate rng bound with
         | None -> None
         | Some m ->
-            Some (equiv_verdict rng ~keys_a:guess ~keys_b:[||] locked m.Inject.netlist));
+            Some
+              ( m.Inject.label,
+                equiv_verdict rng ~keys_a:guess ~keys_b:[||] locked
+                  m.Inject.netlist ));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -242,7 +250,9 @@ let splice =
                 let back =
                   Extraction.reassemble nl cut ~replacement:m.Inject.netlist
                 in
-                Some (equiv_verdict rng ~keys_a:keys ~keys_b:keys nl back)));
+                Some
+                  ( m.Inject.label,
+                    equiv_verdict rng ~keys_a:keys ~keys_b:keys nl back )));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -281,8 +291,9 @@ let lock_schemes =
             | Some m ->
                 let faulted = { lk with Locked.locked = m.Inject.netlist } in
                 Some
-                  (if Locked.verify ~vectors:64 ~original:nl faulted then Pass
-                   else Fail "injected fault detected")));
+                  ( m.Inject.label,
+                    if Locked.verify ~vectors:64 ~original:nl faulted then Pass
+                    else Fail "injected fault detected" )));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -337,8 +348,9 @@ let pipeline =
                 let faulted = { lk with Locked.locked = m.Inject.netlist } in
                 let original = r.Flow.cut.Extraction.sub in
                 Some
-                  (if Locked.verify ~vectors:64 ~original faulted then Pass
-                   else Fail "injected fault detected")));
+                  ( m.Inject.label,
+                    if Locked.verify ~vectors:64 ~original faulted then Pass
+                    else Fail "injected fault detected" )));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -383,7 +395,10 @@ let emit_fabric =
             match Inject.mutate rng (bound_of e) with
             | None -> None
             | Some m ->
-                Some (equiv_verdict rng ~keys_a:[||] ~keys_b:[||] mapped m.Inject.netlist)));
+                Some
+                  ( m.Inject.label,
+                    equiv_verdict rng ~keys_a:[||] ~keys_b:[||] mapped
+                      m.Inject.netlist )));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -462,7 +477,10 @@ let verilog =
             | None -> None
             | Some m ->
                 let keys = rand_bits rng (List.length (N.keys nl)) in
-                Some (equiv_verdict rng ~keys_a:keys ~keys_b:keys nl m.Inject.netlist)));
+                Some
+                  ( m.Inject.label,
+                    equiv_verdict rng ~keys_a:keys ~keys_b:keys nl
+                      m.Inject.netlist )));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -577,9 +595,74 @@ let vcd =
           if not !corrupted then None
           else
             Some
-              (match check_vcd (String.concat "\n" lines) with
-              | None -> Pass
-              | Some m -> Fail m));
+              ( "vcd-name-corrupt",
+                match check_vcd (String.concat "\n" lines) with
+                | None -> Pass
+                | Some m -> Fail m ));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Static lint battery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Shell_lint.Lint
+module Lint_rules = Shell_lint.Rules
+
+let lint_errors ?reference nl =
+  let subject = Lint.subject ?reference nl in
+  let r = Lint.run ~rules:Lint_rules.all subject in
+  List.filter (fun (f : Lint.finding) -> f.Lint.severity = Lint.Error)
+    r.Lint.findings
+
+let lint_fingerprints fs =
+  List.map
+    (fun (f : Lint.finding) -> f.Lint.rule ^ "|" ^ f.Lint.where)
+    fs
+
+let lint =
+  {
+    name = "lint";
+    description =
+      "static lint battery: structural rules stay clean on generated \
+       netlists; the reference-diff rule flags injected faults";
+    applies = (fun _ -> true);
+    run =
+      (fun _rng nl ->
+        (* generated netlists are valid and acyclic by construction, so
+           the structural pack's error rules must all stay silent;
+           security errors (e.g. key-dead) are excluded because a
+           random key may legitimately feed only dead logic *)
+        let subject = Lint.subject nl in
+        let r = Lint.run ~rules:Lint_rules.structural subject in
+        match
+          List.filter
+            (fun (f : Lint.finding) -> f.Lint.severity = Lint.Error)
+            r.Lint.findings
+        with
+        | [] -> Pass
+        | f :: _ ->
+            Fail
+              (Printf.sprintf "%s at %s: %s" f.Lint.rule f.Lint.where
+                 f.Lint.message));
+    inject =
+      (fun rng nl ->
+        match Inject.mutate rng nl with
+        | None -> None
+        | Some m ->
+            (* a fault is caught when linting the mutant against the
+               pristine netlist raises an error absent from the
+               baseline run (in practice: ref-mismatch) *)
+            let base = lint_fingerprints (lint_errors nl) in
+            let mutant =
+              lint_fingerprints (lint_errors ~reference:nl m.Inject.netlist)
+            in
+            let fresh =
+              List.filter (fun fp -> not (List.mem fp base)) mutant
+            in
+            Some
+              ( m.Inject.label,
+                if fresh <> [] then Fail "injected fault flagged by lint"
+                else Pass ));
   }
 
 let all =
@@ -595,6 +678,7 @@ let all =
     emit_fabric;
     verilog;
     vcd;
+    lint;
   ]
 
 let names = List.map (fun o -> o.name) all

@@ -27,10 +27,16 @@ type t = {
   run : Shell_util.Rng.t -> Shell_netlist.Netlist.t -> verdict;
       (** the differential check; must be deterministic in (rng state,
           netlist) *)
-  inject : Shell_util.Rng.t -> Shell_netlist.Netlist.t -> verdict option;
-      (** self-test: rerun the comparator against a single-fault mutant.
-          [Some (Fail _)] means the fault was caught; [Some Pass] means
-          the oracle is blind to it; [None] when no fault was
+  inject :
+    Shell_util.Rng.t ->
+    Shell_netlist.Netlist.t ->
+    (string * verdict) option;
+      (** self-test: rerun the comparator against a single-fault
+          mutant. The label names the injected fault class
+          ({!Inject.mutation}[.label], e.g. ["lut-bit-flip"]), so the
+          runner can tally per-class coverage. [Some (_, Fail _)]
+          means the fault was caught; [Some (_, Pass)] means the
+          oracle is blind to it; [None] when no fault was
           injectable. *)
 }
 

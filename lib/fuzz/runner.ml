@@ -200,7 +200,13 @@ let pp_report ppf r =
 (* Self-test                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type self_stat = { oracle : string; attempts : int; caught : int; missed : int }
+type self_stat = {
+  oracle : string;
+  attempts : int;
+  caught : int;
+  missed : int;
+  classes : (string * (int * int)) list;
+}
 
 let self_test ?jobs ?(oracles = Oracles.all) ~seed ~cases () =
   Obs.with_span "fuzz-self-test" @@ fun () ->
@@ -221,31 +227,75 @@ let self_test ?jobs ?(oracles = Oracles.all) ~seed ~cases () =
       (Array.make cases ())
   in
   let tally = Hashtbl.create 16 in
+  let classes = Hashtbl.create 32 in
   List.iter
     (fun ((o : Oracles.t), _) -> Hashtbl.replace tally o.Oracles.name (0, 0, 0))
     oracles;
+  let bump name label hit =
+    let a, c, m = Hashtbl.find tally name in
+    Hashtbl.replace tally name
+      (if hit then (a + 1, c + 1, m) else (a + 1, c, m + 1));
+    let kc, km =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt classes (name, label))
+    in
+    Hashtbl.replace classes (name, label)
+      (if hit then (kc + 1, km) else (kc, km + 1))
+  in
   Array.iter
     (fun per_oracle ->
       List.iter
         (fun (name, outcome) ->
           match outcome with
-          | None | Some (Oracles.Skip _) -> ()
-          | Some (Oracles.Fail _) ->
-              let a, c, m = Hashtbl.find tally name in
-              Hashtbl.replace tally name (a + 1, c + 1, m)
-          | Some Oracles.Pass ->
-              let a, c, m = Hashtbl.find tally name in
-              Hashtbl.replace tally name (a + 1, c, m + 1))
+          | None | Some (_, Oracles.Skip _) -> ()
+          | Some (label, Oracles.Fail _) -> bump name label true
+          | Some (label, Oracles.Pass) -> bump name label false)
         per_oracle)
     results;
   List.map
     (fun ((o : Oracles.t), _) ->
       let a, c, m = Hashtbl.find tally o.Oracles.name in
-      { oracle = o.Oracles.name; attempts = a; caught = c; missed = m })
+      let cls =
+        Hashtbl.fold
+          (fun (name, label) counts acc ->
+            if name = o.Oracles.name then (label, counts) :: acc else acc)
+          classes []
+        |> List.sort compare
+      in
+      {
+        oracle = o.Oracles.name;
+        attempts = a;
+        caught = c;
+        missed = m;
+        classes = cls;
+      })
     oracles
 
+(* The fault classes the static lint battery must demonstrably flag
+   (ISSUE: LUT bit flip, mux arm/sel swap, gate negation). Each group
+   is satisfied by any one of its labels. *)
+let lint_required_classes =
+  [
+    [ "lut-bit-flip" ];
+    [ "mux-arm-swap"; "mux-sel-swap" ];
+    [ "gate-negate" ];
+  ]
+
 let self_test_ok stats =
-  stats <> [] && List.for_all (fun s -> s.attempts > 0 && s.caught > 0) stats
+  stats <> []
+  && List.for_all (fun s -> s.attempts > 0 && s.caught > 0) stats
+  && List.for_all
+       (fun s ->
+         s.oracle <> "lint"
+         || List.for_all
+              (fun group ->
+                List.exists
+                  (fun label ->
+                    match List.assoc_opt label s.classes with
+                    | Some (caught, _) -> caught > 0
+                    | None -> false)
+                  group)
+              lint_required_classes)
+       stats
 
 let pp_self_test ppf stats =
   Format.fprintf ppf "mutation-injection self-test:@.";
@@ -255,5 +305,12 @@ let pp_self_test ppf stats =
         s.oracle s.attempts s.caught s.missed
         (if s.attempts = 0 then "NO-INJECTION"
          else if s.caught = 0 then "BLIND"
-         else "ok"))
+         else "ok");
+      if s.classes <> [] then
+        Format.fprintf ppf "    %s@."
+          (String.concat ", "
+             (List.map
+                (fun (label, (c, m)) ->
+                  Printf.sprintf "%s %d/%d" label c (c + m))
+                s.classes)))
     stats

@@ -59,6 +59,8 @@ type self_stat = {
   attempts : int;  (** mutants the comparator was run against *)
   caught : int;  (** comparator returned [Fail _] *)
   missed : int;  (** comparator returned [Pass] (fault masked) *)
+  classes : (string * (int * int)) list;
+      (** per fault-class (caught, missed), sorted by label *)
 }
 
 val self_test :
@@ -66,6 +68,8 @@ val self_test :
 
 val self_test_ok : self_stat list -> bool
 (** Every oracle attempted at least one injection and caught at least
-    one. *)
+    one — and the [lint] oracle (when present) caught every required
+    fault class: a LUT bit flip, a mux arm/sel swap, and a gate
+    negation. *)
 
 val pp_self_test : Format.formatter -> self_stat list -> unit

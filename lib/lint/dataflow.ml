@@ -1,0 +1,204 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Truthtab = Shell_util.Truthtab
+module Digraph = Shell_graph.Digraph
+
+type value = Zero | One | Unknown
+
+let known = function Zero -> Some false | One -> Some true | Unknown -> None
+let of_bool b = if b then One else Zero
+
+let neg = function Zero -> One | One -> Zero | Unknown -> Unknown
+
+(* Kleene conjunction/disjunction: a known dominant operand decides the
+   result even when the other side is unknown. *)
+let and3 a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | _ -> Unknown
+
+let or3 a b =
+  match (a, b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | _ -> Unknown
+
+let xor3 a b =
+  match (known a, known b) with
+  | Some x, Some y -> of_bool (x <> y)
+  | _ -> Unknown
+
+(* Fix the known inputs of a LUT, leaving a residual table over the
+   unknown ones. Cofactoring from the highest variable down keeps the
+   lower indices stable. *)
+let residual_table tt vals =
+  let t = ref tt in
+  for i = Array.length vals - 1 downto 0 do
+    match known vals.(i) with
+    | Some b -> t := Truthtab.cofactor !t i b
+    | None -> ()
+  done;
+  !t
+
+let eval_cell values (c : Cell.t) =
+  let iv i = values.(c.Cell.ins.(i)) in
+  match c.Cell.kind with
+  | Cell.Const b -> of_bool b
+  | Cell.Dff | Cell.Config_latch -> Unknown
+  | Cell.Buf -> iv 0
+  | Cell.Not -> neg (iv 0)
+  | Cell.And -> and3 (iv 0) (iv 1)
+  | Cell.Nand -> neg (and3 (iv 0) (iv 1))
+  | Cell.Or -> or3 (iv 0) (iv 1)
+  | Cell.Nor -> neg (or3 (iv 0) (iv 1))
+  | Cell.Xor -> xor3 (iv 0) (iv 1)
+  | Cell.Xnor -> neg (xor3 (iv 0) (iv 1))
+  | Cell.Mux2 -> (
+      match known (iv 0) with
+      | Some false -> iv 1
+      | Some true -> iv 2
+      | None ->
+          (* unknown select: both arms agreeing on a constant still
+             pins the output *)
+          if iv 1 = iv 2 then iv 1 else Unknown)
+  | Cell.Mux4 -> (
+      match (known (iv 0), known (iv 1)) with
+      | Some s0, Some s1 ->
+          let idx = (if s1 then 2 else 0) + if s0 then 1 else 0 in
+          iv (2 + idx)
+      | _ ->
+          let a = iv 2 and b = iv 3 and c' = iv 4 and d = iv 5 in
+          if a = b && b = c' && c' = d then a else Unknown)
+  | Cell.Lut tt ->
+      let vals = Array.init (Array.length c.Cell.ins) iv in
+      let r = residual_table tt vals in
+      (match Truthtab.is_const r with Some b -> of_bool b | None -> Unknown)
+
+let const_values nl =
+  let n = N.num_nets nl in
+  let values = Array.make (max n 1) Unknown in
+  let cells = N.cells nl in
+  let eval_into ci =
+    let c = cells.(ci) in
+    match eval_cell values c with
+    | Unknown -> false
+    | v ->
+        if values.(c.Cell.out) = Unknown then begin
+          values.(c.Cell.out) <- v;
+          true
+        end
+        else false
+  in
+  (match N.topo_order nl with
+  | order ->
+      (* one sweep suffices when the combinational part is acyclic *)
+      Array.iter (fun ci -> ignore (eval_into ci)) order
+  | exception Failure _ ->
+      (* cyclic: bounded monotone fixpoint (each net moves at most once,
+         Unknown -> known, so this terminates; the bound caps the cost
+         on adversarial cell orderings) *)
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < 64 do
+        changed := false;
+        incr rounds;
+        for ci = 0 to Array.length cells - 1 do
+          if eval_into ci then changed := true
+        done
+      done);
+  values
+
+let fanin_nets ?values nl targets =
+  let n = N.num_nets nl in
+  let seen = Array.make (max n 1) false in
+  let value_of net =
+    match values with Some v -> v.(net) | None -> Unknown
+  in
+  let stack = ref [] in
+  let push net =
+    if net >= 0 && net < n && not seen.(net) then begin
+      seen.(net) <- true;
+      stack := net :: !stack
+    end
+  in
+  List.iter push targets;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | net :: rest ->
+        stack := rest;
+        (* a proven-constant net transmits no influence: mark it but do
+           not walk into its sources *)
+        if known (value_of net) = None then (
+          match N.driver nl net with
+          | None -> ()
+          | Some ci ->
+              let c = N.cell nl ci in
+              let ins = c.Cell.ins in
+              let push_all () = Array.iter push ins in
+              (match (values, c.Cell.kind) with
+              | None, _ -> push_all ()
+              | Some v, Cell.Mux2 -> (
+                  match known v.(ins.(0)) with
+                  | Some s ->
+                      push ins.(0);
+                      push ins.(if s then 2 else 1)
+                  | None -> push_all ())
+              | Some v, Cell.Mux4 -> (
+                  match (known v.(ins.(0)), known v.(ins.(1))) with
+                  | Some s0, Some s1 ->
+                      push ins.(0);
+                      push ins.(1);
+                      let idx = (if s1 then 2 else 0) + if s0 then 1 else 0 in
+                      push ins.(2 + idx)
+                  | _ -> push_all ())
+              | Some v, Cell.Lut tt ->
+                  let vals = Array.map (fun i -> v.(i)) ins in
+                  let r = residual_table tt vals in
+                  let j = ref 0 in
+                  Array.iteri
+                    (fun i _ ->
+                      match known vals.(i) with
+                      | Some _ -> ()
+                      | None ->
+                          if Truthtab.depends_on r !j then push ins.(i);
+                          incr j)
+                    ins
+              | Some _, _ -> push_all ()))
+  done;
+  seen
+
+let cell_edges nl ~keep =
+  let cells = N.cells nl in
+  let edges = ref [] in
+  Array.iteri
+    (fun i c ->
+      if keep c then
+        Array.iter
+          (fun net ->
+            match N.driver nl net with
+            | Some j when keep cells.(j) -> edges := (j, i) :: !edges
+            | _ -> ())
+          c.Cell.ins)
+    cells;
+  Digraph.make ~n:(Array.length cells) ~edges:!edges
+
+let nontrivial_sccs g =
+  Digraph.sccs g
+  |> List.filter_map (fun scc ->
+         match scc with
+         | [ v ] -> if Digraph.has_edge g v v then Some [ v ] else None
+         | _ -> Some (List.sort compare scc))
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+let comb_graph nl =
+  cell_edges nl ~keep:(fun c -> not (Cell.is_sequential c.Cell.kind))
+
+let comb_sccs nl = nontrivial_sccs (comb_graph nl)
+
+let mux_sccs nl =
+  let is_mux c =
+    match c.Cell.kind with Cell.Mux2 | Cell.Mux4 -> true | _ -> false
+  in
+  nontrivial_sccs (cell_edges nl ~keep:is_mux)

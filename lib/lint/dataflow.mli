@@ -1,0 +1,62 @@
+(** The shared dataflow core under the lint rules.
+
+    Three analyses, each computed once per linted subject and handed to
+    every rule through the engine context:
+
+    - {b forward constant/X propagation} ({!const_values}): a
+      three-valued abstract simulation over nets. Sequential outputs
+      ([Dff], [Config_latch]) are unknown; everything else folds
+      through the cell semantics (mux arms collapse under a known
+      select, LUTs are cofactored by their known inputs).
+    - {b backward cones} ({!fanin_nets}): the set of nets in the fanin
+      cone of a target set. Structurally, or — given the constant
+      facts — {e functionally}, cutting traversal at proven-constant
+      nets, unselected mux arms and LUT inputs the residual table does
+      not depend on. A key bit inside the structural cone but outside
+      the functional one is constant-blocked.
+    - {b cycle detection} ({!comb_sccs}, {!mux_sccs}): Tarjan SCCs over
+      the cell graph, either the full combinational part or the
+      MUX-only subgraph (the paper's non-cyclic ROUTE-chain
+      invariant). *)
+
+type value = Zero | One | Unknown
+
+val known : value -> bool option
+(** [Some b] for a proven constant, [None] for [Unknown]. *)
+
+val const_values : Shell_netlist.Netlist.t -> value array
+(** Per-net constant facts, indexed by net id. Ports are [Unknown].
+    Acyclic netlists are evaluated in one topological sweep; cyclic
+    ones by a bounded monotone fixpoint (sound, possibly less
+    precise). *)
+
+val eval_cell : value array -> Shell_netlist.Cell.t -> value
+(** Three-valued evaluation of one cell under the given net facts.
+    Sequential kinds return [Unknown]. *)
+
+val fanin_nets :
+  ?values:value array ->
+  Shell_netlist.Netlist.t ->
+  int list ->
+  bool array
+(** [fanin_nets nl targets] marks every net in the structural fanin
+    cone of [targets] (the targets included), walking backwards through
+    cell drivers; sequential cells are traversed (state influence
+    counts). With [~values] the walk is {e functional}: it stops at
+    proven-constant nets and only descends into mux arms the select can
+    still reach and LUT inputs the cofactored table still depends
+    on. *)
+
+val comb_graph : Shell_netlist.Netlist.t -> Shell_graph.Digraph.t
+(** Cell-level dependency graph over combinational cells only: edge
+    [j -> i] when cell [j]'s output feeds cell [i] and neither is
+    sequential. Nodes are cell indices. *)
+
+val comb_sccs : Shell_netlist.Netlist.t -> int list list
+(** Non-trivial strongly connected components (size > 1, or a
+    self-loop) of {!comb_graph}, each sorted ascending, in ascending
+    order of their smallest member. Combinational cycles. *)
+
+val mux_sccs : Shell_netlist.Netlist.t -> int list list
+(** Same, restricted to edges between [Mux2]/[Mux4] cells through any
+    input (select or data): cyclic MUX chains. *)

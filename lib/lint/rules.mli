@@ -1,0 +1,42 @@
+(** The shipped rule packs.
+
+    {b structural} — well-formedness of the netlist itself:
+    - [port-invalid] (error): out-of-range or duplicate port
+    - [net-multi-driven] (error): single-driver violation
+    - [net-undriven] (error): floating output / floating read
+    - [comb-cycle] (error): combinational feedback (Tarjan SCC)
+    - [cell-dead] (warn): cell reaching no primary output
+    - [output-constant] (warn): output provably stuck
+    - [lut-degenerate] (info): constant table / ignored LUT input
+
+    {b security} — the paper's locking invariants:
+    - [key-dead] (error): key bit with an empty influence cone
+    - [key-blocked] (warn): key bit constant-propagated away
+    - [mux-chain-cycle] (error): cyclic MUX chain (non-cyclic ROUTE
+      mapping violated)
+    - [lgc-depth] (warn): selected LGC not depth-0 adjacent to ROUTE
+      (needs the subject's [selection])
+    - [ref-mismatch] (error): structural deviation from the golden
+      reference (needs [reference])
+
+    {b fabric} — fabric/bitstream accounting:
+    - [fabric-unused] (warn): materialized-but-unused tiles/LUTs/chain
+      slots when the shrink step was skipped (needs [pnr])
+    - [config-dangling] (error): bitstream bit whose key net drives
+      nothing (needs [bitstream])
+    - [bitstream-accounting] (error): segment directory vs bit vector
+      vs key ports vs resource inventory mismatches, non-power-of-two
+      table segments per {!Shell_fabric.Bitstream.kind_of_label}
+
+    Rules see only what the subject carries: a bare netlist activates
+    the structural pack plus the key rules; fabric artifacts activate
+    the rest. *)
+
+val structural : Lint.rule list
+val security : Lint.rule list
+val fabric : Lint.rule list
+
+val all : Lint.rule list
+(** The registry, in report order: structural, security, fabric. *)
+
+val find : string -> Lint.rule option

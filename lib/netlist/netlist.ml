@@ -170,13 +170,12 @@ let filter_outputs t p =
   t'.outputs <- List.filter (fun (nm, _) -> p nm) t'.outputs;
   t'
 
-let validate t =
-  let err = ref None in
+let validate_all t =
+  let errs = ref [] in
   let report payload fmt =
     Printf.ksprintf
       (fun m ->
-        if !err = None then
-          err := Some (Diag.make ~context:[ "validate"; t.name ] ~payload m))
+        errs := Diag.make ~context:[ "validate"; t.name ] ~payload m :: !errs)
       fmt
   in
   (* port sanity: every port names an in-range net, names are unique
@@ -194,39 +193,41 @@ let validate t =
   List.iter (check_port "input") (List.rev t.inputs);
   List.iter (check_port "key") (List.rev t.keys);
   List.iter (check_port "output") (List.rev t.outputs);
-  match !err with
-  | Some e -> Error e
-  | None ->
-      let drivers = Array.make (max t.n_nets 1) 0 in
-      let mark net = drivers.(net) <- drivers.(net) + 1 in
-      List.iter (fun (_, n) -> mark n) t.inputs;
-      List.iter (fun (_, n) -> mark n) t.keys;
-      Vec.iter (fun c -> mark c.Cell.out) t.cells;
-      for net = 0 to t.n_nets - 1 do
-        if drivers.(net) > 1 then
-          report
-            (Invalid (Multiple_drivers { net; drivers = drivers.(net) }))
-            "net n%d has %d drivers" net drivers.(net)
-      done;
-      (* a dangling output is reported by port name, not just as a
-         floating read *)
-      List.iter
-        (fun (nm, net) ->
-          if drivers.(net) = 0 then
-            report (Invalid (Undriven_output { port = nm; net }))
-              "output %s reads undriven net n%d" nm net)
-        (List.rev t.outputs);
-      (* other floating nets are only an error when something reads them *)
-      let reads = Array.make (max t.n_nets 1) false in
-      Vec.iter
-        (fun c -> Array.iter (fun n -> reads.(n) <- true) c.Cell.ins)
-        t.cells;
-      for net = 0 to t.n_nets - 1 do
-        if reads.(net) && drivers.(net) = 0 then
-          report (Invalid (Undriven_read { net }))
-            "net n%d is read but never driven" net
-      done;
-      (match !err with Some e -> Error e | None -> Ok ())
+  let drivers = Array.make (max t.n_nets 1) 0 in
+  let mark net =
+    if net >= 0 && net < t.n_nets then drivers.(net) <- drivers.(net) + 1
+  in
+  List.iter (fun (_, n) -> mark n) t.inputs;
+  List.iter (fun (_, n) -> mark n) t.keys;
+  Vec.iter (fun c -> mark c.Cell.out) t.cells;
+  for net = 0 to t.n_nets - 1 do
+    if drivers.(net) > 1 then
+      report
+        (Invalid (Multiple_drivers { net; drivers = drivers.(net) }))
+        "net n%d has %d drivers" net drivers.(net)
+  done;
+  (* a dangling output is reported by port name, not just as a
+     floating read *)
+  List.iter
+    (fun (nm, net) ->
+      if net >= 0 && net < t.n_nets && drivers.(net) = 0 then
+        report (Invalid (Undriven_output { port = nm; net }))
+          "output %s reads undriven net n%d" nm net)
+    (List.rev t.outputs);
+  (* other floating nets are only an error when something reads them *)
+  let reads = Array.make (max t.n_nets 1) false in
+  Vec.iter
+    (fun c -> Array.iter (fun n -> reads.(n) <- true) c.Cell.ins)
+    t.cells;
+  for net = 0 to t.n_nets - 1 do
+    if reads.(net) && drivers.(net) = 0 then
+      report (Invalid (Undriven_read { net }))
+        "net n%d is read but never driven" net
+  done;
+  List.rev !errs
+
+let validate t =
+  match validate_all t with [] -> Ok () | d :: _ -> Error d
 
 (* Structural fingerprint (FNV-1a over the whole construction) for the
    pass pipeline's input keys: two netlists with equal fingerprints are

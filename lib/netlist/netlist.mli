@@ -114,7 +114,15 @@ type Shell_util.Diag.payload += Invalid of invalid
 val validate : t -> (unit, Shell_util.Diag.t) result
 (** Check the single-driver invariant and port sanity. The error's
     payload is [Invalid _]; its context stack is
-    [["validate"; module-name]]. *)
+    [["validate"; module-name]]. Thin wrapper over {!validate_all}
+    returning the first violation. *)
+
+val validate_all : t -> Shell_util.Diag.t list
+(** Exhaustive form of {!validate}: every violation, in deterministic
+    order — port-sanity defects first (inputs, keys, outputs, each in
+    declaration order), then multi-driven nets by ascending net id,
+    undriven outputs in declaration order, and finally undriven reads
+    by ascending net id. [[]] iff the netlist is well-formed. *)
 
 val fingerprint : t -> string
 (** 64-bit structural hash (hex) over nets, ports and cells — the pass

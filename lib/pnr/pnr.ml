@@ -391,36 +391,76 @@ let run ?(seed = 7) ?(anneal_moves = 20_000) fabric nl =
        else float_of_int (Hashtbl.length tiles_touched) /. float_of_int tiles);
   }
 
+type fit_counts = {
+  used_luts : int;
+  lut_capacity : int;
+  used_ffs : int;
+  ff_capacity : int;
+  used_chain : int;
+  chain_capacity : int;
+  io_pins : int option;
+  io_capacity : int;
+  max_congestion : int;
+  channel_width : int;
+  overflow_segments : int;
+}
+
+let fit_counts ?netlist (r : result) =
+  {
+    used_luts = r.placement.used_luts;
+    lut_capacity = Fabric.lut_capacity r.fabric;
+    used_ffs = r.placement.used_ffs;
+    ff_capacity = Fabric.ff_capacity r.fabric;
+    used_chain = r.placement.used_chain;
+    chain_capacity = r.fabric.Fabric.chain_slots;
+    io_pins =
+      Option.map
+        (fun nl ->
+          List.length (Netlist.inputs nl) + List.length (Netlist.outputs nl))
+        netlist;
+    io_capacity = Fabric.io_capacity r.fabric;
+    max_congestion = r.routes.max_congestion;
+    channel_width = (Style.params r.fabric.Fabric.style).Style.channel_width;
+    overflow_segments = r.routes.overflow_segments;
+  }
+
+let count_triples (c : fit_counts) =
+  List.concat
+    [
+      [
+        ("luts", c.used_luts, c.lut_capacity);
+        ("ffs", c.used_ffs, c.ff_capacity);
+        ("chain", c.used_chain, c.chain_capacity);
+      ];
+      (match c.io_pins with
+      | Some pins -> [ ("io_pins", pins, c.io_capacity) ]
+      | None -> []);
+      [ ("congestion", c.max_congestion, c.channel_width) ];
+    ]
+
 let diag_of_fit ?netlist (r : result) =
   match r.fit with
   | Ok () -> None
   | Error s ->
+      let c = fit_counts ?netlist r in
       let demand, capacity =
         match s with
-        | Fabric.Luts_short ->
-            (r.placement.used_luts, Fabric.lut_capacity r.fabric)
-        | Fabric.Ffs_short -> (r.placement.used_ffs, Fabric.ff_capacity r.fabric)
-        | Fabric.Chain_short -> (r.placement.used_chain, r.fabric.Fabric.chain_slots)
+        | Fabric.Luts_short -> (c.used_luts, c.lut_capacity)
+        | Fabric.Ffs_short -> (c.used_ffs, c.ff_capacity)
+        | Fabric.Chain_short -> (c.used_chain, c.chain_capacity)
         | Fabric.Routing_short -> (
-            let congestion =
-              (r.routes.max_congestion,
-               (Style.params r.fabric.Fabric.style).Style.channel_width)
-            in
+            let congestion = (c.max_congestion, c.channel_width) in
             (* routing can run short on channels or on boundary pins;
                report whichever actually exceeded *)
-            match netlist with
-            | Some nl ->
-                let pins =
-                  List.length (Netlist.inputs nl)
-                  + List.length (Netlist.outputs nl)
-                in
-                let io = Fabric.io_capacity r.fabric in
-                if pins > io then (pins, io) else congestion
-            | None -> congestion)
+            match c.io_pins with
+            | Some pins when pins > c.io_capacity -> (pins, c.io_capacity)
+            | _ -> congestion)
       in
       Some
         (Shell_util.Diag.msgf
-           ~payload:(Fabric.Shortage { shortage = s; demand; capacity })
+           ~payload:
+             (Fabric.Shortage
+                { shortage = s; demand; capacity; counts = count_triples c })
            "fit check failed on %s: %s short (demand %d, capacity %d)"
            (Format.asprintf "%a" Fabric.pp r.fabric)
            (Fabric.shortage_name s) demand capacity)

@@ -46,14 +46,35 @@ val run :
     [Dff]/[Const] cells). Never raises on over-capacity input: the
     verdict lands in [fit]. *)
 
+type fit_counts = {
+  used_luts : int;
+  lut_capacity : int;
+  used_ffs : int;
+  ff_capacity : int;
+  used_chain : int;
+  chain_capacity : int;
+  io_pins : int option;  (** [None] when no netlist was supplied *)
+  io_capacity : int;
+  max_congestion : int;
+  channel_width : int;
+  overflow_segments : int;
+}
+(** The full resource accounting of one fit attempt — every demand
+    next to its capacity, whether or not that class ran short. *)
+
+val fit_counts :
+  ?netlist:Shell_netlist.Netlist.t -> result -> fit_counts
+(** Extract the accounting from a PnR result. Pass the mapped
+    [netlist] to also count boundary-pin demand ([io_pins]). *)
+
 val diag_of_fit :
   ?netlist:Shell_netlist.Netlist.t -> result -> Shell_util.Diag.t option
 (** [None] when the mapping fits; otherwise a diagnostic whose typed
     payload is the {!Shell_fabric.Fabric.Shortage} (which resource ran
-    short, demanded vs available). Pass the mapped [netlist] so a
-    routing shortage can distinguish boundary-pin demand from channel
-    congestion. The pipeline's PnR pass raises it when fit failures
-    are strict. *)
+    short, demanded vs available, plus the [counts] triples from
+    {!fit_counts}). Pass the mapped [netlist] so a routing shortage can
+    distinguish boundary-pin demand from channel congestion. The
+    pipeline's PnR pass raises it when fit failures are strict. *)
 
 val fit_loop :
   ?seed:int ->

@@ -1,0 +1,334 @@
+(* Tests for shell_lint: one positive + one negative fixture per rule,
+   baseline suppression, severity floors, jobs-independent JSON output
+   and lint-cleanliness of the pipeline's locked result. *)
+
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Truthtab = Shell_util.Truthtab
+module Jsonw = Shell_util.Jsonw
+module Lint = Shell_lint.Lint
+module Rules = Shell_lint.Rules
+module Bitstream = Shell_fabric.Bitstream
+module C = Shell_core
+module Circ = Shell_circuits
+
+let run_rule name subj =
+  match Rules.find name with
+  | None -> Alcotest.failf "unknown rule %s" name
+  | Some r -> (Lint.run ~rules:[ r ] subj).Lint.findings
+
+let check_fires name subj =
+  Alcotest.(check bool) (name ^ " fires") true (run_rule name subj <> [])
+
+let check_clean name subj =
+  match run_rule name subj with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%s expected clean, got: %s" name f.Lint.message
+
+(* well-formed negative fixture for the structural pack *)
+let clean () =
+  let nl = N.create "clean" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  N.add_output nl "y" (N.and_ nl a b);
+  nl
+
+(* ---------------- structural pack ---------------- *)
+
+let test_port_invalid () =
+  let nl = N.create "dup" in
+  let a = N.add_input nl "a" in
+  let a2 = N.add_input nl "a" in
+  N.add_output nl "y" (N.or_ nl a a2);
+  check_fires "port-invalid" (Lint.subject nl);
+  check_clean "port-invalid" (Lint.subject (clean ()))
+
+let test_net_multi_driven () =
+  let nl = N.create "dd" in
+  let a = N.add_input nl "a" in
+  let x = N.not_ nl a in
+  N.add_cell nl (Cell.make Cell.Buf [| a |] x);
+  N.add_output nl "y" x;
+  check_fires "net-multi-driven" (Lint.subject nl);
+  check_clean "net-multi-driven" (Lint.subject (clean ()))
+
+let test_net_undriven () =
+  let nl = N.create "float" in
+  let a = N.add_input nl "a" in
+  let dangling = N.new_net nl in
+  N.add_output nl "y" (N.and_ nl a dangling);
+  check_fires "net-undriven" (Lint.subject nl);
+  check_clean "net-undriven" (Lint.subject (clean ()))
+
+let test_comb_cycle () =
+  let nl = N.create "loop" in
+  let a = N.add_input nl "a" in
+  let q = N.new_net nl in
+  N.add_cell nl (Cell.make Cell.And [| a; q |] q);
+  N.add_output nl "y" q;
+  check_fires "comb-cycle" (Lint.subject nl);
+  (* a dff breaks the cycle *)
+  let seq = N.create "seq" in
+  let a = N.add_input seq "a" in
+  let q = N.new_net seq in
+  let d = N.xor_ seq a q in
+  N.add_cell seq (Cell.make Cell.Dff [| d |] q);
+  N.add_output seq "y" q;
+  check_clean "comb-cycle" (Lint.subject seq)
+
+let test_cell_dead () =
+  let nl = clean () in
+  let a = snd (List.hd (N.inputs nl)) in
+  let _unused = N.not_ nl a in
+  check_fires "cell-dead" (Lint.subject nl);
+  check_clean "cell-dead" (Lint.subject (clean ()))
+
+let test_output_constant () =
+  let nl = N.create "stuck" in
+  let a = N.add_input nl "a" in
+  let z = N.const nl false in
+  N.add_output nl "y" (N.and_ nl a z);
+  check_fires "output-constant" (Lint.subject nl);
+  check_clean "output-constant" (Lint.subject (clean ()))
+
+let test_lut_degenerate () =
+  let nl = N.create "lutdeg" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  (* a 2-input table that only depends on input 0 *)
+  N.add_output nl "y" (N.lut nl (Truthtab.var 0 ~arity:2) [| a; b |]);
+  check_fires "lut-degenerate" (Lint.subject nl);
+  let ok = N.create "lutok" in
+  let a = N.add_input ok "a" in
+  let b = N.add_input ok "b" in
+  N.add_output ok "y"
+    (N.lut ok (Truthtab.of_fun ~arity:2 (fun v -> v.(0) <> v.(1))) [| a; b |]);
+  check_clean "lut-degenerate" (Lint.subject ok)
+
+(* ---------------- security pack ---------------- *)
+
+let test_key_dead () =
+  let nl = N.create "kdead" in
+  let _k = N.add_key nl "kb0" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.not_ nl a);
+  check_fires "key-dead" (Lint.subject nl);
+  let ok = N.create "kok" in
+  let k = N.add_key ok "kb0" in
+  let a = N.add_input ok "a" in
+  N.add_output ok "y" (N.xor_ ok k a);
+  check_clean "key-dead" (Lint.subject ok)
+
+let test_key_blocked () =
+  (* the key is wired towards the output, but an AND-with-0 cuts
+     every path: reachable yet not live *)
+  let nl = N.create "kblk" in
+  let k = N.add_key nl "kb0" in
+  let a = N.add_input nl "a" in
+  let z = N.const nl false in
+  N.add_output nl "y" (N.and_ nl (N.xor_ nl k a) z);
+  check_fires "key-blocked" (Lint.subject nl);
+  let ok = N.create "kok" in
+  let k = N.add_key ok "kb0" in
+  let a = N.add_input ok "a" in
+  N.add_output ok "y" (N.xor_ ok k a);
+  check_clean "key-blocked" (Lint.subject ok)
+
+let test_mux_chain_cycle () =
+  let nl = N.create "muxloop" in
+  let s = N.add_input nl "s" in
+  let a = N.add_input nl "a" in
+  let q = N.new_net nl in
+  N.add_cell nl (Cell.make Cell.Mux2 [| s; q; a |] q);
+  N.add_output nl "y" q;
+  check_fires "mux-chain-cycle" (Lint.subject nl);
+  let ok = N.create "muxok" in
+  let s = N.add_input ok "s" in
+  let a = N.add_input ok "a" in
+  let b = N.add_input ok "b" in
+  N.add_output ok "y" (N.mux2 ok ~sel:s ~a ~b);
+  check_clean "mux-chain-cycle" (Lint.subject ok)
+
+let sel_design ~adjacent =
+  let nl = N.create "sel" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let r = N.and_ ~origin:"top.routeblk" nl a b in
+  let feed = if adjacent then r else N.not_ nl (N.not_ nl r) in
+  N.add_output nl "y" (N.not_ ~origin:"top.lgcblk" nl feed);
+  nl
+
+let test_lgc_depth () =
+  let selection design =
+    { Lint.design; route_origins = [ "routeblk" ]; lgc_origins = [ "lgcblk" ] }
+  in
+  let far = sel_design ~adjacent:false in
+  check_fires "lgc-depth" (Lint.subject ~selection:(selection far) far);
+  let near = sel_design ~adjacent:true in
+  check_clean "lgc-depth" (Lint.subject ~selection:(selection near) near)
+
+let test_ref_mismatch () =
+  let golden = clean () in
+  let tampered =
+    N.map_cells (clean ()) (fun _ c ->
+        match c.Cell.kind with
+        | Cell.And -> { c with Cell.kind = Cell.Or }
+        | _ -> c)
+  in
+  check_fires "ref-mismatch" (Lint.subject ~reference:golden tampered);
+  check_clean "ref-mismatch" (Lint.subject ~reference:golden (clean ()))
+
+(* ---------------- fabric pack ---------------- *)
+
+let keyed ~use_both =
+  let nl = N.create "cfg" in
+  let k0 = N.add_key nl "kb0" in
+  let k1 = N.add_key nl "kb1" in
+  let a = N.add_input nl "a" in
+  let x = N.and_ nl k0 a in
+  N.add_output nl "y" (if use_both then N.xor_ nl x k1 else x);
+  nl
+
+let test_config_dangling () =
+  let bs () =
+    let b = Bitstream.builder () in
+    Bitstream.append b "lut0.in0.sel" [| true; false |];
+    b
+  in
+  (* kb1 is a config bit with no fanout *)
+  check_fires "config-dangling"
+    (Lint.subject ~bitstream:(bs ()) (keyed ~use_both:false));
+  check_clean "config-dangling"
+    (Lint.subject ~bitstream:(bs ()) (keyed ~use_both:true))
+
+let test_bitstream_accounting () =
+  let bad = Bitstream.builder () in
+  (* 3 bits can't be a LUT table, and the netlist exposes 2 key bits *)
+  Bitstream.append bad "lut0.table" [| true; false; true |];
+  let fs =
+    run_rule "bitstream-accounting"
+      (Lint.subject ~bitstream:bad (keyed ~use_both:true))
+  in
+  let wheres = List.map (fun (f : Lint.finding) -> f.Lint.where) fs in
+  Alcotest.(check bool) "table-size flagged" true
+    (List.mem "segment:lut0.table" wheres);
+  Alcotest.(check bool) "key-count flagged" true (List.mem "keys" wheres);
+  let ok = Bitstream.builder () in
+  Bitstream.append ok "lut0.table" [| true; false |];
+  check_clean "bitstream-accounting"
+    (Lint.subject ~bitstream:ok (keyed ~use_both:true))
+
+let fir_result =
+  lazy
+    (C.Pipeline.clear_cache ();
+     C.Flow.run (C.Flow.shell_config ()) (Circ.Fir.netlist ()))
+
+let test_fabric_unused () =
+  let r = Lazy.force fir_result in
+  (* same fit, shrink flagged off: the sized fabric has slack *)
+  let unshrunk =
+    Lint.subject ~pnr:r.C.Flow.pnr ~shrunk:false r.C.Flow.locked_full
+  in
+  check_fires "fabric-unused" unshrunk;
+  let shrunk =
+    Lint.subject ~pnr:r.C.Flow.pnr ~shrunk:true r.C.Flow.locked_full
+  in
+  check_clean "fabric-unused" shrunk
+
+(* ---------------- engine ---------------- *)
+
+(* a fixture that trips rules of all three severities *)
+let noisy () =
+  let nl = N.create "noisy" in
+  let _k = N.add_key nl "kb0" in
+  let a = N.add_input nl "a" in
+  let b = N.add_input nl "b" in
+  let _dead = N.not_ nl a in
+  N.add_output nl "y" (N.lut nl (Truthtab.var 0 ~arity:2) [| a; b |]);
+  let q = N.new_net nl in
+  N.add_cell nl (Cell.make Cell.And [| a; q |] q);
+  N.add_output nl "z" q;
+  nl
+
+let test_severity_floor () =
+  let subj = Lint.subject (noisy ()) in
+  let all = Lint.run ~rules:Rules.all subj in
+  Alcotest.(check bool) "has errors" true (all.Lint.errors > 0);
+  Alcotest.(check bool) "has warns" true (all.Lint.warns > 0);
+  Alcotest.(check bool) "has infos" true (all.Lint.infos > 0);
+  let errs_only = Lint.run ~severity:Lint.Error ~rules:Rules.all subj in
+  Alcotest.(check int) "same errors" all.Lint.errors errs_only.Lint.errors;
+  Alcotest.(check int) "warns filtered" 0 errs_only.Lint.warns;
+  Alcotest.(check int) "infos filtered" 0 errs_only.Lint.infos;
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check string)
+        "only errors remain" "error"
+        (Lint.severity_name f.Lint.severity))
+    errs_only.Lint.findings
+
+let test_baseline_suppression () =
+  let subj = Lint.subject (noisy ()) in
+  let r = Lint.run ~rules:Rules.all subj in
+  Alcotest.(check bool) "not ok before" false (Lint.ok r);
+  let fps =
+    List.map
+      (Lint.fingerprint ~subject_name:r.Lint.subject_name)
+      r.Lint.findings
+  in
+  let suppressed = Lint.run ~baseline:fps ~rules:Rules.all subj in
+  Alcotest.(check int) "all suppressed"
+    (List.length r.Lint.findings)
+    suppressed.Lint.suppressed;
+  Alcotest.(check (list string)) "no findings left" []
+    (List.map (fun (f : Lint.finding) -> f.Lint.where) suppressed.Lint.findings);
+  Alcotest.(check bool) "ok after" true (Lint.ok suppressed);
+  (* fingerprints survive a baseline-file round-trip *)
+  let file =
+    String.concat "\n"
+      ("# comment" :: List.map (Lint.baseline_line ~subject_name:r.Lint.subject_name)
+          r.Lint.findings)
+  in
+  Alcotest.(check (list string)) "parse round-trip" fps (Lint.parse_baseline file)
+
+let test_jobs_independent () =
+  let json jobs =
+    let subj = Lint.subject (noisy ()) in
+    let r = Lint.run ~jobs ~rules:Rules.all subj in
+    Jsonw.to_string ~indent:2 (Lint.reports_json [ r ])
+  in
+  Alcotest.(check string) "json byte-identical jobs 1 vs 4" (json 1) (json 4)
+
+let test_locked_flow_clean () =
+  let r = Lazy.force fir_result in
+  let rep = r.C.Flow.lint in
+  if rep.Lint.errors <> 0 then
+    List.iter
+      (fun (f : Lint.finding) ->
+        Format.eprintf "%a@." (Lint.pp_finding ~subject_name:rep.Lint.subject_name) f)
+      rep.Lint.findings;
+  Alcotest.(check int) "locked pipeline result lints clean" 0 rep.Lint.errors
+
+let suite =
+  [
+    Alcotest.test_case "port-invalid" `Quick test_port_invalid;
+    Alcotest.test_case "net-multi-driven" `Quick test_net_multi_driven;
+    Alcotest.test_case "net-undriven" `Quick test_net_undriven;
+    Alcotest.test_case "comb-cycle" `Quick test_comb_cycle;
+    Alcotest.test_case "cell-dead" `Quick test_cell_dead;
+    Alcotest.test_case "output-constant" `Quick test_output_constant;
+    Alcotest.test_case "lut-degenerate" `Quick test_lut_degenerate;
+    Alcotest.test_case "key-dead" `Quick test_key_dead;
+    Alcotest.test_case "key-blocked" `Quick test_key_blocked;
+    Alcotest.test_case "mux-chain-cycle" `Quick test_mux_chain_cycle;
+    Alcotest.test_case "lgc-depth" `Quick test_lgc_depth;
+    Alcotest.test_case "ref-mismatch" `Quick test_ref_mismatch;
+    Alcotest.test_case "config-dangling" `Quick test_config_dangling;
+    Alcotest.test_case "bitstream-accounting" `Quick test_bitstream_accounting;
+    Alcotest.test_case "fabric-unused" `Quick test_fabric_unused;
+    Alcotest.test_case "severity floor" `Quick test_severity_floor;
+    Alcotest.test_case "baseline suppression" `Quick test_baseline_suppression;
+    Alcotest.test_case "jobs-independent JSON" `Quick test_jobs_independent;
+    Alcotest.test_case "locked flow lints clean" `Quick test_locked_flow_clean;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("circuits", Test_circuits.suite);
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
+      ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -102,6 +102,45 @@ let test_validate_duplicate_port () =
   | N.Invalid (N.Duplicate_port { port = "y" }) -> ()
   | _ -> Alcotest.fail "expected Duplicate_port{y}"
 
+let test_validate_all_collects () =
+  (* one netlist with four distinct defects: validate_all reports all
+     of them in its documented order, validate returns the first *)
+  let nl = N.create "multi" in
+  let a = N.add_input nl "a" in
+  let _a2 = N.add_input nl "a" in
+  let x = N.not_ nl a in
+  N.add_cell nl (Cell.make Cell.Buf [| a |] x);
+  let dangling = N.new_net nl in
+  N.add_output nl "y" (N.and_ nl x dangling);
+  N.add_output nl "z" (N.new_net nl);
+  let ds = N.validate_all nl in
+  let payloads =
+    List.map
+      (fun d ->
+        match d.Shell_util.Diag.payload with
+        | N.Invalid iv -> iv
+        | _ -> Alcotest.fail "expected Invalid payload")
+      ds
+  in
+  (match payloads with
+  | [
+   N.Duplicate_port { port = "a" };
+   N.Multiple_drivers { net; _ };
+   N.Undriven_output { port = "z"; _ };
+   N.Undriven_read { net = read };
+  ] ->
+      Alcotest.(check int) "double-driven net" x net;
+      Alcotest.(check int) "floating read" dangling read
+  | _ ->
+      Alcotest.failf "unexpected violation list (%d entries)"
+        (List.length ds));
+  match (N.validate nl, ds) with
+  | Error first, d :: _ ->
+      Alcotest.(check string) "validate returns the first violation"
+        (Shell_util.Diag.to_string d)
+        (Shell_util.Diag.to_string first)
+  | Ok (), _ | _, [] -> Alcotest.fail "validate should fail"
+
 let test_driver_fanout () =
   let nl = fixture () in
   let x_cell = 0 in
@@ -508,6 +547,7 @@ let suite =
     ("validate bad net id", `Quick, test_validate_bad_net_id);
     ("validate dangling output", `Quick, test_validate_dangling_output);
     ("validate duplicate port", `Quick, test_validate_duplicate_port);
+    ("validate_all collects every violation", `Quick, test_validate_all_collects);
     ("driver/fanout", `Quick, test_driver_fanout);
     ("topo order valid", `Quick, test_topo_order_valid);
     ("cycle detection", `Quick, test_cycle_detection);

@@ -15,7 +15,7 @@ let fir_cfg () = C.Flow.shell_config ()
 
 let test_pass_names () =
   Alcotest.(check (list string))
-    "eight passes"
+    "nine passes"
     [
       "connectivity";
       "selection";
@@ -25,6 +25,7 @@ let test_pass_names () =
       "emit";
       "shrink";
       "overhead";
+      "lint";
     ]
     C.Pipeline.pass_names
 

@@ -102,6 +102,47 @@ let test_chain_cells_fit () =
   | Ok () -> ()
   | Error _ -> Alcotest.fail "chain must fit"
 
+let test_fit_counts () =
+  let mapped = random_mapped 10 150 in
+  let res = Pnr.fit_loop ~style:Style.Fabulous_std mapped in
+  let c = Pnr.fit_counts ~netlist:mapped res in
+  Alcotest.(check int) "used luts from placement" res.Pnr.placement.Pnr.used_luts
+    c.Pnr.used_luts;
+  Alcotest.(check bool) "lut capacity covers demand" true
+    (c.Pnr.lut_capacity >= c.Pnr.used_luts);
+  Alcotest.(check bool) "ff capacity covers demand" true
+    (c.Pnr.ff_capacity >= c.Pnr.used_ffs);
+  Alcotest.(check bool) "io pins counted" true
+    (match c.Pnr.io_pins with Some n -> n > 0 | None -> false);
+  Alcotest.(check bool) "channel width positive" true (c.Pnr.channel_width > 0);
+  Alcotest.(check int) "converged fit has no overflow" 0 c.Pnr.overflow_segments
+
+let test_shortage_carries_counts () =
+  let mapped = random_mapped 5 300 in
+  let tiny =
+    { Fabric.style = Style.Openfpga; cols = 1; rows = 1; chain_slots = 0 }
+  in
+  let res = Pnr.run tiny mapped in
+  match Pnr.diag_of_fit ~netlist:mapped res with
+  | None -> Alcotest.fail "1x1 fabric must yield a shortage diagnostic"
+  | Some d -> (
+      match d.Shell_util.Diag.payload with
+      | Fabric.Shortage { shortage = _; demand; capacity; counts } ->
+          Alcotest.(check bool) "demand exceeds capacity" true
+            (demand > capacity);
+          let assoc what =
+            List.find_opt (fun (n, _, _) -> n = what) counts
+          in
+          (match assoc "luts" with
+          | Some (_, d, c) ->
+              Alcotest.(check int) "lut demand in counts"
+                res.Pnr.placement.Pnr.used_luts d;
+              Alcotest.(check bool) "lut capacity in counts" true (c >= 0)
+          | None -> Alcotest.fail "counts must carry the lut triple");
+          Alcotest.(check bool) "io triple present with netlist" true
+            (assoc "io_pins" <> None)
+      | _ -> Alcotest.fail "expected a Fabric.Shortage payload")
+
 let test_floorplan_renders () =
   let mapped = random_mapped 9 100 in
   let res = Pnr.fit_loop ~style:Style.Openfpga mapped in
@@ -125,5 +166,7 @@ let suite =
     ("deterministic", `Quick, test_deterministic);
     ("annealing improves", `Quick, test_annealing_improves);
     ("chain cells fit", `Quick, test_chain_cells_fit);
+    ("fit counts accounting", `Quick, test_fit_counts);
+    ("shortage carries counts", `Quick, test_shortage_carries_counts);
     ("floorplan renders", `Quick, test_floorplan_renders);
   ]

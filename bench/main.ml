@@ -3,7 +3,7 @@
    micro-benchmarks of the core kernels.
 
    Usage: main.exe [table1|table4|table5|table6|table7|
-                    fig1|fig2|fig3|fig4|micro|portfolio|json|all]
+                    fig1|fig2|fig3|fig4|micro|simulate|portfolio|json|all]
    (default: all)
 
    Budgets here stand in for the paper's 48-hour SAT timeout: a case
@@ -688,6 +688,16 @@ let micro out =
               for _ = 1 to 64 do
                 ignore (N.Sim.step sim ins)
               done));
+      (* same 64 clocked steps, each carrying Simw.width vectors *)
+      Test.make ~name:"simulate_w(fir, 64 cycles)"
+        (Staged.stage
+           (let simw = N.Simw.create nl in
+            let n_in = List.length (N.Netlist.inputs nl) in
+            let ins = Array.make n_in 0 in
+            fun () ->
+              for _ = 1 to 64 do
+                ignore (N.Simw.step simw ins)
+              done));
     ]
   in
   List.concat_map
@@ -712,16 +722,72 @@ let micro out =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* json: machine-readable perf trajectory (BENCH_3.json)               *)
+(* Simulation throughput: scalar Sim vs word-level Simw                *)
 (* ------------------------------------------------------------------ *)
-
-module J = Shell_util.Jsonw
-module Obs = Shell_util.Obs
 
 let time_wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Per-catalog-circuit throughput of the two engines on identical
+   stimulus: [chunks] full-width packed words = chunks * Simw.width
+   vectors. The word engine steps once per word, the scalar engine once
+   per vector; both run the same clocked [step] (flop update included)
+   so the ratio is the end-to-end engine speedup, not a comb-only
+   number. *)
+let simulate_rows () =
+  List.map
+    (fun (e : Circ.Catalog.entry) ->
+      let nl = e.Circ.Catalog.netlist () in
+      let n_in = List.length (N.Netlist.inputs nl) in
+      let chunks = 16 in
+      let vectors = chunks * N.Simw.width in
+      let rng = Shell_util.Rng.create 0xbe6c in
+      let packed = Shell_util.Rng.vectors_packed rng ~vectors ~bits:n_in in
+      let vecs =
+        Array.init vectors (fun v ->
+            N.Simw.lane packed.(v / N.Simw.width) (v mod N.Simw.width))
+      in
+      let sim = N.Sim.create nl in
+      let _, t_scalar =
+        time_wall (fun () ->
+            Array.iter (fun vec -> ignore (N.Sim.step sim vec)) vecs)
+      in
+      let simw = N.Simw.create nl in
+      let word_reps = 8 in
+      let _, t_word =
+        time_wall (fun () ->
+            for _ = 1 to word_reps do
+              Array.iter (fun w -> ignore (N.Simw.step simw w)) packed
+            done)
+      in
+      let scalar_ns = 1e9 *. t_scalar /. float_of_int vectors in
+      let word_ns = 1e9 *. t_word /. float_of_int (word_reps * vectors) in
+      ( e.Circ.Catalog.name,
+        N.Netlist.num_cells nl,
+        scalar_ns,
+        word_ns,
+        scalar_ns /. Float.max 1e-9 word_ns ))
+    Circ.Catalog.all
+
+let simulate out =
+  heading out
+    (Printf.sprintf "Simulation throughput: scalar Sim vs %d-wide Simw"
+       N.Simw.width);
+  bpf out "  %-10s %8s %14s %14s %9s\n" "circuit" "cells" "scalar ns/vec"
+    "word ns/vec" "speedup";
+  List.iter
+    (fun (name, cells, s, w, sp) ->
+      bpf out "  %-10s %8d %14.1f %14.1f %8.1fx\n" name cells s w sp)
+    (simulate_rows ())
+
+(* ------------------------------------------------------------------ *)
+(* json: machine-readable perf trajectory (BENCH_6.json)               *)
+(* ------------------------------------------------------------------ *)
+
+module J = Shell_util.Jsonw
+module Obs = Shell_util.Obs
 
 (* CPU-bound filler for the pool's synthetic speedup probe *)
 let spin_task i =
@@ -731,9 +797,35 @@ let spin_task i =
   done;
   !acc
 
+(* Word-path workload for the stable sim-counter contract: a fixed
+   batch of Equiv checks plus packed Simw steps per catalog circuit,
+   fanned out over the pool. The stable-only snapshot (sim_vectors /
+   sim_words / sim_cells_evaluated and friends) is a pure function of
+   the work submitted, so it must be byte-identical at any job count. *)
+let sim_counter_snapshot jobs =
+  Obs.reset ();
+  let _ =
+    Pool.map ~jobs
+      (fun (e : Circ.Catalog.entry) ->
+        let nl = e.Circ.Catalog.netlist () in
+        (match N.Equiv.check ~vectors:128 nl nl with
+        | N.Equiv.Equivalent -> ()
+        | N.Equiv.Counterexample _ -> assert false);
+        let simw = N.Simw.create nl in
+        let n_in = List.length (N.Netlist.inputs nl) in
+        let rng = Shell_util.Rng.create 0x6d1 in
+        let packed =
+          Shell_util.Rng.vectors_packed rng ~vectors:(4 * N.Simw.width)
+            ~bits:n_in
+        in
+        Array.iter (fun w -> ignore (N.Simw.step simw w)) packed)
+      (Array.of_list Circ.Catalog.all)
+  in
+  Obs.json ~stable_only:true (Obs.snapshot ())
+
 let json () =
   let jn = Pool.default_jobs () in
-  printf "writing BENCH_3.json (jobs=%d)...\n%!" jn;
+  printf "writing BENCH_6.json (jobs=%d)...\n%!" jn;
   (* table4-fast: the acceptance workload — timed at jobs=1 and jobs=N,
      outputs compared byte for byte *)
   let s1, t4_j1 =
@@ -776,6 +868,8 @@ let json () =
     let scratch = Buffer.create 4096 in
     micro scratch
   in
+  (* scalar-vs-word engine throughput, per catalog circuit *)
+  let sim_rows = simulate_rows () in
   (* per-pass trace + pass-level cache reuse on the FIR SheLL flow:
      cold (empty cache), warm (all upstream passes reused), and a
      cache-bypassing run whose summary must match byte for byte *)
@@ -808,11 +902,15 @@ let json () =
   in
   let obs_metrics = Obs.json (Obs.snapshot ()) in
   let obs_spans = Obs.spans_json (Obs.spans ()) in
+  (* stable sim counters: same word-path workload at jobs=1 and jobs=4
+     must yield byte-identical stable-only snapshots *)
+  let simc_j1 = sim_counter_snapshot 1 in
+  let simc_j4 = sim_counter_snapshot 4 in
   Obs.set_enabled obs_was;
   let doc =
     J.Obj
       [
-        ("pr", J.Int 3);
+        ("pr", J.Int 6);
         ("jobs", J.Int jn);
         ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
         ( "table4_fast",
@@ -838,6 +936,28 @@ let json () =
           J.Obj
             (List.map (fun (name, est) -> (name, J.float ~dec:0 est))
                micro_results) );
+        ( "simulate",
+          J.Obj
+            (List.map
+               (fun (name, cells, scalar_ns, word_ns, speedup) ->
+                 ( name,
+                   J.Obj
+                     [
+                       ("cells", J.Int cells);
+                       ("scalar_ns_per_vector", J.float ~dec:1 scalar_ns);
+                       ("word_ns_per_vector", J.float ~dec:1 word_ns);
+                       ("speedup", J.float ~dec:1 speedup);
+                     ] ))
+               sim_rows) );
+        ( "sim_counters",
+          J.Obj
+            [
+              ("workload", J.Str "catalog equiv checks + packed Simw steps");
+              ( "identical_jobs1_vs_jobs4",
+                J.Bool (String.equal (J.to_string simc_j1) (J.to_string simc_j4))
+              );
+              ("stable_snapshot", simc_j1);
+            ] );
         ( "pass_cache",
           J.Obj
             [
@@ -859,7 +979,7 @@ let json () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_3.json" in
+  let oc = open_out "BENCH_6.json" in
   output_string oc (J.to_string ~indent:2 doc);
   output_char oc '\n';
   close_out oc;
@@ -870,7 +990,13 @@ let json () =
   printf "  pool synthetic: speedup %.2fx over %d tasks\n"
     (spin_j1 /. Float.max 1e-9 spin_jn)
     (Array.length spin_input);
-  printf "done: BENCH_3.json\n"
+  List.iter
+    (fun (name, _, s, w, sp) ->
+      printf "  simulate %-8s %.0f -> %.0f ns/vector (%.1fx)\n" name s w sp)
+    sim_rows;
+  printf "  sim counters jobs1-vs-jobs4 identical=%b\n"
+    (String.equal (J.to_string simc_j1) (J.to_string simc_j4));
+  printf "done: BENCH_6.json\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -897,6 +1023,7 @@ let () =
   | "explore" -> emit explore
   | "portfolio" -> emit portfolio
   | "micro" -> emit (fun out -> ignore (micro out))
+  | "simulate" -> emit simulate
   | "json" -> json ()
   | "all" ->
       emit table1;
@@ -911,6 +1038,7 @@ let () =
       emit ablation;
       emit explore;
       emit portfolio;
+      emit simulate;
       emit (fun out -> ignore (micro out))
   | other ->
       printf "unknown target %s\n" other;

@@ -164,19 +164,26 @@ let predict_links ?(depth = 3) ?(vectors = 62) (lk : Locked.t) =
     if !outputs = [] || candidates = [] then empty
     else begin
       (* functional signatures under the correct key: the true source of
-         a boundary output carries exactly the output's signal *)
-      let sim = Shell_netlist.Sim.create nl in
+         a boundary output carries exactly the output's signal. All
+         [vectors] probes run as one word-level evaluation — a net's
+         signature IS its value word (bit v = vector v), same layout as
+         the old per-vector [1 lsl v] accumulation. *)
       let n_in = List.length (Netlist.inputs nl) in
       let rng = Shell_util.Rng.create 0x117c in
-      let sigs = Array.make (max (Netlist.num_nets nl) 1) 0 in
       let vectors = min vectors 62 in
-      for v = 0 to vectors - 1 do
-        let ins = Array.init n_in (fun _ -> Shell_util.Rng.bool rng) in
-        ignore (Shell_netlist.Sim.eval_comb sim ~keys:lk.Locked.key ins);
-        Array.iteri
-          (fun net value -> if value then sigs.(net) <- sigs.(net) lor (1 lsl v))
-          (Shell_netlist.Sim.net_values sim)
-      done;
+      let sigs =
+        if vectors <= 0 then Array.make (max (Netlist.num_nets nl) 1) 0
+        else begin
+          let simw = Shell_netlist.Simw.create nl in
+          let words =
+            (Shell_util.Rng.vectors_packed rng ~vectors ~bits:n_in).(0)
+          in
+          ignore
+            (Shell_netlist.Simw.eval_comb simw ~keys:lk.Locked.key
+               ~lanes:vectors words);
+          Shell_netlist.Simw.net_values simw ~lanes:vectors
+        end
+      in
       let cand_cones =
         List.map (fun net -> (net, fanin_cone nl depth net)) candidates
       in

@@ -1,5 +1,5 @@
 module Netlist = Shell_netlist.Netlist
-module Sim = Shell_netlist.Sim
+module Simw = Shell_netlist.Simw
 module Rng = Shell_util.Rng
 
 type verdict = {
@@ -8,30 +8,52 @@ type verdict = {
   first_mismatch : bool array option;
 }
 
-let attempt ?(vectors = 512) ?(seed = 0xdead) ~oracle candidate =
+let attempt ?(vectors = 512) ?(seed = 0xdead) ~oracle ?oracle_w candidate =
   let comb = Netlist.comb_view candidate in
-  let sim = Sim.create comb in
+  let simw = Simw.create comb in
   let n_in = List.length (Netlist.inputs comb) in
   let mismatch = ref None in
   let tried = ref 0 in
-  let try_vec ins =
-    incr tried;
-    if Sim.eval_comb sim ins <> oracle ins then mismatch := Some ins
+  (* Word-parallel scan over [vecs] in presentation order. The verdict
+     is identical to the scalar one-vector loop's: on a miscompare,
+     [vectors_tried] counts up to and including the earliest differing
+     vector (lowest failing lane of the earliest failing chunk). *)
+  let scan vecs =
+    let n = Array.length vecs in
+    let pos = ref 0 in
+    while !mismatch = None && !pos < n do
+      let lanes = min Simw.width (n - !pos) in
+      let chunk = Array.sub vecs !pos lanes in
+      let words = Simw.pack chunk in
+      let mine = Simw.eval_comb simw ~lanes words in
+      let theirs =
+        match oracle_w with
+        | Some f -> f ~lanes words
+        | None -> Simw.pack (Array.map oracle chunk)
+      in
+      let diff = ref 0 in
+      Array.iteri (fun i w -> diff := !diff lor (w lxor theirs.(i))) mine;
+      if !diff <> 0 then begin
+        let l = Simw.first_lane !diff in
+        tried := !pos + l + 1;
+        mismatch := Some chunk.(l)
+      end
+      else begin
+        pos := !pos + lanes;
+        tried := !pos
+      end
+    done
   in
-  if n_in <= 16 then begin
-    let total = 1 lsl n_in in
-    let v = ref 0 in
-    while !mismatch = None && !v < total do
-      try_vec (Array.init n_in (fun i -> !v land (1 lsl i) <> 0));
-      incr v
-    done
-  end
-  else begin
-    let rng = Rng.create seed in
-    let k = ref 0 in
-    while !mismatch = None && !k < vectors do
-      try_vec (Array.init n_in (fun _ -> Rng.bool rng));
-      incr k
-    done
-  end;
+  (if n_in <= 16 then
+     scan
+       (Array.init (1 lsl n_in) (fun v ->
+            Array.init n_in (fun i -> v land (1 lsl i) <> 0)))
+   else begin
+     let rng = Rng.create seed in
+     let vecs = Array.make vectors [||] in
+     for k = 0 to vectors - 1 do
+       vecs.(k) <- Array.init n_in (fun _ -> Rng.bool rng)
+     done;
+     scan vecs
+   end);
   { matched = !mismatch = None; vectors_tried = !tried; first_mismatch = !mismatch }

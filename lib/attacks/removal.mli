@@ -17,8 +17,14 @@ val attempt :
   ?vectors:int ->
   ?seed:int ->
   oracle:(bool array -> bool array) ->
+  ?oracle_w:(lanes:int -> int array -> int array) ->
   Shell_netlist.Netlist.t ->
   verdict
 (** [attempt ~oracle candidate] — [candidate] is the attacker's guessed
     replacement (key-free, same port shape as the oracle's scan view).
-    Exhaustive under 2^16 input space, sampled otherwise. *)
+    Exhaustive under 2^16 input space, sampled otherwise. The candidate
+    side always simulates word-parallel; pass [oracle_w] (e.g.
+    {!Sat_attack.word_oracle_of_netlist}) to batch the oracle queries
+    too, otherwise [oracle] is called per vector. Either way the
+    verdict — including [vectors_tried] and [first_mismatch] — is
+    byte-identical to the scalar loop's. *)

@@ -35,6 +35,11 @@ let oracle_of_netlist original =
   let sim = Sim.create comb in
   fun input -> Sim.eval_comb sim input
 
+let word_oracle_of_netlist original =
+  let comb = Netlist.comb_view original in
+  let simw = Shell_netlist.Simw.create comb in
+  fun ~lanes words -> Shell_netlist.Simw.eval_comb simw ~lanes words
+
 (* Per-attack wall clock: [Sys.time] is process-wide CPU time, which
    inflates with every concurrently attacking domain and would shrink
    the effective budget of parallel runs. *)

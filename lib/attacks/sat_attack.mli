@@ -29,6 +29,13 @@ type outcome =
 val oracle_of_netlist : Shell_netlist.Netlist.t -> bool array -> bool array
 (** Build the oracle from the original design (full-scan view). *)
 
+val word_oracle_of_netlist :
+  Shell_netlist.Netlist.t -> lanes:int -> int array -> int array
+(** Word-level variant: up to [Simw.width] activated-chip queries per
+    call (one lane each), for consumers that batch vectors — the
+    removal attack and key-verification sweeps. Input/output words
+    follow the {!Shell_netlist.Simw} packing convention. *)
+
 val run :
   ?max_dips:int ->
   ?max_conflicts:int ->

@@ -665,6 +665,123 @@ let lint =
                 else Pass ));
   }
 
+(* ------------------------------------------------------------------ *)
+(* Word-level simulator vs scalar reference                            *)
+(* ------------------------------------------------------------------ *)
+
+module Simw = Shell_netlist.Simw
+
+(* The generator never emits Config_latch cells, so graft two onto a
+   copy — fed from the first output's net, mixed back out through an
+   XOR probe — to exercise Simw's broadcast latch lanes and the
+   bitstream-loading path on every case. *)
+let with_config_latches nl =
+  let outs = N.output_nets nl in
+  if Array.length outs = 0 then nl
+  else begin
+    let nl' = N.copy nl in
+    let src = outs.(0) in
+    let q0 = N.new_net nl' and q1 = N.new_net nl' in
+    N.add_cell nl' (Cell.make ~origin:"top/cfg" Cell.Config_latch [| src |] q0);
+    N.add_cell nl' (Cell.make ~origin:"top/cfg" Cell.Config_latch [| src |] q1);
+    let p = N.xor_ ~origin:"top/cfg" nl' (N.xor_ ~origin:"top/cfg" nl' q0 q1) src in
+    N.add_output nl' "zcfgprobe" p;
+    nl'
+  end
+
+(* Step a random number of lanes through Simw and, lane by lane, an
+   army of scalar Sims over the same stimulus, same (broadcast) key and
+   same config; EVERY net (not just the primary outputs) must agree on
+   every cycle — the engines' bit-identity claim, and immune to faults
+   masked downstream. [scalar] and [word] share ports and net
+   numbering; faults are planted in [word] only. *)
+let simw_compare rng ~scalar ~word ~config =
+  let n_in = Array.length (N.input_nets scalar) in
+  let n_key = Array.length (N.key_nets scalar) in
+  let lanes = 1 + Rng.int rng Simw.width in
+  let cycles = 4 in
+  let keys = rand_bits rng n_key in
+  match
+    (Array.init lanes (fun _ -> Sim.create ~config scalar), Simw.create ~config word)
+  with
+  | exception Invalid_argument m -> Fail ("simw: " ^ m)
+  | sims, simw ->
+      let verdict = ref Pass in
+      for c = 0 to cycles - 1 do
+        let vecs = Array.make lanes [||] in
+        for l = 0 to lanes - 1 do
+          vecs.(l) <- rand_bits rng n_in
+        done;
+        ignore (Simw.step simw ~keys ~lanes (Simw.pack vecs));
+        let wnets = Simw.net_values simw ~lanes in
+        for l = 0 to lanes - 1 do
+          ignore (Sim.step sims.(l) ~keys vecs.(l));
+          let snets = Sim.net_values sims.(l) in
+          let wlane = Simw.lane wnets l in
+          if !verdict = Pass && snets <> wlane then begin
+            let n = ref 0 in
+            while snets.(!n) = wlane.(!n) do
+              incr n
+            done;
+            verdict :=
+              Fail
+                (Printf.sprintf "cycle %d lane %d input %s: net n%d sim=%b simw=%b"
+                   c l (vec_str vecs.(l)) !n snets.(!n) wlane.(!n))
+          end
+        done
+      done;
+      !verdict
+
+let simw_vs_sim =
+  let config_of rng nl =
+    let n = Sim.num_config_latches nl in
+    let c = Array.make n false in
+    for i = 0 to n - 1 do
+      c.(i) <- Rng.bool rng
+    done;
+    c
+  in
+  {
+    name = "simw_vs_sim";
+    description =
+      "word-level Simw agrees bit-for-bit with scalar Sim (DFF stepping and \
+       config-latch state included) at a random lane count";
+    applies = (fun _ -> true);
+    run =
+      (fun rng nl ->
+        if N.has_comb_cycle (comb_of nl) then Skip "combinational cycle"
+        else
+          let subject = with_config_latches nl in
+          let config = config_of rng subject in
+          simw_compare rng ~scalar:subject ~word:subject ~config);
+    inject =
+      (fun rng nl ->
+        if N.has_comb_cycle (comb_of nl) then None
+        else
+          let subject = with_config_latches nl in
+          let config = config_of rng subject in
+          (* bias toward LUT mutants: the word-level cofactor recursion
+             is this oracle's required fault class, and generic
+             mutation only rarely lands on a LUT cell *)
+          let rec pick tries =
+            match Inject.mutate rng subject with
+            | None -> None
+            | Some m when m.Inject.label = "lut-bit-flip" || tries <= 1 ->
+                Some m
+            | Some _ -> pick (tries - 1)
+          in
+          match pick 3 with
+          | None -> None
+          | Some m ->
+              Some
+                ( m.Inject.label,
+                  simw_compare rng ~scalar:subject ~word:m.Inject.netlist
+                    ~config ));
+  }
+
+(* [simw_vs_sim] must stay last: per-oracle RNG streams are derived
+   from position in this list, so appending preserves every existing
+   oracle's stream (and with it the committed fuzz-smoke baselines). *)
 let all =
   [
     sim_cnf;
@@ -679,6 +796,7 @@ let all =
     verilog;
     vcd;
     lint;
+    simw_vs_sim;
   ]
 
 let names = List.map (fun o -> o.name) all

@@ -270,14 +270,20 @@ let self_test ?jobs ?(oracles = Oracles.all) ~seed ~cases () =
       })
     oracles
 
-(* The fault classes the static lint battery must demonstrably flag
-   (ISSUE: LUT bit flip, mux arm/sel swap, gate negation). Each group
-   is satisfied by any one of its labels. *)
-let lint_required_classes =
+(* Fault classes specific oracles must demonstrably flag, beyond the
+   blanket "caught something" bar. Each group is satisfied by any one
+   of its labels: the lint battery must flag LUT bit flips, mux
+   arm/sel swaps and gate negations; the Simw cross-check must prove
+   it catches LUT bit flips (the word-level cofactor path). *)
+let required_classes =
   [
-    [ "lut-bit-flip" ];
-    [ "mux-arm-swap"; "mux-sel-swap" ];
-    [ "gate-negate" ];
+    ( "lint",
+      [
+        [ "lut-bit-flip" ];
+        [ "mux-arm-swap"; "mux-sel-swap" ];
+        [ "gate-negate" ];
+      ] );
+    ("simw_vs_sim", [ [ "lut-bit-flip" ] ]);
   ]
 
 let self_test_ok stats =
@@ -285,16 +291,18 @@ let self_test_ok stats =
   && List.for_all (fun s -> s.attempts > 0 && s.caught > 0) stats
   && List.for_all
        (fun s ->
-         s.oracle <> "lint"
-         || List.for_all
-              (fun group ->
-                List.exists
-                  (fun label ->
-                    match List.assoc_opt label s.classes with
-                    | Some (caught, _) -> caught > 0
-                    | None -> false)
-                  group)
-              lint_required_classes)
+         match List.assoc_opt s.oracle required_classes with
+         | None -> true
+         | Some groups ->
+             List.for_all
+               (fun group ->
+                 List.exists
+                   (fun label ->
+                     match List.assoc_opt label s.classes with
+                     | Some (caught, _) -> caught > 0
+                     | None -> false)
+                   group)
+               groups)
        stats
 
 let pp_self_test ppf stats =

@@ -68,8 +68,9 @@ val self_test :
 
 val self_test_ok : self_stat list -> bool
 (** Every oracle attempted at least one injection and caught at least
-    one — and the [lint] oracle (when present) caught every required
-    fault class: a LUT bit flip, a mux arm/sel swap, and a gate
-    negation. *)
+    one — and oracles with required fault classes (when present)
+    demonstrably caught each: [lint] a LUT bit flip, a mux arm/sel
+    swap and a gate negation; [simw_vs_sim] a LUT bit flip (the
+    word-level cofactor path). *)
 
 val pp_self_test : Format.formatter -> self_stat list -> unit

@@ -73,6 +73,88 @@ let eval kind ins =
   | Const b -> b
   | Dff | Config_latch -> invalid_arg "Cell.eval: sequential cell"
 
+(* Allocation-free variant for the simulator hot loop: read operand
+   values straight out of the net store instead of materializing an
+   input array per evaluation. *)
+let eval_in kind (nets : bool array) (ins : int array) =
+  match kind with
+  | And -> nets.(ins.(0)) && nets.(ins.(1))
+  | Or -> nets.(ins.(0)) || nets.(ins.(1))
+  | Nand -> not (nets.(ins.(0)) && nets.(ins.(1)))
+  | Nor -> not (nets.(ins.(0)) || nets.(ins.(1)))
+  | Xor -> nets.(ins.(0)) <> nets.(ins.(1))
+  | Xnor -> nets.(ins.(0)) = nets.(ins.(1))
+  | Not -> not nets.(ins.(0))
+  | Buf -> nets.(ins.(0))
+  | Mux2 -> if nets.(ins.(0)) then nets.(ins.(2)) else nets.(ins.(1))
+  | Mux4 ->
+      let sel =
+        (if nets.(ins.(0)) then 1 else 0) lor (if nets.(ins.(1)) then 2 else 0)
+      in
+      nets.(ins.(2 + sel))
+  | Lut tt ->
+      let row = ref 0 in
+      for i = 0 to Array.length ins - 1 do
+        if nets.(ins.(i)) then row := !row lor (1 lsl i)
+      done;
+      Truthtab.eval_row tt !row
+  | Const b -> b
+  | Dff | Config_latch -> invalid_arg "Cell.eval: sequential cell"
+
+(* Word-level LUT evaluation by Shannon expansion over the top
+   variable: eval(tt, x) = (s & eval(hi)) | (~s & eval(lo)) with lo/hi
+   the two halves of the table, 2^arity - 1 word ops in total. The
+   table bits are carried as a native int to keep Int64 values from
+   boxing in the recursion; an arity-6 table (64 rows) is split once at
+   the top level into two 32-row native halves. *)
+let rec lut_word_go bits arity (nets : int array) (ins : int array) =
+  if arity = 0 then -(bits land 1) (* broadcast row bit: 0 or all-ones *)
+  else
+    let a = arity - 1 in
+    let lo = lut_word_go bits a nets ins in
+    let hi = lut_word_go (bits lsr (1 lsl a)) a nets ins in
+    let s = nets.(ins.(a)) in
+    s land hi lor (lnot s land lo)
+
+let lut_word tt (nets : int array) (ins : int array) =
+  let arity = Truthtab.arity tt in
+  let bits = Truthtab.bits tt in
+  if arity < 6 then lut_word_go (Int64.to_int bits) arity nets ins
+  else
+    let lo = lut_word_go (Int64.to_int (Int64.logand bits 0xFFFFFFFFL)) 5 nets ins in
+    let hi =
+      lut_word_go (Int64.to_int (Int64.shift_right_logical bits 32)) 5 nets ins
+    in
+    let s = nets.(ins.(5)) in
+    s land hi lor (lnot s land lo)
+
+(* Word-level cell function: each net value carries one test vector per
+   bit. Lanes beyond the caller's active count may hold junk (lnot sets
+   them); consumers mask at read-out boundaries. *)
+let eval_word_in kind (nets : int array) (ins : int array) =
+  match kind with
+  | And -> nets.(ins.(0)) land nets.(ins.(1))
+  | Or -> nets.(ins.(0)) lor nets.(ins.(1))
+  | Nand -> lnot (nets.(ins.(0)) land nets.(ins.(1)))
+  | Nor -> lnot (nets.(ins.(0)) lor nets.(ins.(1)))
+  | Xor -> nets.(ins.(0)) lxor nets.(ins.(1))
+  | Xnor -> lnot (nets.(ins.(0)) lxor nets.(ins.(1)))
+  | Not -> lnot nets.(ins.(0))
+  | Buf -> nets.(ins.(0))
+  | Mux2 ->
+      let s = nets.(ins.(0)) in
+      lnot s land nets.(ins.(1)) lor (s land nets.(ins.(2)))
+  | Mux4 ->
+      let s0 = nets.(ins.(0)) and s1 = nets.(ins.(1)) in
+      let lo = lnot s0 land nets.(ins.(2)) lor (s0 land nets.(ins.(3))) in
+      let hi = lnot s0 land nets.(ins.(4)) lor (s0 land nets.(ins.(5))) in
+      lnot s1 land lo lor (s1 land hi)
+  | Lut tt -> lut_word tt nets ins
+  | Const b -> if b then -1 else 0
+  | Dff | Config_latch -> invalid_arg "Cell.eval_word: sequential cell"
+
+let eval_word kind ws = eval_word_in kind ws (Array.init (Array.length ws) Fun.id)
+
 let pp ppf t =
   Format.fprintf ppf "%s(%s) -> n%d" (kind_name t.kind)
     (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "n%d") t.ins)))

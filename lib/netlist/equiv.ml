@@ -13,6 +13,28 @@ let equal_on a b ~keys_a ~keys_b ins =
   let sa = Sim.create a and sb = Sim.create b in
   outputs_on sa ~keys:keys_a ins = outputs_on sb ~keys:keys_b ins
 
+(* Bit-parallel scan: evaluate [vecs] through both designs Simw.width
+   vectors at a time; on a miscompare, report the earliest vector in
+   presentation order (the lowest differing lane of the earliest
+   differing chunk) — byte-identical to the old one-vector-at-a-time
+   loop's counterexample. *)
+let find_cex sa sb ~keys_a ~keys_b vecs =
+  let n = Array.length vecs in
+  let result = ref Equivalent in
+  let pos = ref 0 in
+  while !result = Equivalent && !pos < n do
+    let lanes = min Simw.width (n - !pos) in
+    let chunk = Array.sub vecs !pos lanes in
+    let words = Simw.pack chunk in
+    let wa = Simw.eval_comb sa ~keys:keys_a ~lanes words in
+    let wb = Simw.eval_comb sb ~keys:keys_b ~lanes words in
+    let diff = ref 0 in
+    Array.iteri (fun i w -> diff := !diff lor (w lxor wb.(i))) wa;
+    if !diff <> 0 then result := Counterexample chunk.(Simw.first_lane !diff)
+    else pos := !pos + lanes
+  done;
+  !result
+
 let check ?(vectors = 256) ?rng ?keys_a ?keys_b a b =
   let a = comb a and b = comb b in
   let n_in = List.length (Netlist.inputs a) in
@@ -30,37 +52,34 @@ let check ?(vectors = 256) ?rng ?keys_a ?keys_b a b =
     | Some k -> k
     | None -> Array.make (List.length (Netlist.keys b)) false
   in
-  let sa = Sim.create a and sb = Sim.create b in
-  let try_vector ins =
-    if outputs_on sa ~keys:keys_a ins = outputs_on sb ~keys:keys_b ins then None
-    else Some ins
+  let sa = Simw.create a and sb = Simw.create b in
+  let vecs =
+    if n_in <= exhaustive_limit then
+      Array.init (1 lsl n_in) (fun v ->
+          Array.init n_in (fun i -> v land (1 lsl i) <> 0))
+    else begin
+      (* Hoisted generation, in the historical draw order (vector-major,
+         bit-minor), then dedup keeping first occurrences: identical
+         vectors give identical results, so dropping repeats cannot
+         change the verdict or the first counterexample. *)
+      let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
+      let raw = Array.make vectors [||] in
+      for k = 0 to vectors - 1 do
+        raw.(k) <- Array.init n_in (fun _ -> Rng.bool rng)
+      done;
+      let seen = Hashtbl.create (2 * vectors) in
+      let uniq = ref [] in
+      Array.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            uniq := v :: !uniq
+          end)
+        raw;
+      Array.of_list (List.rev !uniq)
+    end
   in
-  let result = ref Equivalent in
-  (if n_in <= exhaustive_limit then
-     let total = 1 lsl n_in in
-     let rec go v =
-       if v < total && !result = Equivalent then begin
-         let ins = Array.init n_in (fun i -> v land (1 lsl i) <> 0) in
-         (match try_vector ins with
-         | Some cex -> result := Counterexample cex
-         | None -> ());
-         go (v + 1)
-       end
-     in
-     go 0
-   else
-     let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
-     let rec go k =
-       if k < vectors && !result = Equivalent then begin
-         let ins = Array.init n_in (fun _ -> Rng.bool rng) in
-         (match try_vector ins with
-         | Some cex -> result := Counterexample cex
-         | None -> ());
-         go (k + 1)
-       end
-     in
-     go 0);
-  !result
+  find_cex sa sb ~keys_a ~keys_b vecs
 
 let check_sequential ?(cycles = 32) ?(runs = 16) ?rng ?keys_a ?keys_b a b =
   let n_in = List.length (Netlist.inputs a) in
@@ -77,20 +96,56 @@ let check_sequential ?(cycles = 32) ?(runs = 16) ?rng ?keys_a ?keys_b a b =
     | None -> Array.make (List.length (Netlist.keys b)) false
   in
   let rng = match rng with Some r -> r | None -> Rng.create 0xc10c in
-  let sa = Sim.create a and sb = Sim.create b in
+  (* Pre-draw all stimulus in the historical order: run-major, then
+     cycle, then bit. Runs then evaluate word-parallel, one lane per
+     run. *)
+  let stim =
+    Array.init runs (fun _ -> Array.make cycles [||])
+  in
+  for r = 0 to runs - 1 do
+    for c = 0 to cycles - 1 do
+      stim.(r).(c) <- Array.init n_in (fun _ -> Rng.bool rng)
+    done
+  done;
+  let sa = Simw.create a and sb = Simw.create b in
   let result = ref Equivalent in
-  let run = ref 0 in
-  while !result = Equivalent && !run < runs do
-    Sim.reset sa;
-    Sim.reset sb;
-    let cycle = ref 0 in
-    while !result = Equivalent && !cycle < cycles do
-      let ins = Array.init n_in (fun _ -> Rng.bool rng) in
-      let oa = Sim.step sa ~keys:keys_a ins in
-      let ob = Sim.step sb ~keys:keys_b ins in
-      if oa <> ob then result := Counterexample ins;
-      incr cycle
+  let r0 = ref 0 in
+  while !result = Equivalent && !r0 < runs do
+    let lanes = min Simw.width (runs - !r0) in
+    Simw.reset sa;
+    Simw.reset sb;
+    (* earliest failing cycle per lane; the verdict is the lowest
+       failing lane (= lowest run index), matching the scalar loop's
+       run-major early exit. Once lane 0 fails no lower-priority
+       failure can win, so the cycle loop stops there. *)
+    let fail_cycle = Array.make lanes (-1) in
+    let any = ref false in
+    let c = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !c < cycles do
+      let chunk = Array.init lanes (fun l -> stim.(!r0 + l).(!c)) in
+      let words = Simw.pack chunk in
+      let oa = Simw.step sa ~keys:keys_a ~lanes words in
+      let ob = Simw.step sb ~keys:keys_b ~lanes words in
+      let diff = ref 0 in
+      Array.iteri (fun i w -> diff := !diff lor (w lxor ob.(i))) oa;
+      if !diff <> 0 then begin
+        any := true;
+        for l = 0 to lanes - 1 do
+          if fail_cycle.(l) < 0 && (!diff lsr l) land 1 = 1 then
+            fail_cycle.(l) <- !c
+        done;
+        if fail_cycle.(0) >= 0 then stop := true
+      end;
+      incr c
     done;
-    incr run
+    if !any then begin
+      let l = ref 0 in
+      while fail_cycle.(!l) < 0 do
+        incr l
+      done;
+      result := Counterexample stim.(!r0 + !l).(fail_cycle.(!l))
+    end
+    else r0 := !r0 + lanes
   done;
   !result

@@ -1,6 +1,8 @@
+module Obs = Shell_util.Obs
+
 type t = {
   netlist : Netlist.t;
-  order : int array;  (* combinational cells first, sequential last *)
+  comb_order : int array;  (* topo order, sequential cells filtered out *)
   cells : Cell.t array;
   nets : bool array;
   dff_state : bool array;  (* indexed by position in [seq_cells] *)
@@ -33,9 +35,15 @@ let create ?config netlist =
           invalid_arg "Sim.create: config length mismatch";
         Array.copy c
   in
+  let comb_order =
+    Array.of_seq
+      (Seq.filter
+         (fun ci -> not (Cell.is_sequential cells.(ci).Cell.kind))
+         (Array.to_seq order))
+  in
   {
     netlist;
-    order;
+    comb_order;
     cells;
     nets = Array.make (max (Netlist.num_nets netlist) 1) false;
     dff_state = Array.make (Array.length seq_cells) false;
@@ -72,13 +80,14 @@ let propagate t =
   Array.iteri
     (fun i ci -> t.nets.(t.cells.(ci).Cell.out) <- t.latch_state.(i))
     t.latch_cells;
+  let nets = t.nets and cells = t.cells in
   Array.iter
     (fun ci ->
-      let c = t.cells.(ci) in
-      if not (Cell.is_sequential c.Cell.kind) then
-        let ins = Array.map (fun net -> t.nets.(net)) c.Cell.ins in
-        t.nets.(c.Cell.out) <- Cell.eval c.Cell.kind ins)
-    t.order
+      let c = cells.(ci) in
+      nets.(c.Cell.out) <- Cell.eval_in c.Cell.kind nets c.Cell.ins)
+    t.comb_order;
+  Obs.incr Sim_obs.vectors;
+  Obs.add Sim_obs.cells (Array.length t.comb_order)
 
 let read_outputs t =
   Array.map (fun net -> t.nets.(net)) (Netlist.output_nets t.netlist)

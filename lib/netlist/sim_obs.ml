@@ -1,0 +1,20 @@
+(* Shared simulation telemetry. Registered here (not in Sim/Simw) so
+   both engines report into one set of counters and registration order
+   is independent of which engine a binary touches first. *)
+
+module Obs = Shell_util.Obs
+
+let vectors =
+  Obs.counter ~stable:true
+    ~help:"test vectors simulated (scalar: 1/propagate; word: lanes/propagate)"
+    "sim_vectors"
+
+let words =
+  Obs.counter ~stable:true
+    ~help:"word-level propagations (Simw evaluations of the full cone)"
+    "sim_words"
+
+let cells =
+  Obs.counter ~stable:true
+    ~help:"combinational cell evaluations (one per cell per propagate)"
+    "sim_cells_evaluated"

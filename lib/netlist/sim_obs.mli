@@ -1,0 +1,23 @@
+(** Obs counters shared by the scalar ({!Sim}) and word-level
+    ({!Simw}) simulation engines.
+
+    All three are registered [~stable:true]: their merged values are a
+    pure function of the simulation work submitted, independent of
+    SHELL_JOBS or scheduling. Note that workloads whose {e amount} of
+    simulation is wall-clock dependent (the SAT attack's
+    budget-bounded DIP loop querying a simulation oracle) contribute a
+    time-dependent number of propagations; stable byte-diffs in CI
+    therefore run deterministic workloads (flow tables, fuzz
+    campaigns), where these counters are byte-identical across job
+    counts. *)
+
+val vectors : Shell_util.Obs.counter
+(** Test vectors fully propagated: +1 per scalar propagate, +lanes per
+    word propagate. *)
+
+val words : Shell_util.Obs.counter
+(** Word-level propagations (one per {!Simw} evaluation). *)
+
+val cells : Shell_util.Obs.counter
+(** Combinational cell evaluations (scalar: per vector; word: per
+    word, i.e. up to 63 vectors per increment). *)

@@ -56,6 +56,39 @@ let float t bound =
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
+(* Packed-vector helpers for the word-level simulator. The contract is
+   stream compatibility with the scalar path: bit [i] of [word t n] is
+   exactly the [i]-th [bool t] draw, so code that switches between
+   scalar and packed generation consumes the identical RNG stream and
+   stays byte-reproducible at any SHELL_JOBS. *)
+let word t n =
+  if n < 0 || n > Sys.int_size then invalid_arg "Rng.word: bad width";
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    if bool t then w := !w lor (1 lsl i)
+  done;
+  !w
+
+let vectors_packed ?(lanes = Sys.int_size) t ~vectors ~bits =
+  if lanes < 1 || lanes > Sys.int_size then
+    invalid_arg "Rng.vectors_packed: bad lane count";
+  if vectors < 0 || bits < 0 then invalid_arg "Rng.vectors_packed";
+  let n_chunks = (vectors + lanes - 1) / lanes in
+  let chunks =
+    Array.init n_chunks (fun _ -> Array.make bits 0)
+  in
+  (* Vector-major draw order: vector v's bits are drawn consecutively,
+     exactly as a scalar [Array.init bits (fun _ -> bool t)] per vector
+     would. Lane [v mod lanes] of chunk [v / lanes] holds vector v. *)
+  for v = 0 to vectors - 1 do
+    let words = chunks.(v / lanes) in
+    let lane = v mod lanes in
+    for i = 0 to bits - 1 do
+      if bool t then words.(i) <- words.(i) lor (1 lsl lane)
+    done
+  done;
+  chunks
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int t (i + 1) in

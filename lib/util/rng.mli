@@ -39,6 +39,19 @@ val float : t -> float -> float
 
 val bool : t -> bool
 
+val word : t -> int -> int
+(** [word t n] packs [n] {!bool} draws into one machine word, draw [i]
+    at bit [i] (0 <= n <= [Sys.int_size]). Byte-compatible with the
+    scalar stream: the same state advance as [n] calls to {!bool}. *)
+
+val vectors_packed : ?lanes:int -> t -> vectors:int -> bits:int -> int array array
+(** [vectors_packed t ~vectors ~bits] draws [vectors] random
+    [bits]-wide test vectors in vector-major order (the scalar draw
+    order) and packs them into word chunks of up to [lanes] (default
+    [Sys.int_size]) vectors each: in chunk [c], bit [l] of word [i] is
+    bit [i] of vector [c * lanes + l]. Consumes exactly
+    [vectors * bits] {!bool} draws. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 

@@ -20,10 +20,16 @@ let row_of_inputs ins =
   let rec go i acc = if i >= n then acc else go (i + 1) (if ins.(i) then acc lor (1 lsl i) else acc) in
   go 0 0
 
+(* Rows 0..62 fit in the native-int image of [bits]; only row 63 (the
+   top row of an arity-6 table) needs the boxed [Int64] path. *)
+let eval_row t row =
+  assert (row >= 0 && row < 1 lsl t.arity);
+  if row <= 62 then (Int64.to_int t.bits lsr row) land 1 = 1
+  else Int64.(logand (shift_right_logical t.bits row) 1L) = 1L
+
 let eval t ins =
   assert (Array.length ins = t.arity);
-  let row = row_of_inputs ins in
-  Int64.(logand (shift_right_logical t.bits row) 1L) = 1L
+  eval_row t (row_of_inputs ins)
 
 let of_fun ~arity f =
   if arity < 0 || arity > max_inputs then

@@ -20,6 +20,10 @@ val bits : t -> int64
 val eval : t -> bool array -> bool
 (** [eval t ins] looks up the row selected by [ins] (length = arity). *)
 
+val eval_row : t -> int -> bool
+(** [eval_row t row] looks up row [row] directly (0 <= row < 2^arity),
+    avoiding the input-array round trip in simulation hot loops. *)
+
 val of_fun : arity:int -> (bool array -> bool) -> t
 (** Tabulate a Boolean function. *)
 

@@ -131,6 +131,28 @@ let test_removal_wrong_guess () =
   Alcotest.(check bool) "counterexample reported" true
     (v.A.Removal.first_mismatch <> None)
 
+let test_removal_word_oracle () =
+  (* the word-level oracle must produce verdicts identical to the
+     scalar oracle's on both matching and mismatching candidates *)
+  let nl = victim 10 50 in
+  let other = victim 12 50 in
+  let oracle = A.Sat_attack.oracle_of_netlist nl in
+  let oracle_w = A.Sat_attack.word_oracle_of_netlist nl in
+  let vt_s = A.Removal.attempt ~oracle nl in
+  let vt_w = A.Removal.attempt ~oracle ~oracle_w nl in
+  Alcotest.(check bool) "true guess matches (word)" true vt_w.A.Removal.matched;
+  Alcotest.(check int) "true guess vectors_tried identical"
+    vt_s.A.Removal.vectors_tried vt_w.A.Removal.vectors_tried;
+  let vw_s = A.Removal.attempt ~oracle other in
+  let vw_w = A.Removal.attempt ~oracle ~oracle_w other in
+  Alcotest.(check bool) "wrong guess caught (word)" false vw_w.A.Removal.matched;
+  Alcotest.(check int) "wrong guess vectors_tried identical"
+    vw_s.A.Removal.vectors_tried vw_w.A.Removal.vectors_tried;
+  match (vw_s.A.Removal.first_mismatch, vw_w.A.Removal.first_mismatch) with
+  | Some a, Some b ->
+      Alcotest.(check (array bool)) "first mismatch identical" a b
+  | _ -> Alcotest.fail "both paths must report a counterexample"
+
 let test_proximity_reports () =
   let nl = victim 13 100 in
   let lk = L.Schemes.mux_routing ~width:8 nl in
@@ -204,6 +226,7 @@ let suite =
     ("cycle blocks constrain", `Quick, test_cycle_blocks_constrain);
     ("removal true guess", `Quick, test_removal_true_guess);
     ("removal wrong guess", `Quick, test_removal_wrong_guess);
+    ("removal word oracle identical", `Quick, test_removal_word_oracle);
     ("proximity reports", `Quick, test_proximity_reports);
     ("proximity ignores non-mux keys", `Quick, test_proximity_no_muxes);
     ("link prediction reports", `Quick, test_link_prediction_reports);

@@ -539,6 +539,224 @@ let test_regression_keyinput_attr () =
     | Equiv.Equivalent -> true
     | _ -> false)
 
+(* ---- Simw: word-level simulation ---- *)
+
+module Simw = Shell_netlist.Simw
+
+(* mixed-kind combinational fixture exercising every word-level path:
+   gates, mux2/mux4, consts, LUTs (arities 2, 3 and 6) *)
+let mixed_nl () =
+  let nl = N.create "mixed" in
+  let ins = Array.init 8 (fun i -> N.add_input nl (Printf.sprintf "i%d" i)) in
+  let one = N.gate nl (Cell.Const true) [||] in
+  let m2 = N.mux2 nl ~sel:ins.(0) ~a:ins.(1) ~b:ins.(2) in
+  let m4 = N.mux4 nl ~s0:ins.(3) ~s1:ins.(4) [| ins.(5); ins.(6); ins.(7); one |] in
+  let l3 =
+    N.lut nl
+      (Truthtab.of_fun ~arity:3 (fun v -> (v.(0) && v.(1)) <> v.(2)))
+      [| m2; m4; ins.(0) |]
+  in
+  let l6 =
+    N.lut nl
+      (Truthtab.of_fun ~arity:6 (fun v ->
+           Array.fold_left (fun acc b -> acc <> b) (v.(0) && v.(5)) v))
+      [| ins.(1); ins.(2); ins.(3); ins.(4); ins.(5); l3 |]
+  in
+  let l2 = N.lut nl (Truthtab.of_fun ~arity:2 (fun v -> v.(0) || not v.(1))) [| l6; m2 |] in
+  N.add_output nl "y0" l3;
+  N.add_output nl "y1" l6;
+  N.add_output nl "y2" (N.xor_ nl l2 m4);
+  nl
+
+let test_simw_pack_lane_roundtrip () =
+  let rng = Rng.create 0xabc in
+  let lanes = 17 and bits = 9 in
+  let vecs =
+    Array.init lanes (fun _ -> Array.init bits (fun _ -> Rng.bool rng))
+  in
+  let words = Simw.pack vecs in
+  for l = 0 to lanes - 1 do
+    Alcotest.(check (array bool))
+      (Printf.sprintf "lane %d" l)
+      vecs.(l)
+      (Simw.lane words l)
+  done;
+  Alcotest.(check int) "first_lane" 3 (Simw.first_lane 0b11000);
+  Alcotest.(check int) "first_lane msb" (Simw.width - 1)
+    (Simw.first_lane (1 lsl (Simw.width - 1)))
+
+let simw_agrees name nl =
+  let rng = Rng.create 0x51 in
+  let n_in = List.length (N.inputs nl) in
+  let sim = Sim.create nl and simw = Simw.create nl in
+  List.iter
+    (fun lanes ->
+      let vecs =
+        Array.init lanes (fun _ -> Array.init n_in (fun _ -> Rng.bool rng))
+      in
+      let words = Simw.eval_comb simw ~lanes (Simw.pack vecs) in
+      Array.iteri
+        (fun l vec ->
+          Alcotest.(check (array bool))
+            (Printf.sprintf "%s lanes=%d lane %d" name lanes l)
+            (Sim.eval_comb sim vec) (Simw.lane words l))
+        vecs)
+    [ 1; 5; Simw.width ]
+
+let test_simw_matches_sim_comb () =
+  simw_agrees "mixed" (mixed_nl ());
+  simw_agrees "rand" (random_nl 99 10 60)
+
+let test_simw_sequential_lanes () =
+  (* per-lane DFF state: [lanes] independent scalar runs must match one
+     word-level run, cycle by cycle, across every net *)
+  let lanes = 5 and cycles = 6 in
+  let rng = Rng.create 0xd1f in
+  let sims = Array.init lanes (fun _ -> Sim.create (fixture ())) in
+  let simw = Simw.create (fixture ()) in
+  for cycle = 1 to cycles do
+    let vecs =
+      Array.init lanes (fun _ -> Array.init 3 (fun _ -> Rng.bool rng))
+    in
+    let wout = Simw.step simw ~lanes (Simw.pack vecs) in
+    let wnets = Simw.net_values simw ~lanes in
+    Array.iteri
+      (fun l vec ->
+        Alcotest.(check (array bool))
+          (Printf.sprintf "cycle %d lane %d outs" cycle l)
+          (Sim.step sims.(l) vec) (Simw.lane wout l);
+        Alcotest.(check (array bool))
+          (Printf.sprintf "cycle %d lane %d nets" cycle l)
+          (Sim.net_values sims.(l)) (Simw.lane wnets l))
+      vecs
+  done;
+  Simw.reset simw;
+  Array.iter Sim.reset sims;
+  let zero = Array.make 3 false in
+  let wout = Simw.step simw ~lanes (Simw.pack (Array.make lanes zero)) in
+  Alcotest.(check (array bool)) "reset clears all lanes"
+    (Sim.step sims.(0) zero) (Simw.lane wout 0)
+
+let test_simw_config_latch () =
+  (* broadcast config words: a Simw with a loaded bitstream must agree
+     with Sim under the same config, keys included *)
+  let build () =
+    let nl = N.create "cfg" in
+    let a = N.add_input nl "a" in
+    let k = N.add_key nl "k0" in
+    let q0 = N.new_net nl and q1 = N.new_net nl in
+    N.add_cell nl (Cell.make Cell.Config_latch [| a |] q0);
+    N.add_cell nl (Cell.make Cell.Config_latch [| a |] q1);
+    N.add_output nl "y" (N.xor_ nl (N.mux2 nl ~sel:q0 ~a ~b:q1) k);
+    nl
+  in
+  Alcotest.(check int) "latch count" 2 (Simw.num_config_latches (build ()));
+  let rng = Rng.create 0xcf9 in
+  List.iter
+    (fun config ->
+      let sim = Sim.create ~config (build ())
+      and simw = Simw.create ~config (build ()) in
+      let lanes = 7 in
+      let keys = [| Rng.bool rng |] in
+      let vecs =
+        Array.init lanes (fun _ -> [| Rng.bool rng |])
+      in
+      let wout = Simw.eval_comb simw ~keys ~lanes (Simw.pack vecs) in
+      Array.iteri
+        (fun l vec ->
+          Alcotest.(check (array bool))
+            (Printf.sprintf "lane %d" l)
+            (Sim.eval_comb sim ~keys vec) (Simw.lane wout l))
+        vecs)
+    [ [| false; false |]; [| true; false |]; [| true; true |] ]
+
+let test_simw_lane_masking () =
+  (* internal junk lanes (here from lnot) must never leak past the
+     active lane count in read-outs *)
+  let nl = N.create "mask" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.not_ nl a);
+  let simw = Simw.create nl in
+  let lanes = 5 in
+  let out = Simw.eval_comb simw ~lanes [| 0 |] in
+  Alcotest.(check int) "output masked" ((1 lsl lanes) - 1) out.(0);
+  Array.iteri
+    (fun i w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "net %d masked" i)
+        true
+        (w land lnot ((1 lsl lanes) - 1) = 0))
+    (Simw.net_values simw ~lanes)
+
+let test_equiv_cex_exhaustive_order () =
+  (* exhaustive mode reports the lowest differing vector index: xor vs
+     or first differ at v=3 = (a=1, b=1) *)
+  let mk kind =
+    let nl = N.create "g" in
+    let a = N.add_input nl "a" and b = N.add_input nl "b" in
+    N.add_output nl "y" (N.gate nl kind [| a; b |]);
+    nl
+  in
+  match Equiv.check (mk Cell.Xor) (mk Cell.Or) with
+  | Equiv.Counterexample cex ->
+      Alcotest.(check (array bool)) "first vector" [| true; true |] cex
+  | Equiv.Equivalent -> Alcotest.fail "xor vs or must differ"
+
+let test_equiv_cex_random_byte_identity () =
+  (* >16 inputs forces the sampled path. The word-level engine must
+     report the exact counterexample the historical scalar loop found:
+     first failing vector in Rng.create 0x5eed draw order. *)
+  let n_in = 17 in
+  let mk spoil =
+    let nl = N.create "p" in
+    let ins =
+      Array.init n_in (fun i -> N.add_input nl (Printf.sprintf "i%d" i))
+    in
+    let parity = Array.fold_left (fun acc n -> N.xor_ nl acc n) ins.(0)
+        (Array.sub ins 1 (n_in - 1)) in
+    let y =
+      if spoil then
+        N.xor_ nl parity (N.and_ nl ins.(0) (N.and_ nl ins.(1) ins.(2)))
+      else parity
+    in
+    N.add_output nl "y" y;
+    nl
+  in
+  let a = mk false and b = mk true in
+  (* reference: the historical scalar algorithm, replayed by hand *)
+  let rng = Rng.create 0x5eed in
+  let expected = ref None in
+  (try
+     for _ = 1 to 256 do
+       let vec = Array.init n_in (fun _ -> Rng.bool rng) in
+       if not (Equiv.equal_on a b ~keys_a:[||] ~keys_b:[||] vec) then begin
+         expected := Some vec;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match (Equiv.check a b, !expected) with
+  | Equiv.Counterexample cex, Some want ->
+      Alcotest.(check (array bool)) "byte-identical counterexample" want cex
+  | Equiv.Equivalent, Some _ -> Alcotest.fail "check missed the difference"
+  | _, None -> Alcotest.fail "reference loop found no difference in 256 vectors"
+
+let test_equiv_sequential_still_finds () =
+  (* check_sequential through the word engine still catches a state
+     divergence and returns a well-formed stimulus vector *)
+  let mk negate =
+    let nl = N.create "s" in
+    let a = N.add_input nl "a" in
+    let q = N.new_net nl in
+    let d = if negate then N.not_ nl (N.xor_ nl a q) else N.xor_ nl a q in
+    N.add_cell nl (Cell.make Cell.Dff [| d |] q);
+    N.add_output nl "q" q;
+    nl
+  in
+  match Equiv.check_sequential (mk false) (mk true) with
+  | Equiv.Counterexample cex -> Alcotest.(check int) "vector width" 1 (Array.length cex)
+  | Equiv.Equivalent -> Alcotest.fail "negated feedback must diverge"
+
 let suite =
   [
     ("validate ok", `Quick, test_validate_ok);
@@ -571,6 +789,14 @@ let suite =
     ("specialize breaks cycles", `Quick, test_specialize_breaks_cycles);
     ("splice replace", `Quick, test_splice_replace);
     ("equiv detects difference", `Quick, test_equiv_detects_difference);
+    ("simw pack/lane roundtrip", `Quick, test_simw_pack_lane_roundtrip);
+    ("simw matches sim (comb)", `Quick, test_simw_matches_sim_comb);
+    ("simw per-lane dff state", `Quick, test_simw_sequential_lanes);
+    ("simw config latches", `Quick, test_simw_config_latch);
+    ("simw lane masking", `Quick, test_simw_lane_masking);
+    ("equiv cex exhaustive order", `Quick, test_equiv_cex_exhaustive_order);
+    ("equiv cex random byte identity", `Quick, test_equiv_cex_random_byte_identity);
+    ("equiv sequential word path", `Quick, test_equiv_sequential_still_finds);
     ("stats", `Quick, test_stats);
     ("vcd dump", `Quick, test_vcd_dump);
     QCheck_alcotest.to_alcotest test_bind_keys_agrees_with_sim;

@@ -253,6 +253,52 @@ let test_rng_int_large_bound () =
         (n > 800 && n < 1200))
     buckets
 
+let test_rng_word_stream_compat () =
+  (* Rng.word n draws exactly the n Rng.bool draws a scalar loop would,
+     in the same order — the word path must not perturb the stream. *)
+  let a = Rng.create 0x1234 and b = Rng.create 0x1234 in
+  List.iter
+    (fun n ->
+      let w = Rng.word a n in
+      let scalar = ref 0 in
+      for i = 0 to n - 1 do
+        if Rng.bool b then scalar := !scalar lor (1 lsl i)
+      done;
+      Alcotest.(check int) (Printf.sprintf "word %d" n) !scalar w)
+    [ 0; 1; 5; 17; Sys.int_size ];
+  (* both RNGs must land in the same state afterwards *)
+  Alcotest.(check int64) "streams aligned" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_vectors_packed_stream_compat () =
+  (* vectors_packed is vector-major, bit-minor: chunk (v / lanes), lane
+     (v mod lanes), exactly mirroring per-vector scalar generation. *)
+  let a = Rng.create 0x77 and b = Rng.create 0x77 in
+  let lanes = 8 and vectors = 21 and bits = 5 in
+  let chunks = Rng.vectors_packed ~lanes a ~vectors ~bits in
+  Alcotest.(check int) "chunk count" 3 (Array.length chunks);
+  for v = 0 to vectors - 1 do
+    let vec = Array.init bits (fun _ -> Rng.bool b) in
+    let words = chunks.(v / lanes) in
+    let lane = v mod lanes in
+    Array.iteri
+      (fun i bit ->
+        Alcotest.(check bool)
+          (Printf.sprintf "vector %d bit %d" v i)
+          bit
+          ((words.(i) lsr lane) land 1 = 1))
+      vec
+  done;
+  Alcotest.(check int64) "streams aligned" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_tt_eval_row () =
+  let t = Truthtab.var 1 ~arity:3 in
+  for row = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "row %d" row)
+      (row land 2 <> 0)
+      (Truthtab.eval_row t row)
+  done
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -267,6 +313,9 @@ let suite =
     ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
     ("rng sample distinct", `Quick, test_rng_sample_distinct);
     ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng word stream compat", `Quick, test_rng_word_stream_compat);
+    ("rng vectors_packed stream compat", `Quick, test_rng_vectors_packed_stream_compat);
+    ("truthtab eval_row", `Quick, test_tt_eval_row);
     ("truthtab const", `Quick, test_tt_const);
     ("truthtab var", `Quick, test_tt_var);
     ("truthtab ops", `Quick, test_tt_ops);

@@ -3,7 +3,8 @@
    micro-benchmarks of the core kernels.
 
    Usage: main.exe [table1|table4|table5|table6|table7|
-                    fig1|fig2|fig3|fig4|micro|simulate|portfolio|json|all]
+                    fig1|fig2|fig3|fig4|micro|simulate|portfolio|json|
+                    battery|all]
    (default: all)
 
    Budgets here stand in for the paper's 48-hour SAT timeout: a case
@@ -56,20 +57,28 @@ let cases_of (e : Circ.Catalog.entry) =
 (* Attack budget used to declare resilience in the tables. *)
 let attack_budget = (`Dips 64, `Conflicts 120_000, `Seconds 6.0)
 
+let unified_budget
+    (`Dips max_dips, `Conflicts max_conflicts, `Seconds time_limit) =
+  A.Attack.budget ~max_dips ~max_conflicts ~time_limit ()
+
+(* The SheLL flow as an attack subject: oracle built from the extracted
+   subcircuit, cycle-closing key patterns blocked up front. *)
+let subject_of_result ?label (r : C.Flow.result) =
+  A.Attack.subject ?label
+    ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
+    ~original:r.C.Flow.cut.C.Extraction.sub (C.Flow.locked_sub r)
+
 let run_sat_attack ?(budget = attack_budget) (r : C.Flow.result) =
-  let `Dips max_dips, `Conflicts max_conflicts, `Seconds time_limit = budget in
-  let lk = C.Flow.locked_sub r in
-  let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
-  A.Sat_attack.run ~max_dips ~max_conflicts ~time_limit
-    ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
-    lk.L.Locked.locked
+  A.Sat_attack.attack.A.Attack.run (unified_budget budget)
+    (subject_of_result r)
 
 let resilience_tag = function
-  | A.Sat_attack.Broken (_, st) ->
-      Printf.sprintf "BROKEN (%d DIPs)" st.A.Sat_attack.dips
-  | A.Sat_attack.Timeout st ->
-      Printf.sprintf "resilient (%d DIPs, %d conflicts)" st.A.Sat_attack.dips
-        st.A.Sat_attack.conflicts
+  | A.Attack.Broken (_, st) ->
+      Printf.sprintf "BROKEN (%d DIPs)" st.A.Attack.iterations
+  | A.Attack.Resilient st ->
+      Printf.sprintf "resilient (%d DIPs, %d conflicts)" st.A.Attack.iterations
+        st.A.Attack.conflicts
+  | A.Attack.Inapplicable why -> Printf.sprintf "n/a (%s)" why
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
@@ -351,8 +360,9 @@ let fig1 out =
         let lk = mk nl in
         assert (L.Locked.verify ~original:nl lk);
         let out =
-          A.Sat_attack.attack_locked ~max_dips:128 ~max_conflicts:200_000
-            ~time_limit:20.0 ~original:nl lk
+          A.Sat_attack.attack.A.Attack.run
+            (unified_budget (`Dips 128, `Conflicts 200_000, `Seconds 20.0))
+            (A.Attack.subject ~original:nl lk)
         in
         let prox = A.Proximity.predict_links lk in
         Printf.sprintf
@@ -367,11 +377,8 @@ let fig1 out =
   let nl = victim () in
   let r = C.Flow.run (C.Flow.shell_config ()) nl in
   let lk = C.Flow.locked_sub r in
-  let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
   let outc =
-    A.Sat_attack.run ~max_dips:64 ~max_conflicts:200_000 ~time_limit:20.0
-      ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
-      lk.L.Locked.locked
+    run_sat_attack ~budget:(`Dips 64, `Conflicts 200_000, `Seconds 20.0) r
   in
   let prox = A.Proximity.predict_links lk in
   bpf out "  %-36s key=%4d bits  SAT: %-36s  link prediction %d/%d (%.0f%%)\n"
@@ -641,9 +648,15 @@ let portfolio out =
     A.Portfolio.run ~max_dips:64 ~max_conflicts:60_000 ~time_limit:5.0
       ~original:nl lk.L.Locked.locked
   in
+  let verdict_of = function
+    | A.Sat_attack.Broken (k, st) ->
+        A.Attack.Broken (k, A.Sat_attack.to_attack_stats ~broken:true st)
+    | A.Sat_attack.Timeout st ->
+        A.Attack.Resilient (A.Sat_attack.to_attack_stats st)
+  in
   Array.iter
     (fun ((cfg : A.Portfolio.config), o) ->
-      bpf out "  %-24s %s\n" cfg.A.Portfolio.label (resilience_tag o))
+      bpf out "  %-24s %s\n" cfg.A.Portfolio.label (resilience_tag (verdict_of o)))
     p.A.Portfolio.outcomes;
   (match p.A.Portfolio.winner with
   | Some i ->
@@ -897,8 +910,9 @@ let json () =
   let xnl = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
   let xlk = L.Schemes.mux_routing ~width:16 xnl in
   let _ =
-    A.Sat_attack.attack_locked ~max_dips:16 ~max_conflicts:50_000
-      ~time_limit:5.0 ~original:xnl xlk
+    A.Sat_attack.attack.A.Attack.run
+      (unified_budget (`Dips 16, `Conflicts 50_000, `Seconds 5.0))
+      (A.Attack.subject ~original:xnl xlk)
   in
   let obs_metrics = Obs.json (Obs.snapshot ()) in
   let obs_spans = Obs.spans_json (Obs.spans ()) in
@@ -999,6 +1013,77 @@ let json () =
   printf "done: BENCH_6.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* battery: the per-scheme x per-attack resilience matrix (BENCH_7)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Budgets here are cap-bound (DIP/conflict/vector ceilings bind before
+   the generous wall clock), so every verdict — and the matrix JSON,
+   which omits elapsed times — is byte-identical at any job count. *)
+let battery () =
+  let jn = Pool.default_jobs () in
+  printf "writing BENCH_7.json (jobs=%d)...\n%!" jn;
+  let subjects =
+    List.concat_map
+      (fun (cname, mk_nl) ->
+        let schemes =
+          [
+            ("xor:8", fun nl -> L.Schemes.xor_keys ~seed:1 ~bits:8 nl);
+            ("mux:8", fun nl -> L.Schemes.mux_routing ~seed:1 ~width:8 nl);
+          ]
+        in
+        List.map
+          (fun (sname, mk_lk) ->
+            let nl : N.Netlist.t = mk_nl () in
+            A.Attack.subject
+              ~label:(cname ^ "/" ^ sname)
+              ~original:nl (mk_lk nl))
+          schemes)
+      [
+        ("xbar4", fun () -> Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 ());
+        ("soc", fun () -> Circ.Soc.netlist ());
+      ]
+  in
+  let budget =
+    A.Attack.budget ~max_dips:32 ~max_conflicts:60_000 ~time_limit:120.0
+      ~vectors:256 ()
+  in
+  let m1, t1 = time_wall (fun () -> A.Battery.run ~jobs:1 ~budget subjects) in
+  let mn, tn = time_wall (fun () -> A.Battery.run ~jobs:jn ~budget subjects) in
+  let s1 = J.to_string ~indent:2 (A.Battery.matrix_json m1) in
+  let sn = J.to_string ~indent:2 (A.Battery.matrix_json mn) in
+  let identical = String.equal s1 sn in
+  let doc =
+    J.Obj
+      [
+        ("pr", J.Int 7);
+        ("jobs", J.Int jn);
+        ( "budget",
+          J.Obj
+            [
+              ("max_dips", J.Int 32);
+              ("max_conflicts", J.Int 60_000);
+              ("time_limit_s", J.float ~dec:1 120.0);
+              ("vectors", J.Int 256);
+            ] );
+        ("jobs1_s", J.float ~dec:3 t1);
+        ("jobsN_s", J.float ~dec:3 tn);
+        ("speedup", J.float ~dec:2 (t1 /. Float.max 1e-9 tn));
+        ("identical_matrix", J.Bool identical);
+        ("matrix", A.Battery.matrix_json mn);
+      ]
+  in
+  let oc = open_out "BENCH_7.json" in
+  output_string oc (J.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  printf "%s\n" (Format.asprintf "%a" A.Battery.pp_matrix mn);
+  printf "  battery: %.2fs @ jobs=1, %.2fs @ jobs=%d (speedup %.2fx, identical=%b)\n"
+    t1 tn jn
+    (t1 /. Float.max 1e-9 tn)
+    identical;
+  printf "done: BENCH_7.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let emit f =
   print_string (with_output f);
@@ -1025,6 +1110,7 @@ let () =
   | "micro" -> emit (fun out -> ignore (micro out))
   | "simulate" -> emit simulate
   | "json" -> json ()
+  | "battery" -> battery ()
   | "all" ->
       emit table1;
       emit fig2;

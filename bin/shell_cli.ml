@@ -315,7 +315,17 @@ let lock_file_cmd =
 
 (* ---------------- attack ---------------- *)
 
-let attack_run bench style route lgc seed dips conflicts seconds metrics =
+(* every attack command funnels through the unified interface now: one
+   verdict type, one budget record, any registered attack by name *)
+let print_detail detail =
+  if detail <> [] then begin
+    print_string "detail:";
+    List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) detail;
+    print_newline ()
+  end
+
+let attack_run bench style route lgc seed attack_name dips conflicts seconds
+    vectors metrics =
   with_metrics metrics @@ fun () ->
   match netlist_of_bench bench with
   | Error (`Msg m) -> dief "%s" m
@@ -338,52 +348,205 @@ let attack_run bench style route lgc seed dips conflicts seconds metrics =
       in
       let r = run_flow cfg nl in
       let lk = C.Flow.locked_sub r in
-      Printf.printf "attacking %s (%s), key %d bits, budget %d DIPs / %d conflicts / %.0fs\n"
-        bench label (L.Locked.key_bits lk) dips conflicts seconds;
-      let oracle =
-        A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub
+      let attack =
+        match A.Battery.find attack_name with
+        | Some a -> a
+        | None ->
+            dief "unknown attack %S (known: %s)" attack_name
+              (String.concat ", " (A.Battery.names ()))
       in
-      (match
-         A.Sat_attack.run ~max_dips:dips ~max_conflicts:conflicts
-           ~time_limit:seconds
-           ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
-           lk.L.Locked.locked
-       with
-      | A.Sat_attack.Broken (key, st) ->
+      Printf.printf
+        "attacking %s (%s) with %s, key %d bits, budget %d DIPs / %d \
+         conflicts / %.0fs / %d vectors\n"
+        bench label attack.A.Attack.name (L.Locked.key_bits lk) dips conflicts
+        seconds vectors;
+      let subject =
+        A.Attack.subject ~label:(bench ^ "/" ^ label)
+          ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
+          ~original:r.C.Flow.cut.C.Extraction.sub lk
+      in
+      let budget =
+        A.Attack.budget ~max_dips:dips ~max_conflicts:conflicts
+          ~time_limit:seconds ~vectors ()
+      in
+      (match attack.A.Attack.run budget subject with
+      | A.Attack.Broken (key, st) ->
           Printf.printf
-            "BROKEN: key recovered in %d DIPs, %d conflicts, %.2fs\n"
-            st.A.Sat_attack.dips st.A.Sat_attack.conflicts
-            st.A.Sat_attack.elapsed;
-          Printf.printf
-            "solver effort: %d decisions, %d propagations, %d restarts\n"
-            st.A.Sat_attack.decisions st.A.Sat_attack.propagations
-            st.A.Sat_attack.restarts;
+            "BROKEN: key recovered in %d iterations, %d oracle queries, %d \
+             conflicts, %.2fs\n"
+            st.A.Attack.iterations st.A.Attack.oracle_queries
+            st.A.Attack.conflicts st.A.Attack.elapsed;
+          print_detail st.A.Attack.detail;
           Printf.printf "hamming distance to real bitstream: %d / %d\n"
             (F.Bitstream.hamming key lk.L.Locked.key)
             (Array.length key)
-      | A.Sat_attack.Timeout st ->
-          Printf.printf "RESILIENT within budget (%d DIPs, %d conflicts, %.2fs, c2v %.2f)\n"
-            st.A.Sat_attack.dips st.A.Sat_attack.conflicts
-            st.A.Sat_attack.elapsed st.A.Sat_attack.c2v;
+      | A.Attack.Resilient st ->
           Printf.printf
-            "solver effort: %d decisions, %d propagations, %d restarts\n"
-            st.A.Sat_attack.decisions st.A.Sat_attack.propagations
-            st.A.Sat_attack.restarts)
+            "RESILIENT within budget (%d iterations, %d oracle queries, %d \
+             conflicts, %.2fs; %d/%d bits recovered)\n"
+            st.A.Attack.iterations st.A.Attack.oracle_queries
+            st.A.Attack.conflicts st.A.Attack.elapsed st.A.Attack.recovered_bits
+            st.A.Attack.key_bits;
+          print_detail st.A.Attack.detail
+      | A.Attack.Inapplicable why -> Printf.printf "N/A: %s\n" why)
+
+let dips_arg = Arg.(value & opt int 64 & info [ "dips" ] ~doc:"Max DIPs.")
+
+let conflicts_arg =
+  Arg.(value & opt int 200_000 & info [ "conflicts" ] ~doc:"Max conflicts.")
+
+let seconds_arg =
+  Arg.(value & opt float 30.0 & info [ "seconds" ] ~doc:"Time limit.")
+
+let vectors_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "vectors" ]
+        ~doc:"Simulation sample size for the sim-family attacks.")
 
 let attack_cmd =
-  let dips = Arg.(value & opt int 64 & info [ "dips" ] ~doc:"Max DIPs.") in
-  let conflicts =
-    Arg.(value & opt int 200_000 & info [ "conflicts" ] ~doc:"Max conflicts.")
-  in
-  let seconds =
-    Arg.(value & opt float 30.0 & info [ "seconds" ] ~doc:"Time limit.")
+  let attack_name_arg =
+    Arg.(
+      value & opt string "sat"
+      & info [ "a"; "attack" ] ~docv:"NAME"
+          ~doc:"Registered attack to run (see `shell battery --list-attacks`).")
   in
   Cmd.v
     (Cmd.info "attack"
-       ~doc:"Run the oracle-guided SAT attack on a SheLL-redacted benchmark.")
+       ~doc:"Run one registered attack on a SheLL-redacted benchmark.")
     Term.(
       const attack_run $ bench_arg $ style_arg $ route_arg $ lgc_arg $ seed_arg
-      $ dips $ conflicts $ seconds $ metrics_arg)
+      $ attack_name_arg $ dips_arg $ conflicts_arg $ seconds_arg $ vectors_arg
+      $ metrics_arg)
+
+(* ---------------- battery ---------------- *)
+
+(* "xor:8", "rlut:4", "hlut:4", "mux:8", "muxlut:8" — the pure locking
+   schemes; "efpga" (SheLL redaction) rides through `shell attack`
+   because it needs the full flow per benchmark. *)
+let locked_of_spec ~seed nl spec =
+  let fail () =
+    dief "bad scheme spec %S (want xor:N, rlut:N, hlut:N, mux:N or muxlut:N)"
+      spec
+  in
+  match String.split_on_char ':' spec with
+  | [ name; n ] -> (
+      match (name, int_of_string_opt n) with
+      | _, None -> fail ()
+      | "xor", Some bits -> L.Schemes.xor_keys ~seed ~bits nl
+      | "rlut", Some gates -> L.Schemes.random_lut ~seed ~gates nl
+      | "hlut", Some gates -> L.Schemes.heuristic_lut ~seed ~gates nl
+      | "mux", Some width -> L.Schemes.mux_routing ~seed ~width nl
+      | "muxlut", Some width -> L.Schemes.mux_lut ~seed ~width nl
+      | _ -> fail ())
+  | _ -> fail ()
+
+let battery_run benches schemes attack_names jobs seed dips conflicts seconds
+    vectors json metrics list_attacks =
+  with_metrics metrics @@ fun () ->
+  if list_attacks then
+    List.iter
+      (fun (a : A.Attack.t) ->
+        Printf.printf "%-11s %-12s %s\n" a.A.Attack.name
+          (String.concat ","
+             (List.map A.Attack.capability_name a.A.Attack.capabilities))
+          a.A.Attack.description)
+      A.Battery.all
+  else begin
+    let attacks =
+      match attack_names with
+      | [] -> A.Battery.all
+      | names ->
+          List.map
+            (fun n ->
+              match A.Battery.find n with
+              | Some a -> a
+              | None ->
+                  dief "unknown attack %S (try --list-attacks)" n)
+            names
+    in
+    let subjects =
+      List.concat_map
+        (fun bench ->
+          match netlist_of_bench bench with
+          | Error (`Msg m) -> dief "%s" m
+          | Ok nl ->
+              List.map
+                (fun spec ->
+                  let lk = locked_of_spec ~seed nl spec in
+                  A.Attack.subject
+                    ~label:(bench ^ "/" ^ spec)
+                    ~original:nl lk)
+                schemes)
+        benches
+    in
+    if subjects = [] then dief "pass -b BENCH and --scheme SPEC";
+    let budget =
+      A.Attack.budget ~max_dips:dips ~max_conflicts:conflicts
+        ~time_limit:seconds ~vectors ()
+    in
+    let m = A.Battery.run ?jobs ~attacks ~budget subjects in
+    if json then
+      print_endline
+        (Shell_util.Jsonw.to_string ~indent:2 (A.Battery.matrix_json m))
+    else Format.printf "%a@." A.Battery.pp_matrix m
+  end
+
+let battery_cmd =
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Benchmark to lock and attack (repeatable).")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt_all string [ "xor:8"; "mux:8" ]
+      & info [ "scheme" ] ~docv:"SPEC"
+          ~doc:
+            "Locking scheme spec: xor:N, rlut:N, hlut:N, mux:N or muxlut:N \
+             (repeatable; default xor:8 and mux:8).")
+  in
+  let attacks =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "attack" ] ~docv:"NAME"
+          ~doc:"Restrict to one registered attack (repeatable; default all).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the (subject x attack) fan-out (default: \
+             SHELL_JOBS or the core count). The matrix is byte-identical for \
+             any value.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable matrix on stdout (stable: no wall-clock \
+             fields).")
+  in
+  let list_attacks =
+    Arg.(
+      value & flag
+      & info [ "list-attacks" ] ~doc:"List the attack registry and exit.")
+  in
+  Cmd.v
+    (Cmd.info "battery"
+       ~doc:
+         "Run the whole attack battery over locked variants of the bundled \
+          benchmarks and print the per-scheme x per-attack resilience \
+          matrix.")
+    Term.(
+      const battery_run $ benches $ schemes $ attacks $ jobs $ seed_arg
+      $ dips_arg $ conflicts_arg $ seconds_arg $ vectors_arg $ json
+      $ metrics_arg $ list_attacks)
 
 (* ---------------- stats ---------------- *)
 
@@ -410,13 +573,13 @@ let stats_run bench style route lgc seed attack =
       let r = run_flow cfg nl in
       if attack then begin
         let lk = C.Flow.locked_sub r in
-        let oracle =
-          A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub
-        in
         ignore
-          (A.Sat_attack.run ~max_dips:32 ~max_conflicts:50_000 ~time_limit:5.0
-             ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
-             lk.L.Locked.locked)
+          (A.Sat_attack.attack.A.Attack.run
+             (A.Attack.budget ~max_dips:32 ~max_conflicts:50_000
+                ~time_limit:5.0 ())
+             (A.Attack.subject
+                ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
+                ~original:r.C.Flow.cut.C.Extraction.sub lk))
       end;
       Printf.printf "span tree for `lock -b %s`%s:\n" bench
         (if attack then " + attack" else "");
@@ -759,6 +922,7 @@ let () =
             lock_cmd;
             lock_file_cmd;
             attack_cmd;
+            battery_cmd;
             stats_cmd;
             fuzz_cmd;
             lint_cmd;

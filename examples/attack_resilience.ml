@@ -1,7 +1,8 @@
 (* Attack resilience across the Fig. 1 taxonomy: lock one benchmark
    with each reconfigurability-based scheme and run the oracle-guided
    SAT attack (with cyclic-reduction pre-processing where applicable)
-   plus the structural link-prediction proxy.
+   plus the structural link-prediction proxy — then the full attack
+   battery, as a per-scheme x per-attack resilience matrix.
 
    Run with: dune exec examples/attack_resilience.exe *)
 
@@ -12,20 +13,23 @@ module A = Shell_attacks
 module C = Shell_core
 module Circ = Shell_circuits
 
-let budget = ("64 DIPs / 120k conflicts / 6 s", 64, 120_000, 6.0)
+let budget_label = "64 DIPs / 120k conflicts / 6 s"
+
+let budget =
+  A.Attack.budget ~max_dips:64 ~max_conflicts:120_000 ~time_limit:6.0 ()
 
 let describe = function
-  | A.Sat_attack.Broken (key, st) ->
+  | A.Attack.Broken (key, st) ->
       Printf.sprintf "BROKEN in %d DIPs, %d conflicts, %.2fs (key %d bits)"
-        st.A.Sat_attack.dips st.A.Sat_attack.conflicts st.A.Sat_attack.elapsed
+        st.A.Attack.iterations st.A.Attack.conflicts st.A.Attack.elapsed
         (Array.length key)
-  | A.Sat_attack.Timeout st ->
-      Printf.sprintf "survived budget (%d DIPs, %d conflicts, c2v %.2f)"
-        st.A.Sat_attack.dips st.A.Sat_attack.conflicts st.A.Sat_attack.c2v
+  | A.Attack.Resilient st ->
+      Printf.sprintf "survived budget (%d DIPs, %d conflicts)"
+        st.A.Attack.iterations st.A.Attack.conflicts
+  | A.Attack.Inapplicable why -> Printf.sprintf "not applicable (%s)" why
 
 let () =
-  let name, max_dips, max_conflicts, time_limit = budget in
-  Printf.printf "attack budget: %s\n\n" name;
+  Printf.printf "attack budget: %s\n\n" budget_label;
   (* a small structured victim keeps the SAT miters tractable, so the
      weak schemes actually fall inside the budget *)
   let nl = Circ.Axi_xbar.netlist ~channels:4 ~data_width:8 () in
@@ -43,8 +47,7 @@ let () =
     (fun (label, lk) ->
       assert (L.Locked.verify ~original:nl lk);
       let sat =
-        A.Sat_attack.attack_locked ~max_dips ~max_conflicts ~time_limit
-          ~original:nl lk
+        A.Sat_attack.attack.A.Attack.run budget (A.Attack.subject ~original:nl lk)
       in
       let prox = A.Proximity.predict_links lk in
       Printf.printf
@@ -67,14 +70,37 @@ let () =
   in
   let r = C.Flow.run cfg nl in
   let lk = C.Flow.locked_sub r in
-  let oracle = A.Sat_attack.oracle_of_netlist r.C.Flow.cut.C.Extraction.sub in
-  let sat =
-    A.Sat_attack.run ~max_dips ~max_conflicts ~time_limit
-      ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks ~oracle
-      lk.L.Locked.locked
+  let subject =
+    A.Attack.subject ~label:"xbar/efpga"
+      ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
+      ~original:r.C.Flow.cut.C.Extraction.sub lk
   in
+  let sat = A.Sat_attack.attack.A.Attack.run budget subject in
   let prox = A.Proximity.predict_links lk in
   Printf.printf
-    "%-30s key %4d bits\n  SAT: %s\n  link prediction: %d/%d hidden links\n"
+    "%-30s key %4d bits\n  SAT: %s\n  link prediction: %d/%d hidden links\n\n"
     "eFPGA redaction (SheLL)" (L.Locked.key_bits lk) (describe sat)
-    prox.A.Proximity.links_correct prox.A.Proximity.links
+    prox.A.Proximity.links_correct prox.A.Proximity.links;
+  (* the same verdicts, across the registry at once: every
+     (scheme x attack) cell of the battery matrix. A tight per-cell
+     budget keeps the example quick; the portfolio (4 nested racers per
+     cell) and the mostly-inapplicable brute force are left to
+     `shell battery` *)
+  let subjects =
+    List.map
+      (fun (label, lk) -> A.Attack.subject ~label ~original:nl lk)
+      schemes
+    @ [ subject ]
+  in
+  let attacks =
+    List.filter_map A.Battery.find
+      [ "sat"; "appsat"; "sensitize"; "structural"; "removal"; "proximity" ]
+  in
+  let quick =
+    A.Attack.budget ~max_dips:32 ~max_conflicts:40_000 ~time_limit:3.0 ()
+  in
+  Printf.printf "battery matrix (%s):\n\n"
+    (String.concat ", "
+       (List.map (fun (a : A.Attack.t) -> a.A.Attack.name) attacks));
+  let m = A.Battery.run ~attacks ~budget:quick subjects in
+  Format.printf "%a@." A.Battery.pp_matrix m

@@ -1,0 +1,88 @@
+module Netlist = Shell_netlist.Netlist
+module Sim = Shell_netlist.Sim
+module Simw = Shell_netlist.Simw
+module Locked = Shell_locking.Locked
+
+type budget = {
+  max_dips : int;
+  max_conflicts : int;
+  time_limit : float;
+  vectors : int;
+  should_stop : unit -> bool;
+}
+
+let budget ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
+    ?(vectors = 256) ?(should_stop = fun () -> false) () =
+  { max_dips; max_conflicts; time_limit; vectors; should_stop }
+
+type stats = {
+  iterations : int;
+  oracle_queries : int;
+  conflicts : int;
+  elapsed : float;
+  key_bits : int;
+  recovered_bits : int;
+  detail : (string * int) list;
+}
+
+type verdict =
+  | Broken of bool array * stats
+  | Resilient of stats
+  | Inapplicable of string
+
+let verdict_name = function
+  | Broken _ -> "broken"
+  | Resilient _ -> "resilient"
+  | Inapplicable _ -> "n/a"
+
+let stats_of = function
+  | Broken (_, st) | Resilient st -> Some st
+  | Inapplicable _ -> None
+
+type capability = Oracle_access | Structure_only | Ground_truth
+
+let capability_name = function
+  | Oracle_access -> "oracle"
+  | Structure_only -> "structural"
+  | Ground_truth -> "ground-truth"
+
+type subject = {
+  label : string;
+  original : Netlist.t;
+  locked : Locked.t;
+  cycle_blocks : (int array * bool array) list;
+}
+
+let subject ?label ?(cycle_blocks = []) ~original (lk : Locked.t) =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Netlist.name original ^ "/" ^ lk.Locked.scheme
+  in
+  { label; original; locked = lk; cycle_blocks }
+
+type t = {
+  name : string;
+  description : string;
+  capabilities : capability list;
+  run : budget -> subject -> verdict;
+}
+
+(* Oracle closures carry mutable simulator state: each call builds a
+   fresh one, so attacks running on separate pool domains never share
+   a simulator (same rule as the portfolio racers). *)
+let oracle s =
+  let sim = Sim.create (Netlist.comb_view s.original) in
+  fun input -> Sim.eval_comb sim input
+
+let word_oracle s =
+  let simw = Simw.create (Netlist.comb_view s.original) in
+  fun ~lanes words -> Simw.eval_comb simw ~lanes words
+
+let checked_broken s key stats =
+  if Locked.verify ~original:s.original { s.locked with Locked.key } then
+    Broken (key, { stats with recovered_bits = stats.key_bits })
+  else
+    (* the attack's candidate does not unlock the design: never report
+       an unverified break — downgrade, and leave a mark *)
+    Resilient { stats with detail = ("verify_failed", 1) :: stats.detail }

@@ -1,0 +1,119 @@
+(** The common typed interface every attack implements.
+
+    The locking literature judges a scheme against a {e battery} of
+    attacks, not one; this module is the contract that lets
+    {!Battery.run} fan any mix of attacks over any mix of locked
+    subjects. It mirrors the registry shape of the lint rules
+    ([Shell_lint.Rules.all]) and fuzz oracles ([Shell_fuzz.Oracles.all]):
+    a record of metadata plus one [run] function, collected in a list.
+
+    Verdict semantics:
+    - [Broken (key, _)] — the attack produced a key that passes
+      {!Shell_locking.Locked.verify} against the original (attacks
+      route their candidate through {!checked_broken}, so an unverified
+      guess can never surface as a break);
+    - [Resilient _] — the attack ran within budget and did not break
+      the scheme ({e under this budget}: the SAT attack's [Timeout] is
+      reported here);
+    - [Inapplicable _] — the attack does not apply to the subject's
+      shape (no key bits, too many key bits for brute force, cyclic
+      netlist for simulation-based attacks) and says why.
+
+    Determinism contract: with [should_stop] left at the default and
+    budgets chosen so the dip/conflict caps bind before [time_limit],
+    every verdict is a pure function of (subject, budget) — which is
+    what makes the battery matrix byte-identical at any [SHELL_JOBS]. *)
+
+(** Unified resource budget, replacing the scattered
+    [?max_dips]/[?max_conflicts]/[?time_limit]/[?should_stop] optional
+    arguments of the legacy entry points. Attacks ignore the knobs that
+    do not apply to them. *)
+type budget = {
+  max_dips : int;  (** DIP-loop iterations (SAT-family attacks) *)
+  max_conflicts : int;  (** total solver conflicts (SAT-family) *)
+  time_limit : float;  (** wall-clock seconds per attack *)
+  vectors : int;  (** simulation sample size (sim-family attacks) *)
+  should_stop : unit -> bool;  (** external cancellation, polled often *)
+}
+
+val budget :
+  ?max_dips:int ->
+  ?max_conflicts:int ->
+  ?time_limit:float ->
+  ?vectors:int ->
+  ?should_stop:(unit -> bool) ->
+  unit ->
+  budget
+(** Defaults: 256 DIPs, 200_000 conflicts, 30.0 s, 256 vectors, never
+    stop — the legacy {!Sat_attack.run} defaults. *)
+
+(** Effort actually spent, in attack-agnostic terms. [detail] carries
+    per-attack extras (solver decisions, settle rounds, key-fate
+    counts...) as stable integers. *)
+type stats = {
+  iterations : int;  (** main-loop rounds: DIPs, keys tried, bits probed *)
+  oracle_queries : int;  (** activated-chip queries (scalar vector count) *)
+  conflicts : int;  (** solver conflicts, 0 for sim-only attacks *)
+  elapsed : float;  (** wall-clock seconds (excluded from stable JSON) *)
+  key_bits : int;
+  recovered_bits : int;  (** bits the attack pinned (= key_bits on break) *)
+  detail : (string * int) list;  (** attack-specific stable extras *)
+}
+
+type verdict =
+  | Broken of bool array * stats  (** verified functionally-correct key *)
+  | Resilient of stats  (** survived this budget *)
+  | Inapplicable of string  (** attack does not apply; reason *)
+
+val verdict_name : verdict -> string
+(** ["broken"], ["resilient"] or ["n/a"]. *)
+
+val stats_of : verdict -> stats option
+
+(** What an attack consumes — battery callers can filter on these. *)
+type capability =
+  | Oracle_access  (** queries the activated chip (original netlist) *)
+  | Structure_only  (** reads only the locked netlist *)
+  | Ground_truth  (** scores itself against the correct key *)
+
+val capability_name : capability -> string
+
+(** One locked design under attack. [cycle_blocks] carries the
+    cyclic-reduction pre-processing patterns when the subject came out
+    of the eFPGA flow ([[]] otherwise) — {!Shell_locking.Locked.t} does
+    not record them, so the subject does. *)
+type subject = {
+  label : string;  (** row label in the matrix, e.g. ["c432/xor8"] *)
+  original : Shell_netlist.Netlist.t;
+  locked : Shell_locking.Locked.t;
+  cycle_blocks : (int array * bool array) list;
+}
+
+val subject :
+  ?label:string ->
+  ?cycle_blocks:(int array * bool array) list ->
+  original:Shell_netlist.Netlist.t ->
+  Shell_locking.Locked.t ->
+  subject
+(** [label] defaults to ["<netlist name>/<scheme>"]. *)
+
+type t = {
+  name : string;  (** registry key, e.g. ["sat"], ["appsat"] *)
+  description : string;
+  capabilities : capability list;
+  run : budget -> subject -> verdict;
+}
+
+(** {1 Helpers shared by attack implementations} *)
+
+val oracle : subject -> bool array -> bool array
+(** Scalar activated-chip oracle over the original's full-scan view. *)
+
+val word_oracle : subject -> lanes:int -> int array -> int array
+(** Word-parallel oracle ({!Shell_netlist.Simw} packing). *)
+
+val checked_broken : subject -> bool array -> stats -> verdict
+(** [Broken (key, stats)] iff the candidate key passes
+    {!Shell_locking.Locked.verify} against the original; otherwise
+    [Resilient] with a ["verify_failed"] detail mark. Every attack
+    funnels its break claims through here. *)

@@ -1,0 +1,119 @@
+module Netlist = Shell_netlist.Netlist
+module Simw = Shell_netlist.Simw
+module Locked = Shell_locking.Locked
+module Rng = Shell_util.Rng
+
+let max_key_bits = 20
+
+let now = Shell_util.Clock.now
+
+(* Split vectors into word-sized groups: (lanes, packed input words). *)
+let chunks_of_vecs vecs =
+  let n = Array.length vecs in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      let lanes = min Simw.width (n - pos) in
+      let chunk = Array.sub vecs pos lanes in
+      go (pos + lanes) ((lanes, Simw.pack chunk) :: acc)
+  in
+  go 0 []
+
+let sample_vectors ~n_in ~vectors ~seed =
+  if n_in <= 12 then
+    Array.init (1 lsl n_in) (fun v ->
+        Array.init n_in (fun i -> v land (1 lsl i) <> 0))
+  else begin
+    let rng = Rng.create seed in
+    let vecs = Array.make (max 1 vectors) [||] in
+    for i = 0 to Array.length vecs - 1 do
+      vecs.(i) <- Array.init n_in (fun _ -> Rng.bool rng)
+    done;
+    vecs
+  end
+
+let attack =
+  {
+    Attack.name = "brute";
+    description =
+      Printf.sprintf
+        "word-parallel exhaustive key sweep (keys of <= %d bits)" max_key_bits;
+    capabilities = [ Attack.Oracle_access ];
+    run =
+      (fun (b : Attack.budget) (s : Attack.subject) ->
+        let lk = s.Attack.locked in
+        let nl = lk.Locked.locked in
+        let k = Locked.key_bits lk in
+        if k = 0 then Attack.Inapplicable "no key bits"
+        else if k > max_key_bits then
+          Attack.Inapplicable
+            (Printf.sprintf "%d key bits (> %d)" k max_key_bits)
+        else if Netlist.has_comb_cycle nl then
+          Attack.Inapplicable "cyclic locked netlist"
+        else begin
+          let start = now () in
+          let comb = Netlist.comb_view nl in
+          let simw = Simw.create comb in
+          let n_in = List.length (Netlist.inputs comb) in
+          let vecs =
+            sample_vectors ~n_in ~vectors:b.Attack.vectors ~seed:0xb407e
+          in
+          (* activated-chip responses, computed once up front *)
+          let oracle_w = Attack.word_oracle s in
+          let chunks =
+            List.map
+              (fun (lanes, ins) -> (lanes, ins, oracle_w ~lanes ins))
+              (chunks_of_vecs vecs)
+          in
+          let tried = ref 0 in
+          let found = ref None in
+          let budget_out = ref false in
+          let key = Array.make k false in
+          let total = 1 lsl k in
+          let v = ref 0 in
+          while !found = None && (not !budget_out) && !v < total do
+            (* keep budget polls off the per-candidate hot path *)
+            if
+              !v land 255 = 0
+              && (b.Attack.should_stop ()
+                 || now () -. start > b.Attack.time_limit)
+            then budget_out := true
+            else begin
+              for i = 0 to k - 1 do
+                key.(i) <- !v land (1 lsl i) <> 0
+              done;
+              incr tried;
+              (* wrong keys almost always die on the first chunk, so the
+                 sweep costs ~one word-level pass per candidate *)
+              let matches =
+                List.for_all
+                  (fun (lanes, ins, theirs) ->
+                    let mine = Simw.eval_comb simw ~keys:key ~lanes ins in
+                    let diff = ref 0 in
+                    Array.iteri
+                      (fun i w -> diff := !diff lor (w lxor theirs.(i)))
+                      mine;
+                    !diff = 0)
+                  chunks
+              in
+              if matches then found := Some (Array.copy key);
+              incr v
+            end
+          done;
+          let stats =
+            {
+              Attack.iterations = !tried;
+              oracle_queries = Array.length vecs;
+              conflicts = 0;
+              elapsed = now () -. start;
+              key_bits = k;
+              recovered_bits = 0;
+              detail =
+                [ ("candidates", !tried); ("vectors", Array.length vecs) ];
+            }
+          in
+          match !found with
+          | Some key -> Attack.checked_broken s key stats
+          | None -> Attack.Resilient stats
+        end);
+  }

@@ -29,14 +29,16 @@ type t = {
 }
 
 let run ?jobs ?(stop_on_first_broken = false) ?max_dips ?max_conflicts
-    ?time_limit ?cycle_blocks ?(configs = default_configs 4) ~original locked =
+    ?time_limit ?cycle_blocks ?(should_stop = fun () -> false)
+    ?(configs = default_configs 4) ~original locked =
   Obs.incr m_races;
   Obs.with_span "portfolio" @@ fun () ->
   let arr = Array.of_list configs in
   let stop = Atomic.make false in
+  let external_stop = should_stop in
   let should_stop =
-    if stop_on_first_broken then fun () -> Atomic.get stop
-    else fun () -> false
+    if stop_on_first_broken then fun () -> Atomic.get stop || external_stop ()
+    else external_stop
   in
   let outcomes =
     Pool.map ?jobs
@@ -84,3 +86,42 @@ let best t =
           | _ -> ())
         t.outcomes;
       !most
+
+(* ---------------- unified interface ---------------- *)
+
+let attack =
+  {
+    Attack.name = "portfolio";
+    description = "seeded SAT-solver portfolio race (4 phase seeds)";
+    capabilities = [ Attack.Oracle_access ];
+    run =
+      (fun (b : Attack.budget) (s : Attack.subject) ->
+        (* every racer runs to its own budget (no first-break abort):
+           the verdict stays a pure function of (subject, budget), which
+           the battery's determinism contract requires; inside a pool
+           task the racers degrade gracefully to sequential *)
+        let t =
+          run ~stop_on_first_broken:false ~max_dips:b.Attack.max_dips
+            ~max_conflicts:b.Attack.max_conflicts
+            ~time_limit:b.Attack.time_limit ~cycle_blocks:s.Attack.cycle_blocks
+            ~should_stop:b.Attack.should_stop ~original:s.Attack.original
+            s.Attack.locked.Shell_locking.Locked.locked
+        in
+        let winner_detail =
+          ("winner", match t.winner with Some i -> i | None -> -1)
+        in
+        match best t with
+        | Sat_attack.Broken (key, st) ->
+            let stats = Sat_attack.to_attack_stats ~broken:true st in
+            let stats =
+              { stats with Attack.detail = winner_detail :: stats.Attack.detail }
+            in
+            (* each racer's break is already verified by [attack_locked]
+               semantics only when routed through it; here the racers
+               return raw keys, so funnel through the checked path *)
+            Attack.checked_broken s key stats
+        | Sat_attack.Timeout st ->
+            let stats = Sat_attack.to_attack_stats st in
+            Attack.Resilient
+              { stats with Attack.detail = winner_detail :: stats.Attack.detail });
+  }

@@ -33,6 +33,7 @@ val run :
   ?max_conflicts:int ->
   ?time_limit:float ->
   ?cycle_blocks:(int array * bool array) list ->
+  ?should_stop:(unit -> bool) ->
   ?configs:config list ->
   original:Shell_netlist.Netlist.t ->
   Shell_netlist.Netlist.t ->
@@ -41,9 +42,17 @@ val run :
     configurations (default [default_configs 4]) on up to [jobs]
     domains. Each racer builds a private oracle from [original] (oracle
     closures carry mutable simulator state and must not be shared
-    across domains). Budget options are per racer. *)
+    across domains). Budget options are per racer. [should_stop] is an
+    external cancellation signal checked by every racer regardless of
+    [stop_on_first_broken]. *)
 
 val best : t -> Sat_attack.outcome
 (** The winner's outcome, or — when nothing broke — the outcome of the
     configuration that got through the most DIPs (ties to the lowest
     index), i.e. the strongest attack evidence gathered. *)
+
+val attack : Attack.t
+(** Battery form (["portfolio"]): the 4-seed race with
+    [stop_on_first_broken = false] (deterministic verdicts), reporting
+    {!best} through the unified verdict; the winning config index rides
+    in [detail] as ["winner"] (-1 when nothing broke). *)

@@ -19,8 +19,27 @@ type report = {
   total_key_bits : int;
 }
 
+type prediction = {
+  bit : int;  (** key-bit index, {!Shell_netlist.Netlist.keys} order *)
+  guess : bool option;  (** [None] on an affinity tie *)
+}
+
+val predict : ?depth:int -> Shell_netlist.Netlist.t -> prediction list
+(** Per-bit affinity predictions over the locked netlist alone (no
+    ground truth), one entry per key bit that directly selects a 2:1
+    mux, in key order. {!run} and the battery wrapper are both scored
+    from this list. *)
+
 val run : ?depth:int -> Shell_locking.Locked.t -> report
 (** [depth] (default 3) bounds the fan-in cones compared. *)
+
+val attack : Attack.t
+(** Battery form (["proximity"]): builds a whole-key guess from
+    {!predict} (ties and un-attacked bits default to false), reports
+    [Broken] only when that guess verifies against the original, else
+    [Resilient] with [recovered_bits] = correctly predicted bits and
+    the attacked/correct counts in [detail]. [Inapplicable] when no
+    key bit drives a mux select. *)
 
 type link_report = {
   links : int;  (** boundary outputs of the keyed switch network *)

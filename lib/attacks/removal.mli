@@ -28,3 +28,10 @@ val attempt :
     too, otherwise [oracle] is called per vector. Either way the
     verdict — including [vectors_tried] and [first_mismatch] — is
     byte-identical to the scalar loop's. *)
+
+val attack : Attack.t
+(** Battery form (["removal"]): tries the all-false and all-true
+    constant-key specializations of the locked netlist as candidate
+    replacements; a candidate matching the oracle on every sampled
+    vector is then verified through {!Attack.checked_broken}. Cyclic
+    specializations are skipped; [Inapplicable] when there is no key. *)

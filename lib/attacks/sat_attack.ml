@@ -103,7 +103,13 @@ let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
              budget and either resumes the search or reports timeout *)
           loop dips
       | `Unsat -> (
-          match Miter.extract_key ~max_conflicts:max_conflicts miter with
+          (* the DIP loop already consumed part of the conflict budget;
+             hand extraction only the remainder (with a floor so a
+             near-exhausted budget can still emit the key) instead of
+             the full budget again, which let total conflicts overrun
+             ~2x *)
+          let remaining = max 2_000 (max_conflicts - Miter.conflicts miter) in
+          match Miter.extract_key ~max_conflicts:remaining miter with
           | Some key -> Broken (key, stats dips)
           | None -> Timeout (stats dips))
   in
@@ -115,11 +121,11 @@ let run ?(max_dips = 256) ?(max_conflicts = 200_000) ?(time_limit = 30.0)
   outcome
 
 let attack_locked ?max_dips ?max_conflicts ?time_limit ?cycle_blocks
-    ?solver_seed ~original (lk : Locked.t) =
+    ?solver_seed ?should_stop ~original (lk : Locked.t) =
   let oracle = oracle_of_netlist original in
   match
-    run ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ?solver_seed ~oracle
-      lk.Locked.locked
+    run ?max_dips ?max_conflicts ?time_limit ?cycle_blocks ?solver_seed
+      ?should_stop ~oracle lk.Locked.locked
   with
   | Broken (key, st) ->
       (* sanity: the recovered key must unlock the design *)
@@ -132,3 +138,39 @@ let attack_locked ?max_dips ?max_conflicts ?time_limit ?cycle_blocks
            stay conservative rather than claim a break *)
         Timeout st
   | Timeout st -> Timeout st
+
+(* ---------------- unified interface ---------------- *)
+
+let to_attack_stats ?(broken = false) (st : stats) =
+  {
+    Attack.iterations = st.dips;
+    oracle_queries = st.dips;
+    conflicts = st.conflicts;
+    elapsed = st.elapsed;
+    key_bits = st.key_bits;
+    recovered_bits = (if broken then st.key_bits else 0);
+    detail =
+      [
+        ("decisions", st.decisions);
+        ("propagations", st.propagations);
+        ("restarts", st.restarts);
+      ];
+  }
+
+let attack =
+  {
+    Attack.name = "sat";
+    description = "oracle-guided SAT attack (exact; Subramanyan et al.)";
+    capabilities = [ Attack.Oracle_access ];
+    run =
+      (fun (b : Attack.budget) (s : Attack.subject) ->
+        match
+          attack_locked ~max_dips:b.Attack.max_dips
+            ~max_conflicts:b.Attack.max_conflicts
+            ~time_limit:b.Attack.time_limit ~cycle_blocks:s.Attack.cycle_blocks
+            ~should_stop:b.Attack.should_stop ~original:s.Attack.original
+            s.Attack.locked
+        with
+        | Broken (key, st) -> Attack.Broken (key, to_attack_stats ~broken:true st)
+        | Timeout st -> Attack.Resilient (to_attack_stats st));
+  }

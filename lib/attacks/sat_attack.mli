@@ -59,9 +59,22 @@ val attack_locked :
   ?time_limit:float ->
   ?cycle_blocks:(int array * bool array) list ->
   ?solver_seed:int ->
+  ?should_stop:(unit -> bool) ->
   original:Shell_netlist.Netlist.t ->
   Shell_locking.Locked.t ->
   outcome
 (** Convenience wrapper: oracle from the original netlist; on success
     the recovered key is additionally checked to be functionally
     equivalent to the correct key (assert-level sanity). *)
+
+val to_attack_stats : ?broken:bool -> stats -> Attack.stats
+(** Legacy stats in unified terms: [iterations]/[oracle_queries] =
+    DIPs, decisions/propagations/restarts in [detail];
+    [recovered_bits] = [key_bits] when [broken]. The portfolio wrapper
+    shares this mapping. *)
+
+val attack : Attack.t
+(** The same attack behind the unified interface: [Broken] maps to
+    {!Attack.Broken}, [Timeout] to {!Attack.Resilient}; solver
+    decisions/propagations/restarts land in [detail]. Registered in
+    {!Battery.all} as ["sat"]. *)

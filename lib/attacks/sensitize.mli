@@ -1,0 +1,31 @@
+(** Key-sensitization attack (the KSA of Yasin et al., simulation
+    form).
+
+    For each undecided key bit the attacker searches sampled inputs,
+    word-parallel, for {e sensitizing patterns} — inputs on which
+    flipping only that bit (others held at the current guess) changes
+    some primary output — and asks the activated chip on each until a
+    response matches exactly one of the two bit values (a few chip
+    calls per probe). Only the outputs the bit actually sensitizes are
+    compared — other still-wrong guess bits corrupt the rest of the
+    response without masking the decision. Up to {!rounds} passes
+    re-probe every bit (coordinate descent: a bit mis-decided while
+    its neighbours were wrong gets corrected once they are right),
+    stopping as soon as the guess verifies; a final hill-climb over
+    the sampled error (single-bit flips, plus pair flips for keys of
+    <= 32 bits) escapes the XOR parity trap, where two wrong bits
+    cancelling on one xor-dominated path look locally optimal.
+    XOR-style locking falls quickly (every bit sensitizes on almost
+    any input); interference-entangled schemes (mux routing, LUT
+    redaction) leave most probes ambiguous.
+
+    The assembled guess is only reported [Broken] when it verifies
+    against the original. *)
+
+val rounds : int
+(** Maximum decision passes over the key (3). *)
+
+val attack : Attack.t
+(** Registered as ["sensitize"]. [recovered_bits] counts pinned bits;
+    [oracle_queries] counts chip calls. [Inapplicable] on zero key
+    bits or cyclic locked netlists. *)

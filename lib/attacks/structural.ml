@@ -1,0 +1,42 @@
+module Dataflow = Shell_lint.Dataflow
+module Locked = Shell_locking.Locked
+
+let attack =
+  {
+    Attack.name = "structural";
+    description = "key-cone constant analysis (dead/blocked bits are free)";
+    capabilities = [ Attack.Structure_only ];
+    run =
+      (fun (b : Attack.budget) (s : Attack.subject) ->
+        ignore b;
+        let nl = s.Attack.locked.Locked.locked in
+        let fates = Dataflow.key_fates nl in
+        let k = List.length fates in
+        if k = 0 then Attack.Inapplicable "no key bits"
+        else begin
+          let start = Shell_util.Clock.now () in
+          let count f =
+            List.length (List.filter (fun (_, _, x) -> x = f) fates)
+          in
+          let dead = count Dataflow.Dead in
+          let blocked = count Dataflow.Blocked in
+          let free = dead + blocked in
+          let stats =
+            {
+              Attack.iterations = 1;
+              oracle_queries = 0;
+              conflicts = 0;
+              elapsed = Shell_util.Clock.now () -. start;
+              key_bits = k;
+              recovered_bits = free;
+              detail =
+                [ ("dead", dead); ("blocked", blocked); ("live", k - free) ];
+            }
+          in
+          if free = k then
+            (* every bit provably cannot affect the function: any key
+               unlocks — claim all-false and verify *)
+            Attack.checked_broken s (Array.make k false) stats
+          else Attack.Resilient stats
+        end);
+  }

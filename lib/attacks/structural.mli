@@ -1,0 +1,18 @@
+(** Structural key-cone attack.
+
+    Pure dataflow, no oracle: reuses the lint core's constant
+    propagation and output-cone machinery
+    ({!Shell_lint.Dataflow.key_fates}). A key bit that is [Dead]
+    (reaches no output) or [Blocked] (every path cut by a proven
+    constant) provably cannot affect the function — those bits come for
+    free. When {e every} bit is free the scheme is broken outright: any
+    key unlocks the design (the all-false claim is still verified
+    through {!Attack.checked_broken} before being reported).
+
+    This is the attack the [key-dead]/[key-blocked] lint rules warn
+    defenders about, run from the attacker's side. *)
+
+val attack : Attack.t
+(** Registered as ["structural"]. [recovered_bits] counts the free
+    bits; [detail] carries the dead/blocked/live breakdown. Budget
+    knobs are ignored (one dataflow sweep). *)

@@ -169,6 +169,33 @@ let fanin_nets ?values nl targets =
   done;
   seen
 
+type cones = { values : value array; reach : bool array; live : bool array }
+
+let output_cones nl =
+  let values = const_values nl in
+  let outs = Array.to_list (N.output_nets nl) in
+  { values; reach = fanin_nets nl outs; live = fanin_nets ~values nl outs }
+
+type key_fate = Dead | Blocked | Live
+
+let key_fate_name = function
+  | Dead -> "dead"
+  | Blocked -> "blocked"
+  | Live -> "live"
+
+let key_fates ?cones nl =
+  let c = match cones with Some c -> c | None -> output_cones nl in
+  List.map
+    (fun (nm, net) ->
+      let fate =
+        if net < 0 || net >= Array.length c.reach || not c.reach.(net) then
+          Dead
+        else if not c.live.(net) then Blocked
+        else Live
+      in
+      (nm, net, fate))
+    (N.keys nl)
+
 let cell_edges nl ~keep =
   let cells = N.cells nl in
   let edges = ref [] in

@@ -47,6 +47,41 @@ val fanin_nets :
     still reach and LUT inputs the cofactored table still depends
     on. *)
 
+(** {1 Output cones and key classification}
+
+    Shared by the lint engine ({!Lint.make_ctx}) and the structural
+    key-cone attack in [shell_attacks]: one forward constant sweep plus
+    the structural and functional output cones. *)
+
+type cones = {
+  values : value array;  (** forward constant facts per net *)
+  reach : bool array;  (** nets in the {e structural} output fanin cone *)
+  live : bool array;  (** nets in the {e functional} cone (constant cuts) *)
+}
+
+val output_cones : Shell_netlist.Netlist.t -> cones
+(** {!const_values} plus {!fanin_nets} (structural and functional) over
+    the primary outputs. *)
+
+(** What the dataflow facts prove about one key bit. *)
+type key_fate =
+  | Dead  (** outside the structural cone: reaches no output at all *)
+  | Blocked
+      (** wired towards the outputs but every path is cut by a proven
+          constant (unselected mux arm, cofactored-away LUT input) *)
+  | Live  (** may influence an output; nothing provable for free *)
+
+val key_fate_name : key_fate -> string
+
+val key_fates :
+  ?cones:cones ->
+  Shell_netlist.Netlist.t ->
+  (string * int * key_fate) list
+(** Per key bit [(name, net, fate)] in {!Shell_netlist.Netlist.keys}
+    order. A [Dead] or [Blocked] bit provably cannot affect the
+    function: any value unlocks it (the structural attack's "free"
+    bits, and what the [key-dead]/[key-blocked] lint rules report). *)
+
 val comb_graph : Shell_netlist.Netlist.t -> Shell_graph.Digraph.t
 (** Cell-level dependency graph over combinational cells only: edge
     [j -> i] when cell [j]'s output feeds cell [i] and neither is

@@ -75,15 +75,9 @@ type ctx = {
 }
 
 let make_ctx subj =
-  let nl = subj.netlist in
-  let values = Dataflow.const_values nl in
-  let outs = Array.to_list (N.output_nets nl) in
-  {
-    subj;
-    values;
-    reach = Dataflow.fanin_nets nl outs;
-    live = Dataflow.fanin_nets ~values nl outs;
-  }
+  let c = Dataflow.output_cones subj.netlist in
+  { subj; values = c.Dataflow.values; reach = c.Dataflow.reach;
+    live = c.Dataflow.live }
 
 type rule = {
   name : string;

@@ -187,6 +187,327 @@ let test_link_prediction_reports () =
   let r2 = A.Proximity.predict_links cyclic_lk in
   Alcotest.(check int) "cyclic skipped" 0 r2.A.Proximity.links
 
+(* ---------------- unified interface: parity with legacy ----------- *)
+
+let sat_budget =
+  A.Attack.budget ~max_dips:128 ~max_conflicts:150_000 ~time_limit:20.0 ()
+
+let test_unified_sat_parity () =
+  (* the unified "sat" attack must reproduce the legacy outcome verbatim:
+     same verdict kind, same key, same dips/conflicts *)
+  let check seed mk =
+    let nl = victim seed 80 in
+    let lk = mk nl in
+    let legacy = attack ~original:nl lk in
+    let unified =
+      A.Sat_attack.attack.A.Attack.run sat_budget
+        (A.Attack.subject ~original:nl lk)
+    in
+    match (legacy, unified) with
+    | A.Sat_attack.Broken (k1, st), A.Attack.Broken (k2, ust) ->
+        Alcotest.(check (array bool)) "same key" k1 k2;
+        Alcotest.(check int) "dips = iterations" st.A.Sat_attack.dips
+          ust.A.Attack.iterations;
+        Alcotest.(check int) "conflicts" st.A.Sat_attack.conflicts
+          ust.A.Attack.conflicts;
+        Alcotest.(check int) "recovered = key bits" ust.A.Attack.key_bits
+          ust.A.Attack.recovered_bits
+    | A.Sat_attack.Timeout st, A.Attack.Resilient ust ->
+        Alcotest.(check int) "dips = iterations" st.A.Sat_attack.dips
+          ust.A.Attack.iterations
+    | _ -> Alcotest.fail "legacy and unified verdicts disagree"
+  in
+  check 1 (L.Schemes.xor_keys ~bits:16);
+  check 4 (L.Schemes.mux_routing ~width:8)
+
+let test_unified_removal_parity () =
+  (* unified "removal" is Broken exactly when one of its two constant-key
+     specializations passes the legacy attempt AND verifies *)
+  let nl = victim 40 60 in
+  let lk = L.Schemes.mux_routing ~width:8 nl in
+  let oracle = A.Sat_attack.oracle_of_netlist nl in
+  let expected =
+    List.exists
+      (fun key ->
+        let cand = L.Locked.apply_key lk key in
+        (not (N.has_comb_cycle cand))
+        && (A.Removal.attempt ~oracle cand).A.Removal.matched
+        && L.Locked.verify ~original:nl { lk with L.Locked.key })
+      [
+        Array.make (L.Locked.key_bits lk) false;
+        Array.make (L.Locked.key_bits lk) true;
+      ]
+  in
+  let unified =
+    A.Removal.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:nl lk)
+  in
+  let got = match unified with A.Attack.Broken _ -> true | _ -> false in
+  Alcotest.(check bool) "removal verdict matches legacy attempt" expected got
+
+let test_unified_proximity_parity () =
+  (* unified "proximity" must report the legacy run's counters in its
+     stats detail *)
+  let nl = victim 13 100 in
+  let lk = L.Schemes.mux_routing ~width:8 nl in
+  let r = A.Proximity.run lk in
+  let unified =
+    A.Proximity.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:nl lk)
+  in
+  let st =
+    match unified with
+    | A.Attack.Broken (_, st) | A.Attack.Resilient st -> st
+    | A.Attack.Inapplicable why -> Alcotest.fail ("inapplicable: " ^ why)
+  in
+  Alcotest.(check (option int))
+    "attacked bits" (Some r.A.Proximity.attacked_bits)
+    (List.assoc_opt "attacked_bits" st.A.Attack.detail);
+  Alcotest.(check (option int))
+    "correct bits" (Some r.A.Proximity.correct)
+    (List.assoc_opt "correct" st.A.Attack.detail)
+
+let test_unified_portfolio_parity () =
+  (* the battery's "portfolio" wrapper = deterministic race + best *)
+  let nl = victim 41 60 in
+  let lk = L.Schemes.xor_keys ~bits:10 nl in
+  let p =
+    A.Portfolio.run ~stop_on_first_broken:false ~max_dips:128
+      ~max_conflicts:150_000 ~time_limit:20.0 ~original:nl lk.L.Locked.locked
+  in
+  let unified =
+    A.Portfolio.attack.A.Attack.run sat_budget
+      (A.Attack.subject ~original:nl lk)
+  in
+  match (A.Portfolio.best p, unified) with
+  | A.Sat_attack.Broken (k1, _), A.Attack.Broken (k2, ust) ->
+      Alcotest.(check (array bool)) "same key" k1 k2;
+      Alcotest.(check (option int))
+        "winner index in detail"
+        (Some (match p.A.Portfolio.winner with Some i -> i | None -> -1))
+        (List.assoc_opt "winner" ust.A.Attack.detail)
+  | A.Sat_attack.Timeout _, A.Attack.Resilient _ -> ()
+  | _ -> Alcotest.fail "portfolio verdicts disagree"
+
+(* ---------------- new attacks ---------------- *)
+
+let test_appsat_breaks_xor () =
+  (* acceptance: on a low-key-bit scheme the exact attack breaks, the
+     approximate attack must break it too *)
+  let nl = victim 42 80 in
+  let lk = L.Schemes.xor_keys ~bits:8 nl in
+  expect_broken "exact sat on xor:8" (attack ~original:nl lk);
+  match
+    A.Appsat.attack.A.Attack.run sat_budget (A.Attack.subject ~original:nl lk)
+  with
+  | A.Attack.Broken (key, _) ->
+      Alcotest.(check bool) "appsat key unlocks" true
+        (L.Locked.verify ~original:nl { lk with L.Locked.key = key })
+  | A.Attack.Resilient _ -> Alcotest.fail "appsat should break xor:8"
+  | A.Attack.Inapplicable why -> Alcotest.fail ("inapplicable: " ^ why)
+
+let test_brute_force_small_key () =
+  let nl = victim 43 60 in
+  let lk = L.Schemes.xor_keys ~bits:8 nl in
+  match
+    A.Brute_force.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:nl lk)
+  with
+  | A.Attack.Broken (key, _) ->
+      Alcotest.(check bool) "brute key unlocks" true
+        (L.Locked.verify ~original:nl { lk with L.Locked.key = key })
+  | _ -> Alcotest.fail "brute force should break an 8-bit key"
+
+let test_brute_force_wide_key_inapplicable () =
+  let nl = victim 44 80 in
+  let lk = L.Schemes.xor_keys ~bits:24 nl in
+  match
+    A.Brute_force.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:nl lk)
+  with
+  | A.Attack.Inapplicable _ -> ()
+  | _ -> Alcotest.fail "24-bit key must be out of brute-force range"
+
+let test_sensitize_breaks_xor () =
+  let nl = victim 45 80 in
+  let lk = L.Schemes.xor_keys ~bits:8 nl in
+  match
+    A.Sensitize.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:nl lk)
+  with
+  | A.Attack.Broken (key, _) ->
+      Alcotest.(check bool) "sensitize key unlocks" true
+        (L.Locked.verify ~original:nl { lk with L.Locked.key = key })
+  | _ -> Alcotest.fail "sensitization should break xor keying"
+
+let test_structural_free_bits () =
+  (* acceptance fixture: one dead key bit (reaches no output) and one
+     constant-blocked bit (wired through a const-0 AND) — the structural
+     attack must prove both free and recover a working key *)
+  let original = N.create "fix" in
+  let a = N.add_input original "a" in
+  let b = N.add_input original "b" in
+  N.add_output original "y" (N.and_ original a b);
+  let locked = N.create "fix" in
+  let a = N.add_input locked "a" in
+  let b = N.add_input locked "b" in
+  let k0 = N.add_key locked "k0" in
+  let k1 = N.add_key locked "k1" in
+  ignore (N.and_ locked a k0) (* dead: dangling gate, no output cone *);
+  let blocked = N.and_ locked k1 (N.const locked false) in
+  N.add_output locked "y" (N.or_ locked (N.and_ locked a b) blocked);
+  let lk = { L.Locked.locked; key = [| true; true |]; scheme = "fixture" } in
+  assert (L.Locked.verify ~original lk);
+  match
+    A.Structural.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original lk)
+  with
+  | A.Attack.Broken (key, st) ->
+      Alcotest.(check int) "both bits recovered" 2 st.A.Attack.recovered_bits;
+      Alcotest.(check (option int)) "one dead" (Some 1)
+        (List.assoc_opt "dead" st.A.Attack.detail);
+      Alcotest.(check (option int)) "one blocked" (Some 1)
+        (List.assoc_opt "blocked" st.A.Attack.detail);
+      Alcotest.(check bool) "recovered key unlocks" true
+        (L.Locked.verify ~original { lk with L.Locked.key = key })
+  | _ -> Alcotest.fail "free key bits should break the fixture"
+
+let test_structural_live_resilient () =
+  let nl = victim 46 60 in
+  let lk = L.Schemes.xor_keys ~bits:6 nl in
+  match
+    A.Structural.attack.A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:nl lk)
+  with
+  | A.Attack.Resilient st ->
+      (* some bits may fall on dangling nets (dead), but at least one
+         is live — so the attack must NOT declare the key free *)
+      Alcotest.(check bool) "some bits live" true
+        (st.A.Attack.recovered_bits < st.A.Attack.key_bits);
+      Alcotest.(check (option int)) "live = total - free"
+        (Some (st.A.Attack.key_bits - st.A.Attack.recovered_bits))
+        (List.assoc_opt "live" st.A.Attack.detail)
+  | _ -> Alcotest.fail "live xor keys must not be declared free"
+
+(* ---------------- battery engine ---------------- *)
+
+let test_battery_registry () =
+  Alcotest.(check bool) "sat registered" true (A.Battery.find "sat" <> None);
+  Alcotest.(check bool) "unknown not found" true
+    (A.Battery.find "nope" = None);
+  let names = A.Battery.names () in
+  Alcotest.(check int) "eight attacks" 8 (List.length names);
+  Alcotest.(check bool) "names unique" true
+    (List.length (List.sort_uniq compare names) = List.length names)
+
+let test_battery_jobs_identical () =
+  (* the matrix JSON must be byte-identical at any job count (cheap,
+     solver-free attacks keep the test fast) *)
+  let subjects =
+    List.map
+      (fun (seed, mk) ->
+        let nl = victim seed 60 in
+        A.Attack.subject ~original:nl (mk nl))
+      [
+        (47, fun nl -> L.Schemes.xor_keys ~bits:8 nl);
+        (48, fun nl -> L.Schemes.mux_routing ~width:8 nl);
+      ]
+  in
+  let attacks =
+    List.filter_map A.Battery.find
+      [ "brute"; "sensitize"; "structural"; "removal"; "proximity" ]
+  in
+  let budget = A.Attack.budget () in
+  let render jobs =
+    Shell_util.Jsonw.to_string ~indent:2
+      (A.Battery.matrix_json (A.Battery.run ~jobs ~attacks ~budget subjects))
+  in
+  Alcotest.(check string) "jobs 1 = jobs 4" (render 1) (render 4)
+
+let test_battery_rows_and_cells () =
+  let nl = victim 49 50 in
+  let lk = L.Schemes.xor_keys ~bits:4 nl in
+  let attacks = List.filter_map A.Battery.find [ "brute"; "structural" ] in
+  let m =
+    A.Battery.run ~jobs:1 ~attacks ~budget:(A.Attack.budget ())
+      [ A.Attack.subject ~label:"v49" ~original:nl lk ]
+  in
+  Alcotest.(check (list string)) "column order" [ "brute"; "structural" ]
+    m.A.Battery.attacks;
+  match m.A.Battery.rows with
+  | [ row ] ->
+      Alcotest.(check string) "label" "v49" row.A.Battery.subject;
+      Alcotest.(check int) "key bits" 4 row.A.Battery.key_bits;
+      Alcotest.(check (list string)) "cells in registry order"
+        [ "brute"; "structural" ]
+        (List.map (fun (c : A.Battery.cell) -> c.A.Battery.attack)
+           row.A.Battery.cells)
+  | rows ->
+      Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length rows))
+
+(* ---------------- portfolio cancellation ---------------- *)
+
+let test_portfolio_external_stop () =
+  (* an external should_stop must cancel every racer before any DIP *)
+  let nl = victim 50 80 in
+  let lk = L.Schemes.xor_keys ~bits:12 nl in
+  let p =
+    A.Portfolio.run ~max_dips:128 ~max_conflicts:150_000 ~time_limit:20.0
+      ~should_stop:(fun () -> true)
+      ~original:nl lk.L.Locked.locked
+  in
+  Alcotest.(check bool) "no winner" true (p.A.Portfolio.winner = None);
+  Array.iter
+    (fun (_, o) ->
+      match o with
+      | A.Sat_attack.Timeout st ->
+          Alcotest.(check int) "no dips" 0 st.A.Sat_attack.dips
+      | A.Sat_attack.Broken _ -> Alcotest.fail "stopped racer cannot break")
+    p.A.Portfolio.outcomes
+
+let test_portfolio_first_break_cancels () =
+  (* with stop_on_first_broken, a break must surface as the winner and
+     the call must return without waiting for losers' full budgets *)
+  let nl = victim 51 60 in
+  let lk = L.Schemes.xor_keys ~bits:10 nl in
+  let p =
+    A.Portfolio.run ~stop_on_first_broken:true ~max_dips:128
+      ~max_conflicts:150_000 ~time_limit:20.0 ~original:nl lk.L.Locked.locked
+  in
+  (match p.A.Portfolio.winner with
+  | Some i -> (
+      match snd p.A.Portfolio.outcomes.(i) with
+      | A.Sat_attack.Broken (key, _) ->
+          Alcotest.(check bool) "winner key unlocks" true
+            (L.Locked.verify ~original:nl { lk with L.Locked.key = key })
+      | A.Sat_attack.Timeout _ -> Alcotest.fail "winner must have broken")
+  | None -> Alcotest.fail "xor:10 should fall to some racer")
+
+(* ---------------- miter cycle blocks, both key vectors ------------- *)
+
+let test_cycle_blocks_exclude_both_vectors () =
+  (* y = a xor (k0 & k1): without blocks the miter distinguishes key 11
+     from key 00. Blocking pattern (k0,k1)=(1,1) must remove it from
+     BOTH key vectors — a single-sided encoding would still find the
+     DIP with copy A at 11 and copy B at 00 *)
+  let nl = N.create "cb2" in
+  let a = N.add_input nl "a" in
+  let k0 = N.add_key nl "k0" in
+  let k1 = N.add_key nl "k1" in
+  N.add_output nl "y" (N.xor_ nl a (N.and_ nl k0 k1));
+  (match A.Miter.find_dip (A.Miter.create nl) with
+  | `Dip _ -> ()
+  | `Unsat | `Budget -> Alcotest.fail "unblocked miter must find a DIP");
+  let m = A.Miter.create ~cycle_blocks:[ ([| 0; 1 |], [| true; true |]) ] nl in
+  (match A.Miter.find_dip m with
+  | `Unsat -> ()
+  | `Dip _ | `Budget -> Alcotest.fail "blocked pattern leaked into a key copy");
+  match A.Miter.extract_key m with
+  | Some key ->
+      Alcotest.(check bool) "extracted key avoids the blocked pattern" false
+        (key.(0) && key.(1))
+  | None -> Alcotest.fail "a consistent key must exist"
+
 let test_metrics () =
   let nl = victim 20 60 in
   let lk = L.Schemes.random_lut ~gates:5 nl in
@@ -232,4 +553,20 @@ let suite =
     ("link prediction reports", `Quick, test_link_prediction_reports);
     ("metrics", `Quick, test_metrics);
     ("metrics bitstream split", `Quick, test_metrics_bitstream_split);
+    ("unified sat parity", `Quick, test_unified_sat_parity);
+    ("unified removal parity", `Quick, test_unified_removal_parity);
+    ("unified proximity parity", `Quick, test_unified_proximity_parity);
+    ("unified portfolio parity", `Quick, test_unified_portfolio_parity);
+    ("appsat breaks xor", `Quick, test_appsat_breaks_xor);
+    ("brute force small key", `Quick, test_brute_force_small_key);
+    ("brute force wide key n/a", `Quick, test_brute_force_wide_key_inapplicable);
+    ("sensitize breaks xor", `Quick, test_sensitize_breaks_xor);
+    ("structural free bits", `Quick, test_structural_free_bits);
+    ("structural live resilient", `Quick, test_structural_live_resilient);
+    ("battery registry", `Quick, test_battery_registry);
+    ("battery jobs identical", `Quick, test_battery_jobs_identical);
+    ("battery rows and cells", `Quick, test_battery_rows_and_cells);
+    ("portfolio external stop", `Quick, test_portfolio_external_stop);
+    ("portfolio first break cancels", `Quick, test_portfolio_first_break_cancels);
+    ("cycle blocks both vectors", `Quick, test_cycle_blocks_exclude_both_vectors);
   ]

@@ -4,8 +4,20 @@
 
    Usage: main.exe [table1|table4|table5|table6|table7|
                     fig1|fig2|fig3|fig4|micro|simulate|portfolio|json|
-                    battery|all]
+                    battery|all|grid|attacks]
+                   [--out DIR] [--record] [--check] [--history FILE]
    (default: all)
+
+   Every file-writing target routes through the shared
+   Shell_bench_history.Runner writer and lands in --out DIR (default
+   "."). The recordable targets (grid, simulate, battery, attacks) go
+   through the record-producing runner whenever --record or --check is
+   given: --record appends a versioned record (commit, wall times,
+   stable counters, span structure) to the JSONL history, --check
+   exits 1 on unexplained stable-counter drift vs the last committed
+   record. grid and attacks exist only in the runner registry, so they
+   always route there. *)
+(* Budget note:
 
    Budgets here stand in for the paper's 48-hour SAT timeout: a case
    is reported "resilient" when the attack exhausts its budget.
@@ -836,7 +848,7 @@ let sim_counter_snapshot jobs =
   in
   Obs.json ~stable_only:true (Obs.snapshot ())
 
-let json () =
+let json ~dir () =
   let jn = Pool.default_jobs () in
   printf "writing BENCH_6.json (jobs=%d)...\n%!" jn;
   (* table4-fast: the acceptance workload — timed at jobs=1 and jobs=N,
@@ -993,10 +1005,7 @@ let json () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_6.json" in
-  output_string oc (J.to_string ~indent:2 doc);
-  output_char oc '\n';
-  close_out oc;
+  let path = Shell_bench_history.Runner.write_json ~dir "BENCH_6.json" doc in
   printf "  table4-fast: %.2fs @ jobs=1, %.2fs @ jobs=%d (speedup %.2fx, identical=%b)\n"
     t4_j1 t4_jn jn
     (t4_j1 /. Float.max 1e-9 t4_jn)
@@ -1010,7 +1019,7 @@ let json () =
     sim_rows;
   printf "  sim counters jobs1-vs-jobs4 identical=%b\n"
     (String.equal (J.to_string simc_j1) (J.to_string simc_j4));
-  printf "done: BENCH_6.json\n"
+  printf "done: %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* battery: the per-scheme x per-attack resilience matrix (BENCH_7)    *)
@@ -1019,7 +1028,7 @@ let json () =
 (* Budgets here are cap-bound (DIP/conflict/vector ceilings bind before
    the generous wall clock), so every verdict — and the matrix JSON,
    which omits elapsed times — is byte-identical at any job count. *)
-let battery () =
+let battery ~dir () =
   let jn = Pool.default_jobs () in
   printf "writing BENCH_7.json (jobs=%d)...\n%!" jn;
   let subjects =
@@ -1072,16 +1081,13 @@ let battery () =
         ("matrix", A.Battery.matrix_json mn);
       ]
   in
-  let oc = open_out "BENCH_7.json" in
-  output_string oc (J.to_string ~indent:2 doc);
-  output_char oc '\n';
-  close_out oc;
+  let path = Shell_bench_history.Runner.write_json ~dir "BENCH_7.json" doc in
   printf "%s\n" (Format.asprintf "%a" A.Battery.pp_matrix mn);
   printf "  battery: %.2fs @ jobs=1, %.2fs @ jobs=%d (speedup %.2fx, identical=%b)\n"
     t1 tn jn
     (t1 /. Float.max 1e-9 tn)
     identical;
-  printf "done: BENCH_7.json\n"
+  printf "done: %s\n" path
 
 (* ------------------------------------------------------------------ *)
 
@@ -1089,10 +1095,65 @@ let emit f =
   print_string (with_output f);
   flush stdout
 
+(* ---- argv: one target plus history/output flags ---- *)
+
+type opts = {
+  which : string;
+  dir : string;
+  record : bool;
+  check : bool;
+  history : string option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [TARGET] [--out DIR] [--record] [--check] [--history FILE]";
+  exit 1
+
+let parse_argv () =
+  let rec go o = function
+    | [] -> o
+    | "--out" :: dir :: tl -> go { o with dir } tl
+    | "--record" :: tl -> go { o with record = true } tl
+    | "--check" :: tl -> go { o with check = true } tl
+    | "--history" :: f :: tl -> go { o with history = Some f } tl
+    | ("--out" | "--history") :: [] -> usage ()
+    | t :: tl when String.length t > 0 && t.[0] <> '-' -> go { o with which = t } tl
+    | _ -> usage ()
+  in
+  go
+    { which = "all"; dir = "."; record = false; check = false; history = None }
+    (List.tl (Array.to_list Sys.argv))
+
+(* The recordable targets run through the one record-producing runner;
+   exit 1 on unexplained stable-counter drift when --check is on. *)
+let run_recorded o =
+  let module R = Shell_bench_history.Runner in
+  match
+    R.execute
+      {
+        R.default_opts with
+        R.targets = [ o.which ];
+        out_dir = o.dir;
+        history = o.history;
+        record = o.record;
+        check = o.check;
+      }
+  with
+  | Ok () -> ()
+  | Error ds ->
+      List.iter
+        (fun d -> prerr_endline (Shell_util.Diag.to_string d))
+        ds;
+      exit 1
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let o = parse_argv () in
+  let which = o.which in
   let t0 = Unix.gettimeofday () in
   (match which with
+  | "grid" | "attacks" -> run_recorded o
+  | ("simulate" | "battery") when o.record || o.check -> run_recorded o
   | "table1" -> emit table1
   | "table4" -> emit (table4 ~attack:true)
   | "table4-fast" -> emit (table4 ~attack:false)
@@ -1109,8 +1170,8 @@ let () =
   | "portfolio" -> emit portfolio
   | "micro" -> emit (fun out -> ignore (micro out))
   | "simulate" -> emit simulate
-  | "json" -> json ()
-  | "battery" -> battery ()
+  | "json" -> json ~dir:o.dir ()
+  | "battery" -> battery ~dir:o.dir ()
   | "all" ->
       emit table1;
       emit fig2;

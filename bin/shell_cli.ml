@@ -909,6 +909,138 @@ let lint_cmd =
       $ seed_arg $ jobs $ json $ severity $ baseline $ update_baseline
       $ list_rules)
 
+(* ---------------- bench ---------------- *)
+
+module BH = Shell_bench_history
+
+let bench_run targets jobs out_dir history record check report allowlist
+    time_tolerance commit list_targets =
+  if list_targets then
+    List.iter
+      (fun (t : BH.Targets.t) ->
+        Printf.printf "%-10s %s\n" t.BH.Targets.name t.BH.Targets.description)
+      BH.Targets.all
+  else
+    let opts =
+      {
+        BH.Runner.targets;
+        jobs;
+        out_dir;
+        history;
+        record;
+        check;
+        report;
+        allowlist;
+        time_tolerance;
+        commit;
+      }
+    in
+    match BH.Runner.execute opts with
+    | Ok () -> ()
+    | Error ds ->
+        List.iter (fun d -> prerr_endline (Diag.to_string d)) ds;
+        exit 1
+
+let bench_cmd =
+  let targets =
+    Arg.(
+      value & opt_all string []
+      & info [ "t"; "target" ] ~docv:"NAME"
+          ~doc:
+            "Bench target to run (repeatable; default all). See \
+             --list-targets.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: SHELL_JOBS or the core count). The \
+             stable part of every record is byte-identical for any value.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Directory for bench artifacts; the default history file lives \
+             here.")
+  in
+  let history =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"JSONL history file (default $(b,DIR)/BENCH_HISTORY.jsonl).")
+  in
+  let record =
+    Arg.(
+      value & flag
+      & info [ "record" ]
+          ~doc:"Append one record per target to the history.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Diff each fresh record's stable counters and span structure \
+             against the last committed record of the same target; exit 1 \
+             on unexplained drift.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a self-contained HTML trend page over the history to \
+             $(docv).")
+  in
+  let allowlist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allowlist" ] ~docv:"FILE"
+          ~doc:
+            "Intentional-change patterns, one per line: $(i,key) or \
+             $(i,target:key), trailing * wildcard, # comments.")
+  in
+  let time_tolerance =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Also flag per-bench wall times drifting beyond the \
+             $(docv)-relative band (e.g. 0.5 = +-50%). Off by default: \
+             times are machine noise; counters are the gate.")
+  in
+  let commit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "commit" ] ~docv:"ID"
+          ~doc:
+            "Commit id stamped into records (default: SHELL_BENCH_COMMIT or \
+             the git HEAD read from .git).")
+  in
+  let list_targets =
+    Arg.(
+      value & flag
+      & info [ "list-targets" ] ~doc:"List the target registry and exit.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the recordable bench targets and maintain the JSONL perf \
+          history: --record appends, --check gates on stable-counter drift, \
+          --report renders the HTML trend page.")
+    Term.(
+      const bench_run $ targets $ jobs $ out_dir $ history $ record $ check
+      $ report $ allowlist $ time_tolerance $ commit $ list_targets)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -926,4 +1058,5 @@ let () =
             stats_cmd;
             fuzz_cmd;
             lint_cmd;
+            bench_cmd;
           ]))

@@ -1,0 +1,42 @@
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    let rec go lineno acc =
+      match input_line ic with
+      | exception End_of_file -> Ok (List.rev acc)
+      | line when String.trim line = "" -> go (lineno + 1) acc
+      | line -> (
+          match Record.of_line line with
+          | Ok r -> go (lineno + 1) (r :: acc)
+          | Error e ->
+              Error (Printf.sprintf "%s:%d: %s" path lineno e))
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go 1 [])
+  end
+
+let append path r =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Record.to_line r);
+      output_char oc '\n')
+
+let last ?target records =
+  let keep (r : Record.t) =
+    match target with None -> true | Some t -> r.Record.target = t
+  in
+  List.fold_left (fun acc r -> if keep r then Some r else acc) None records
+
+let targets records =
+  List.fold_left
+    (fun acc (r : Record.t) ->
+      if List.mem r.Record.target acc then acc else r.Record.target :: acc)
+    [] records
+  |> List.rev
+
+let for_target t records =
+  List.filter (fun (r : Record.t) -> r.Record.target = t) records

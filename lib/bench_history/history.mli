@@ -1,0 +1,20 @@
+(** The committed JSONL bench history: one {!Record.t} per line,
+    appended chronologically. Records of different targets interleave
+    freely; per-target queries filter. *)
+
+val load : string -> (Record.t list, string) result
+(** Parse every line of a JSONL history file, oldest first. A missing
+    file is an empty history ([Ok []]); a malformed line is an error
+    naming the line number. Blank lines are skipped. *)
+
+val append : string -> Record.t -> unit
+(** Append one record (a single line) to the file, creating it if
+    needed. *)
+
+val last : ?target:string -> Record.t list -> Record.t option
+(** Most recent record, optionally restricted to one target. *)
+
+val targets : Record.t list -> string list
+(** Distinct target names, in first-appearance order. *)
+
+val for_target : string -> Record.t list -> Record.t list

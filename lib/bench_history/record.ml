@@ -1,0 +1,102 @@
+module J = Shell_util.Jsonw
+
+type t = {
+  version : int;
+  commit : string;
+  target : string;
+  jobs : int;
+  times : (string * float) list;
+  counters : (string * int) list;
+  spans : (string * int) list;
+}
+
+let version = 1
+
+let ints kvs = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) kvs)
+
+let stable_json r =
+  J.Obj
+    [
+      ("version", J.Int r.version);
+      ("target", J.Str r.target);
+      ("counters", ints r.counters);
+      ("spans", ints r.spans);
+    ]
+
+let json r =
+  J.Obj
+    [
+      ("version", J.Int r.version);
+      ("commit", J.Str r.commit);
+      ("target", J.Str r.target);
+      ("jobs", J.Int r.jobs);
+      ( "times",
+        J.Obj (List.map (fun (k, v) -> (k, J.float ~dec:4 v)) r.times) );
+      ("counters", ints r.counters);
+      ("spans", ints r.spans);
+    ]
+
+let to_line r = J.to_string (json r)
+
+(* -------- parsing (strict enough for our own output) -------- *)
+
+let ( let* ) = Result.bind
+
+let field name = function
+  | J.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name))
+  | _ -> Error "expected an object"
+
+let as_int name = function
+  | J.Int v -> Ok v
+  | J.Num s -> (
+      match int_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "field %S: not an integer" name))
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let as_str name = function
+  | J.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let as_float name = function
+  | J.Int v -> Ok (float_of_int v)
+  | J.Num s -> (
+      match float_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "field %S: not a number" name))
+  | _ -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+      let* y = f x in
+      let* ys = map_result f tl in
+      Ok (y :: ys)
+
+let as_assoc name conv = function
+  | J.Obj kvs -> map_result (fun (k, v) -> Result.map (fun v -> (k, v)) (conv k v)) kvs
+  | _ -> Error (Printf.sprintf "field %S: expected an object" name)
+
+let of_json j =
+  let* v = field "version" j in
+  let* version = as_int "version" v in
+  let* c = field "commit" j in
+  let* commit = as_str "commit" c in
+  let* t = field "target" j in
+  let* target = as_str "target" t in
+  let* jb = field "jobs" j in
+  let* jobs = as_int "jobs" jb in
+  let* tm = field "times" j in
+  let* times = as_assoc "times" as_float tm in
+  let* cs = field "counters" j in
+  let* counters = as_assoc "counters" as_int cs in
+  let* sp = field "spans" j in
+  let* spans = as_assoc "spans" as_int sp in
+  Ok { version; commit; target; jobs; times; counters; spans }
+
+let of_line line =
+  let* j = J.of_string line in
+  of_json j

@@ -1,0 +1,157 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* A 120x24 polyline over the series, min..max scaled to the viewbox;
+   a flat series draws a midline. Coordinates are printed with fixed
+   precision so the page is byte-stable. *)
+let sparkline values =
+  match values with
+  | [] | [ _ ] -> ""
+  | _ ->
+      let w, h, pad = (120.0, 24.0, 2.0) in
+      let n = List.length values in
+      let lo = List.fold_left min (List.hd values) values in
+      let hi = List.fold_left max (List.hd values) values in
+      let span = if hi > lo then hi -. lo else 1.0 in
+      let pt i v =
+        let x = pad +. (w -. 2.0 *. pad) *. float_of_int i /. float_of_int (n - 1) in
+        let y = h -. pad -. ((h -. 2.0 *. pad) *. (v -. lo) /. span) in
+        Printf.sprintf "%.1f,%.1f" x y
+      in
+      let points = String.concat " " (List.mapi pt values) in
+      Printf.sprintf
+        "<svg class=\"spark\" width=\"%.0f\" height=\"%.0f\" \
+         viewBox=\"0 0 %.0f %.0f\"><polyline points=\"%s\" fill=\"none\" \
+         stroke=\"currentColor\" stroke-width=\"1.2\"/></svg>"
+        w h w h points
+
+let style =
+  {|body{font-family:system-ui,sans-serif;margin:1.5em;color:#1a1a2e}
+h1{font-size:1.4em}h2{font-size:1.15em;border-bottom:1px solid #ccd;
+padding-bottom:.2em;margin-top:1.6em}table{border-collapse:collapse;
+margin:.6em 0}th,td{padding:.15em .7em;text-align:right;
+font-variant-numeric:tabular-nums}th{background:#eef;font-size:.85em}
+td.key{text-align:left;font-family:ui-monospace,monospace;font-size:.85em}
+tr.drift td{background:#fde8e8}tr.drift td.key::after{content:" \25b2";
+color:#c0392b}.spark{color:#4a6fa5;vertical-align:middle}
+.note{color:#667;font-size:.85em}.meta{color:#667;font-size:.9em}|}
+
+(* union of keys over a record series, first-appearance order *)
+let all_keys proj records =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (k, _) -> if List.mem k acc then acc else k :: acc)
+        acc (proj r))
+    [] records
+  |> List.rev
+
+let last_two vs =
+  match List.rev vs with
+  | cur :: prev :: _ -> Some (prev, cur)
+  | _ -> None
+
+let int_table b ~caption proj records =
+  let keys = all_keys proj records in
+  if keys <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf
+         "<table><tr><th>%s</th><th>trend</th><th>first</th><th>last</th>\
+          <th>&Delta; last</th></tr>\n"
+         caption);
+    List.iter
+      (fun key ->
+        let series =
+          List.filter_map (fun r -> List.assoc_opt key (proj r)) records
+        in
+        let fvalues = List.map float_of_int series in
+        let first = List.hd series in
+        let last = List.nth series (List.length series - 1) in
+        let delta, drift =
+          match last_two series with
+          | Some (prev, cur) when cur <> prev -> (cur - prev, true)
+          | _ -> (0, false)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<tr%s><td class=\"key\">%s</td><td>%s</td><td>%d</td>\
+              <td>%d</td><td>%s</td></tr>\n"
+             (if drift then " class=\"drift\"" else "")
+             (escape key) (sparkline fvalues) first last
+             (if drift then Printf.sprintf "%+d" delta else "")))
+      keys;
+    Buffer.add_string b "</table>\n"
+  end
+
+let time_table b records =
+  let keys = all_keys (fun (r : Record.t) -> r.Record.times) records in
+  if keys <> [] then begin
+    Buffer.add_string b
+      "<p class=\"note\">Wall times are machine noise, not gated.</p>\n\
+       <table><tr><th>bench</th><th>trend</th><th>first (s)</th>\
+       <th>last (s)</th></tr>\n";
+    List.iter
+      (fun key ->
+        let series =
+          List.filter_map
+            (fun (r : Record.t) -> List.assoc_opt key r.Record.times)
+            records
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<tr><td class=\"key\">%s</td><td>%s</td><td>%.3f</td>\
+              <td>%.3f</td></tr>\n"
+             (escape key) (sparkline series) (List.hd series)
+             (List.nth series (List.length series - 1))))
+      keys;
+    Buffer.add_string b "</table>\n"
+  end
+
+let html records =
+  let b = Buffer.create (1 lsl 14) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+        <title>shell bench history</title>\n<style>%s</style></head><body>\n\
+        <h1>shell bench history</h1>\n"
+       style);
+  (match records with
+  | [] -> Buffer.add_string b "<p class=\"note\">empty history</p>\n"
+  | _ ->
+      let first = List.hd records and last_r = List.nth records (List.length records - 1) in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<p class=\"meta\">%d records, commits %s &rarr; %s</p>\n"
+           (List.length records)
+           (escape first.Record.commit)
+           (escape last_r.Record.commit)));
+  List.iter
+    (fun target ->
+      let rs = History.for_target target records in
+      Buffer.add_string b
+        (Printf.sprintf "<h2>%s <span class=\"meta\">(%d records)</span></h2>\n"
+           (escape target) (List.length rs));
+      int_table b ~caption:"counter"
+        (fun (r : Record.t) -> r.Record.counters)
+        rs;
+      int_table b ~caption:"span" (fun (r : Record.t) -> r.Record.spans) rs;
+      time_table b rs)
+    (History.targets records);
+  Buffer.add_string b "</body></html>\n";
+  Buffer.contents b
+
+let write path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (html records))

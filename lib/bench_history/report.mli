@@ -1,0 +1,14 @@
+(** Static HTML trend page over the JSONL history.
+
+    One self-contained document — inline CSS, inline SVG sparklines,
+    no scripts, no external fetches, no timestamps (the same history
+    renders to the same bytes). Per target: a counter table (one row
+    per counter/span key, sparkline across records, first/last values)
+    with rows whose value moved between the last two records flagged
+    as regressions, and a separate wall-time table labelled as noisy. *)
+
+val html : Record.t list -> string
+(** Render a full page from records in history (chronological) order. *)
+
+val write : string -> Record.t list -> unit
+(** [html] to a file. *)

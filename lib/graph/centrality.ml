@@ -93,7 +93,10 @@ let betweenness ?jobs g ~sources ~sinks =
   in
   let bc =
     if jobs <= 1 || nsrc < 4 then begin
-      (* sequential: one scratch, one accumulator, sources in order *)
+      (* sequential: one scratch, one accumulator, sources in order.
+         Still reported as a batch so the stable pool task totals
+         don't depend on which path ran. *)
+      Shell_util.Pool.count_batch nsrc;
       let bc = Array.make n 0.0 in
       let sc = make_scratch n in
       Array.iter (fun s -> brandes_pass g ~is_sink sc bc s) srcs;

@@ -173,13 +173,36 @@ let json ?(stable_only = false) samples =
 let to_json ?stable_only samples =
   Jsonw.to_string ~indent:2 (json ?stable_only samples)
 
+(* Prometheus metric names admit only [a-zA-Z0-9_:]; dotted names
+   (span-style "pnr.attempt") and anything else hostile map to '_'.
+   The "shell_" prefix keeps a leading digit legal. *)
+let prometheus_name s =
+  "shell_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      s
+
+(* HELP lines escape backslash and newline per the text exposition
+   format; anything else passes through verbatim. *)
+let prometheus_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_prometheus ?(stable_only = false) samples =
   let buf = Buffer.create 1024 in
   List.iter
     (fun s ->
       if keep stable_only s then begin
-        let n = "shell_" ^ s.name in
-        Printf.bprintf buf "# HELP %s %s\n" n s.help;
+        let n = prometheus_name s.name in
+        Printf.bprintf buf "# HELP %s %s\n" n (prometheus_help s.help);
         match s.value with
         | Counter v ->
             Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n v
@@ -199,6 +222,25 @@ let to_prometheus ?(stable_only = false) samples =
       end)
     samples;
   Buffer.contents buf
+
+(* The diffable record form: stable metrics flattened to sorted
+   (name, value) pairs. Histograms contribute ".count"/".sum" keys so
+   the whole thing is integer-exact. [extra] opts individual metrics in
+   by name even when they registered unstable — bench targets use this
+   for counters (solver work, pass-cache traffic) that are
+   deterministic under the target's capped budgets even though they
+   are racy in general workloads. *)
+let diffable_counters ?(extra = []) samples =
+  List.concat_map
+    (fun s ->
+      if s.stable || List.mem s.name extra then
+        match s.value with
+        | Counter v | Gauge v -> [ (s.name, v) ]
+        | Histogram { count; sum; _ } ->
+            [ (s.name ^ ".count", count); (s.name ^ ".sum", sum) ]
+      else [])
+    samples
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let stable_from_env () =
   match Sys.getenv_opt "SHELL_METRICS_STABLE" with
@@ -234,12 +276,19 @@ type open_span = {
   mutable kids : span list;
 }
 
-type stack = { mutable stack : open_span list }
+(* [parent] is a borrowed open span of {e another} stack: a pool worker
+   running a task on behalf of a caller whose span is still open. Spans
+   and counters completing with an empty local stack attach there (under
+   [foreign_mutex], since several workers may share one parent) instead
+   of becoming roots — so a fan-out's span tree has the same shape at
+   any job count. *)
+type stack = { mutable stack : open_span list; mutable parent : open_span option }
 
-let stack_key = Domain.DLS.new_key (fun () -> { stack = [] })
+let stack_key = Domain.DLS.new_key (fun () -> { stack = []; parent = None })
 
 let roots : span list ref = ref [] (* newest first *)
 let roots_mutex = Mutex.create ()
+let foreign_mutex = Mutex.create ()
 
 let freeze o seconds =
   {
@@ -248,6 +297,11 @@ let freeze o seconds =
     counters = List.rev o.acc;
     children = List.rev o.kids;
   }
+
+let attach_foreign_kid p sp =
+  Mutex.lock foreign_mutex;
+  p.kids <- sp :: p.kids;
+  Mutex.unlock foreign_mutex
 
 let with_span name f =
   if not (Atomic.get on_flag) then f ()
@@ -264,18 +318,54 @@ let with_span name f =
         | _ -> () (* unbalanced: leave the stack alone *));
         match st.stack with
         | parent :: _ -> parent.kids <- sp :: parent.kids
-        | [] ->
-            Mutex.lock roots_mutex;
-            roots := sp :: !roots;
-            Mutex.unlock roots_mutex)
+        | [] -> (
+            match st.parent with
+            | Some p -> attach_foreign_kid p sp
+            | None ->
+                Mutex.lock roots_mutex;
+                roots := sp :: !roots;
+                Mutex.unlock roots_mutex))
       f
   end
 
 let span_add name v =
   if Atomic.get on_flag then
-    match (Domain.DLS.get stack_key).stack with
+    let st = Domain.DLS.get stack_key in
+    match st.stack with
     | o :: _ -> o.acc <- (name, v) :: o.acc
-    | [] -> ()
+    | [] -> (
+        match st.parent with
+        | Some p ->
+            Mutex.lock foreign_mutex;
+            p.acc <- (name, v) :: p.acc;
+            Mutex.unlock foreign_mutex
+        | None -> ())
+
+(* ---------------- cross-domain span context ---------------- *)
+
+type context = open_span option
+
+let context () =
+  if not (Atomic.get on_flag) then None
+  else
+    let st = Domain.DLS.get stack_key in
+    match st.stack with o :: _ -> Some o | [] -> st.parent
+
+let context_active = Option.is_some
+
+let with_context ctx f =
+  match ctx with
+  | None -> f ()
+  | Some _ ->
+      let st = Domain.DLS.get stack_key in
+      let saved_stack = st.stack and saved_parent = st.parent in
+      st.stack <- [];
+      st.parent <- ctx;
+      Fun.protect
+        ~finally:(fun () ->
+          st.stack <- saved_stack;
+          st.parent <- saved_parent)
+        f
 
 let spans () =
   Mutex.lock roots_mutex;
@@ -305,6 +395,26 @@ let rec span_json sp =
     ]
 
 let spans_json spans = Jsonw.Arr (List.map span_json spans)
+
+(* Structure only — never elapsed times: "path" keys count invocations
+   of each slash-joined span path, "path#counter" keys sum the
+   [span_add] values recorded there. Sorted and merged, so the result
+   is independent of completion order (and hence of the job count,
+   given deterministic work). *)
+let span_aggregate spans =
+  let tbl = Hashtbl.create 64 in
+  let bump k v =
+    Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let rec go prefix sp =
+    let path = if prefix = "" then sp.name else prefix ^ "/" ^ sp.name in
+    bump path 1;
+    List.iter (fun (k, v) -> bump (path ^ "#" ^ k) v) sp.counters;
+    List.iter (go path) sp.children
+  in
+  List.iter (go "") spans;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset () =
   Mutex.lock reg_mutex;

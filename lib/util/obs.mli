@@ -83,8 +83,19 @@ val to_json : ?stable_only:bool -> sample list -> string
 val json : ?stable_only:bool -> sample list -> Jsonw.t
 
 val to_prometheus : ?stable_only:bool -> sample list -> string
-(** Prometheus text exposition; metric names are prefixed [shell_],
-    histogram buckets carry cumulative [le] labels at powers of two. *)
+(** Prometheus text exposition; metric names are prefixed [shell_] and
+    sanitized to the Prometheus charset (anything outside
+    [[a-zA-Z0-9_:]], e.g. dots, becomes [_]), HELP text escapes
+    backslash and newline, histogram buckets carry cumulative [le]
+    labels at powers of two. An empty sample list renders as [""]. *)
+
+val diffable_counters : ?extra:string list -> sample list -> (string * int) list
+(** Snapshot in diffable record form: every stable metric — plus any
+    whose name is listed in [extra], for counters that are deterministic
+    under a specific capped workload even though registered unstable —
+    flattened to name-sorted [(name, value)] pairs. Histograms
+    contribute ["name.count"] and ["name.sum"]. This is the byte-
+    diffable section of a bench-history record. *)
 
 val write_file : string -> unit
 (** Snapshot now and write to a path ([.prom] selects the Prometheus
@@ -102,12 +113,36 @@ type span = {
 val with_span : string -> (unit -> 'a) -> 'a
 (** Run the thunk under a named span. Spans nest per domain: a span
     opened while another is open on the same domain becomes its child;
-    outermost spans are appended to the global root list. When
-    disabled this is exactly [f ()]. *)
+    outermost spans are appended to the global root list — unless the
+    domain runs under a borrowed {!context}, in which case they attach
+    to the lending span. When disabled this is exactly [f ()]. *)
 
 val span_add : string -> int -> unit
 (** Attach a named counter to the innermost open span of the calling
-    domain (no-op when disabled or outside any span). *)
+    domain, or to the borrowed {!context} parent when no local span is
+    open (no-op when disabled or outside both). *)
+
+(** {2 Cross-domain span context}
+
+    A fan-out (the domain pool) would otherwise sever the span tree:
+    spans opened inside worker tasks have no open parent on the worker
+    and become roots, so the tree's shape depends on the job count.
+    The submitting side captures {!context} and runs each task under
+    {!with_context}; spans and counters completing at the task's top
+    level then attach to the submitter's open span — same tree shape
+    at any [SHELL_JOBS]. *)
+
+type context
+(** The innermost open span of the calling domain (possibly itself
+    borrowed), or nothing. *)
+
+val context : unit -> context
+val context_active : context -> bool
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Run [f] with an empty local span stack whose overflow parent is
+    [ctx]. The caller's own stack is saved and restored; with an
+    inactive context this is exactly [f ()]. *)
 
 val spans : unit -> span list
 (** Completed root spans, oldest first. *)
@@ -116,6 +151,14 @@ val pp_spans : Format.formatter -> span list -> unit
 (** Indented tree, one line per span: wall time and counters. *)
 
 val spans_json : span list -> Jsonw.t
+
+val span_aggregate : span list -> (string * int) list
+(** Deterministic span-{e structure} export: sorted [(key, value)]
+    pairs where a slash-joined path key (["pipeline/pnr/pnr.attempt"])
+    counts invocations of that path and a ["path#counter"] key sums the
+    {!span_add} values recorded there. No elapsed times, merged across
+    identical paths — byte-diffable across job counts whenever the work
+    submitted is deterministic. *)
 
 val reset : unit -> unit
 (** Zero every metric and drop completed spans (tests, bench). Leaves

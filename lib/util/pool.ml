@@ -34,18 +34,20 @@ let inside_key = Domain.DLS.new_key (fun () -> false)
 let inside_task () = Domain.DLS.get inside_key
 
 (* Telemetry. Tasks and batches are counted at the [mapi] choke point
-   — before the sequential/parallel path split — so the totals are a
-   count of what reaches these entry points — but callers with their
-   own sequential fallback (e.g. Centrality.betweenness below nsrc=4
-   or at jobs=1) bypass the pool entirely, so the totals legitimately
-   vary with the job count and register as unstable, like the
-   queue-wait / latency histograms and the busy-time counter (which
-   only see the parallel path and carry wall-clock values). *)
+   — before the sequential/parallel path split — and callers with
+   their own sequential fallback (e.g. Centrality.betweenness below
+   nsrc=4 or at jobs=1) report the batches they run inline through
+   [count_batch], so the totals are a pure function of the work
+   submitted and register as stable. The queue-wait / latency
+   histograms and the busy-time counter only see the parallel path
+   and carry wall-clock values, so they stay unstable. *)
 let m_tasks =
-  Obs.counter ~help:"tasks submitted to the domain pool" "pool_tasks"
+  Obs.counter ~stable:true ~help:"tasks submitted to the domain pool"
+    "pool_tasks"
 
 let m_batches =
-  Obs.counter ~help:"batches submitted to the domain pool" "pool_batches"
+  Obs.counter ~stable:true ~help:"batches submitted to the domain pool"
+    "pool_batches"
 
 let h_queue_wait_us =
   Obs.histogram ~help:"microseconds between batch submission and task start"
@@ -187,6 +189,15 @@ let count_batch n =
 let mapi_uncounted ?jobs f arr =
   let n = Array.length arr in
   let jobs = resolve jobs in
+  (* Lend the caller's open span to every task — wrapped before the
+     path split so the span tree has the same shape on the sequential
+     bypass as across worker domains. *)
+  let f =
+    let ctx = Obs.context () in
+    if Obs.context_active ctx then
+      fun i x -> Obs.with_context ctx (fun () -> f i x)
+    else f
+  in
   if n <= 1 || jobs <= 1 || inside_task () then seq_mapi f arr
   else begin
     let out = Array.make n None in

@@ -19,5 +19,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("bench_history", Test_bench_history.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -188,6 +188,104 @@ let test_disabled_records_nothing () =
   | Obs.Counter n -> Alcotest.(check int) "counter untouched" 0 n
   | _ -> Alcotest.fail "expected a counter sample")
 
+(* ---- prometheus exposition edge cases ---- *)
+
+(* [sample] is a public record, so the export paths can be exercised on
+   hand-built lists without touching the registry. *)
+let mk ?(stable = false) ?(help = "h") name value =
+  { Obs.name; help; stable; value }
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_prometheus_empty () =
+  Alcotest.(check string) "empty snapshot renders as empty" ""
+    (Obs.to_prometheus []);
+  Alcotest.(check string) "stable filter on empty" ""
+    (Obs.to_prometheus ~stable_only:true [])
+
+let test_prometheus_name_charset () =
+  let text =
+    Obs.to_prometheus
+      [
+        mk "pnr.attempt" (Obs.Counter 2);
+        mk "9lives" (Obs.Counter 1);
+        mk "weird-name!x" (Obs.Gauge 5);
+      ]
+  in
+  Alcotest.(check bool) "dots map to underscores" true
+    (contains text "shell_pnr_attempt 2");
+  (* the prefix keeps a leading digit legal *)
+  Alcotest.(check bool) "leading digit prefixed" true
+    (contains text "shell_9lives 1");
+  Alcotest.(check bool) "hostile chars sanitized" true
+    (contains text "shell_weird_name_x 5");
+  Alcotest.(check bool) "no raw dot survives in a metric name" false
+    (contains text "pnr.attempt 2")
+
+let test_prometheus_help_escaping () =
+  let text =
+    Obs.to_prometheus
+      [ mk ~help:"line one\nline two \\ end" "m" (Obs.Counter 0) ]
+  in
+  Alcotest.(check bool) "newline escaped" true
+    (contains text "# HELP shell_m line one\\nline two \\\\ end\n");
+  Alcotest.(check bool) "help stays on one line" false
+    (contains text "line one\nline")
+
+let test_prometheus_histogram_cumulative () =
+  let buckets = Array.make Obs.nbuckets 0 in
+  buckets.(0) <- 2;
+  buckets.(2) <- 1;
+  let text =
+    Obs.to_prometheus
+      [ mk "h" (Obs.Histogram { buckets; count = 3; sum = 10 }) ]
+  in
+  Alcotest.(check bool) "le=1 cumulative" true
+    (contains text "shell_h_bucket{le=\"1\"} 2\n");
+  Alcotest.(check bool) "le=4 includes earlier buckets" true
+    (contains text "shell_h_bucket{le=\"4\"} 3\n");
+  Alcotest.(check bool) "+Inf equals count" true
+    (contains text "shell_h_bucket{le=\"+Inf\"} 3\n");
+  Alcotest.(check bool) "sum and count lines" true
+    (contains text "shell_h_sum 10\nshell_h_count 3\n")
+
+let test_stable_only_filter_round_trip () =
+  let samples =
+    [
+      mk ~stable:true "keep_me" (Obs.Counter 7);
+      mk "drop_me" (Obs.Counter 8);
+      mk ~stable:true "also_keep" (Obs.Gauge 3);
+    ]
+  in
+  (* prometheus side *)
+  let text = Obs.to_prometheus ~stable_only:true samples in
+  Alcotest.(check bool) "stable kept" true (contains text "shell_keep_me 7");
+  Alcotest.(check bool) "unstable dropped" false (contains text "drop_me");
+  (* json side, re-parsed through Jsonw: same filtering decision *)
+  match Shell_util.Jsonw.of_string (Obs.to_json ~stable_only:true samples) with
+  | Error e -> Alcotest.failf "to_json not parseable: %s" e
+  | Ok j ->
+      let module Jw = Shell_util.Jsonw in
+      let names =
+        match j with
+        | Jw.Obj [ ("metrics", Jw.Arr ms) ] ->
+            List.map
+              (function
+                | Jw.Obj kvs -> (
+                    match List.assoc_opt "name" kvs with
+                    | Some (Jw.Str n) -> n
+                    | _ -> Alcotest.fail "metric without a name")
+                | _ -> Alcotest.fail "metric is not an object")
+              ms
+        | _ -> Alcotest.fail "expected {\"metrics\": [...]}"
+      in
+      Alcotest.(check (list string))
+        "stable names survive the round trip" [ "keep_me"; "also_keep" ]
+        names
+
 let suite =
   [
     ("bucket edges at powers of two", `Quick, test_bucket_edges);
@@ -199,4 +297,13 @@ let suite =
     ("span tree under pnr abort", `Quick, test_span_tree_pnr_abort);
     ("disabled path allocates nothing", `Quick, test_disabled_no_alloc);
     ("disabled path records nothing", `Quick, test_disabled_records_nothing);
+    ("prometheus: empty snapshot", `Quick, test_prometheus_empty);
+    ("prometheus: name charset", `Quick, test_prometheus_name_charset);
+    ("prometheus: help escaping", `Quick, test_prometheus_help_escaping);
+    ( "prometheus: histogram cumulative buckets",
+      `Quick,
+      test_prometheus_histogram_cumulative );
+    ( "stable_only filter json round trip",
+      `Quick,
+      test_stable_only_filter_round_trip );
   ]

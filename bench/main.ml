@@ -751,9 +751,9 @@ let micro out =
 (* ------------------------------------------------------------------ *)
 
 let time_wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Shell_util.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Shell_util.Clock.now () -. t0)
 
 (* Per-catalog-circuit throughput of the two engines on identical
    stimulus: [chunks] full-width packed words = chunks * Simw.width
@@ -1150,7 +1150,7 @@ let run_recorded o =
 let () =
   let o = parse_argv () in
   let which = o.which in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Shell_util.Clock.now () in
   (match which with
   | "grid" | "attacks" -> run_recorded o
   | ("simulate" | "battery") when o.record || o.check -> run_recorded o
@@ -1191,4 +1191,4 @@ let () =
       printf "unknown target %s\n" other;
       exit 1);
   (* stderr, so stdout stays byte-comparable across job counts *)
-  Printf.eprintf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.eprintf "\ntotal bench time: %.1fs\n" (Shell_util.Clock.now () -. t0)

@@ -19,6 +19,10 @@ module Circ = Shell_circuits
 module Fz = Shell_fuzz
 module Diag = Shell_util.Diag
 module Obs = Shell_util.Obs
+module SP = Shell_serve.Protocol
+module SJ = Shell_serve.Jobs
+module SS = Shell_serve.Server
+module SC = Shell_serve.Client
 open Cmdliner
 
 (* The single fatal-exit path: every error — bad argument, parse
@@ -85,28 +89,15 @@ let with_metrics metrics f =
       at_exit (fun () -> try Obs.write_file path with Sys_error _ -> ());
       f ()
 
+(* Benchmark lookup, TfR defaults and job execution live in
+   Shell_serve.Jobs, shared with the daemon so socket and CLI
+   invocations return byte-identical output. *)
 let netlist_of_bench name =
-  match Circ.Catalog.find name with
-  | Some e -> Ok (e.Circ.Catalog.netlist ())
-  | None -> (
-      match String.lowercase_ascii name with
-      | "soc" -> Ok (Circ.Soc.netlist ())
-      | "xbar" -> Ok (Circ.Axi_xbar.netlist ())
-      | "desx" -> Ok (Circ.Desx.netlist ())
-      | _ -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name)))
+  match SJ.netlist_of_bench name with
+  | Ok nl -> Ok nl
+  | Error d -> Error (`Msg (Diag.to_string d))
 
-let default_tfr name =
-  match Circ.Catalog.find name with
-  | Some e ->
-      let t = e.Circ.Catalog.tfr_shell in
-      Some (t.Circ.Catalog.route, t.Circ.Catalog.lgc, t.Circ.Catalog.label)
-  | None -> (
-      match String.lowercase_ascii name with
-      | "soc" ->
-          Some
-            ([ "/xbar" ], [ ":wrap_core2"; ":wrap_core4" ], "Xbar + wrappers")
-      | "xbar" -> Some ([ ":_xbar_route"; ":_xbar_arb" ], [], "whole Xbar")
-      | _ -> None)
+let default_tfr = SJ.default_tfr
 
 (* ---------------- list ---------------- *)
 
@@ -166,30 +157,16 @@ let analyze_cmd =
 
 (* ---------------- lock ---------------- *)
 
+let lock_spec bench style route lgc seed =
+  { SP.bench; style = SJ.style_id style; route; lgc; seed }
+
 let lock_run bench style route lgc seed trace metrics out bitstream_out =
   if trace then Shell_util.Trace.set_enabled true;
   with_metrics metrics @@ fun () ->
-  match netlist_of_bench bench with
-  | Error (`Msg m) -> dief "%s" m
-  | Ok nl ->
-      let route, lgc, label =
-        if route = [] && lgc = [] then
-          match default_tfr bench with
-          | Some t -> t
-          | None -> dief "no default TfR for this design: pass --route/--lgc"
-        else (route, lgc, String.concat "+" (route @ lgc))
-      in
-      let cfg =
-        {
-          (C.Flow.shell_config ~target:(C.Flow.Fixed { route; lgc; label }) ())
-          with
-          C.Flow.style;
-          seed;
-        }
-      in
-      let r = run_flow cfg nl in
-      Format.printf "%a@." C.Flow.pp_summary r;
-      Printf.printf "verify: %s\n" (if C.Flow.verify r then "PASS" else "FAIL");
+  match SJ.lock_flow (lock_spec bench style route lgc seed) with
+  | Error d -> die d
+  | Ok r ->
+      print_string (SJ.lock_render r);
       (match out with
       | None -> ()
       | Some path ->
@@ -317,78 +294,22 @@ let lock_file_cmd =
 
 (* every attack command funnels through the unified interface now: one
    verdict type, one budget record, any registered attack by name *)
-let print_detail detail =
-  if detail <> [] then begin
-    print_string "detail:";
-    List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) detail;
-    print_newline ()
-  end
-
 let attack_run bench style route lgc seed attack_name dips conflicts seconds
     vectors metrics =
   with_metrics metrics @@ fun () ->
-  match netlist_of_bench bench with
-  | Error (`Msg m) -> dief "%s" m
-  | Ok nl ->
-      let route, lgc, label =
-        if route = [] && lgc = [] then
-          match default_tfr bench with
-          | Some t -> t
-          | None -> ([], [], "")
-        else (route, lgc, String.concat "+" (route @ lgc))
-      in
-      if route = [] && lgc = [] then dief "pass --route/--lgc";
-      let cfg =
-        {
-          (C.Flow.shell_config ~target:(C.Flow.Fixed { route; lgc; label }) ())
-          with
-          C.Flow.style;
-          seed;
-        }
-      in
-      let r = run_flow cfg nl in
-      let lk = C.Flow.locked_sub r in
-      let attack =
-        match A.Battery.find attack_name with
-        | Some a -> a
-        | None ->
-            dief "unknown attack %S (known: %s)" attack_name
-              (String.concat ", " (A.Battery.names ()))
-      in
-      Printf.printf
-        "attacking %s (%s) with %s, key %d bits, budget %d DIPs / %d \
-         conflicts / %.0fs / %d vectors\n"
-        bench label attack.A.Attack.name (L.Locked.key_bits lk) dips conflicts
-        seconds vectors;
-      let subject =
-        A.Attack.subject ~label:(bench ^ "/" ^ label)
-          ~cycle_blocks:r.C.Flow.emitted.F.Emit.cycle_blocks
-          ~original:r.C.Flow.cut.C.Extraction.sub lk
-      in
-      let budget =
-        A.Attack.budget ~max_dips:dips ~max_conflicts:conflicts
-          ~time_limit:seconds ~vectors ()
-      in
-      (match attack.A.Attack.run budget subject with
-      | A.Attack.Broken (key, st) ->
-          Printf.printf
-            "BROKEN: key recovered in %d iterations, %d oracle queries, %d \
-             conflicts, %.2fs\n"
-            st.A.Attack.iterations st.A.Attack.oracle_queries
-            st.A.Attack.conflicts st.A.Attack.elapsed;
-          print_detail st.A.Attack.detail;
-          Printf.printf "hamming distance to real bitstream: %d / %d\n"
-            (F.Bitstream.hamming key lk.L.Locked.key)
-            (Array.length key)
-      | A.Attack.Resilient st ->
-          Printf.printf
-            "RESILIENT within budget (%d iterations, %d oracle queries, %d \
-             conflicts, %.2fs; %d/%d bits recovered)\n"
-            st.A.Attack.iterations st.A.Attack.oracle_queries
-            st.A.Attack.conflicts st.A.Attack.elapsed st.A.Attack.recovered_bits
-            st.A.Attack.key_bits;
-          print_detail st.A.Attack.detail
-      | A.Attack.Inapplicable why -> Printf.printf "N/A: %s\n" why)
+  let spec =
+    {
+      SP.target = lock_spec bench style route lgc seed;
+      attack = attack_name;
+      dips;
+      conflicts;
+      seconds;
+      vectors;
+    }
+  in
+  match SJ.attack_output spec with
+  | Error d -> die d
+  | Ok out -> print_string out
 
 let dips_arg = Arg.(value & opt int 64 & info [ "dips" ] ~doc:"Max DIPs.")
 
@@ -421,26 +342,6 @@ let attack_cmd =
 
 (* ---------------- battery ---------------- *)
 
-(* "xor:8", "rlut:4", "hlut:4", "mux:8", "muxlut:8" — the pure locking
-   schemes; "efpga" (SheLL redaction) rides through `shell attack`
-   because it needs the full flow per benchmark. *)
-let locked_of_spec ~seed nl spec =
-  let fail () =
-    dief "bad scheme spec %S (want xor:N, rlut:N, hlut:N, mux:N or muxlut:N)"
-      spec
-  in
-  match String.split_on_char ':' spec with
-  | [ name; n ] -> (
-      match (name, int_of_string_opt n) with
-      | _, None -> fail ()
-      | "xor", Some bits -> L.Schemes.xor_keys ~seed ~bits nl
-      | "rlut", Some gates -> L.Schemes.random_lut ~seed ~gates nl
-      | "hlut", Some gates -> L.Schemes.heuristic_lut ~seed ~gates nl
-      | "mux", Some width -> L.Schemes.mux_routing ~seed ~width nl
-      | "muxlut", Some width -> L.Schemes.mux_lut ~seed ~width nl
-      | _ -> fail ())
-  | _ -> fail ()
-
 let battery_run benches schemes attack_names jobs seed dips conflicts seconds
     vectors json metrics list_attacks =
   with_metrics metrics @@ fun () ->
@@ -453,43 +354,23 @@ let battery_run benches schemes attack_names jobs seed dips conflicts seconds
           a.A.Attack.description)
       A.Battery.all
   else begin
-    let attacks =
-      match attack_names with
-      | [] -> A.Battery.all
-      | names ->
-          List.map
-            (fun n ->
-              match A.Battery.find n with
-              | Some a -> a
-              | None ->
-                  dief "unknown attack %S (try --list-attacks)" n)
-            names
+    let spec =
+      {
+        SP.benches;
+        schemes;
+        attacks = attack_names;
+        bt_seed = seed;
+        bt_dips = dips;
+        bt_conflicts = conflicts;
+        bt_seconds = seconds;
+        bt_vectors = vectors;
+      }
     in
-    let subjects =
-      List.concat_map
-        (fun bench ->
-          match netlist_of_bench bench with
-          | Error (`Msg m) -> dief "%s" m
-          | Ok nl ->
-              List.map
-                (fun spec ->
-                  let lk = locked_of_spec ~seed nl spec in
-                  A.Attack.subject
-                    ~label:(bench ^ "/" ^ spec)
-                    ~original:nl lk)
-                schemes)
-        benches
-    in
-    if subjects = [] then dief "pass -b BENCH and --scheme SPEC";
-    let budget =
-      A.Attack.budget ~max_dips:dips ~max_conflicts:conflicts
-        ~time_limit:seconds ~vectors ()
-    in
-    let m = A.Battery.run ?jobs ~attacks ~budget subjects in
-    if json then
-      print_endline
-        (Shell_util.Jsonw.to_string ~indent:2 (A.Battery.matrix_json m))
-    else Format.printf "%a@." A.Battery.pp_matrix m
+    match SJ.battery_matrix ?jobs spec with
+    | Error d -> die d
+    | Ok m ->
+        if json then print_string (SJ.battery_render_json m)
+        else Format.printf "%a@." A.Battery.pp_matrix m
   end
 
 let battery_cmd =
@@ -708,24 +589,7 @@ module Rules = Shell_lint.Rules
 (* Rebuild the same subject the pipeline's lint pass checks, so the CLI
    can re-lint a locked flow under a different severity floor, baseline
    or job count. *)
-let lint_subject_of_result (r : C.Flow.result) =
-  let route_origins =
-    C.Selection.route_origins r.C.Flow.analysis r.C.Flow.choice
-  in
-  let lgc_origins =
-    List.map
-      (fun i ->
-        r.C.Flow.analysis.C.Connectivity.blocks.(i).C.Connectivity.name)
-      r.C.Flow.choice.C.Selection.lgc_blocks
-  in
-  Lint.subject
-    ~name:(N.Netlist.name r.C.Flow.original)
-    ~key:(F.Bitstream.bits r.C.Flow.emitted.F.Emit.bitstream)
-    ~selection:{ Lint.design = r.C.Flow.original; route_origins; lgc_origins }
-    ~fabric:r.C.Flow.pnr.Shell_pnr.Pnr.fabric
-    ~bitstream:r.C.Flow.emitted.F.Emit.bitstream ~used:r.C.Flow.resources
-    ~pnr:r.C.Flow.pnr
-    ~shrunk:r.C.Flow.config.C.Flow.shrink r.C.Flow.locked_full
+let lint_subject_of_result = SJ.lint_subject_of_result
 
 let read_file path =
   try
@@ -1041,6 +905,301 @@ let bench_cmd =
       const bench_run $ targets $ jobs $ out_dir $ history $ record $ check
       $ report $ allowlist $ time_tolerance $ commit $ list_targets)
 
+(* ---------------- serve ---------------- *)
+
+let socket_arg =
+  let doc =
+    "Daemon socket: a Unix socket path (anything containing '/', the \
+     default) or host:port for TCP."
+  in
+  let env = Cmd.Env.info "SHELL_SOCKET" in
+  Arg.(
+    value
+    & opt string "/tmp/shell-serve.sock"
+    & info [ "socket" ] ~env ~docv:"ADDR" ~doc)
+
+let address_of_arg s =
+  match SS.address_of_string s with Ok a -> a | Error m -> dief "%s" m
+
+let serve_run socket queue_cap max_frame max_seconds cache_dir verbose =
+  let cfg =
+    {
+      SS.address = address_of_arg socket;
+      queue_cap;
+      max_frame;
+      max_seconds;
+      store_dir = cache_dir;
+      log = verbose;
+    }
+  in
+  SS.serve cfg
+
+let serve_cmd =
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission queue depth; submissions beyond it are rejected with \
+             a typed queue_full diagnostic.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Shell_util.Jsonw.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Reject request frames larger than $(docv).")
+  in
+  let max_seconds =
+    Arg.(
+      value & opt float 600.0
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:"Clamp per-job time budgets to $(docv) seconds.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill the pass cache to a content-addressed store under \
+             $(docv) so warm hits survive daemon restarts. Evict by \
+             deleting the directory.")
+  in
+  let verbose =
+    Arg.(
+      value & flag & info [ "verbose" ] ~doc:"Log admissions/jobs to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the lock-as-a-service daemon: lock/attack/battery/fuzz/lint \
+          jobs over a Unix/TCP socket as length-prefixed JSON, with an \
+          admission-control queue, per-job priorities and budget caps, \
+          Prometheus metrics, and an on-disk pass-cache spill store. Stop \
+          it with `shell client shutdown`.")
+    Term.(
+      const serve_run $ socket_arg $ queue_cap $ max_frame $ max_seconds
+      $ cache_dir $ verbose)
+
+(* ---------------- client ---------------- *)
+
+let priority_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "priority" ] ~docv:"N"
+        ~doc:"Queue priority: higher-priority jobs run first.")
+
+let with_daemon socket f =
+  let addr = address_of_arg socket in
+  match SC.with_connection addr f with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+      dief "cannot reach daemon at %s: %s (is `shell serve` running?)" socket
+        (Unix.error_message e)
+
+(* The response contract mirrors the direct CLI: Result bytes go to
+   stdout verbatim (byte-identical to the equivalent subcommand),
+   Rejected/Failed render on stderr with exit 1. *)
+let client_submit socket priority job =
+  match
+    with_daemon socket (fun c -> SC.submit c ~priority job)
+  with
+  | Ok (SP.Result { output; _ }) -> print_string output
+  | Ok (SP.Rejected { reason; _ }) -> dief "rejected: %s" reason
+  | Ok (SP.Failed { message; _ }) -> dief "%s" message
+  | Ok _ -> dief "unexpected response type from daemon"
+  | Error m -> dief "%s" m
+
+let client_lock_cmd =
+  let run socket priority bench style route lgc seed =
+    client_submit socket priority
+      (SP.Lock (lock_spec bench style route lgc seed))
+  in
+  Cmd.v
+    (Cmd.info "lock" ~doc:"Submit a lock job to the daemon.")
+    Term.(
+      const run $ socket_arg $ priority_arg $ bench_arg $ style_arg
+      $ route_arg $ lgc_arg $ seed_arg)
+
+let client_attack_cmd =
+  let run socket priority bench style route lgc seed attack dips conflicts
+      seconds vectors =
+    client_submit socket priority
+      (SP.Attack
+         {
+           SP.target = lock_spec bench style route lgc seed;
+           attack;
+           dips;
+           conflicts;
+           seconds;
+           vectors;
+         })
+  in
+  let attack_name_arg =
+    Arg.(
+      value & opt string "sat"
+      & info [ "a"; "attack" ] ~docv:"NAME" ~doc:"Registered attack to run.")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Submit an attack job to the daemon.")
+    Term.(
+      const run $ socket_arg $ priority_arg $ bench_arg $ style_arg
+      $ route_arg $ lgc_arg $ seed_arg $ attack_name_arg $ dips_arg
+      $ conflicts_arg $ seconds_arg $ vectors_arg)
+
+let client_battery_cmd =
+  let run socket priority benches schemes attacks seed dips conflicts seconds
+      vectors =
+    client_submit socket priority
+      (SP.Battery
+         {
+           SP.benches;
+           schemes;
+           attacks;
+           bt_seed = seed;
+           bt_dips = dips;
+           bt_conflicts = conflicts;
+           bt_seconds = seconds;
+           bt_vectors = vectors;
+         })
+  in
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Benchmark to lock and attack (repeatable).")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt_all string [ "xor:8"; "mux:8" ]
+      & info [ "scheme" ] ~docv:"SPEC"
+          ~doc:"Locking scheme spec (repeatable; default xor:8 and mux:8).")
+  in
+  let attacks =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "attack" ] ~docv:"NAME"
+          ~doc:"Restrict to one registered attack (repeatable; default all).")
+  in
+  Cmd.v
+    (Cmd.info "battery"
+       ~doc:
+         "Submit a battery job to the daemon (response is the JSON matrix, \
+          byte-identical to `shell battery --json`).")
+    Term.(
+      const run $ socket_arg $ priority_arg $ benches $ schemes $ attacks
+      $ seed_arg $ dips_arg $ conflicts_arg $ seconds_arg $ vectors_arg)
+
+let client_fuzz_cmd =
+  let run socket priority seed cases =
+    client_submit socket priority (SP.Fuzz { SP.fz_seed = seed; cases })
+  in
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "cases" ] ~docv:"N" ~doc:"Number of random cases.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Submit a fuzz campaign to the daemon (no shrinking).")
+    Term.(const run $ socket_arg $ priority_arg $ seed_arg $ cases)
+
+let client_lint_cmd =
+  let run socket priority benches locked style seed =
+    client_submit socket priority
+      (SP.Lint
+         {
+           SP.lint_benches = benches;
+           locked;
+           lint_style = SJ.style_id style;
+           lint_seed = seed;
+         })
+  in
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Lint a bundled benchmark (repeatable).")
+  in
+  let locked =
+    Arg.(
+      value & flag
+      & info [ "locked" ] ~doc:"Run the SheLL flow first; lint the result.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Submit a lint job to the daemon (JSON report).")
+    Term.(
+      const run $ socket_arg $ priority_arg $ benches $ locked $ style_arg
+      $ seed_arg)
+
+let client_status_cmd =
+  let run socket =
+    match with_daemon socket SC.status with
+    | Ok info ->
+        print_endline
+          (Shell_util.Jsonw.to_string ~indent:2 (SP.status_info_json info))
+    | Error m -> dief "%s" m
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Print the daemon's queue depth, job counts, cache hit rates and \
+          per-job-kind span summaries as JSON.")
+    Term.(const run $ socket_arg)
+
+let client_metrics_cmd =
+  let run socket =
+    match with_daemon socket SC.metrics with
+    | Ok text -> print_string text
+    | Error m -> dief "%s" m
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Print the daemon's live metrics (Prometheus text format).")
+    Term.(const run $ socket_arg)
+
+let client_ping_cmd =
+  let run socket =
+    match with_daemon socket SC.ping with
+    | Ok v -> Printf.printf "pong (protocol v%d)\n" v
+    | Error m -> dief "%s" m
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Check the daemon is alive.")
+    Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    match with_daemon socket SC.shutdown with
+    | Ok out -> print_string out
+    | Error m -> dief "%s" m
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to exit.")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running `shell serve` daemon: submit jobs (stdout is \
+          byte-identical to the direct subcommand) or query \
+          status/metrics.")
+    [
+      client_lock_cmd;
+      client_attack_cmd;
+      client_battery_cmd;
+      client_fuzz_cmd;
+      client_lint_cmd;
+      client_status_cmd;
+      client_metrics_cmd;
+      client_ping_cmd;
+      client_shutdown_cmd;
+    ]
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -1059,4 +1218,6 @@ let () =
             fuzz_cmd;
             lint_cmd;
             bench_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -23,6 +23,13 @@ let stable_json r =
       ("spans", ints r.spans);
     ]
 
+(* A NaN/inf wall time would render as [Null] ([Jsonw.float]'s only
+   option — JSON has no non-finite numbers), and the strict parser
+   below would then reject the whole committed line forever. Clamp at
+   record time: a zero time is a visible anomaly in the trend page, a
+   poisoned history is a broken [--check]. *)
+let finite v = if Float.is_finite v then v else 0.0
+
 let json r =
   J.Obj
     [
@@ -31,7 +38,8 @@ let json r =
       ("target", J.Str r.target);
       ("jobs", J.Int r.jobs);
       ( "times",
-        J.Obj (List.map (fun (k, v) -> (k, J.float ~dec:4 v)) r.times) );
+        J.Obj (List.map (fun (k, v) -> (k, J.float ~dec:4 (finite v))) r.times)
+      );
       ("counters", ints r.counters);
       ("spans", ints r.spans);
     ]
@@ -76,8 +84,15 @@ let rec map_result f = function
       let* ys = map_result f tl in
       Ok (y :: ys)
 
+(* Qualify inner keys so a bad value names its exact field: a broken
+   line diagnoses as e.g. [field "times.grid": expected a number]
+   (and {!History.load} prefixes the file/line position). *)
 let as_assoc name conv = function
-  | J.Obj kvs -> map_result (fun (k, v) -> Result.map (fun v -> (k, v)) (conv k v)) kvs
+  | J.Obj kvs ->
+      map_result
+        (fun (k, v) ->
+          Result.map (fun v -> (k, v)) (conv (name ^ "." ^ k) v))
+        kvs
   | _ -> Error (Printf.sprintf "field %S: expected an object" name)
 
 let of_json j =

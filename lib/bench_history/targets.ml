@@ -14,9 +14,9 @@ type t = {
 }
 
 let time_wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Shell_util.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Shell_util.Clock.now () -. t0)
 
 (* Unstable-registered counters that the capped workloads below make
    deterministic: the solver runs under conflict ceilings with seeded

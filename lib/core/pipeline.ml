@@ -127,6 +127,27 @@ let m_passes =
   Obs.counter ~stable:true ~help:"pipeline passes processed (cached or not)"
     "pipeline_passes"
 
+let m_cache_disk_writes =
+  Obs.counter ~help:"pass-cache entries spilled to the on-disk store"
+    "pipeline_cache_disk_writes"
+
+let m_cache_disk_hits =
+  Obs.counter ~help:"pass-cache misses served from the on-disk store"
+    "pipeline_cache_disk_hits"
+
+(* Optional content-addressed spill store (the serve daemon attaches
+   one so warm hits survive restarts). Blobs are opaque here: this
+   module marshals [(key, product)] pairs and the store only moves
+   bytes. Both directions swallow store failures — a broken disk
+   cache must degrade to a cold cache, never break the pipeline. *)
+type store = {
+  save : string -> string -> unit;
+  load : string -> string option;
+}
+
+let store_ref : store option ref = ref None
+let set_store s = store_ref := s
+
 let env_cache_enabled () =
   match Sys.getenv_opt "SHELL_PASS_CACHE" with
   | Some ("0" | "" | "false") -> false
@@ -143,30 +164,6 @@ let clear_cache () =
 let cache_stats () =
   Mutex.lock cache_lock;
   let r = (!hits, !misses) in
-  Mutex.unlock cache_lock;
-  r
-
-(* [Some p] on a hit (including waiting out another domain's in-flight
-   computation of the same key); [None] claims the key — the caller
-   must follow up with [cache_add] or [cache_abort]. *)
-let cache_find key =
-  Mutex.lock cache_lock;
-  let rec look () =
-    match Hashtbl.find_opt cache key with
-    | Some (Ready p) ->
-        incr hits;
-        Obs.incr m_cache_hits;
-        Some p
-    | Some Pending ->
-        Condition.wait cache_landed cache_lock;
-        look ()
-    | None ->
-        incr misses;
-        Obs.incr m_cache_misses;
-        Hashtbl.replace cache key Pending;
-        None
-  in
-  let r = look () in
   Mutex.unlock cache_lock;
   r
 
@@ -201,15 +198,107 @@ let warm_product = function
   | P_overhead (_, locked_full) -> warm locked_full
   | P_lint _ -> ()
 
+(* Disk probe for a freshly claimed key, run OUTSIDE [cache_lock] so
+   store I/O never blocks other domains' cache traffic. The blob
+   carries its own key so a store collision/corruption can only
+   degrade to a miss. *)
+let store_load key =
+  match !store_ref with
+  | None -> None
+  | Some st -> (
+      match st.load key with
+      | None | (exception _) -> None
+      | Some blob -> (
+          match (Marshal.from_string blob 0 : string * product) with
+          | k, p when String.equal k key -> Some p
+          | _ | (exception _) -> None))
+
+let store_save key product =
+  match !store_ref with
+  | None -> ()
+  | Some st -> (
+      match Marshal.to_string (key, product) [] with
+      | exception _ -> ()
+      | blob -> (
+          match st.save key blob with
+          | () -> Obs.incr m_cache_disk_writes
+          | exception _ -> ()))
+
+(* Cap housekeeping: evict only [Ready] entries. A [Pending] slot is
+   another domain's in-flight claim — wiping it (the old
+   [Hashtbl.reset]) violated single-flight: waiters on the vanished
+   slot re-claimed and recomputed the key, racing the original
+   owner's [cache_add]/[cache_abort]. Call with [cache_lock] held. *)
+let evict_ready_if_full () =
+  if Hashtbl.length cache >= cache_cap then
+    Hashtbl.filter_map_inplace
+      (fun _ slot -> match slot with Ready _ -> None | Pending -> Some slot)
+      cache
+
+(* [Some p] on a hit (including waiting out another domain's in-flight
+   computation of the same key, and including a warm entry loaded from
+   the spill store); [None] claims the key — the caller must follow up
+   with [cache_add] or [cache_abort]. *)
+let cache_find key =
+  Mutex.lock cache_lock;
+  let rec look () =
+    match Hashtbl.find_opt cache key with
+    | Some (Ready p) ->
+        incr hits;
+        Obs.incr m_cache_hits;
+        `Hit p
+    | Some Pending ->
+        Condition.wait cache_landed cache_lock;
+        look ()
+    | None ->
+        Hashtbl.replace cache key Pending;
+        `Claimed
+  in
+  let r = look () in
+  Mutex.unlock cache_lock;
+  match r with
+  | `Hit p -> Some p
+  | `Claimed -> (
+      match store_load key with
+      | Some p ->
+          warm_product p;
+          Mutex.lock cache_lock;
+          evict_ready_if_full ();
+          Hashtbl.replace cache key (Ready p);
+          incr hits;
+          Obs.incr m_cache_hits;
+          Obs.incr m_cache_disk_hits;
+          Condition.broadcast cache_landed;
+          Mutex.unlock cache_lock;
+          Some p
+      | None ->
+          Mutex.lock cache_lock;
+          incr misses;
+          Obs.incr m_cache_misses;
+          Mutex.unlock cache_lock;
+          None)
+
 let cache_add key product =
   warm_product product;
   if Obs.enabled () then
     Obs.add m_cache_bytes (8 * Obj.reachable_words (Obj.repr product));
   Mutex.lock cache_lock;
-  if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+  evict_ready_if_full ();
   Hashtbl.replace cache key (Ready product);
   Condition.broadcast cache_landed;
-  Mutex.unlock cache_lock
+  Mutex.unlock cache_lock;
+  store_save key product
+
+let cache_slot key =
+  Mutex.lock cache_lock;
+  let r =
+    match Hashtbl.find_opt cache key with
+    | Some (Ready _) -> `Ready
+    | Some Pending -> `Pending
+    | None -> `Absent
+  in
+  Mutex.unlock cache_lock;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Input fingerprints *)

@@ -93,3 +93,57 @@ val cache_stats : unit -> int * int
 (** (hits, misses) since the last {!clear_cache}. *)
 
 val clear_cache : unit -> unit
+
+(** {1 Cache internals}
+
+    The single-flight pass cache, exposed for the serve daemon's
+    spill store and for tests that exercise claim/evict interleavings
+    directly. Normal callers go through {!execute}. *)
+
+type product =
+  | P_analysis of Connectivity.t
+  | P_choice of Selection.choice
+  | P_cut of Extraction.cut
+  | P_mapped of Synthesize.mapped
+  | P_pnr of Shell_pnr.Pnr.result
+  | P_emit of Shell_fabric.Emit.t * Shell_netlist.Netlist.t
+  | P_shrink of int * Shell_fabric.Resources.t
+  | P_overhead of Overhead.t * Shell_netlist.Netlist.t
+  | P_lint of Shell_lint.Lint.report
+      (** one cached pass output, keyed by [pass_name ^ "|" ^
+          input_fingerprint] *)
+
+val cache_cap : int
+(** Entry ceiling; reaching it evicts all [Ready] entries (never
+    in-flight claims — see {!cache_find}). *)
+
+val cache_find : string -> product option
+(** [Some p] on a hit (waiting out another domain's in-flight
+    computation if needed, and consulting the attached spill store);
+    [None] claims the key single-flight — the caller must follow up
+    with {!cache_add} or {!cache_abort}. *)
+
+val cache_add : string -> product -> unit
+(** Publish a claimed key's product (and spill it to the attached
+    store). Cap eviction drops only [Ready] entries, so a concurrent
+    claim is never wiped. *)
+
+val cache_abort : string -> unit
+(** Re-open a claimed key after a failed computation so waiters retry
+    it themselves. *)
+
+val cache_slot : string -> [ `Ready | `Pending | `Absent ]
+(** Observe a key's slot state (tests). *)
+
+type store = {
+  save : string -> string -> unit;
+  load : string -> string option;
+}
+(** Blob store for cache spill: [save key blob] / [load key]. Blobs
+    are opaque marshalled pairs; failures on either side degrade to a
+    cold cache and are never raised. *)
+
+val set_store : store option -> unit
+(** Attach (or detach, with [None]) the spill store. The serve daemon
+    attaches a content-addressed on-disk store at startup so warm
+    hits survive restarts. *)

@@ -1,0 +1,55 @@
+module Diag = Shell_util.Diag
+
+type Diag.payload += Queue_full of { depth : int; cap : int }
+
+let () =
+  Diag.register_printer (function
+    | Queue_full { depth; cap } ->
+        Some (Printf.sprintf "queue_full depth=%d cap=%d" depth cap)
+    | _ -> None)
+
+(* Bounded priority queue for job admission. The server is a
+   single-threaded event loop (parallelism lives inside job execution,
+   on the domain pool), so no locking here. Depth stays small (the
+   cap), so a sorted insert beats a heap on simplicity. *)
+
+type 'a entry = { priority : int; seq : int; payload : 'a }
+type 'a t = { cap : int; mutable seq : int; mutable entries : 'a entry list }
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Admission.create: cap must be positive";
+  { cap; seq = 0; entries = [] }
+
+let depth q = List.length q.entries
+let cap q = q.cap
+
+(* Higher priority first; FIFO (by admission order) within a
+   priority, so equal-priority jobs can't starve each other. *)
+let before a b = a.priority > b.priority
+
+let push q ~priority payload =
+  let d = depth q in
+  if d >= q.cap then
+    Diag.error ~pass:"serve"
+      ~payload:(Queue_full { depth = d; cap = q.cap })
+      "admission queue full"
+  else begin
+    let e = { priority; seq = q.seq; payload } in
+    q.seq <- q.seq + 1;
+    let rec insert = function
+      | [] -> [ e ]
+      | x :: tl when before e x -> e :: x :: tl
+      | x :: tl -> x :: insert tl
+    in
+    q.entries <- insert q.entries;
+    Ok ()
+  end
+
+let pop q =
+  match q.entries with
+  | [] -> None
+  | e :: tl ->
+      q.entries <- tl;
+      Some e.payload
+
+let is_empty q = q.entries = []

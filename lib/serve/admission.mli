@@ -1,0 +1,26 @@
+(** Bounded priority queue gating job admission into the daemon.
+
+    Backpressure by rejection: when the queue is at capacity, {!push}
+    returns a typed {!Shell_util.Diag.t} carrying {!Queue_full} —
+    the server turns it into a [Rejected] response instead of letting
+    latency grow without bound. Not thread-safe by design: the server
+    is a single-threaded event loop and parallelism lives inside job
+    execution (the domain pool). *)
+
+type Shell_util.Diag.payload += Queue_full of { depth : int; cap : int }
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** Raises [Invalid_argument] when [cap < 1]. *)
+
+val depth : 'a t -> int
+val cap : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:int -> 'a -> (unit, Shell_util.Diag.t) result
+(** Admit a job. Higher [priority] pops first; within a priority,
+    admission order (FIFO). [Error] carries {!Queue_full} when at
+    capacity. *)
+
+val pop : 'a t -> 'a option

@@ -1,0 +1,121 @@
+module P = Protocol
+module J = Shell_util.Jsonw
+
+type t = { fd : Unix.file_descr; fr : J.framer; mutable next_id : int }
+
+let connect addr =
+  match addr with
+  | Server.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      { fd; fr = J.framer (); next_id = 1 }
+  | Server.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      { fd; fr = J.framer (); next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+    end
+  in
+  go 0
+
+let read_frame t =
+  let buf = Bytes.create 8192 in
+  let rec go () =
+    match J.next t.fr with
+    | `Frame body -> Ok body
+    | `Error e -> Error e
+    | `Await -> (
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            J.feed t.fr buf 0 n;
+            go ()
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  go ()
+
+(* One request, one response, strictly in order per connection — so
+   the next frame is this request's answer. The id is still checked:
+   a mismatch means the stream is out of sync and unusable. *)
+let call t mk =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let req = mk id in
+  match write_all t.fd (P.request_frame req) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () -> (
+      match read_frame t with
+      | Error _ as e -> e
+      | Ok body -> (
+          match P.response_of_frame body with
+          | Error _ as e -> e
+          | Ok resp ->
+              let rid =
+                match resp with
+                | P.Result { id; _ }
+                | P.Rejected { id; _ }
+                | P.Failed { id; _ }
+                | P.Status_r { id; _ }
+                | P.Metrics_r { id; _ }
+                | P.Pong { id; _ } ->
+                    id
+              in
+              (* id 0 is the server's channel for protocol breaches it
+                 can't attribute to a request *)
+              if rid = id || rid = 0 then Ok resp
+              else
+                Error
+                  (Printf.sprintf "response id %d for request %d: desynced"
+                     rid id)))
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let submit t ?(priority = 0) job =
+  call t (fun id -> P.Submit { id; priority; job })
+
+let status t =
+  match call t (fun id -> P.Status { id }) with
+  | Ok (P.Status_r { info; _ }) -> Ok info
+  | Ok _ -> Error "unexpected response to status"
+  | Error _ as e -> e
+
+let metrics t =
+  match call t (fun id -> P.Metrics { id }) with
+  | Ok (P.Metrics_r { text; _ }) -> Ok text
+  | Ok _ -> Error "unexpected response to metrics"
+  | Error _ as e -> e
+
+let ping t =
+  match call t (fun id -> P.Ping { id }) with
+  | Ok (P.Pong { server_version; _ }) -> Ok server_version
+  | Ok _ -> Error "unexpected response to ping"
+  | Error _ as e -> e
+
+let shutdown t =
+  match call t (fun id -> P.Shutdown { id }) with
+  | Ok (P.Result { output; _ }) -> Ok output
+  | Ok _ -> Error "unexpected response to shutdown"
+  | Error _ as e -> e

@@ -1,0 +1,33 @@
+(** Blocking client for the serve daemon.
+
+    One request, one response, strictly in order per connection.
+    Errors are strings (transport or protocol); job-level failures
+    come back as typed {!Protocol.response} values. *)
+
+type t
+
+val connect : Server.address -> t
+(** Raises [Unix.Unix_error] when the daemon is not reachable. *)
+
+val close : t -> unit
+
+val with_connection : Server.address -> (t -> 'a) -> 'a
+
+val call :
+  t -> (int -> Protocol.request) -> (Protocol.response, string) result
+(** Send the request built from a fresh id and read its response. *)
+
+val submit :
+  t ->
+  ?priority:int ->
+  Protocol.job ->
+  (Protocol.response, string) result
+(** A [Result]/[Rejected]/[Failed] response for the job. *)
+
+val status : t -> (Protocol.status_info, string) result
+val metrics : t -> (string, string) result
+
+val ping : t -> (int, string) result
+(** The server's protocol version. *)
+
+val shutdown : t -> (string, string) result

@@ -1,0 +1,72 @@
+(* Content-addressed blob store backing the pass-cache spill.
+
+   Addressing: MD5(key), sharded as root/ab/cdef... (two-hex-digit
+   fan-out) so a long-lived cache directory never collects thousands
+   of entries in one directory. The blob is opaque — the pipeline
+   marshals [(key, product)] and verifies the key on load, so a hash
+   collision or a corrupt file degrades to a cache miss there. Writes
+   are tmp + rename: a concurrent reader (or a crash mid-write) sees
+   either the old blob or the new one, never a torn file. *)
+
+type t = { root : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~root =
+  mkdir_p root;
+  { root }
+
+let root t = t.root
+
+let path t key =
+  let h = Digest.to_hex (Digest.string key) in
+  Filename.concat (Filename.concat t.root (String.sub h 0 2))
+    (String.sub h 2 (String.length h - 2))
+
+let save t key blob =
+  let p = path t key in
+  mkdir_p (Filename.dirname p);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" p (Unix.getpid ())
+      (Hashtbl.hash (key, String.length blob))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc blob);
+  Sys.rename tmp p
+
+let load t key =
+  let p = path t key in
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          Some (really_input_string ic n))
+
+let entries t =
+  if not (Sys.file_exists t.root) then 0
+  else
+    Array.fold_left
+      (fun acc shard ->
+        let dir = Filename.concat t.root shard in
+        if Sys.is_directory dir then acc + Array.length (Sys.readdir dir)
+        else acc)
+      0 (Sys.readdir t.root)
+
+let pipeline_store t =
+  {
+    Shell_core.Pipeline.save = (fun key blob -> save t key blob);
+    load = (fun key -> load t key);
+  }
+
+let attach t = Shell_core.Pipeline.set_store (Some (pipeline_store t))
+let detach () = Shell_core.Pipeline.set_store None

@@ -1,0 +1,26 @@
+(** Content-addressed on-disk blob store for the pass-cache spill.
+
+    Keys are hashed (MD5) into a two-level sharded layout under the
+    root directory; blobs are opaque bytes. Writes are atomic
+    (tmp + rename). Eviction is manual: delete the directory — the
+    pipeline treats any unreadable/corrupt blob as a cache miss. *)
+
+type t
+
+val create : root:string -> t
+(** Creates the root directory (and parents) if missing. *)
+
+val root : t -> string
+val save : t -> string -> string -> unit
+val load : t -> string -> string option
+
+val entries : t -> int
+(** Number of stored blobs (directory scan; for status/tests). *)
+
+val pipeline_store : t -> Shell_core.Pipeline.store
+
+val attach : t -> unit
+(** [Pipeline.set_store] wiring: warm pass-cache misses consult this
+    store, and published products spill into it. *)
+
+val detach : unit -> unit

@@ -1,4 +1,7 @@
-let now () = Unix.gettimeofday ()
+external monotonic : unit -> float = "shell_clock_monotonic_time"
+
+let now () = monotonic ()
+let wall () = Unix.gettimeofday ()
 let elapsed t0 = now () -. t0
 
 let time f =

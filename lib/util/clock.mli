@@ -1,17 +1,28 @@
-(** Monotonic-enough wall clock for budgets and tracing.
+(** Clock sources for budgets, tracing, and timestamps.
 
-    A single shared clock source so attack budgets (PR 1) and the pass
+    A single shared clock so attack budgets (PR 1) and the pass
     pipeline's per-pass timing agree on what "elapsed" means.
     [Sys.time] is process-wide CPU time, which under the domain pool
     advances once per core — wall time is what budgets and traces
-    want. *)
+    want. Durations additionally need a source that an NTP step or a
+    manual date change cannot move backwards, so [now]/[elapsed]/
+    [time] read CLOCK_MONOTONIC (via a C stub; OCaml 5.1's unix
+    library does not expose clock_gettime) and [wall] is the only
+    epoch-anchored reading. *)
 
 val now : unit -> float
-(** Seconds since the epoch, sub-millisecond resolution. *)
+(** Seconds on the monotonic clock, sub-millisecond resolution. The
+    origin is arbitrary (typically boot time): only differences are
+    meaningful — never persist or compare against epoch seconds. *)
+
+val wall : unit -> float
+(** Seconds since the epoch ([Unix.gettimeofday]). For absolute
+    timestamps only (log lines, record dates); subject to NTP steps,
+    so never use for durations. *)
 
 val elapsed : float -> float
 (** [elapsed t0] is [now () -. t0]. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f] and returns its result with the wall seconds it
-    took. *)
+(** [time f] runs [f] and returns its result with the monotonic
+    seconds it took. *)

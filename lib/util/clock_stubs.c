@@ -1,0 +1,28 @@
+/* Monotonic clock for duration math.
+ *
+ * OCaml 5.1's bundled unix library does not expose clock_gettime, so
+ * the monotonic source is a tiny C stub.  CLOCK_MONOTONIC is immune
+ * to NTP steps and manual date changes; where it is unavailable the
+ * stub degrades to gettimeofday, which preserves behaviour (if not
+ * the monotonicity guarantee) rather than failing to load. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value shell_clock_monotonic_time(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

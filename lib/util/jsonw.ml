@@ -91,8 +91,14 @@ let utf8_of_code buf u =
     Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
   end
-  else begin
+  else if u < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
   end
@@ -123,9 +129,30 @@ let of_string src =
   in
   let hex4 () =
     if !pos + 4 > n then raise (Bad "truncated \\u escape");
-    let v = int_of_string ("0x" ^ String.sub src !pos 4) in
-    pos := !pos + 4;
-    v
+    match int_of_string_opt ("0x" ^ String.sub src !pos 4) with
+    | None -> raise (Bad (Printf.sprintf "bad \\u escape at %d" !pos))
+    | Some v ->
+        pos := !pos + 4;
+        v
+  in
+  (* A \u escape in the surrogate range must be a high surrogate
+     immediately followed by an escaped low surrogate; the pair
+     combines into one astral code point (one 4-byte UTF-8 sequence,
+     not the two 3-byte CESU-8 sequences a naive per-escape encode
+     would produce). Lone or out-of-order surrogates are malformed. *)
+  let unicode_escape () =
+    let u = hex4 () in
+    if u >= 0xD800 && u <= 0xDBFF then begin
+      if
+        !pos + 2 > n || src.[!pos] <> '\\' || src.[!pos + 1] <> 'u'
+      then raise (Bad "lone high surrogate");
+      pos := !pos + 2;
+      let lo = hex4 () in
+      if lo < 0xDC00 || lo > 0xDFFF then raise (Bad "lone high surrogate");
+      0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+    end
+    else if u >= 0xDC00 && u <= 0xDFFF then raise (Bad "lone low surrogate")
+    else u
   in
   let string_body () =
     expect '"';
@@ -148,7 +175,7 @@ let of_string src =
            | 't' -> Buffer.add_char buf '\t'
            | 'b' -> Buffer.add_char buf '\b'
            | 'f' -> Buffer.add_char buf '\012'
-           | 'u' -> utf8_of_code buf (hex4 ())
+           | 'u' -> utf8_of_code buf (unicode_escape ())
            | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
           go ()
       | c ->
@@ -232,3 +259,73 @@ let of_string src =
       if !pos <> n then Error (Printf.sprintf "trailing input at %d" !pos)
       else Ok v
   | exception Bad m -> Error m
+
+(* ---------------- framing ---------------- *)
+
+let default_max_frame = 16 * 1024 * 1024
+
+let frame ?(max_frame = default_max_frame) v =
+  let body = to_string v in
+  let n = String.length body in
+  if n > max_frame then
+    invalid_arg
+      (Printf.sprintf "Jsonw.frame: %d bytes exceeds max_frame %d" n max_frame);
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.blit_string body 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+type framer = {
+  fbuf : Buffer.t;
+  mutable fpos : int;  (* consumed prefix of [fbuf] *)
+  fmax : int;
+  mutable ferror : string option;  (* sticky: a bad stream stays bad *)
+}
+
+let framer ?(max_frame = default_max_frame) () =
+  { fbuf = Buffer.create 256; fpos = 0; fmax = max_frame; ferror = None }
+
+let feed fr b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Jsonw.feed";
+  if fr.ferror = None then Buffer.add_subbytes fr.fbuf b off len
+
+let feed_string fr s =
+  if fr.ferror = None then Buffer.add_string fr.fbuf s
+
+let next fr =
+  match fr.ferror with
+  | Some e -> `Error e
+  | None ->
+      let avail = Buffer.length fr.fbuf - fr.fpos in
+      if avail < 4 then `Await
+      else begin
+        let byte i = Char.code (Buffer.nth fr.fbuf (fr.fpos + i)) in
+        let len =
+          (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+        in
+        if len > fr.fmax then begin
+          let e =
+            Printf.sprintf "frame of %d bytes exceeds max_frame %d" len fr.fmax
+          in
+          fr.ferror <- Some e;
+          `Error e
+        end
+        else if avail < 4 + len then `Await
+        else begin
+          let body = Buffer.sub fr.fbuf (fr.fpos + 4) len in
+          fr.fpos <- fr.fpos + 4 + len;
+          (* Reclaim the consumed prefix once it dominates the buffer
+             so a long-lived connection doesn't grow without bound. *)
+          if fr.fpos > 4096 && fr.fpos * 2 > Buffer.length fr.fbuf then begin
+            let rest = Buffer.sub fr.fbuf fr.fpos (Buffer.length fr.fbuf - fr.fpos) in
+            Buffer.clear fr.fbuf;
+            Buffer.add_string fr.fbuf rest;
+            fr.fpos <- 0
+          end;
+          `Frame body
+        end
+      end

@@ -36,4 +36,37 @@ val to_string : ?indent:int -> t -> string
 val of_string : string -> (t, string) result
 (** Minimal strict parser, the round-trip partner of {!to_string}:
     numbers are kept as [Num] literals verbatim, [\uXXXX] escapes are
-    decoded to UTF-8. Meant for tests and small trusted inputs. *)
+    decoded to UTF-8 (surrogate pairs combine into one astral code
+    point; lone surrogates and bad hex digits are parse errors). *)
+
+(** {1 Framing}
+
+    Length-prefixed JSON frames for the serve-daemon socket: a 4-byte
+    big-endian byte length followed by that many bytes of compact
+    JSON. The reader side is a push-style incremental framer so short
+    reads across frame boundaries (the normal case on a socket) just
+    work. *)
+
+val default_max_frame : int
+(** 16 MiB — the frame-size ceiling both sides enforce by default. *)
+
+val frame : ?max_frame:int -> t -> string
+(** [frame v] is the wire form of [v]: big-endian length + compact
+    JSON. Raises [Invalid_argument] if the encoding exceeds
+    [max_frame]. *)
+
+type framer
+(** Incremental frame reader; one per connection. *)
+
+val framer : ?max_frame:int -> unit -> framer
+
+val feed : framer -> Bytes.t -> int -> int -> unit
+(** [feed fr b off len] appends bytes read from the socket. *)
+
+val feed_string : framer -> string -> unit
+
+val next : framer -> [ `Frame of string | `Await | `Error of string ]
+(** Pop the next complete frame body. [`Await] means more bytes are
+    needed; [`Error] (a frame longer than [max_frame]) is sticky —
+    the connection should be dropped, since resynchronising inside a
+    byte stream is not possible. *)

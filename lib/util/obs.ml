@@ -309,10 +309,10 @@ let with_span name f =
     let st = Domain.DLS.get stack_key in
     let o = { sname = name; acc = []; kids = [] } in
     st.stack <- o :: st.stack;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     Fun.protect
       ~finally:(fun () ->
-        let sp = freeze o (Unix.gettimeofday () -. t0) in
+        let sp = freeze o (Clock.now () -. t0) in
         (match st.stack with
         | top :: rest when top == o -> st.stack <- rest
         | _ -> () (* unbalanced: leave the stack alone *));

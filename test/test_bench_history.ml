@@ -58,6 +58,50 @@ let test_record_roundtrip () =
   Alcotest.(check bool) "no commit in stable part" false
     (contains s "commit")
 
+let test_record_nonfinite_times () =
+  (* a NaN/inf wall time is clamped to 0.0 at record time so the
+     committed line stays parseable forever *)
+  let r =
+    {
+      (sample_record ()) with
+      Record.times =
+        [ ("a", Float.nan); ("b", Float.infinity); ("c", 0.75) ];
+    }
+  in
+  match Record.of_line (Record.to_line r) with
+  | Ok r' ->
+      Alcotest.(check (list string))
+        "all time keys survive" [ "a"; "b"; "c" ]
+        (List.map fst r'.Record.times);
+      Alcotest.(check bool) "nan clamped" true
+        (List.assoc "a" r'.Record.times = 0.0);
+      Alcotest.(check bool) "inf clamped" true
+        (List.assoc "b" r'.Record.times = 0.0);
+      Alcotest.(check bool) "finite kept" true
+        (List.assoc "c" r'.Record.times = 0.75)
+  | Error e -> Alcotest.failf "clamped record failed to parse: %s" e
+
+let test_record_bad_field_named () =
+  (* a corrupt value diagnoses with the qualified field name *)
+  let bad =
+    "{\"version\":1,\"commit\":\"c\",\"target\":\"t\",\"jobs\":1,"
+    ^ "\"times\":{\"grid\":\"oops\"},\"counters\":{},\"spans\":{}}"
+  in
+  (match Record.of_line bad with
+  | Ok _ -> Alcotest.fail "bad times value accepted"
+  | Error e ->
+      Alcotest.(check bool) "names times.grid" true
+        (contains e "times.grid"));
+  let bad_counter =
+    "{\"version\":1,\"commit\":\"c\",\"target\":\"t\",\"jobs\":1,"
+    ^ "\"times\":{},\"counters\":{\"beta\":1.5},\"spans\":{}}"
+  in
+  match Record.of_line bad_counter with
+  | Ok _ -> Alcotest.fail "fractional counter accepted"
+  | Error e ->
+      Alcotest.(check bool) "names counters.beta" true
+        (contains e "counters.beta")
+
 (* ---- runner: the acceptance-criterion identity ---- *)
 
 let stable_str r = J.to_string (Record.stable_json r)
@@ -318,6 +362,10 @@ let test_unknown_target () =
 let suite =
   [
     Alcotest.test_case "record round-trip" `Quick test_record_roundtrip;
+    Alcotest.test_case "record non-finite times clamped" `Quick
+      test_record_nonfinite_times;
+    Alcotest.test_case "record bad field named" `Quick
+      test_record_bad_field_named;
     Alcotest.test_case "runner stable-part byte-identity" `Quick
       test_runner_stable_identity;
     Alcotest.test_case "check catches counter perturbation" `Quick

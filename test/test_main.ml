@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("bench_history", Test_bench_history.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]

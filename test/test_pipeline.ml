@@ -146,6 +146,130 @@ let test_explore_cache_byte_identical () =
   let warm = render (C.Explore.search ~generations:2 ~population:6 nl) in
   Alcotest.(check string) "cold and warm sweeps identical" cold warm
 
+(* ---- cache internals: single-flight under cap eviction ---- *)
+
+let dummy_product i =
+  C.Pipeline.P_choice
+    {
+      C.Selection.route_blocks = [ i ];
+      lgc_blocks = [];
+      label = "dummy";
+      coverage = 0.0;
+      lut_estimate = 0.0;
+    }
+
+(* A cap-triggered eviction must drop only Ready entries: a Pending
+   slot is another domain's in-flight claim. The old Hashtbl.reset
+   wiped claims, so a waiter would re-claim and recompute the key. *)
+let test_eviction_preserves_claims () =
+  C.Pipeline.clear_cache ();
+  let key = "testpass|single-flight" in
+  Alcotest.(check bool)
+    "key claimed" true
+    (C.Pipeline.cache_find key = None);
+  (* overflow the cap with Ready fillers; each add past the cap evicts *)
+  for i = 0 to C.Pipeline.cache_cap + 8 do
+    C.Pipeline.cache_add (Printf.sprintf "filler|%d" i) (dummy_product i)
+  done;
+  Alcotest.(check bool)
+    "claim survives cap eviction" true
+    (C.Pipeline.cache_slot key = `Pending);
+  (* a second consumer must wait for the claim owner, not recompute:
+     it blocks until cache_add lands and then sees the owner's product *)
+  let waiter =
+    Domain.spawn (fun () ->
+        match C.Pipeline.cache_find key with
+        | Some (C.Pipeline.P_choice c) -> c.C.Selection.route_blocks
+        | _ -> [])
+  in
+  C.Pipeline.cache_add key (dummy_product 4242);
+  Alcotest.(check (list int)) "waiter got the owner's product" [ 4242 ]
+    (Domain.join waiter);
+  Alcotest.(check bool)
+    "key is ready" true
+    (C.Pipeline.cache_slot key = `Ready);
+  C.Pipeline.clear_cache ()
+
+(* cache_abort re-opens a claimed key *)
+let test_abort_reopens () =
+  C.Pipeline.clear_cache ();
+  let key = "testpass|abort" in
+  Alcotest.(check bool) "claimed" true (C.Pipeline.cache_find key = None);
+  C.Pipeline.cache_abort key;
+  Alcotest.(check bool)
+    "absent after abort" true
+    (C.Pipeline.cache_slot key = `Absent);
+  C.Pipeline.clear_cache ()
+
+(* ---- spill store hooks ---- *)
+
+(* An in-memory store is enough to exercise the save/load wiring:
+   after clear_cache (the in-process stand-in for a restart) the
+   product must come back from the store as a hit, not a claim. *)
+let test_store_round_trip () =
+  let blobs : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  C.Pipeline.set_store
+    (Some
+       {
+         C.Pipeline.save = (fun k b -> Hashtbl.replace blobs k b);
+         load = (fun k -> Hashtbl.find_opt blobs k);
+       });
+  Fun.protect ~finally:(fun () ->
+      C.Pipeline.set_store None;
+      C.Pipeline.clear_cache ())
+  @@ fun () ->
+  C.Pipeline.clear_cache ();
+  let key = "testpass|spill" in
+  Alcotest.(check bool) "cold claim" true (C.Pipeline.cache_find key = None);
+  C.Pipeline.cache_add key (dummy_product 7);
+  Alcotest.(check bool) "spilled" true (Hashtbl.mem blobs key);
+  C.Pipeline.clear_cache ();
+  (match C.Pipeline.cache_find key with
+  | Some (C.Pipeline.P_choice c) ->
+      Alcotest.(check (list int)) "restored product" [ 7 ]
+        c.C.Selection.route_blocks
+  | Some _ -> Alcotest.fail "wrong product from store"
+  | None ->
+      C.Pipeline.cache_abort key;
+      Alcotest.fail "store miss after clear_cache");
+  let h, m = C.Pipeline.cache_stats () in
+  Alcotest.(check int) "disk load counts as a hit" 1 h;
+  Alcotest.(check int) "no miss" 0 m;
+  (* corrupt blob degrades to a miss (claim), never an error *)
+  Hashtbl.replace blobs key "corrupt";
+  C.Pipeline.clear_cache ();
+  Alcotest.(check bool)
+    "corrupt blob -> claim" true
+    (C.Pipeline.cache_find key = None);
+  C.Pipeline.cache_abort key
+
+(* The full flow with a store attached: a cleared in-memory cache is
+   reloaded from the store, and the rerun output is byte-identical. *)
+let test_store_warm_flow () =
+  let blobs : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  C.Pipeline.set_store
+    (Some
+       {
+         C.Pipeline.save = (fun k b -> Hashtbl.replace blobs k b);
+         load = (fun k -> Hashtbl.find_opt blobs k);
+       });
+  Fun.protect ~finally:(fun () ->
+      C.Pipeline.set_store None;
+      C.Pipeline.clear_cache ())
+  @@ fun () ->
+  C.Pipeline.clear_cache ();
+  let nl = Lazy.force fir in
+  let cfg = fir_cfg () in
+  let summary r = Format.asprintf "%a" C.Flow.pp_summary r in
+  let cold = summary (C.Flow.of_outcome (C.Flow.run_staged cfg nl)) in
+  Alcotest.(check bool) "products spilled" true (Hashtbl.length blobs > 0);
+  C.Pipeline.clear_cache ();
+  let warm = summary (C.Flow.of_outcome (C.Flow.run_staged cfg nl)) in
+  let h, m = C.Pipeline.cache_stats () in
+  Alcotest.(check string) "store-warm run byte-identical" cold warm;
+  Alcotest.(check bool) "served from store" true (h > 0);
+  Alcotest.(check int) "no recompute" 0 m
+
 let suite =
   [
     ("pass names", `Quick, test_pass_names);
@@ -154,4 +278,8 @@ let suite =
     ("cache reuse byte-identical", `Quick, test_cache_reuse_identical);
     ("downstream change reuses upstream", `Quick, test_downstream_change_reuses_upstream);
     ("explore cache byte-identical", `Slow, test_explore_cache_byte_identical);
+    ("cap eviction preserves claims", `Quick, test_eviction_preserves_claims);
+    ("abort reopens claim", `Quick, test_abort_reopens);
+    ("spill store round trip", `Quick, test_store_round_trip);
+    ("spill store warm flow", `Quick, test_store_warm_flow);
   ]

@@ -202,6 +202,33 @@ let test_jsonw_float_special () =
   Alcotest.(check string) "dec respected" "0.25"
     (J.to_string (J.float ~dec:2 0.25))
 
+let test_jsonw_surrogate_pair () =
+  (* U+1F600 as an escaped surrogate pair must decode to one 4-byte
+     UTF-8 scalar, not two 3-byte CESU-8 halves *)
+  match J.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (J.Str s) ->
+      Alcotest.(check string) "4-byte utf-8" "\xf0\x9f\x98\x80" s;
+      (* and the decoded form survives a serialize/parse cycle *)
+      let again = J.to_string (J.Str s) in
+      (match J.of_string again with
+      | Ok (J.Str s2) -> Alcotest.(check string) "round-trips" s s2
+      | Ok _ -> Alcotest.fail "re-parse gave a non-string"
+      | Error e -> Alcotest.fail ("re-parse error: " ^ e))
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error e -> Alcotest.fail ("parse error: " ^ e)
+
+let test_jsonw_lone_surrogate () =
+  let rejects what input =
+    match J.of_string input with
+    | Ok _ -> Alcotest.fail (what ^ ": accepted invalid input")
+    | Error _ -> ()
+  in
+  rejects "lone high surrogate" "\"\\ud83d\"";
+  rejects "lone low surrogate" "\"\\ude00\"";
+  rejects "high surrogate then text" "\"\\ud83dXY\"";
+  rejects "high then non-low escape" "\"\\ud83d\\u0041\"";
+  rejects "bad hex digits" "\"\\uZZZZ\""
+
 let test_rng_child_stable () =
   let t = Rng.create 42 in
   let a = Rng.child t 3 and b = Rng.child t 3 in
@@ -331,4 +358,6 @@ let suite =
     ("jsonw escaping", `Quick, test_jsonw_escaping);
     ("jsonw document round-trip", `Quick, test_jsonw_roundtrip_doc);
     ("jsonw float specials", `Quick, test_jsonw_float_special);
+    ("jsonw surrogate pair", `Quick, test_jsonw_surrogate_pair);
+    ("jsonw lone surrogate rejected", `Quick, test_jsonw_lone_surrogate);
   ]

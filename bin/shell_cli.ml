@@ -778,7 +778,7 @@ let lint_cmd =
 module BH = Shell_bench_history
 
 let bench_run targets jobs out_dir history record check report allowlist
-    time_tolerance commit list_targets =
+    time_tolerance commit against list_targets =
   if list_targets then
     List.iter
       (fun (t : BH.Targets.t) ->
@@ -797,6 +797,7 @@ let bench_run targets jobs out_dir history record check report allowlist
         allowlist;
         time_tolerance;
         commit;
+        against;
       }
     in
     match BH.Runner.execute opts with
@@ -890,6 +891,17 @@ let bench_cmd =
             "Commit id stamped into records (default: SHELL_BENCH_COMMIT or \
              the git HEAD read from .git).")
   in
+  let against =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"COMMIT"
+          ~doc:
+            "--check baseline selector: a commit id (prefixes ok) or \
+             $(b,merge-base) to use SHELL_BENCH_MERGE_BASE / the origin \
+             default-branch tip read from .git. Falls back to the last \
+             record per target, with a warning, when no record matches.")
+  in
   let list_targets =
     Arg.(
       value & flag
@@ -903,7 +915,7 @@ let bench_cmd =
           --report renders the HTML trend page.")
     Term.(
       const bench_run $ targets $ jobs $ out_dir $ history $ record $ check
-      $ report $ allowlist $ time_tolerance $ commit $ list_targets)
+      $ report $ allowlist $ time_tolerance $ commit $ against $ list_targets)
 
 (* ---------------- serve ---------------- *)
 
@@ -921,18 +933,29 @@ let socket_arg =
 let address_of_arg s =
   match SS.address_of_string s with Ok a -> a | Error m -> dief "%s" m
 
-let serve_run socket queue_cap max_frame max_seconds cache_dir verbose =
-  let cfg =
-    {
-      SS.address = address_of_arg socket;
-      queue_cap;
-      max_frame;
-      max_seconds;
-      store_dir = cache_dir;
-      log = verbose;
-    }
-  in
-  SS.serve cfg
+let serve_run socket queue_cap max_frame max_seconds cache_dir cache_max_bytes
+    gc_only verbose =
+  if gc_only then begin
+    match cache_dir with
+    | None -> dief "serve --gc needs --cache-dir"
+    | Some dir ->
+        let max_bytes = Option.value ~default:0 cache_max_bytes in
+        let rep = Shell_serve.Store.gc (Shell_serve.Store.create ~root:dir) ~max_bytes in
+        Format.printf "%a@." Shell_serve.Store.pp_gc_report rep
+  end
+  else
+    let cfg =
+      {
+        SS.address = address_of_arg socket;
+        queue_cap;
+        max_frame;
+        max_seconds;
+        store_dir = cache_dir;
+        cache_max_bytes;
+        log = verbose;
+      }
+    in
+    SS.serve cfg
 
 let serve_cmd =
   let queue_cap =
@@ -966,6 +989,25 @@ let serve_cmd =
              $(docv) so warm hits survive daemon restarts. Evict by \
              deleting the directory.")
   in
+  let cache_max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Size cap on the spill store: least-recently-read blobs are \
+             pruned back under $(docv) at daemon startup (and by \
+             $(b,--gc)). Off by default.")
+  in
+  let gc_only =
+    Arg.(
+      value & flag
+      & info [ "gc" ]
+          ~doc:
+            "Don't start the daemon: prune the --cache-dir store to \
+             --cache-max-bytes (default 0 = empty it), print the typed \
+             report and exit.")
+  in
   let verbose =
     Arg.(
       value & flag & info [ "verbose" ] ~doc:"Log admissions/jobs to stderr.")
@@ -976,11 +1018,12 @@ let serve_cmd =
          "Run the lock-as-a-service daemon: lock/attack/battery/fuzz/lint \
           jobs over a Unix/TCP socket as length-prefixed JSON, with an \
           admission-control queue, per-job priorities and budget caps, \
-          Prometheus metrics, and an on-disk pass-cache spill store. Stop \
-          it with `shell client shutdown`.")
+          Prometheus metrics, and an on-disk pass-cache spill store (size \
+          capped via --cache-max-bytes; prune offline with --gc). Stop it \
+          with `shell client shutdown`.")
     Term.(
       const serve_run $ socket_arg $ queue_cap $ max_frame $ max_seconds
-      $ cache_dir $ verbose)
+      $ cache_dir $ cache_max_bytes $ gc_only $ verbose)
 
 (* ---------------- client ---------------- *)
 

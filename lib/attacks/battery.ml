@@ -12,6 +12,8 @@ let all : Attack.t list =
     Brute_force.attack;
     Sensitize.attack;
     Structural.attack;
+    Redundancy.attack;
+    Scope.attack;
     Removal.attack;
     Proximity.attack;
     Portfolio.attack;

@@ -15,8 +15,10 @@
     vs 4. *)
 
 val all : Attack.t list
-(** sat, appsat, brute, sensitize, structural, removal, proximity,
-    portfolio — in matrix column order. *)
+(** sat, appsat, brute, sensitize, structural, redundancy, scope,
+    removal, proximity, portfolio — in matrix column order. The
+    oracle-less trio (structural, redundancy, scope) all run on the
+    shared [Shell_lint] dataflow engine. *)
 
 val find : string -> Attack.t option
 val names : unit -> string list

@@ -1,0 +1,59 @@
+module Lscope = Shell_lint.Scope
+module N = Shell_netlist.Netlist
+module Locked = Shell_locking.Locked
+
+(* SCOPE-style oracle-less attack: guess each key bit from the
+   asymmetry of its 0/1 pinned constant-propagation scores (the shared
+   Shell_lint.Scope engine — the less-collapsing value is the likelier
+   correct one), then verify the assembled key word-parallel through
+   Locked.verify (Simw-backed equivalence). Ties are undecidable; if
+   every bit ties, the design is SCOPE-resilient and we do not gamble
+   on an all-default key. Deterministic: the scores are a pure
+   function of the locked netlist. *)
+
+let attack =
+  {
+    Attack.name = "scope";
+    description = "per-key-bit constant-propagation scoring (SCOPE-style)";
+    capabilities = [ Attack.Structure_only ];
+    run =
+      (fun (b : Attack.budget) (s : Attack.subject) ->
+        ignore b;
+        let nl = s.Attack.locked.Locked.locked in
+        if N.keys nl = [] then Attack.Inapplicable "no key bits"
+        else begin
+          let start = Shell_util.Clock.now () in
+          let scores = Lscope.scores nl in
+          let k = List.length scores in
+          let guess = Array.make k false in
+          let decided = ref 0 in
+          let max_div = ref 0 in
+          List.iteri
+            (fun i (sc : Lscope.bit_score) ->
+              max_div := max !max_div (Lscope.divergence sc);
+              match Lscope.guess sc with
+              | Some g ->
+                  guess.(i) <- g;
+                  incr decided
+              | None -> ())
+            scores;
+          let stats =
+            {
+              Attack.iterations = k;
+              oracle_queries = 0;
+              conflicts = 0;
+              elapsed = Shell_util.Clock.now () -. start;
+              key_bits = k;
+              recovered_bits = !decided;
+              detail =
+                [
+                  ("decided", !decided);
+                  ("undecided", k - !decided);
+                  ("max_divergence", !max_div);
+                ];
+            }
+          in
+          if !decided = 0 then Attack.Resilient stats
+          else Attack.checked_broken s guess stats
+        end);
+  }

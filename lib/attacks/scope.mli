@@ -1,0 +1,23 @@
+(** SCOPE-style oracle-less attack: unsupervised constant-propagation
+    key guessing.
+
+    Each key bit is scored by {!Shell_lint.Scope} — re-running the
+    3-valued constant propagation with the bit pinned each way and
+    counting the nets each pinning newly proves constant. The
+    less-collapsing value is guessed as correct (wrong values
+    degenerate the locking gates into constants); ties are
+    undecidable. The assembled key (undecided bits default to 0) is
+    verified word-parallel through {!Attack.checked_broken}, i.e.
+    [Locked.verify] on the 63-lane [Simw] engine, before any break is
+    claimed. When every bit ties the verdict is [Resilient]:
+    symmetric locking (XOR gates, balanced mux routing) is SCOPE's
+    documented blind spot.
+
+    This is the attack the [scope-leak] lint rule warns defenders
+    about, run from the attacker's side. *)
+
+val attack : Attack.t
+(** Registered as ["scope"]. [recovered_bits] counts the decided bits;
+    [detail] carries the decided/undecided split and the maximum
+    divergence seen. Budget knobs are ignored (two incremental
+    propagations per bit). *)

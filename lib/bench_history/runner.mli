@@ -10,6 +10,22 @@ val commit_id : unit -> string
     working directory, following [HEAD] refs through loose and packed
     refs — no subprocess); ["unknown"] when neither works. *)
 
+val merge_base_commit : unit -> string option
+(** The commit [--against merge-base] compares to:
+    [SHELL_BENCH_MERGE_BASE] when set, otherwise the tip of the
+    origin default branch read from [.git] (the
+    [refs/remotes/origin/HEAD] symref, then [origin/main],
+    [origin/master], and the local [main]/[master] heads). This is the
+    merge-base approximation available without walking the object
+    graph: on a just-forked feature branch the default-branch tip {e
+    is} the merge base, and CI pipelines that know better inject the
+    exact sha via the env var. [None] when no candidate resolves. *)
+
+val commit_matches : spec:string -> string -> bool
+(** Prefix-tolerant commit comparison (either side may be abbreviated,
+    as [SHELL_BENCH_COMMIT] often is in CI). Empty strings never
+    match. *)
+
 val out_file : dir:string -> string -> string
 (** [Filename.concat dir name], creating [dir] first — the shared
     resolver for every bench artifact path. *)
@@ -38,6 +54,13 @@ type opts = {
   allowlist : string option;  (** intentional-change patterns file *)
   time_tolerance : float option;  (** e.g. [0.5] = +-50%; off if absent *)
   commit : string option;  (** override {!commit_id} *)
+  against : string option;
+      (** [--check] baseline selector: [Some "merge-base"] diffs
+          against the last history record whose commit prefix-matches
+          {!merge_base_commit}; any other string is taken as a commit
+          (prefix) directly. When the spec cannot be resolved or no
+          record matches it, a warning goes to [out] and the last
+          record per target is used, as with [None]. *)
 }
 
 val default_opts : opts

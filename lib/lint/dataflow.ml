@@ -41,10 +41,14 @@ let residual_table tt vals =
   done;
   !t
 
-let eval_cell values (c : Cell.t) =
+let eval_cell ?(config_through = false) values (c : Cell.t) =
   let iv i = values.(c.Cell.ins.(i)) in
   match c.Cell.kind with
   | Cell.Const b -> of_bool b
+  | Cell.Config_latch when config_through ->
+      (* post-configuration semantics: the latch holds whatever the
+         bitstream loaded, so a known input pins the stored state *)
+      iv 0
   | Cell.Dff | Cell.Config_latch -> Unknown
   | Cell.Buf -> iv 0
   | Cell.Not -> neg (iv 0)
@@ -75,13 +79,16 @@ let eval_cell values (c : Cell.t) =
       let r = residual_table tt vals in
       (match Truthtab.is_const r with Some b -> of_bool b | None -> Unknown)
 
-let const_values nl =
+let const_values ?(pins = []) ?(config_through = false) nl =
   let n = N.num_nets nl in
   let values = Array.make (max n 1) Unknown in
+  List.iter
+    (fun (net, b) -> if net >= 0 && net < n then values.(net) <- of_bool b)
+    pins;
   let cells = N.cells nl in
   let eval_into ci =
     let c = cells.(ci) in
-    match eval_cell values c with
+    match eval_cell ~config_through values c with
     | Unknown -> false
     | v ->
         if values.(c.Cell.out) = Unknown then begin
@@ -90,23 +97,30 @@ let const_values nl =
         end
         else false
   in
-  (match N.topo_order nl with
-  | order ->
-      (* one sweep suffices when the combinational part is acyclic *)
-      Array.iter (fun ci -> ignore (eval_into ci)) order
-  | exception Failure _ ->
-      (* cyclic: bounded monotone fixpoint (each net moves at most once,
-         Unknown -> known, so this terminates; the bound caps the cost
-         on adversarial cell orderings) *)
-      let changed = ref true in
-      let rounds = ref 0 in
-      while !changed && !rounds < 64 do
-        changed := false;
-        incr rounds;
-        for ci = 0 to Array.length cells - 1 do
-          if eval_into ci then changed := true
-        done
-      done);
+  let order, acyclic =
+    match N.topo_order nl with
+    | o -> (o, true)
+    | exception Failure _ ->
+        (Array.init (Array.length cells) (fun i -> i), false)
+  in
+  if acyclic && not config_through then
+    (* one sweep suffices when the combinational part is acyclic:
+       sequential cells come last in the order, and their outputs stay
+       Unknown anyway *)
+    Array.iter (fun ci -> ignore (eval_into ci)) order
+  else begin
+    (* cyclic, or facts flowing through Config_latch (which the topo
+       order places after its readers): bounded monotone fixpoint —
+       each net moves at most once, Unknown -> known, so this
+       terminates; the bound caps the cost on adversarial orderings *)
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds < 64 do
+      changed := false;
+      incr rounds;
+      Array.iter (fun ci -> if eval_into ci then changed := true) order
+    done
+  end;
   values
 
 let fanin_nets ?values nl targets =

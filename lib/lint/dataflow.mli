@@ -24,15 +24,37 @@ type value = Zero | One | Unknown
 val known : value -> bool option
 (** [Some b] for a proven constant, [None] for [Unknown]. *)
 
-val const_values : Shell_netlist.Netlist.t -> value array
+val residual_table :
+  Shell_util.Truthtab.t -> value array -> Shell_util.Truthtab.t
+(** Fix the known inputs of a LUT table, leaving a residual over the
+    unknown ones (in ascending original-input order). Shared by the
+    functional cone walk, the ODC masking rules and the taint
+    propagation. *)
+
+val const_values :
+  ?pins:(int * bool) list ->
+  ?config_through:bool ->
+  Shell_netlist.Netlist.t ->
+  value array
 (** Per-net constant facts, indexed by net id. Ports are [Unknown].
     Acyclic netlists are evaluated in one topological sweep; cyclic
     ones by a bounded monotone fixpoint (sound, possibly less
-    precise). *)
+    precise).
 
-val eval_cell : value array -> Shell_netlist.Cell.t -> value
+    [~pins] seeds nets (typically key ports) with assumed constants
+    before the sweep — the SCOPE-style analyses re-run the propagation
+    with one key bit pinned each way. [~config_through:true] switches
+    [Config_latch] to its post-configuration semantics: a known input
+    (the bitstream bit) pins the stored state, so facts flow through
+    the fabric's configuration plane; this forces the fixpoint path
+    because the topological order places latches after their
+    readers. *)
+
+val eval_cell :
+  ?config_through:bool -> value array -> Shell_netlist.Cell.t -> value
 (** Three-valued evaluation of one cell under the given net facts.
-    Sequential kinds return [Unknown]. *)
+    Sequential kinds return [Unknown], except [Config_latch] under
+    [~config_through:true], which passes its input fact through. *)
 
 val fanin_nets :
   ?values:value array ->

@@ -72,12 +72,16 @@ type ctx = {
   values : Dataflow.value array;
   reach : bool array;
   live : bool array;
+  odc : Odc.t;
+  taint : Taint.t;
 }
 
 let make_ctx subj =
   let c = Dataflow.output_cones subj.netlist in
+  let odc = Odc.analyze ~values:c.Dataflow.values subj.netlist in
+  let taint = Taint.analyze ~values:c.Dataflow.values subj.netlist in
   { subj; values = c.Dataflow.values; reach = c.Dataflow.reach;
-    live = c.Dataflow.live }
+    live = c.Dataflow.live; odc; taint }
 
 type rule = {
   name : string;

@@ -84,6 +84,10 @@ type ctx = {
       (** nets in the {e structural} fanin cone of the outputs *)
   live : bool array;
       (** nets in the {e functional} cone (constant-aware cuts) *)
+  odc : Odc.t;
+      (** backward observability: which nets can still reach an output *)
+  taint : Taint.t;
+      (** forward key influence: which key bits reach which nets *)
 }
 
 val make_ctx : subject -> ctx

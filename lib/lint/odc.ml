@@ -1,0 +1,156 @@
+module N = Shell_netlist.Netlist
+module Cell = Shell_netlist.Cell
+module Truthtab = Shell_util.Truthtab
+
+(* Backward observability-don't-care analysis.
+
+   A net is OBSERVABLE when toggling its value (alone, holding every
+   other net consistent with the proven constant facts) can change some
+   primary output. We compute the complement conservatively: a net is
+   marked unobservable only when every one of its reads is provably
+   masked, so [observable] is an over-approximation of true
+   observability — safe to act on its negation.
+
+   Each masking rule below is sound on its own terms: it declares a
+   read (cell, input position) masked only when, under EVERY assignment
+   consistent with the constant facts, toggling that input alone cannot
+   change the cell's output. Joint toggling through reconvergent paths
+   is handled by the per-read granularity — a net that also reaches the
+   cell through an unmasked input stays observable through that read. *)
+
+type t = {
+  observable : bool array;  (** per net: value can still reach an output *)
+  masked_reads : int;  (** reads cut by a masking rule *)
+  const_cuts : int;  (** nets cut because they are proven constants *)
+}
+
+(* Is the read of input position [i] of cell [c] masked under the
+   constant facts? *)
+let input_masked values (c : Cell.t) i =
+  let ins = c.Cell.ins in
+  let v j = values.(ins.(j)) in
+  let kv j = Dataflow.known (v j) in
+  match c.Cell.kind with
+  | Cell.Const _ -> true
+  | Cell.And | Cell.Nand ->
+      (* the other operand is a proven controlling 0 *)
+      kv (1 - i) = Some false
+  | Cell.Or | Cell.Nor -> kv (1 - i) = Some true
+  | Cell.Xor | Cell.Xnor ->
+      (* x xor x is constant: toggling the shared net flips both
+         operands at once, leaving the output fixed *)
+      ins.(0) = ins.(1)
+  | Cell.Not | Cell.Buf | Cell.Dff | Cell.Config_latch -> false
+  | Cell.Mux2 -> (
+      match i with
+      | 0 ->
+          (* select masked when it provably cannot steer: arms are the
+             same net, the same proven constant, or the select itself
+             is pinned *)
+          ins.(1) = ins.(2)
+          || (match (kv 1, kv 2) with
+             | Some a, Some b -> a = b
+             | _ -> false)
+          || kv 0 <> None
+      | 1 -> kv 0 = Some true (* arm a dead when select pinned high *)
+      | 2 -> kv 0 = Some false
+      | _ -> false)
+  | Cell.Mux4 -> (
+      (* ins = [|s0; s1; a; b; c; d|], {s1,s0} selects arm index *)
+      let arm_reachable idx =
+        (match kv 0 with
+        | Some s0 -> (if s0 then 1 else 0) = idx land 1
+        | None -> true)
+        && match kv 1 with
+           | Some s1 -> (if s1 then 1 else 0) = idx lsr 1
+           | None -> true
+      in
+      match i with
+      | 0 | 1 ->
+          let arms_equal =
+            ins.(2) = ins.(3) && ins.(3) = ins.(4) && ins.(4) = ins.(5)
+          in
+          arms_equal || kv i <> None
+      | _ -> not (arm_reachable (i - 2)))
+  | Cell.Lut tt ->
+      (* masked when the input is pinned, or the residual table over
+         the unknown inputs no longer depends on it *)
+      let vals = Array.map (fun net -> values.(net)) ins in
+      (match Dataflow.known vals.(i) with
+      | Some _ -> true
+      | None ->
+          let r = Dataflow.residual_table tt vals in
+          (* position of input i among the unknown inputs *)
+          let j = ref 0 in
+          for k = 0 to i - 1 do
+            if Dataflow.known vals.(k) = None then incr j
+          done;
+          not (Truthtab.depends_on r !j))
+
+let analyze ?values nl =
+  let values =
+    match values with Some v -> v | None -> Dataflow.const_values nl
+  in
+  let n = N.num_nets nl in
+  let observable = Array.make (max n 1) false in
+  let masked_reads = ref 0 in
+  let const_cuts = ref 0 in
+  (* a proven-constant net carries no toggle: never observable *)
+  let mark net =
+    if
+      net >= 0 && net < n
+      && (not observable.(net))
+      && Dataflow.known values.(net) = None
+    then begin
+      observable.(net) <- true;
+      true
+    end
+    else false
+  in
+  Array.iter (fun net -> ignore (mark net)) (N.output_nets nl);
+  let cells = N.cells nl in
+  (* reverse topological order converges in one sweep on acyclic
+     netlists; observability only grows, so sweeping to a fixpoint is
+     a terminating least-fixpoint computation on cyclic ones (and
+     through sequential feedback, where state influence counts) *)
+  let order =
+    match N.topo_order nl with
+    | o ->
+        let m = Array.length o in
+        Array.init m (fun i -> o.(m - 1 - i))
+    | exception Failure _ -> Array.init (Array.length cells) (fun i -> i)
+  in
+  let sweep () =
+    let changed = ref false in
+    Array.iter
+      (fun ci ->
+        let c = cells.(ci) in
+        if observable.(c.Cell.out) then
+          Array.iteri
+            (fun i net ->
+              if (not (input_masked values c i)) && mark net then
+                changed := true)
+            c.Cell.ins)
+      order;
+    !changed
+  in
+  (* no round cap: every sweep that reports a change marked at least
+     one new net, so the loop runs at most [n] sweeps — and on acyclic
+     netlists the reverse topological order converges after the sweeps
+     needed to cross sequential boundaries *)
+  let changed = ref true in
+  while !changed do
+    changed := sweep ()
+  done;
+  (* diagnostics over the final fixpoint *)
+  Array.iter
+    (fun (c : Cell.t) ->
+      if observable.(c.Cell.out) then
+        Array.iteri
+          (fun i _ -> if input_masked values c i then incr masked_reads)
+          c.Cell.ins)
+    cells;
+  for net = 0 to n - 1 do
+    if Dataflow.known values.(net) <> None then incr const_cuts
+  done;
+  { observable; masked_reads = !masked_reads; const_cuts = !const_cuts }

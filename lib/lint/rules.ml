@@ -190,6 +190,68 @@ let key_blocked =
                     nm)
              else None))
 
+let key_odc_dead =
+  rule "key-odc-dead" Security Warn
+    "a key bit is observable at no output under the ODC masking rules"
+    (fun r ctx ->
+      N.keys ctx.subj.netlist
+      |> List.filter_map (fun (nm, net) ->
+             if
+               net >= 0
+               && net < Array.length ctx.reach
+               && ctx.reach.(net) && ctx.live.(net)
+               && not ctx.odc.Odc.observable.(net)
+             then
+               Some
+                 (finding r ~where:("key:" ^ nm)
+                    "key bit %s survives the constant cuts but every read is \
+                     masked (unsteerable mux select, cofactored LUT input): \
+                     toggling it alone can never reach an output"
+                    nm)
+             else None))
+
+let key_taint_collapse =
+  rule "key-taint-collapse" Security Warn
+    "a primary output's key-taint set is empty (cone simulable without \
+     the key)"
+    (fun r ctx ->
+      if N.keys ctx.subj.netlist = [] then []
+      else
+        N.outputs ctx.subj.netlist
+        |> List.filter_map (fun (nm, net) ->
+               if Taint.is_empty ctx.taint net then
+                 Some
+                   (finding r ~where:("output:" ^ nm)
+                      "no key bit can functionally reach output %s: its \
+                       whole cone is attacker-simulable without the key"
+                      nm)
+               else None))
+
+let scope_leak =
+  rule "scope-leak" Security Warn
+    "a key bit's 0/1 constant-propagation scores diverge (SCOPE-guessable)"
+    (fun r ctx ->
+      if N.keys ctx.subj.netlist = [] then []
+      else
+        Scope.scores ctx.subj.netlist
+        |> List.filter_map (fun (b : Scope.bit_score) ->
+               match Scope.guess b with
+               | Some g ->
+                   Some
+                     (finding r
+                        ~where:("key:" ^ b.Scope.name)
+                        "pinning %s to %d collapses %d net%s vs %d the other \
+                         way: SCOPE-style scoring guesses the bit is %d \
+                         oracle-free"
+                        b.Scope.name
+                        (if g then 0 else 1)
+                        (max b.Scope.score0 b.Scope.score1)
+                        (if max b.Scope.score0 b.Scope.score1 = 1 then ""
+                         else "s")
+                        (min b.Scope.score0 b.Scope.score1)
+                        (if g then 1 else 0))
+               | None -> None))
+
 let mux_chain_cycle =
   rule "mux-chain-cycle" Security Error
     "MUX cells form a cycle, violating the non-cyclic ROUTE-chain mapping"
@@ -458,7 +520,17 @@ let structural =
     lut_degenerate;
   ]
 
-let security = [ key_dead; key_blocked; mux_chain_cycle; lgc_depth; ref_mismatch ]
+let security =
+  [
+    key_dead;
+    key_blocked;
+    key_odc_dead;
+    key_taint_collapse;
+    scope_leak;
+    mux_chain_cycle;
+    lgc_depth;
+    ref_mismatch;
+  ]
 let fabric = [ fabric_unused; config_dangling; bitstream_accounting ]
 let all = structural @ security @ fabric
 let find name = List.find_opt (fun r -> r.name = name) all

@@ -9,9 +9,16 @@
     - [output-constant] (warn): output provably stuck
     - [lut-degenerate] (info): constant table / ignored LUT input
 
-    {b security} — the paper's locking invariants:
+    {b security} — the paper's locking invariants plus the oracle-less
+    leak checks on the multi-domain dataflow engine:
     - [key-dead] (error): key bit with an empty influence cone
     - [key-blocked] (warn): key bit constant-propagated away
+    - [key-odc-dead] (warn): key bit alive past the constant cuts but
+      observable at no output under the {!Odc} masking rules
+    - [key-taint-collapse] (warn): primary output whose {!Taint} set is
+      empty — its cone is attacker-simulable without the key
+    - [scope-leak] (warn): key bit whose 0/1 pinned constant-propagation
+      scores diverge, so {!Scope} guesses it oracle-free
     - [mux-chain-cycle] (error): cyclic MUX chain (non-cyclic ROUTE
       mapping violated)
     - [lgc-depth] (warn): selected LGC not depth-0 adjacent to ROUTE

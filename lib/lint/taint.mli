@@ -1,0 +1,44 @@
+(** Forward key-influence taint lattice.
+
+    Per net, the bitset of key bits whose value can still functionally
+    reach it. Key ports seed their own bit; cells union the taint of
+    their inputs into their output, except that
+
+    - a proven-constant net contributes and accumulates nothing (its
+      value is fixed, so no key influence flows through it), and
+    - a read that {!Odc.input_masked} proves can never steer the cell
+      contributes nothing (unselected mux arms, cofactored-away LUT
+      inputs, operands masked by a controlling constant).
+
+    The result over-approximates true functional influence: an output
+    whose taint set is {e empty} provably does not depend on any key
+    bit — its cone is attacker-simulable without the key (the
+    [key-taint-collapse] lint rule). Sequential cells pass taint
+    through (state influence counts); cyclic netlists converge by a
+    monotone least-fixpoint iteration. *)
+
+type t = {
+  nkeys : int;
+  w : int;  (** bitset words per net *)
+  words : int array;  (** net-major bitset matrix, [n * w] *)
+}
+
+val analyze : ?values:Dataflow.value array -> Shell_netlist.Netlist.t -> t
+(** [~values] defaults to {!Dataflow.const_values} (pass the context's
+    facts to avoid recomputing them). *)
+
+val tainted : t -> net:int -> bit:int -> bool
+(** Key bit [bit] can still reach [net]. *)
+
+val is_empty : t -> int -> bool
+(** No key bit reaches this net. *)
+
+val net_taint : t -> int -> int list
+(** Ascending list of key-bit indices reaching the net. *)
+
+val count : t -> int -> int
+
+val output_taints :
+  t -> Shell_netlist.Netlist.t -> (string * int list) list
+(** Per primary output [(name, key bits reaching it)], in declaration
+    order. *)

@@ -31,6 +31,7 @@ type config = {
   max_frame : int;
   max_seconds : float;
   store_dir : string option;
+  cache_max_bytes : int option;
   log : bool;
 }
 
@@ -41,6 +42,7 @@ let default_config address =
     max_frame = J.default_max_frame;
     max_seconds = 600.0;
     store_dir = None;
+    cache_max_bytes = None;
     log = false;
   }
 
@@ -269,7 +271,18 @@ let create cfg =
   | _ -> ()
   | exception Invalid_argument _ -> () (* no SIGPIPE on this platform *));
   (match cfg.store_dir with
-  | Some dir -> Store.attach (Store.create ~root:dir)
+  | Some dir ->
+      let store = Store.create ~root:dir in
+      (* prune before attaching: a daemon restarted against a bloated
+         spill directory starts back under its cap *)
+      (match cfg.cache_max_bytes with
+      | Some max_bytes ->
+          let rep = Store.gc store ~max_bytes in
+          if cfg.log then
+            Printf.eprintf "serve: %s\n%!"
+              (Format.asprintf "%a" Store.pp_gc_report rep)
+      | None -> ());
+      Store.attach store
   | None -> ());
   let listen_fd = listen_socket cfg.address in
   {

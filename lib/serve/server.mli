@@ -24,12 +24,16 @@ type config = {
   max_frame : int;  (** per-connection frame-size ceiling *)
   max_seconds : float;  (** clamp on per-job time budgets *)
   store_dir : string option;  (** pass-cache spill directory *)
+  cache_max_bytes : int option;
+      (** size cap on the spill store: when set (and [store_dir] is),
+          {!Store.gc} prunes least-recently-read blobs back under the
+          cap at daemon startup, before the store attaches *)
   log : bool;  (** stderr progress lines *)
 }
 
 val default_config : address -> config
 (** queue 64 deep, {!Shell_util.Jsonw.default_max_frame}, 600 s job
-    clamp, no spill store, quiet. *)
+    clamp, no spill store, no size cap, quiet. *)
 
 val serve : ?on_ready:(unit -> unit) -> config -> unit
 (** Run until a [Shutdown] request, then drain response buffers,

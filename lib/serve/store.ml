@@ -62,6 +62,67 @@ let entries t =
         else acc)
       0 (Sys.readdir t.root)
 
+(* ---------------- size-capped GC ---------------- *)
+
+type gc_report = {
+  scanned : int;
+  scanned_bytes : int;
+  deleted : int;
+  reclaimed_bytes : int;
+}
+
+let blobs t =
+  if not (Sys.file_exists t.root) then []
+  else
+    Array.fold_left
+      (fun acc shard ->
+        let dir = Filename.concat t.root shard in
+        if Sys.is_directory dir then
+          Array.fold_left
+            (fun acc name ->
+              let p = Filename.concat dir name in
+              match Unix.lstat p with
+              | { Unix.st_kind = Unix.S_REG; st_size; st_atime; _ } ->
+                  (p, st_size, st_atime) :: acc
+              | _ | (exception Unix.Unix_error _) -> acc)
+            acc (Sys.readdir dir)
+        else acc)
+      [] (Sys.readdir t.root)
+
+let gc t ~max_bytes =
+  let blobs = blobs t in
+  let scanned = List.length blobs in
+  let scanned_bytes = List.fold_left (fun a (_, s, _) -> a + s) 0 blobs in
+  let deleted = ref 0 and reclaimed = ref 0 in
+  if scanned_bytes > max_bytes then begin
+    (* least-recently-used first; path breaks atime ties so the
+       deletion order (and hence the report) is deterministic *)
+    let oldest_first =
+      List.sort
+        (fun (p1, _, a1) (p2, _, a2) ->
+          match compare (a1 : float) a2 with 0 -> compare p1 p2 | c -> c)
+        blobs
+    in
+    let rec evict remaining = function
+      | [] -> ()
+      | _ when remaining <= max_bytes -> ()
+      | (p, size, _) :: tl ->
+          (match Sys.remove p with
+          | () ->
+              incr deleted;
+              reclaimed := !reclaimed + size
+          | exception Sys_error _ -> ());
+          evict (remaining - size) tl
+    in
+    evict scanned_bytes oldest_first
+  end;
+  { scanned; scanned_bytes; deleted = !deleted; reclaimed_bytes = !reclaimed }
+
+let pp_gc_report ppf r =
+  Format.fprintf ppf
+    "gc: scanned %d blobs (%d bytes), deleted %d (%d bytes reclaimed)"
+    r.scanned r.scanned_bytes r.deleted r.reclaimed_bytes
+
 let pipeline_store t =
   {
     Shell_core.Pipeline.save = (fun key blob -> save t key blob);

@@ -17,6 +17,23 @@ val load : t -> string -> string option
 val entries : t -> int
 (** Number of stored blobs (directory scan; for status/tests). *)
 
+type gc_report = {
+  scanned : int;  (** blobs found in the store *)
+  scanned_bytes : int;  (** their total size before eviction *)
+  deleted : int;
+  reclaimed_bytes : int;
+}
+
+val gc : t -> max_bytes:int -> gc_report
+(** Size-capped LRU pruning: when the store holds more than
+    [max_bytes], delete blobs least-recently-read first (access time,
+    path as a deterministic tie-break on coarse-atime filesystems)
+    until the total is back under the cap. A deleted blob simply
+    becomes a pipeline cache miss. Unremovable files are skipped but
+    still counted as evicted space, so the loop terminates. *)
+
+val pp_gc_report : Format.formatter -> gc_report -> unit
+
 val pipeline_store : t -> Shell_core.Pipeline.store
 
 val attach : t -> unit

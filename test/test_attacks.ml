@@ -389,6 +389,140 @@ let test_structural_live_resilient () =
         (List.assoc_opt "live" st.A.Attack.detail)
   | _ -> Alcotest.fail "live xor keys must not be declared free"
 
+(* ---------------- oracle-less: redundancy + scope ---------------- *)
+
+(* Known-breakable XOR-locked fixture: the key is XORed into the
+   datapath (k0 through an XNOR, correct 1; k1 through an XOR, correct
+   0), but each bit also feeds a side gadget (s0 = a AND k0,
+   s1 = b OR k1) whose wrong pinning degenerates to a constant. The
+   pure XOR part leaks nothing to constant propagation; the gadgets
+   decide every bit, so both oracle-less attacks must assemble the
+   exact key and verify it. *)
+let xor_gadget_fixture () =
+  let original = N.create "xg" in
+  let a = N.add_input original "a" in
+  let b = N.add_input original "b" in
+  let c = N.add_input original "c" in
+  N.add_output original "y" (N.xor_ original (N.and_ original a b) c);
+  N.add_output original "s0" a;
+  N.add_output original "s1" b;
+  let locked = N.create "xg" in
+  let a = N.add_input locked "a" in
+  let b = N.add_input locked "b" in
+  let c = N.add_input locked "c" in
+  let k0 = N.add_key locked "k0" in
+  let k1 = N.add_key locked "k1" in
+  let t = N.xor_ locked (N.and_ locked a b) c in
+  N.add_output locked "y" (N.xor_ locked (N.xnor_ locked t k0) k1);
+  N.add_output locked "s0" (N.and_ locked a k0);
+  N.add_output locked "s1" (N.or_ locked b k1);
+  let lk =
+    { L.Locked.locked; key = [| true; false |]; scheme = "xor-gadget" }
+  in
+  assert (L.Locked.verify ~original lk);
+  (original, lk)
+
+(* Resilient mux-locked fixture: each key bit swaps a pair of shared,
+   multiply-read wires between two outputs. Pinning a select either
+   way masks one arm per mux, but every wire stays observable through
+   the sibling mux, so no live cell dies and no constant is proven:
+   both pinnings score identically and every bit stays undecided. The
+   correct key is deliberately not all-false, so a blind default guess
+   could never pass verification either. *)
+let mux_swap_fixture () =
+  let original = N.create "ms" in
+  let a = N.add_input original "a" in
+  let b = N.add_input original "b" in
+  N.add_output original "y0" (N.and_ original a b);
+  N.add_output original "y1" (N.or_ original a b);
+  N.add_output original "y2" (N.xor_ original a b);
+  N.add_output original "y3" (N.xnor_ original a b);
+  let locked = N.create "ms" in
+  let a = N.add_input locked "a" in
+  let b = N.add_input locked "b" in
+  let k0 = N.add_key locked "k0" in
+  let k1 = N.add_key locked "k1" in
+  let w_and = N.and_ locked a b in
+  let w_or = N.or_ locked a b in
+  let w_xor = N.xor_ locked a b in
+  let w_xnor = N.xnor_ locked a b in
+  N.add_output locked "y0" (N.mux2 locked ~sel:k0 ~a:w_and ~b:w_or);
+  N.add_output locked "y1" (N.mux2 locked ~sel:k0 ~a:w_or ~b:w_and);
+  (* swapped pair: correct k1 = 1 *)
+  N.add_output locked "y2" (N.mux2 locked ~sel:k1 ~a:w_xnor ~b:w_xor);
+  N.add_output locked "y3" (N.mux2 locked ~sel:k1 ~a:w_xor ~b:w_xnor);
+  let lk =
+    { L.Locked.locked; key = [| false; true |]; scheme = "mux-swap" }
+  in
+  assert (L.Locked.verify ~original lk);
+  (original, lk)
+
+let run_oracle_less name (original, lk) =
+  match A.Battery.find name with
+  | None -> Alcotest.fail (name ^ " not registered")
+  | Some atk ->
+      atk.A.Attack.run (A.Attack.budget ()) (A.Attack.subject ~original lk)
+
+let check_breaks name fixture =
+  match run_oracle_less name fixture with
+  | A.Attack.Broken (key, st) ->
+      let _, lk = fixture in
+      Alcotest.(check (array bool)) (name ^ " exact key") lk.L.Locked.key key;
+      Alcotest.(check int)
+        (name ^ " all bits decided")
+        st.A.Attack.key_bits st.A.Attack.recovered_bits
+  | A.Attack.Resilient st ->
+      Alcotest.fail
+        (Printf.sprintf "%s should break the gadget fixture (decided=%d)" name
+           st.A.Attack.recovered_bits)
+  | A.Attack.Inapplicable why -> Alcotest.fail ("inapplicable: " ^ why)
+
+let check_resilient name fixture =
+  match run_oracle_less name fixture with
+  | A.Attack.Resilient st ->
+      Alcotest.(check (option int)) (name ^ " nothing decided") (Some 0)
+        (List.assoc_opt "decided" st.A.Attack.detail);
+      (* resilient by silence, not by a failed gamble *)
+      Alcotest.(check (option int)) (name ^ " no failed verify") None
+        (List.assoc_opt "verify_failed" st.A.Attack.detail)
+  | A.Attack.Broken _ -> Alcotest.fail (name ^ " must not break the mux swap")
+  | A.Attack.Inapplicable why -> Alcotest.fail ("inapplicable: " ^ why)
+
+let test_redundancy_breaks_gadget () =
+  check_breaks "redundancy" (xor_gadget_fixture ())
+
+let test_redundancy_resilient_mux () =
+  check_resilient "redundancy" (mux_swap_fixture ())
+
+let test_scope_breaks_gadget () = check_breaks "scope" (xor_gadget_fixture ())
+let test_scope_resilient_mux () = check_resilient "scope" (mux_swap_fixture ())
+
+let test_scope_efpga_bitstream_keys () =
+  (* the scoring must see through Config_latch cells: an eFPGA-emitted
+     locked netlist hides its key behind the configuration plane, and a
+     scope run on it must still examine every bit (and stay quiet on
+     the symmetric LUT/routing planes rather than crash or break) *)
+  let mapped = fst (Shell_synth.Lut_map.map ~k:4 (victim 53 50)) in
+  let e = Shell_fabric.Emit.emit ~style:Shell_fabric.Style.Fabulous_std mapped in
+  let lk =
+    {
+      L.Locked.locked = e.Shell_fabric.Emit.locked;
+      key = Shell_fabric.Bitstream.bits e.Shell_fabric.Emit.bitstream;
+      scheme = "efpga";
+    }
+  in
+  match
+    (A.Scope.attack).A.Attack.run (A.Attack.budget ())
+      (A.Attack.subject ~original:mapped lk)
+  with
+  | A.Attack.Inapplicable why -> Alcotest.fail ("inapplicable: " ^ why)
+  | A.Attack.Broken (key, _) ->
+      Alcotest.(check bool) "a broken verdict must be verified" true
+        (L.Locked.verify ~original:mapped { lk with L.Locked.key = key })
+  | A.Attack.Resilient st ->
+      Alcotest.(check int) "every bit examined"
+        (L.Locked.key_bits lk) st.A.Attack.iterations
+
 (* ---------------- battery engine ---------------- *)
 
 let test_battery_registry () =
@@ -396,7 +530,10 @@ let test_battery_registry () =
   Alcotest.(check bool) "unknown not found" true
     (A.Battery.find "nope" = None);
   let names = A.Battery.names () in
-  Alcotest.(check int) "eight attacks" 8 (List.length names);
+  Alcotest.(check int) "ten attacks" 10 (List.length names);
+  Alcotest.(check bool) "redundancy registered" true
+    (List.mem "redundancy" names);
+  Alcotest.(check bool) "scope registered" true (List.mem "scope" names);
   Alcotest.(check bool) "names unique" true
     (List.length (List.sort_uniq compare names) = List.length names)
 
@@ -415,7 +552,15 @@ let test_battery_jobs_identical () =
   in
   let attacks =
     List.filter_map A.Battery.find
-      [ "brute"; "sensitize"; "structural"; "removal"; "proximity" ]
+      [
+        "brute";
+        "sensitize";
+        "structural";
+        "redundancy";
+        "scope";
+        "removal";
+        "proximity";
+      ]
   in
   let budget = A.Attack.budget () in
   let render jobs =
@@ -563,6 +708,11 @@ let suite =
     ("sensitize breaks xor", `Quick, test_sensitize_breaks_xor);
     ("structural free bits", `Quick, test_structural_free_bits);
     ("structural live resilient", `Quick, test_structural_live_resilient);
+    ("redundancy breaks gadget", `Quick, test_redundancy_breaks_gadget);
+    ("redundancy resilient mux", `Quick, test_redundancy_resilient_mux);
+    ("scope breaks gadget", `Quick, test_scope_breaks_gadget);
+    ("scope resilient mux", `Quick, test_scope_resilient_mux);
+    ("scope efpga bitstream keys", `Quick, test_scope_efpga_bitstream_keys);
     ("battery registry", `Quick, test_battery_registry);
     ("battery jobs identical", `Quick, test_battery_jobs_identical);
     ("battery rows and cells", `Quick, test_battery_rows_and_cells);

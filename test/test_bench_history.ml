@@ -347,6 +347,86 @@ let test_execute_record_check () =
   Sys.remove history;
   Sys.rmdir dir
 
+let test_check_against () =
+  let dir = temp_path "" in
+  let quiet _ = () in
+  let opts =
+    {
+      Runner.default_opts with
+      Runner.targets = [ "simulate" ];
+      jobs = Some 2;
+      out_dir = dir;
+      check = true;
+    }
+  in
+  (* record a good baseline at the "merge base" commit... *)
+  (match
+     Runner.execute ~out:quiet
+       { opts with Runner.check = false; record = true; commit = Some "mbase123" }
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "baseline record failed");
+  let history = Filename.concat dir "BENCH_HISTORY.jsonl" in
+  (* ...then append a perturbed record as the latest entry *)
+  (match History.load history with
+  | Ok [ r ] ->
+      History.append history
+        {
+          r with
+          Record.commit = "head999";
+          counters =
+            List.map
+              (fun (k, v) ->
+                if k = "sim_vectors" then (k, v + 1) else (k, v))
+              r.Record.counters;
+        }
+  | _ -> Alcotest.fail "expected exactly one record");
+  (* default baseline = last record = the perturbed one: drift *)
+  (match Runner.execute ~out:quiet { opts with Runner.commit = Some "c" } with
+  | Ok () -> Alcotest.fail "check vs perturbed last record must fail"
+  | Error _ -> ());
+  (* --against a commit prefix picks the merge-base record: clean *)
+  (match
+     Runner.execute ~out:quiet
+       { opts with Runner.commit = Some "c"; against = Some "mbase" }
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "check --against mbase must pass");
+  (* --against merge-base resolves via SHELL_BENCH_MERGE_BASE *)
+  Unix.putenv "SHELL_BENCH_MERGE_BASE" "mbase123";
+  Alcotest.(check (option string))
+    "merge-base resolves from the env override" (Some "mbase123")
+    (Runner.merge_base_commit ());
+  (match
+     Runner.execute ~out:quiet
+       { opts with Runner.commit = Some "c"; against = Some "merge-base" }
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "check --against merge-base must pass");
+  Unix.putenv "SHELL_BENCH_MERGE_BASE" "";
+  (* an unmatched spec warns and falls back to the last record *)
+  let warned = ref false in
+  (match
+     Runner.execute
+       ~out:(fun s -> if contains s "falling back" then warned := true)
+       { opts with Runner.commit = Some "c"; against = Some "nomatch" }
+   with
+  | Ok () -> Alcotest.fail "fallback baseline is the perturbed record"
+  | Error _ -> ());
+  Alcotest.(check bool) "fallback warned" true !warned;
+  (* prefix matching is symmetric and rejects empties *)
+  Alcotest.(check bool) "spec prefix" true
+    (Runner.commit_matches ~spec:"ab" "abcdef");
+  Alcotest.(check bool) "commit prefix" true
+    (Runner.commit_matches ~spec:"abcdef" "abc");
+  Alcotest.(check bool) "mismatch" false
+    (Runner.commit_matches ~spec:"ab" "ba");
+  Alcotest.(check bool) "empty spec" false (Runner.commit_matches ~spec:"" "a");
+  Alcotest.(check bool) "empty commit" false
+    (Runner.commit_matches ~spec:"a" "");
+  Sys.remove history;
+  Sys.rmdir dir
+
 let test_unknown_target () =
   match
     Runner.execute
@@ -377,5 +457,6 @@ let suite =
     Alcotest.test_case "report html" `Quick test_report_html;
     Alcotest.test_case "execute record+check+report" `Quick
       test_execute_record_check;
+    Alcotest.test_case "check --against merge-base" `Quick test_check_against;
     Alcotest.test_case "unknown target" `Quick test_unknown_target;
   ]

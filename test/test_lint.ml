@@ -135,6 +135,53 @@ let test_key_blocked () =
   N.add_output ok "y" (N.xor_ ok k a);
   check_clean "key-blocked" (Lint.subject ok)
 
+let test_key_odc_dead () =
+  (* the key steers a mux whose arms are the same net: it survives the
+     constant cuts (reach + live) but the ODC rules mask its only read *)
+  let nl = N.create "odcdead" in
+  let k = N.add_key nl "kb0" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.mux2 nl ~sel:k ~a ~b:a);
+  check_fires "key-odc-dead" (Lint.subject nl);
+  (* distinct arms: the select is genuinely observable, provably clean *)
+  let ok = N.create "odcok" in
+  let k = N.add_key ok "kb0" in
+  let a = N.add_input ok "a" in
+  let b = N.add_input ok "b" in
+  N.add_output ok "y" (N.mux2 ok ~sel:k ~a ~b);
+  check_clean "key-odc-dead" (Lint.subject ok)
+
+let test_key_taint_collapse () =
+  (* same-arm mux: the output's cone carries no key influence at all,
+     even though the netlist exposes a key *)
+  let nl = N.create "collapse" in
+  let k = N.add_key nl "kb0" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.mux2 nl ~sel:k ~a ~b:a);
+  check_fires "key-taint-collapse" (Lint.subject nl);
+  (* an XOR-keyed output is tainted by its bit: provably clean *)
+  let ok = N.create "taintok" in
+  let k = N.add_key ok "kb0" in
+  let a = N.add_input ok "a" in
+  N.add_output ok "y" (N.xor_ ok k a);
+  check_clean "key-taint-collapse" (Lint.subject ok)
+
+let test_scope_leak () =
+  (* AND-keying collapses asymmetrically: pinning the bit to 0 proves
+     the output constant, pinning to 1 proves nothing *)
+  let nl = N.create "leak" in
+  let k = N.add_key nl "kb0" in
+  let a = N.add_input nl "a" in
+  N.add_output nl "y" (N.and_ nl k a);
+  check_fires "scope-leak" (Lint.subject nl);
+  (* XOR-keying is score-symmetric: neither pinning proves anything,
+     so the rule provably cannot fire *)
+  let ok = N.create "leakok" in
+  let k = N.add_key ok "kb0" in
+  let a = N.add_input ok "a" in
+  N.add_output ok "y" (N.xor_ ok k a);
+  check_clean "scope-leak" (Lint.subject ok)
+
 let test_mux_chain_cycle () =
   let nl = N.create "muxloop" in
   let s = N.add_input nl "s" in
@@ -236,6 +283,133 @@ let test_fabric_unused () =
   in
   check_clean "fabric-unused" shrunk
 
+(* ---------------- ODC / taint vs brute-force Simw ---------------- *)
+
+module Dataflow = Shell_lint.Dataflow
+module Odc = Shell_lint.Odc
+module Taint = Shell_lint.Taint
+module Simw = Shell_netlist.Simw
+
+(* Brute-force ground truth: which outputs functionally depend on key
+   bit [bit]? Exhaustive over every input vector (packed word-parallel
+   into Simw lanes) and every assignment of the other key bits. *)
+let dependent_outputs nl ~bit =
+  let n_in = List.length (N.inputs nl) in
+  let nk = List.length (N.keys nl) in
+  let n_out = List.length (N.outputs nl) in
+  let lanes = 1 lsl n_in in
+  assert (lanes <= Simw.width);
+  let simw = Simw.create nl in
+  let in_words =
+    Array.init n_in (fun i ->
+        let w = ref 0 in
+        for l = 0 to lanes - 1 do
+          if (l lsr i) land 1 = 1 then w := !w lor (1 lsl l)
+        done;
+        !w)
+  in
+  let dep = Array.make n_out false in
+  for others = 0 to (1 lsl nk) - 1 do
+    if (others lsr bit) land 1 = 0 then begin
+      let keys0 = Array.init nk (fun j -> (others lsr j) land 1 = 1) in
+      let keys1 = Array.copy keys0 in
+      keys1.(bit) <- true;
+      let o0 = Simw.eval_comb simw ~keys:keys0 ~lanes in_words in
+      let o1 = Simw.eval_comb simw ~keys:keys1 ~lanes in_words in
+      for oi = 0 to n_out - 1 do
+        if o0.(oi) <> o1.(oi) then dep.(oi) <- true
+      done
+    end
+  done;
+  dep
+
+(* Soundness direction of both analyses, against the ground truth: a
+   key bit the ODC pass marks unobservable must not affect any output,
+   and an output whose taint set misses a bit must not depend on it. *)
+let check_agreement nl =
+  let name = N.name nl in
+  let values = Dataflow.const_values nl in
+  let odc = Odc.analyze ~values nl in
+  let taint = Taint.analyze ~values nl in
+  let outs = Array.of_list (N.outputs nl) in
+  List.iteri
+    (fun b (knm, knet) ->
+      let dep = dependent_outputs nl ~bit:b in
+      if not odc.Odc.observable.(knet) then
+        Array.iteri
+          (fun oi (onm, _) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: unobservable %s cannot reach %s" name knm
+                 onm)
+              false dep.(oi))
+          outs;
+      Array.iteri
+        (fun oi (onm, onet) ->
+          if not (Taint.tainted taint ~net:onet ~bit:b) then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s untainted by %s must not depend on it"
+                 name onm knm)
+              false dep.(oi))
+        outs)
+    (N.keys nl)
+
+let test_odc_taint_vs_simw () =
+  (* same-arm mux: select masked *)
+  let m1 = N.create "agr_mux_same" in
+  let k = N.add_key m1 "k" in
+  let a = N.add_input m1 "a" in
+  N.add_output m1 "y" (N.mux2 m1 ~sel:k ~a ~b:a);
+  (* mux4 with all arms equal: both selects masked *)
+  let m2 = N.create "agr_mux4_same" in
+  let k0 = N.add_key m2 "k0" in
+  let k1 = N.add_key m2 "k1" in
+  let a = N.add_input m2 "a" in
+  N.add_output m2 "y" (N.mux4 m2 ~s0:k0 ~s1:k1 [| a; a; a; a |]);
+  (* pinned select: the key rides the dead arm *)
+  let m3 = N.create "agr_sel_pinned" in
+  let k = N.add_key m3 "k" in
+  let a = N.add_input m3 "a" in
+  N.add_output m3 "y" (N.mux2 m3 ~sel:(N.const m3 true) ~a:k ~b:a);
+  (* x xor x: both reads masked, output silently constant *)
+  let m4 = N.create "agr_xor_same" in
+  let k = N.add_key m4 "k" in
+  let a = N.add_input m4 "a" in
+  N.add_output m4 "y" (N.xor_ m4 k k);
+  N.add_output m4 "z" a;
+  (* controlling constant: AND with 0 blocks the key *)
+  let m5 = N.create "agr_and_zero" in
+  let k = N.add_key m5 "k" in
+  let a = N.add_input m5 "a" in
+  N.add_output m5 "y" (N.or_ m5 (N.and_ m5 k (N.const m5 false)) a);
+  (* the attack-side gadget fixture: k0/k1 genuinely live on y/s0/s1
+     but s0 is untainted by k1 and s1 by k0 *)
+  let m6 = N.create "agr_gadget" in
+  let a = N.add_input m6 "a" in
+  let b = N.add_input m6 "b" in
+  let c = N.add_input m6 "c" in
+  let k0 = N.add_key m6 "k0" in
+  let k1 = N.add_key m6 "k1" in
+  let t = N.xor_ m6 (N.and_ m6 a b) c in
+  N.add_output m6 "y" (N.xor_ m6 (N.xnor_ m6 t k0) k1);
+  N.add_output m6 "s0" (N.and_ m6 a k0);
+  N.add_output m6 "s1" (N.or_ m6 b k1);
+  List.iter check_agreement [ m1; m2; m3; m4; m5; m6 ];
+  (* and the converse sanity on the gadget: the live pairs really are
+     tainted and observable *)
+  let values = Dataflow.const_values m6 in
+  let taint = Taint.analyze ~values m6 in
+  let odc = Odc.analyze ~values m6 in
+  let y_net = List.assoc "y" (N.outputs m6) in
+  Alcotest.(check bool) "gadget y tainted by k0" true
+    (Taint.tainted taint ~net:y_net ~bit:0);
+  Alcotest.(check bool) "gadget y tainted by k1" true
+    (Taint.tainted taint ~net:y_net ~bit:1);
+  List.iter
+    (fun (_, knet) ->
+      Alcotest.(check bool) "gadget keys observable" true
+        odc.Odc.observable.(knet))
+    (N.keys m6)
+
 (* ---------------- engine ---------------- *)
 
 (* a fixture that trips rules of all three severities *)
@@ -293,12 +467,37 @@ let test_baseline_suppression () =
   Alcotest.(check (list string)) "parse round-trip" fps (Lint.parse_baseline file)
 
 let test_jobs_independent () =
-  let json jobs =
-    let subj = Lint.subject (noisy ()) in
-    let r = Lint.run ~jobs ~rules:Rules.all subj in
-    Jsonw.to_string ~indent:2 (Lint.reports_json [ r ])
+  (* a key-bearing fixture so the security-pack rules (incl. the
+     dataflow-engine trio) contribute findings to the diffed JSON *)
+  let keyed () =
+    let nl = N.create "keyed" in
+    let k0 = N.add_key nl "k0" in
+    let k1 = N.add_key nl "k1" in
+    let a = N.add_input nl "a" in
+    N.add_output nl "y" (N.mux2 nl ~sel:k0 ~a ~b:a);
+    N.add_output nl "z" (N.and_ nl k1 a);
+    nl
   in
-  Alcotest.(check string) "json byte-identical jobs 1 vs 4" (json 1) (json 4)
+  let json jobs =
+    let rs =
+      List.map
+        (fun nl -> Lint.run ~jobs ~rules:Rules.all (Lint.subject nl))
+        [ noisy (); keyed () ]
+    in
+    Jsonw.to_string ~indent:2 (Lint.reports_json rs)
+  in
+  let j1 = json 1 in
+  Alcotest.(check string) "json byte-identical jobs 1 vs 4" j1 (json 4);
+  List.iter
+    (fun rule ->
+      let needle = Printf.sprintf "\"rule\": %S" rule in
+      let found =
+        let ln = String.length needle and lj = String.length j1 in
+        let rec go i = i + ln <= lj && (String.sub j1 i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (rule ^ " present in diffed JSON") true found)
+    [ "key-odc-dead"; "key-taint-collapse"; "scope-leak" ]
 
 let test_locked_flow_clean () =
   let r = Lazy.force fir_result in
@@ -321,6 +520,11 @@ let suite =
     Alcotest.test_case "lut-degenerate" `Quick test_lut_degenerate;
     Alcotest.test_case "key-dead" `Quick test_key_dead;
     Alcotest.test_case "key-blocked" `Quick test_key_blocked;
+    Alcotest.test_case "key-odc-dead" `Quick test_key_odc_dead;
+    Alcotest.test_case "key-taint-collapse" `Quick test_key_taint_collapse;
+    Alcotest.test_case "scope-leak" `Quick test_scope_leak;
+    Alcotest.test_case "odc+taint vs Simw brute force" `Quick
+      test_odc_taint_vs_simw;
     Alcotest.test_case "mux-chain-cycle" `Quick test_mux_chain_cycle;
     Alcotest.test_case "lgc-depth" `Quick test_lgc_depth;
     Alcotest.test_case "ref-mismatch" `Quick test_ref_mismatch;

@@ -11,6 +11,7 @@ module Admission = Shell_serve.Admission
 module Jobs = Shell_serve.Jobs
 module Server = Shell_serve.Server
 module Client = Shell_serve.Client
+module Store = Shell_serve.Store
 module Pipeline = Shell_core.Pipeline
 
 let contains s affix =
@@ -506,6 +507,77 @@ let test_server_restart_warm_from_disk () =
   in
   rm dir
 
+let rm_rf p =
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists p then rm p
+
+let test_store_gc () =
+  let dir = temp_path ".gcstore" in
+  let store = Store.create ~root:dir in
+  let keys = List.init 5 (fun i -> Printf.sprintf "key%d" i) in
+  List.iter (fun k -> Store.save store k (String.make 100 'x')) keys;
+  Alcotest.(check int) "all stored" 5 (Store.entries store);
+  (* under the cap: a scan-only no-op *)
+  let rep = Store.gc store ~max_bytes:1000 in
+  Alcotest.(check int) "scanned" 5 rep.Store.scanned;
+  Alcotest.(check int) "scanned bytes" 500 rep.Store.scanned_bytes;
+  Alcotest.(check int) "nothing deleted under cap" 0 rep.Store.deleted;
+  Alcotest.(check int) "nothing reclaimed under cap" 0 rep.Store.reclaimed_bytes;
+  (* stagger access times (the documented sharded-MD5 addressing gives
+     us each blob's path) so the LRU order is fully determined *)
+  let path_of k =
+    let h = Digest.to_hex (Digest.string k) in
+    Filename.concat
+      (Filename.concat dir (String.sub h 0 2))
+      (String.sub h 2 (String.length h - 2))
+  in
+  let ordered = List.sort (fun a b -> compare (path_of a) (path_of b)) keys in
+  let now = Unix.time () in
+  List.iteri
+    (fun i k ->
+      Unix.utimes (path_of k) (now -. 3600.0 +. (60.0 *. float_of_int i)) now)
+    ordered;
+  (* over the cap: evict oldest-first until back under *)
+  let rep = Store.gc store ~max_bytes:300 in
+  Alcotest.(check int) "deleted the two oldest" 2 rep.Store.deleted;
+  Alcotest.(check int) "reclaimed their bytes" 200 rep.Store.reclaimed_bytes;
+  Alcotest.(check int) "three blobs left" 3 (Store.entries store);
+  (match ordered with
+  | k0 :: k1 :: fresh ->
+      Alcotest.(check bool) "oldest evicted" true (Store.load store k0 = None);
+      Alcotest.(check bool) "next-oldest evicted" true
+        (Store.load store k1 = None);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            ("fresh blob survives: " ^ k)
+            true
+            (Store.load store k <> None))
+        fresh
+  | _ -> assert false);
+  (* daemon startup prunes before attaching the store *)
+  let capped a =
+    {
+      (Server.default_config a) with
+      Server.store_dir = Some dir;
+      cache_max_bytes = Some 0;
+    }
+  in
+  let addr, d = start_server capped in
+  (match Client.with_connection addr Client.ping with
+  | Ok v -> Alcotest.(check int) "daemon up after startup gc" P.version v
+  | Error e -> Alcotest.failf "ping failed: %s" e);
+  stop_server addr d;
+  Alcotest.(check int) "startup gc emptied the capped store" 0
+    (Store.entries store);
+  rm_rf dir
+
 let test_address_parsing () =
   (match Server.address_of_string "/tmp/x.sock" with
   | Ok (Server.Unix_sock "/tmp/x.sock") -> ()
@@ -535,6 +607,7 @@ let suite =
     ("admission order", `Quick, test_admission_order);
     ("admission queue full", `Quick, test_admission_queue_full);
     ("address parsing", `Quick, test_address_parsing);
+    ("store gc size cap", `Quick, test_store_gc);
     ("server lock byte-identical", `Quick, test_server_lock_byte_identical);
     ("server concurrent clients", `Quick, test_server_concurrent_clients);
     ("server queue full", `Quick, test_server_queue_full);
